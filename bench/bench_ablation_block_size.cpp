@@ -1,0 +1,54 @@
+// Ablation — thread-block size for the version-5 simulation kernel.
+//
+// The thesis fixes threads_per_block at a value where "the number of agents
+// has to be a multiply of threads_per_block" (§6.2.1) but never sweeps it.
+// The trade-off the sweep exposes: bigger blocks mean fewer shared-memory
+// tile loads per candidate (the tile covers more agents per __syncthreads
+// round) but fewer resident blocks per multiprocessor (register limit), and
+// at 512 threads a single block monopolises an MP.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusteer/kernels.hpp"
+
+namespace {
+
+// A block-size-parametric variant of the v2 neighbor-search kernel: the
+// production kernels take the block size from the launch geometry, so this
+// just relaunches them with different geometry.
+void run_with_block(std::uint32_t agents, unsigned tpb) {
+    using namespace gpusteer;
+    steer::WorldSpec spec;
+    spec.agents = agents;
+    const auto flock = steer::make_flock(spec);
+
+    cupp::device d;
+    cupp::vector<steer::Vec3> positions;
+    for (const auto& a : flock) positions.push_back(a.position);
+    cupp::vector<std::uint32_t> result(std::uint64_t{agents} * 7);
+    cupp::vector<std::uint32_t> counts(agents);
+
+    using NsF = cusim::KernelTask (*)(cusim::ThreadCtx&, const DVec3&, float, DU32&, DU32&,
+                                      ThinkMap);
+    cupp::kernel k(static_cast<NsF>(ns_shared_kernel), cusim::dim3{agents / tpb},
+                   cusim::dim3{tpb});
+    k.set_shared_bytes(tpb * sizeof(steer::Vec3));
+    k(d, positions, spec.search_radius, result, counts, ThinkMap{});
+
+    const auto& s = k.last_stats();
+    std::printf("%8u %8u %14.3f %12u %16.2f\n", agents, tpb, s.device_seconds * 1e3,
+                s.resident_blocks_per_mp, s.bytes_read / 1048576.0);
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Ablation — thread-block size for the shared-memory NS kernel",
+                        "the thesis uses 128 threads/block; the sweep shows why");
+    std::printf("%8s %8s %14s %12s %16s\n", "agents", "tpb", "kernel ms", "blocks/MP",
+                "MiB read");
+    for (const unsigned tpb : {32u, 64u, 128u, 256u, 512u}) {
+        run_with_block(4096, tpb);
+    }
+    return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation — the call-semantics pitfalls of the thesis' conclusion:
+//
+//  "Using a non-const reference instead of a const one harms performance
+//   since additional memory transfers are done. Passing a vector by value
+//   results in a high amount of copy constructor calls, because all
+//   elements of the vector must be copied."
+//
+// Measured here as bytes over the bus and simulated host seconds per call
+// style, for a kernel that only *reads* the vector.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cupp/cupp.hpp"
+
+namespace {
+
+using cusim::KernelTask;
+using cusim::ThreadCtx;
+
+KernelTask read_const_ref(ThreadCtx& ctx, const cupp::deviceT::vector<float>& v,
+                          cupp::deviceT::vector<float>& out) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < v.size()) out.write(ctx, gid, v.read(ctx, gid));
+    co_return;
+}
+
+KernelTask read_mut_ref(ThreadCtx& ctx, cupp::deviceT::vector<float>& v,
+                        cupp::deviceT::vector<float>& out) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < v.size()) out.write(ctx, gid, v.read(ctx, gid));
+    co_return;
+}
+
+KernelTask read_by_value(ThreadCtx& ctx, cupp::deviceT::vector<float> v,
+                         cupp::deviceT::vector<float>& out) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < v.size()) out.write(ctx, gid, v.read(ctx, gid));
+    co_return;
+}
+
+struct Result {
+    std::uint64_t to_device;
+    std::uint64_t to_host;
+    double host_seconds;
+};
+
+template <typename K, typename V>
+Result run(cupp::device& d, K& kernel, V& v, cupp::vector<float>& out, int calls) {
+    auto& sim = d.sim();
+    // Warm the device copy so the measurement sees steady-state behaviour.
+    kernel(d, v, out);
+    sim.reset_transfer_stats();
+    const double t0 = sim.host_time();
+    for (int i = 0; i < calls; ++i) {
+        kernel(d, v, out);
+        // The host *reads* one element of each vector between the calls —
+        // with lazy copying this is what forces dirty data back: a vector
+        // passed as non-const reference was marked stale by the kernel call
+        // and must be downloaded, a const one was not.
+        (void)static_cast<float>(out[0]);
+        (void)static_cast<float>(v[0]);
+    }
+    sim.synchronize();
+    return {sim.bytes_to_device(), sim.bytes_to_host(), sim.host_time() - t0};
+}
+
+}  // namespace
+
+int main() {
+    constexpr std::uint32_t kElems = 64 * 1024;
+    constexpr int kCalls = 10;
+
+    bench::print_header("Ablation — kernel call semantics (thesis conclusion)",
+                        "const& is free; non-const& forces copy-back; by-value copies "
+                        "every element");
+
+    cupp::device d;
+    cupp::vector<float> data(kElems, 1.0f);
+    cupp::vector<float> out(kElems, 0.0f);
+
+    using ConstK = KernelTask (*)(ThreadCtx&, const cupp::deviceT::vector<float>&,
+                                  cupp::deviceT::vector<float>&);
+    using MutK = KernelTask (*)(ThreadCtx&, cupp::deviceT::vector<float>&,
+                                cupp::deviceT::vector<float>&);
+    using ValK = KernelTask (*)(ThreadCtx&, cupp::deviceT::vector<float>,
+                                cupp::deviceT::vector<float>&);
+
+    const cusim::dim3 grid{kElems / 256}, block{256};
+    cupp::kernel const_k(static_cast<ConstK>(read_const_ref), grid, block);
+    cupp::kernel mut_k(static_cast<MutK>(read_mut_ref), grid, block);
+    cupp::kernel val_k(static_cast<ValK>(read_by_value), grid, block);
+
+    std::printf("%-22s %16s %16s %14s\n", "style", "bytes to dev", "bytes to host",
+                "host ms/call");
+    {
+        const auto r = run(d, const_k, data, out, kCalls);
+        std::printf("%-22s %16llu %16llu %14.3f\n", "const reference",
+                    static_cast<unsigned long long>(r.to_device),
+                    static_cast<unsigned long long>(r.to_host),
+                    1e3 * r.host_seconds / kCalls);
+    }
+    {
+        const auto r = run(d, mut_k, data, out, kCalls);
+        std::printf("%-22s %16llu %16llu %14.3f\n", "non-const reference",
+                    static_cast<unsigned long long>(r.to_device),
+                    static_cast<unsigned long long>(r.to_host),
+                    1e3 * r.host_seconds / kCalls);
+    }
+    {
+        const auto r = run(d, val_k, data, out, kCalls);
+        std::printf("%-22s %16llu %16llu %14.3f\n", "by value (copies!)",
+                    static_cast<unsigned long long>(r.to_device),
+                    static_cast<unsigned long long>(r.to_host),
+                    1e3 * r.host_seconds / kCalls);
+    }
+    std::printf("\n(each call passes a %u-element float vector; the by-value style\n"
+                " copy-constructs it and uploads the copy every single call)\n",
+                kElems);
+    return 0;
+}

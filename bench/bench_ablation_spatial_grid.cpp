@@ -1,0 +1,92 @@
+// Ablation — the future-work spatial data structure (§7).
+//
+// "Spatial data structures could improve the neighbor search performance.
+// Data structures must be constructed at the host [...] and then be
+// transferred to the GPU." This harness compares the thesis' brute-force
+// shared-memory neighbor search (version 2) against the grid-accelerated
+// kernel: device time drops from O(n^2) to ~O(n * density), at the price of
+// the host-side build and the CSR transfer each step.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusteer/grid_kernels.hpp"
+
+int main() {
+    using namespace gpusteer;
+    using gpusteer::GpuBoidsPlugin;
+    using gpusteer::Version;
+    using steer::NeighborList;
+    using steer::Vec3;
+
+    bench::print_header("Ablation — grid-accelerated neighbor search (future work §7)",
+                        "host-built grid beats brute force at scale despite the transfer");
+
+    std::printf("%8s %16s %16s %12s %16s\n", "agents", "brute-force ms", "grid ms",
+                "speedup", "grid host+xfer ms");
+
+    for (const std::uint32_t agents : bench::agent_sweep()) {
+        steer::WorldSpec spec;
+        spec.agents = agents;
+        const auto flock = steer::make_flock(spec);
+        std::vector<Vec3> host_positions(flock.size());
+        for (std::size_t i = 0; i < flock.size(); ++i) host_positions[i] = flock[i].position;
+
+        cupp::device d;
+        cupp::vector<Vec3> positions(host_positions.begin(), host_positions.end());
+        cupp::vector<std::uint32_t> result(std::uint64_t{agents} * NeighborList::kCapacity);
+        cupp::vector<std::uint32_t> counts(agents);
+
+        // Brute force (version-2 kernel).
+        using NsF = cusim::KernelTask (*)(cusim::ThreadCtx&, const DVec3&, float, DU32&,
+                                          DU32&, ThinkMap);
+        cupp::kernel brute(static_cast<NsF>(ns_shared_kernel),
+                           cusim::dim3{agents / kThreadsPerBlock},
+                           cusim::dim3{kThreadsPerBlock});
+        brute.set_shared_bytes(kThreadsPerBlock * sizeof(Vec3));
+        brute(d, positions, spec.search_radius, result, counts, ThinkMap{});
+        const double brute_ms = brute.last_stats().device_seconds * 1e3;
+
+        // Grid: host build + CSR transfer + device lookup.
+        auto& sim = d.sim();
+        sim.synchronize();
+        const double t0 = sim.host_time();
+        GridUpload upload;
+        upload.build(host_positions, spec.search_radius, spec.world_radius);
+        // Host build cost: ~12 cycles per agent (counting sort) on the
+        // Athlon model.
+        steer::CpuCostModel cpu;
+        sim.advance_host(cpu.seconds(12.0 * agents + 2.0 * upload.spec().cells()));
+
+        using GridF = cusim::KernelTask (*)(cusim::ThreadCtx&, const DVec3&, const DU32&,
+                                            const DU32&, steer::GridSpec, float, DU32&,
+                                            DU32&, ThinkMap);
+        cupp::kernel grid_k(static_cast<GridF>(ns_grid_kernel),
+                            cusim::dim3{(agents + kThreadsPerBlock - 1) / kThreadsPerBlock},
+                            cusim::dim3{kThreadsPerBlock});
+        grid_k(d, positions, upload.cell_start(), upload.entries(), upload.spec(),
+               spec.search_radius, result, counts, ThinkMap{});
+        const double grid_dev_ms = grid_k.last_stats().device_seconds * 1e3;
+        sim.synchronize();
+        const double grid_total_ms = (sim.host_time() - t0) * 1e3;
+
+        std::printf("%8u %16.3f %16.3f %11.1fx %16.3f\n", agents, brute_ms, grid_dev_ms,
+                    brute_ms / grid_total_ms, grid_total_ms - grid_dev_ms);
+    }
+
+    // --- the full update pipelines: version 5 (brute force) vs version 6
+    //     (host-built grid, incl. the per-step positions download and CSR
+    //     upload it requires) ---
+    std::printf("\n%8s %16s %16s %12s   (full update stage)\n", "agents", "v5 ms", "v6 ms",
+                "speedup");
+    for (const std::uint32_t agents : bench::agent_sweep()) {
+        steer::WorldSpec spec;
+        spec.agents = agents;
+        GpuBoidsPlugin v5(Version::V5_FullUpdateOnDevice);
+        const auto r5 = bench::measure(v5, spec, bench::steps_for(agents));
+        GpuBoidsPlugin v6(Version::V6_GridNeighborSearch);
+        const auto r6 = bench::measure(v6, spec, bench::steps_for(agents));
+        std::printf("%8u %16.3f %16.3f %11.2fx\n", agents, r5.mean.update() * 1e3,
+                    r6.mean.update() * 1e3, r5.mean.update() / r6.mean.update());
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation — texture fetches for read-only vectors (future work §7).
+//
+// "If it is known that the vector is passed as a const reference to a
+// kernel, texture o[r] constant memory could automatically be used to offer
+// even better performance." The version-1 neighbor search reads every
+// candidate position from global memory; routing those reads through the
+// texture cache removes most of the uncoalesced-Vec3 traffic.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusteer/kernels.hpp"
+
+int main() {
+    using namespace gpusteer;
+    using steer::NeighborList;
+    using steer::Vec3;
+
+    bench::print_header("Ablation — texture fetches on the v1 neighbor search",
+                        "the proposed automatic const-reference optimisation");
+
+    std::printf("%8s %18s %18s %12s\n", "agents", "global reads ms", "texture reads ms",
+                "speedup");
+    for (const std::uint32_t agents : {1024u, 2048u, 4096u, 8192u}) {
+        steer::WorldSpec spec;
+        spec.agents = agents;
+        const auto flock = steer::make_flock(spec);
+
+        cupp::device d;
+        cupp::vector<Vec3> positions;
+        for (const auto& a : flock) positions.push_back(a.position);
+        cupp::vector<std::uint32_t> result(std::uint64_t{agents} * NeighborList::kCapacity);
+        cupp::vector<std::uint32_t> counts(agents);
+
+        using NsF = cusim::KernelTask (*)(cusim::ThreadCtx&, const DVec3&, float, DU32&,
+                                          DU32&, ThinkMap);
+        cupp::kernel k(static_cast<NsF>(ns_global_kernel),
+                       cusim::dim3{(agents + kThreadsPerBlock - 1) / kThreadsPerBlock},
+                       cusim::dim3{kThreadsPerBlock});
+
+        k(d, positions, spec.search_radius, result, counts, ThinkMap{});
+        const double plain_ms = k.last_stats().device_seconds * 1e3;
+
+        positions.set_texture_fetches(true);
+        k(d, positions, spec.search_radius, result, counts, ThinkMap{});
+        const double tex_ms = k.last_stats().device_seconds * 1e3;
+
+        std::printf("%8u %18.3f %18.3f %11.2fx\n", agents, plain_ms, tex_ms,
+                    plain_ms / tex_ms);
+    }
+    return 0;
+}

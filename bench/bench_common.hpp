@@ -1,0 +1,75 @@
+// Shared helpers for the figure/table harnesses.
+//
+// Every harness prints the rows of one thesis figure or table. Rates are
+// *simulated* rates: the CPU plugin models the thesis' Athlon 64 3700+, the
+// GPU plugin runs on the simulated GeForce 8800 GTS timeline. Wall-clock
+// time of the harness itself is meaningless and never reported.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusteer/plugin.hpp"
+#include "steer/steer.hpp"
+
+namespace bench {
+
+/// Measured rates of one configuration.
+struct Rates {
+    double updates_per_s = 0.0;  ///< 1 / mean update-stage time
+    double frames_per_s = 0.0;   ///< 1 / mean full-loop time (incl. draw)
+    steer::StageTimes mean{};    ///< mean per-stage seconds
+};
+
+/// Runs `steps` main-loop iterations (after `warmup`) and averages the
+/// per-stage simulated times.
+inline Rates measure(steer::PlugIn& plugin, const steer::WorldSpec& spec, int steps,
+                     int warmup = 1) {
+    plugin.open(spec);
+    for (int i = 0; i < warmup; ++i) (void)plugin.step();
+    steer::StageTimes sum{};
+    for (int i = 0; i < steps; ++i) sum += plugin.step();
+    plugin.close();
+
+    Rates r;
+    r.mean.simulation = sum.simulation / steps;
+    r.mean.modification = sum.modification / steps;
+    r.mean.transfer = sum.transfer / steps;
+    r.mean.draw = sum.draw / steps;
+    r.updates_per_s = 1.0 / r.mean.update();
+    r.frames_per_s = 1.0 / r.mean.total();
+    return r;
+}
+
+/// True when the operator asked for the full (slow) sweeps.
+inline bool full_sweeps() {
+    const char* v = std::getenv("CUPP_BENCH_FULL");
+    return v != nullptr && v[0] == '1';
+}
+
+/// Steps to average per measurement, scaled down for big flocks so the
+/// harness stays responsive on the host machine.
+inline int steps_for(std::uint32_t agents) {
+    if (agents >= 16384) return 1;
+    if (agents >= 4096) return 2;
+    return 4;
+}
+
+/// The standard agent-count sweep (powers of two, 512 ... 16384, extended
+/// to 32768 with CUPP_BENCH_FULL=1).
+inline std::vector<std::uint32_t> agent_sweep() {
+    std::vector<std::uint32_t> sizes = {512, 1024, 2048, 4096, 8192, 16384};
+    if (full_sweeps()) sizes.push_back(32768);
+    return sizes;
+}
+
+inline void print_header(const char* title, const char* paper_note) {
+    std::printf("\n=== %s ===\n", title);
+    std::printf("paper: %s\n\n", paper_note);
+}
+
+}  // namespace bench

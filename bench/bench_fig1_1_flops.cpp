@@ -1,0 +1,62 @@
+// Figure 1.1 — CPU vs GPU floating-point performance.
+//
+// The introduction: "Both memory bandwidth and floating-point performance
+// of graphics processing units (GPUs) outrange their CPU counterparts
+// roughly by a factor of 10." The figure plots NVIDIA's marketing curve;
+// what is reproducible is the 2007 end point: the G80-class part vs. the
+// Athlon 64 3700+, from the two cost models plus an achieved-FLOPs
+// measurement of a pure-arithmetic kernel.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cusim/cusim.hpp"
+
+namespace {
+
+constexpr int kFlopsPerThread = 4096;
+
+cusim::KernelTask flops_kernel(cusim::ThreadCtx& ctx) {
+    // Dependent FMAD chain, the standard peak-rate microkernel.
+    for (int i = 0; i < kFlopsPerThread / 2; ++i) ctx.charge(cusim::Op::FMad);
+    co_return;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Figure 1.1 — CPU vs GPU floating-point performance",
+                        "GPU outranges the CPU roughly by a factor of 10 (2007 endpoint)");
+
+    const cusim::CostModel gpu;
+    const steer::CpuCostModel cpu;
+
+    // Peak rates from the machine models. One FMAD = 2 FLOPs; a warp
+    // retires one FMAD per 4 cycles on 8 processors -> 2 FLOP/cycle/processor...
+    // expressed per device: processors * clock * 2 / (cycles per warp-op / warp size).
+    const double gpu_peak =
+        gpu.multiprocessors * cusim::kProcessorsPerMP * gpu.core_clock_hz * 2.0 / 1e9;
+    // Scalar SSE-less FPU: ~1 FLOP per cycle.
+    const double cpu_peak = cpu.clock_hz * 1.0 / 1e9;
+
+    // Achieved: run the microkernel, convert simulated seconds to FLOPs.
+    cusim::Device dev;
+    cusim::LaunchConfig cfg{cusim::dim3{96}, cusim::dim3{256}};
+    const auto stats = dev.launch(cfg, [](cusim::ThreadCtx& ctx) { return flops_kernel(ctx); });
+    const double flops = static_cast<double>(cfg.total_threads()) * kFlopsPerThread;
+    const double gpu_achieved = flops / stats.device_seconds / 1e9;
+
+    std::printf("%-28s %12s %12s\n", "", "GFLOP/s", "GB/s");
+    std::printf("%-28s %12.1f %12.1f\n", "GPU (GeForce 8800 GTS)", gpu_peak,
+                gpu.mem_bandwidth_bytes_per_s / 1e9);
+    std::printf("%-28s %12.1f %12.1f\n", "CPU (Athlon 64 3700+)", cpu_peak, 6.4);
+    std::printf("%-28s %11.1fx %11.1fx\n", "GPU / CPU", gpu_peak / cpu_peak,
+                gpu.mem_bandwidth_bytes_per_s / 1e9 / 6.4);
+    std::printf("\nachieved on the simulated device (FMAD chain, 24576 threads): "
+                "%.1f GFLOP/s (%.0f%% of peak)\n",
+                gpu_achieved, 100.0 * gpu_achieved / gpu_peak);
+    std::printf("\n(Fig. 1.1's 'factor of 10' compares against contemporary high-end\n"
+                " SIMD multicores (~20-35 GFLOP/s); the thesis baseline is a scalar\n"
+                " single-core Athlon, hence the larger compute gap here. The memory-\n"
+                " bandwidth factor of 10 holds directly.)\n");
+    return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 5.5 — how the CPU version spends its update-stage cycles.
+//
+// The thesis: "The neighbor search is the performance bottleneck, with
+// about 82% of the used CPU cycles. The calculation of the steering vector
+// (simulation substage) or any other work requires less than 20%."
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+    bench::print_header("Figure 5.5 — CPU update-stage cycle breakdown",
+                        "neighbor search ~82%, everything else < 20%");
+
+    for (const std::uint32_t agents : {1024u, 2048u, 4096u}) {
+        steer::WorldSpec spec;
+        spec.agents = agents;
+        steer::CpuBoidsPlugin plugin;
+        plugin.open(spec);
+        const steer::StageTimes t = plugin.step();
+        const auto& m = plugin.cost_model();
+        const auto& c = plugin.last_step_counters();
+
+        const double ns = steer::neighbor_search_seconds(c, m);
+        const double steering = t.simulation - ns;
+        const double rest = t.modification;
+        const double update = t.update();
+
+        std::printf("agents=%-6u neighbor search %5.1f%%   steering calc %5.1f%%   "
+                    "modification %5.1f%%   (update stage %.2f ms)\n",
+                    agents, 100.0 * ns / update, 100.0 * steering / update,
+                    100.0 * rest / update, update * 1e3);
+        plugin.close();
+    }
+    return 0;
+}

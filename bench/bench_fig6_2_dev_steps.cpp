@@ -1,0 +1,52 @@
+// Figure 6.2 + Table 6.1 — the five development steps at 4096 agents.
+//
+// The thesis reports, relative to the CPU version: v1 = 3.9x, v2 = 12.9x
+// (3.3x over v1), v3 = 27x, v4 = 28.8x, v5 = 42x. Table 6.1 lists which
+// update-stage parts each version executes on the device.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+    using gpusteer::GpuBoidsPlugin;
+    using gpusteer::Version;
+    using gpusteer::VersionTraits;
+
+    constexpr std::uint32_t kAgents = 4096;
+    steer::WorldSpec spec;
+    spec.agents = kAgents;
+
+    bench::print_header("Table 6.1 — development versions",
+                        "which substage parts run on the device per version");
+    std::printf("%-8s %-18s %-22s %-14s\n", "version", "neighbor search",
+                "steering calculation", "modification");
+    for (int v = 1; v <= 5; ++v) {
+        const auto t = VersionTraits::of(static_cast<Version>(v));
+        std::printf("%-8d %-18s %-22s %-14s\n", v, t.ns_on_device ? "device" : "host",
+                    t.steering_on_device ? "device" : "host",
+                    t.modification_on_device ? "device" : "host");
+    }
+
+    bench::print_header(
+        "Figure 6.2 — simulation frames per second at 4096 agents",
+        "CPU 1x; v1 3.9x; v2 12.9x; v3 27x; v4 28.8x; v5 42x");
+
+    const int steps = bench::steps_for(kAgents);
+    steer::CpuBoidsPlugin cpu;
+    // Update-stage rate (the figure's fps is simulation rate; the draw
+    // stage is profiled separately in Fig. 6.4).
+    const auto cpu_rates = bench::measure(cpu, spec, steps);
+    std::printf("%-10s %14s %10s\n", "variant", "updates/s", "factor");
+    std::printf("%-10s %14.2f %10s\n", "cpu", cpu_rates.updates_per_s, "1.0x");
+
+    const double paper_factor[5] = {3.9, 12.9, 27.0, 28.8, 42.0};
+    for (int v = 1; v <= 5; ++v) {
+        GpuBoidsPlugin gpu(static_cast<Version>(v));
+        const auto rates = bench::measure(gpu, spec, steps);
+        const double factor = rates.updates_per_s / cpu_rates.updates_per_s;
+        std::printf("%-10s %14.2f %9.1fx   (paper: %.1fx)\n",
+                    ("gpu-v" + std::to_string(v)).c_str(), rates.updates_per_s, factor,
+                    paper_factor[v - 1]);
+    }
+    return 0;
+}

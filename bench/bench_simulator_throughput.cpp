@@ -1,0 +1,99 @@
+// Wall-clock performance of the simulator itself (google-benchmark).
+//
+// Unlike the figure harnesses, which report *simulated* time, this binary
+// measures how fast the host machine pushes simulated work through cusim —
+// useful for tracking regressions in the engine (coroutine scheduling,
+// accounting hooks, allocator).
+#include <benchmark/benchmark.h>
+
+#include "cupp/cupp.hpp"
+#include "gpusteer/plugin.hpp"
+#include "steer/steer.hpp"
+
+namespace {
+
+using cusim::KernelTask;
+using cusim::ThreadCtx;
+
+KernelTask empty_kernel(ThreadCtx&) { co_return; }
+
+void BM_LaunchOverhead(benchmark::State& state) {
+    cusim::Device dev(cusim::tiny_properties());
+    const cusim::LaunchConfig cfg{cusim::dim3{static_cast<unsigned>(state.range(0))},
+                                  cusim::dim3{128}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dev.launch(cfg, [](ThreadCtx& ctx) { return empty_kernel(ctx); }));
+    }
+    state.SetItemsProcessed(state.iterations() * cfg.total_threads());
+}
+BENCHMARK(BM_LaunchOverhead)->Arg(1)->Arg(16)->Arg(64);
+
+KernelTask saxpy_kernel(ThreadCtx& ctx, cupp::deviceT::vector<float>& y,
+                        const cupp::deviceT::vector<float>& x, float a) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < y.size()) {
+        ctx.charge(cusim::Op::FMad);
+        y.write(ctx, gid, a * x.read(ctx, gid) + y.read(ctx, gid));
+    }
+    co_return;
+}
+
+void BM_SaxpyThroughput(benchmark::State& state) {
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    cupp::device d;
+    cupp::vector<float> x(n, 1.0f), y(n, 2.0f);
+    using K = KernelTask (*)(ThreadCtx&, cupp::deviceT::vector<float>&,
+                             const cupp::deviceT::vector<float>&, float);
+    cupp::kernel k(static_cast<K>(saxpy_kernel), cusim::dim3{(n + 255) / 256},
+                   cusim::dim3{256});
+    for (auto _ : state) {
+        k(d, y, x, 2.0f);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SaxpyThroughput)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BoidsStep(benchmark::State& state) {
+    const auto agents = static_cast<std::uint32_t>(state.range(0));
+    steer::WorldSpec spec;
+    spec.agents = agents;
+    gpusteer::GpuBoidsPlugin gpu(gpusteer::Version::V5_FullUpdateOnDevice);
+    gpu.open(spec);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gpu.step());
+    }
+    state.SetItemsProcessed(state.iterations() * agents * agents);  // pair tests
+    gpu.close();
+}
+BENCHMARK(BM_BoidsStep)->Arg(512)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_CpuBoidsStep(benchmark::State& state) {
+    const auto agents = static_cast<std::uint32_t>(state.range(0));
+    steer::WorldSpec spec;
+    spec.agents = agents;
+    steer::CpuBoidsPlugin cpu;
+    cpu.open(spec);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cpu.step());
+    }
+    state.SetItemsProcessed(state.iterations() * agents * agents);
+    cpu.close();
+}
+BENCHMARK(BM_CpuBoidsStep)->Arg(512)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalMemoryAllocator(benchmark::State& state) {
+    cusim::GlobalMemory mem(64 * 1024 * 1024);
+    std::vector<cusim::DeviceAddr> addrs;
+    addrs.reserve(256);
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i) addrs.push_back(mem.allocate(1024));
+        for (const auto a : addrs) mem.free(a);
+        addrs.clear();
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_GlobalMemoryAllocator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Table 2.2 — instruction costs on the G80 architecture, re-measured.
+//
+// Microkernels execute a known number of instructions of one class; the
+// simulated per-warp cycle counts divided by the instruction count must
+// land on the table:
+//
+//   FADD/FMUL/FMAD/IADD                    4 cycles/warp
+//   bitwise, compare, min, max             4
+//   reciprocal, reciprocal square root     16
+//   accessing registers                    0
+//   accessing shared memory                >= 4
+//   reading from device memory             400 - 600
+//   synchronizing all threads of a block   4 + waiting
+#include <cstdio>
+
+#include "cusim/cusim.hpp"
+
+namespace {
+
+using namespace cusim;
+
+constexpr int kIterations = 1000;
+
+KernelTask op_kernel(ThreadCtx& ctx, Op op) {
+    for (int i = 0; i < kIterations; ++i) ctx.charge(op);
+    co_return;
+}
+
+KernelTask shared_kernel(ThreadCtx& ctx) {
+    auto s = ctx.shared_array<float>(kWarpSize);
+    for (int i = 0; i < kIterations; ++i) {
+        (void)s.read(ctx, ctx.thread_idx().x % kWarpSize);
+    }
+    co_return;
+}
+
+KernelTask global_read_kernel(ThreadCtx& ctx, DevicePtr<float> data) {
+    for (int i = 0; i < kIterations; ++i) {
+        (void)data.read(ctx, ctx.thread_idx().x % data.size());
+    }
+    co_return;
+}
+
+KernelTask sync_kernel(ThreadCtx& ctx) {
+    for (int i = 0; i < kIterations; ++i) co_await ctx.syncthreads();
+    co_return;
+}
+
+/// Measures total issue+stall cycles of one warp running `entry`.
+template <typename Entry>
+std::pair<double, double> measure(Device& dev, Entry&& entry, unsigned shared_bytes = 0) {
+    LaunchConfig cfg{dim3{1}, dim3{kWarpSize}};
+    cfg.shared_bytes = shared_bytes;
+    const auto stats = dev.launch(cfg, entry);
+    return {static_cast<double>(stats.compute_cycles) / kIterations,
+            static_cast<double>(stats.stall_cycles) / kIterations};
+}
+
+void row(const char* name, double cycles, const char* paper) {
+    std::printf("%-38s %10.1f   %s\n", name, cycles, paper);
+}
+
+}  // namespace
+
+int main() {
+    Device dev;
+    std::printf("\n=== Table 2.2 — instruction costs (cycles per warp) ===\n\n");
+    std::printf("%-38s %10s   %s\n", "instruction", "measured", "paper");
+
+    const std::pair<Op, const char*> arith[] = {
+        {Op::FAdd, "FADD"}, {Op::FMul, "FMUL"},       {Op::FMad, "FMAD"},
+        {Op::IAdd, "IADD"}, {Op::Bitwise, "bitwise"}, {Op::Compare, "compare"},
+        {Op::MinMax, "min/max"},
+    };
+    for (const auto& [op, name] : arith) {
+        const auto [cycles, stall] =
+            measure(dev, [op](ThreadCtx& ctx) { return op_kernel(ctx, op); });
+        row(name, cycles, "4");
+    }
+    for (const auto& [op, name] :
+         {std::pair{Op::Recip, "reciprocal"}, std::pair{Op::RSqrt, "reciprocal sqrt"}}) {
+        const auto [cycles, stall] =
+            measure(dev, [op](ThreadCtx& ctx) { return op_kernel(ctx, op); });
+        row(name, cycles, "16");
+    }
+    {
+        const auto [cycles, stall] =
+            measure(dev, [](ThreadCtx& ctx) { return op_kernel(ctx, Op::Register); });
+        row("accessing registers", cycles, "0");
+    }
+    {
+        const auto [cycles, stall] = measure(
+            dev, [](ThreadCtx& ctx) { return shared_kernel(ctx); }, kWarpSize * sizeof(float));
+        row("accessing shared memory", cycles, ">= 4");
+    }
+    {
+        auto data = dev.malloc_n<float>(kWarpSize);
+        const auto [cycles, stall] =
+            measure(dev, [&](ThreadCtx& ctx) { return global_read_kernel(ctx, data); });
+        row("reading from device memory", cycles + stall, "400 - 600");
+        dev.free(data);
+    }
+    {
+        const auto [cycles, stall] =
+            measure(dev, [](ThreadCtx& ctx) { return sync_kernel(ctx); });
+        row("__syncthreads()", cycles, "4 + waiting time");
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+// A terminal flock viewer: runs the GPU Boids simulation and renders a
+// top-down ASCII projection of the world every few steps — the closest a
+// headless reproduction gets to watching OpenSteerDemo fly.
+//
+//   usage: flock_viewer [agents] [frames] [every]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cusim/report.hpp"
+#include "gpusteer/plugin.hpp"
+#include "steer/steer.hpp"
+
+namespace {
+
+void render(const std::vector<steer::Agent>& flock, float world_radius, int cols,
+            int rows) {
+    std::vector<std::string> canvas(rows, std::string(cols, ' '));
+    for (const auto& agent : flock) {
+        // Top-down: x -> column, z -> row; y is depth-coded by character.
+        const int col = static_cast<int>((agent.position.x / world_radius + 1.0f) * 0.5f *
+                                         (cols - 1));
+        const int row = static_cast<int>((agent.position.z / world_radius + 1.0f) * 0.5f *
+                                         (rows - 1));
+        if (col < 0 || col >= cols || row < 0 || row >= rows) continue;
+        const char glyph = agent.position.y > world_radius / 3   ? '^'
+                           : agent.position.y < -world_radius / 3 ? 'v'
+                                                                  : 'o';
+        char& cell = canvas[row][col];
+        cell = (cell == ' ') ? glyph : '#';  // '#': several boids share a cell
+    }
+    std::printf("+%s+\n", std::string(cols, '-').c_str());
+    for (const auto& line : canvas) std::printf("|%s|\n", line.c_str());
+    std::printf("+%s+\n", std::string(cols, '-').c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    steer::WorldSpec spec;
+    spec.agents = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 512;
+    const int frames = argc > 2 ? std::atoi(argv[2]) : 60;
+    const int every = argc > 3 ? std::atoi(argv[3]) : 20;
+
+    gpusteer::GpuBoidsPlugin gpu(gpusteer::Version::V5_FullUpdateOnDevice);
+    gpu.open(spec);
+
+    std::printf("GPU Boids, %u agents in a radius-%.0f world (top-down: x ->, z v; "
+                "'^'/'o'/'v' = high/mid/low altitude, '#' = crowded)\n",
+                spec.agents, spec.world_radius);
+    for (int frame = 0; frame < frames; ++frame) {
+        gpu.step();
+        if (frame % every == 0 || frame == frames - 1) {
+            std::printf("\nframe %d:\n", frame);
+            render(gpu.snapshot(), spec.world_radius, 72, 24);
+        }
+    }
+
+    const auto& cost = gpu.device_handle().sim().properties().cost;
+    std::printf("\nlast simulation kernel: %s\n",
+                cusim::describe(gpu.device_handle().sim().last_launch(), cost).c_str());
+    return 0;
+}

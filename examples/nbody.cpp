@@ -1,0 +1,94 @@
+// N-body — the comparison system of §6.3.1 (NVIDIA's GPU Gems 3 kernel,
+// [NHP07]): an all-pairs gravitational force computation with shared-memory
+// tiling and *no data-dependent branches*, i.e. no SIMD divergence at all.
+//
+// Demonstrates: shared memory as a software-managed cache, __syncthreads,
+// divergence counters, and the simulated-time performance report.
+#include <cmath>
+#include <cstdio>
+
+#include "cupp/cupp.hpp"
+#include "steer/lcg.hpp"
+#include "steer/vec3.hpp"
+
+namespace {
+
+using steer::Vec3;
+
+struct Body {
+    Vec3 position;
+    float mass;
+};
+
+constexpr unsigned kTile = 128;
+constexpr float kSoftening = 0.01f;
+
+cusim::KernelTask forces_kernel(cusim::ThreadCtx& ctx,
+                                const cupp::deviceT::vector<Body>& bodies,
+                                cupp::deviceT::vector<Vec3>& accel) {
+    const std::uint32_t n = bodies.size();
+    const std::uint32_t tid = ctx.thread_idx().x;
+    const std::uint64_t gid = ctx.global_id();
+    auto tile = ctx.shared_array<Body>(kTile);
+
+    const Body me = gid < n ? bodies.read(ctx, gid) : Body{};
+    Vec3 a = steer::kZero;
+    for (std::uint32_t base = 0; base < n; base += kTile) {
+        tile.write(ctx, tid, bodies.read(ctx, base + tid));
+        co_await ctx.syncthreads();
+        for (std::uint32_t i = 0; i < kTile; ++i) {
+            const Body other = tile.read(ctx, i);
+            const Vec3 r = other.position - me.position;
+            const float dist2 = r.length_squared() + kSoftening;
+            const float inv = 1.0f / std::sqrt(dist2);
+            ctx.charge(cusim::Op::FMad, 9);
+            ctx.charge(cusim::Op::RSqrt, 1);
+            a += r * (other.mass * inv * inv * inv);
+        }
+        co_await ctx.syncthreads();
+    }
+    if (gid < n) accel.write(ctx, gid, a);
+    co_return;
+}
+
+}  // namespace
+
+int main() {
+    constexpr std::uint32_t kBodies = 4096;
+    cupp::device d;
+
+    cupp::vector<Body> bodies;
+    steer::Lcg rng(7);
+    for (std::uint32_t i = 0; i < kBodies; ++i) {
+        bodies.push_back(Body{Vec3{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                                   rng.uniform(-10, 10)},
+                              rng.uniform(0.5f, 2.0f)});
+    }
+    cupp::vector<Vec3> accel(kBodies, steer::kZero);
+
+    using K = cusim::KernelTask (*)(cusim::ThreadCtx&, const cupp::deviceT::vector<Body>&,
+                                    cupp::deviceT::vector<Vec3>&);
+    cupp::kernel k(static_cast<K>(forces_kernel), cusim::dim3{kBodies / kTile},
+                   cusim::dim3{kTile});
+    k.set_shared_bytes(kTile * sizeof(Body));
+
+    d.sim().reset_clock();
+    k(d, bodies, accel);
+    d.synchronize();
+    const auto& stats = k.last_stats();
+
+    const double interactions = static_cast<double>(kBodies) * kBodies;
+    std::printf("n-body, %u bodies, all-pairs with %u-wide shared-memory tiles\n", kBodies,
+                kTile);
+    std::printf("  simulated kernel time : %.3f ms\n", stats.device_seconds * 1e3);
+    std::printf("  interactions/s        : %.2f billion\n",
+                interactions / stats.device_seconds / 1e9);
+    std::printf("  divergent warp-steps  : %llu (branch-free by construction)\n",
+                static_cast<unsigned long long>(stats.divergent_events));
+    std::printf("  occupancy             : %u blocks per multiprocessor\n",
+                stats.resident_blocks_per_mp);
+
+    const Vec3 a0 = accel[0];
+    std::printf("  accel[0] = (%.4f, %.4f, %.4f)\n", a0.x, a0.y, a0.z);
+    return 0;
+}

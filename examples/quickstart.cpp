@@ -1,0 +1,63 @@
+// Quickstart — the thesis' own first example (listings 4.2/4.3).
+//
+// A kernel with call-by-value and call-by-reference parameters, launched
+// through the cupp::kernel functor on a 10x10 grid of 8x8-thread blocks.
+//
+//   $ ./quickstart
+//   j = 5
+//   squares[0..7] = 0 1 4 9 16 25 36 49
+#include <cstdio>
+
+#include "cupp/cupp.hpp"
+
+// --- the "CUDA file" -------------------------------------------------------
+// A __global__ function in the simulator: KernelTask f(ThreadCtx&, params).
+cusim::KernelTask kernel(cusim::ThreadCtx& ctx, int i, int& j) {
+    // One thread computes; everyone else just rides along.
+    if (ctx.global_id() == 0) j = i / 2;
+    co_return;
+}
+
+typedef cusim::KernelTask (*kernelT)(cusim::ThreadCtx&, int, int&);
+kernelT get_kernel_ptr() { return kernel; }
+
+// A second kernel showing the cupp::vector in action.
+cusim::KernelTask square_kernel(cusim::ThreadCtx& ctx, cupp::deviceT::vector<int>& v) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < v.size()) {
+        ctx.charge(cusim::Op::FMul);
+        v.write(ctx, gid, static_cast<int>(gid * gid));
+    }
+    co_return;
+}
+
+// --- the "C++ file" ---------------------------------------------------------
+int main() {
+    // Create a default device handle (§4.1).
+    cupp::device device_hdl;
+    std::printf("device: %s (%u multiprocessors)\n", device_hdl.name().c_str(),
+                device_hdl.multiprocessors());
+
+    // Listing 4.3: 10*10 = 100 thread blocks of 8*8 = 64 threads.
+    int j = 0;
+    const cusim::dim3 grid_dim = cusim::make_dim3(10, 10);
+    const cusim::dim3 block_dim = cusim::make_dim3(8, 8);
+    cupp::kernel f(get_kernel_ptr(), grid_dim, block_dim);
+    f(device_hdl, 10, j);
+    std::printf("j = %d\n", j);  // j == 5
+
+    // The lazy vector: pass it to a kernel, read the results back on the
+    // host; all transfers happen automatically and only when needed (§4.6).
+    cupp::vector<int> squares(64, 0);
+    using SquareK = cusim::KernelTask (*)(cusim::ThreadCtx&, cupp::deviceT::vector<int>&);
+    cupp::kernel sq(static_cast<SquareK>(square_kernel), cusim::dim3{2}, cusim::dim3{32});
+    sq(device_hdl, squares);
+
+    std::printf("squares[0..7] =");
+    for (int i = 0; i < 8; ++i) std::printf(" %d", static_cast<int>(squares[i]));
+    std::printf("\n");
+    std::printf("uploads: %llu, downloads: %llu (lazy copying at work)\n",
+                static_cast<unsigned long long>(squares.uploads()),
+                static_cast<unsigned long long>(squares.downloads()));
+    return 0;
+}

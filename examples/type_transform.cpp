@@ -1,0 +1,125 @@
+// Host/device type transformation (§4.5).
+//
+// The thesis' motivating case: "On the host side, using a balanced tree may
+// be a good choice to store data in which searching is a regular operation.
+// But this concept requires a high amount of rather unpredictable memory
+// accesses [...] A simple brute force approach using shared memory as a
+// cache may even perform better." And from the future-work section: "the
+// host data structure could be designed for fast construction, whereas the
+// device data structure could be designed for fast memory transfer and fast
+// lookup."
+//
+// Here a host-side std::map-backed lookup table transforms into a flat
+// sorted array on the device; the kernel does branch-light binary probing
+// over the flat image.
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cupp/cupp.hpp"
+
+namespace {
+
+/// The device type: a flat sorted (key, value) array in global memory.
+struct DevLookupTable;
+
+/// The host type: built around std::map for cheap incremental construction.
+class HostLookupTable;
+
+struct DevEntry {
+    int key;
+    float value;
+};
+
+struct DevLookupTable {
+    using device_type = DevLookupTable;
+    using host_type = HostLookupTable;
+
+    cusim::DevicePtr<DevEntry> entries;
+    std::uint32_t count = 0;
+
+    /// Binary search over the flat image; log2(n) global reads.
+    float lookup(cusim::ThreadCtx& ctx, int key) const {
+        std::uint32_t lo = 0, hi = count;
+        while (lo < hi) {
+            ctx.charge(cusim::Op::Compare, 2);
+            const std::uint32_t mid = (lo + hi) / 2;
+            const DevEntry e = entries.read(ctx, mid);
+            if (e.key == key) return e.value;
+            if (e.key < key) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return -1.0f;
+    }
+};
+
+class HostLookupTable {
+public:
+    using device_type = DevLookupTable;
+    using host_type = HostLookupTable;
+
+    void insert(int key, float value) { map_[key] = value; }
+    [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+    // --- the §4.4 protocol: transform builds the device image ---
+    DevLookupTable transform(const cupp::device& d) const {
+        staging_.clear();
+        staging_.reserve(map_.size());
+        for (const auto& [k, v] : map_) staging_.push_back(DevEntry{k, v});  // sorted!
+        buffer_.emplace(d, staging_.data(), staging_.data() + staging_.size());
+        DevLookupTable dev;
+        dev.entries = buffer_->device_ptr();
+        dev.count = static_cast<std::uint32_t>(staging_.size());
+        return dev;
+    }
+
+private:
+    std::map<int, float> map_;
+    // The flat image lives as long as the host object: mutable because
+    // transform() is logically const (§4.4 signature).
+    mutable std::vector<DevEntry> staging_;
+    mutable std::optional<cupp::memory1d<DevEntry>> buffer_;
+};
+
+cusim::KernelTask lookup_kernel(cusim::ThreadCtx& ctx, DevLookupTable table,
+                                const cupp::deviceT::vector<int>& keys,
+                                cupp::deviceT::vector<float>& out) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < keys.size()) {
+        out.write(ctx, gid, table.lookup(ctx, keys.read(ctx, gid)));
+    }
+    co_return;
+}
+
+}  // namespace
+
+int main() {
+    cupp::device d;
+
+    // Host side: incremental construction, the strength of the tree/map.
+    HostLookupTable table;
+    for (int i = 0; i < 1000; ++i) table.insert(i * 3, static_cast<float>(i) * 0.5f);
+    std::printf("host table built incrementally: %zu entries (std::map)\n", table.size());
+
+    cupp::vector<int> keys = {0, 3, 299 * 3, 999 * 3, 7 /* absent */};
+    cupp::vector<float> results(keys.size(), 0.0f);
+
+    // The kernel parameter is the *device* type; the host passes the *host*
+    // type, and the framework runs the transformation in between (§4.5).
+    using K = cusim::KernelTask (*)(cusim::ThreadCtx&, DevLookupTable,
+                                    const cupp::deviceT::vector<int>&,
+                                    cupp::deviceT::vector<float>&);
+    cupp::kernel k(static_cast<K>(lookup_kernel), cusim::dim3{1}, cusim::dim3{32});
+    k(d, table, keys, results);
+
+    std::printf("device lookups over the flat sorted image:\n");
+    for (std::uint64_t i = 0; i < keys.size(); ++i) {
+        std::printf("  key %4d -> %g\n", static_cast<int>(keys[i]),
+                    static_cast<float>(results[i]));
+    }
+    return 0;
+}

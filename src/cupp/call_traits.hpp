@@ -1,0 +1,121 @@
+// Kernel call traits: host/device type transformation (§4.5) and the
+// transform() / get_device_reference() / dirty() protocol (§4.4).
+//
+// A user type opts into kernel passing by declaring
+//
+//   struct host_example {
+//       typedef device_example device_type;
+//       typedef host_example   host_type;
+//       device_type transform(const cupp::device&) const;                  // optional
+//       cupp::device_reference<device_type>
+//           get_device_reference(const cupp::device&) const;               // optional
+//       void dirty(cupp::device_reference<device_type>);                   // optional
+//   };
+//
+// "The CuPP framework employs template metaprogramming to detect whether a
+// function is declared or not. If it is not declared, the default
+// implementation is used" (§4.4) — here the detection is C++20 concepts,
+// and the defaults are exactly those of listing 4.5: static_cast for
+// transform, copy-the-transformed-object for get_device_reference, and
+// replace-*this-from-device-data for dirty.
+#pragma once
+
+#include <type_traits>
+
+#include "cupp/device.hpp"
+#include "cupp/device_reference.hpp"
+
+namespace cupp {
+
+// --- host/device type mapping (§4.5) ---
+
+template <typename T>
+concept has_device_type = requires { typename T::device_type; };
+
+template <typename T>
+concept has_host_type = requires { typename T::host_type; };
+
+namespace detail {
+template <typename T, bool = has_device_type<T>>
+struct device_type_impl {
+    using type = T;  // PODs and plain classes: device type == host type
+};
+template <typename T>
+struct device_type_impl<T, true> {
+    using type = typename T::device_type;
+};
+
+template <typename T, bool = has_host_type<T>>
+struct host_type_impl {
+    using type = T;
+};
+template <typename T>
+struct host_type_impl<T, true> {
+    using type = typename T::host_type;
+};
+}  // namespace detail
+
+/// The type the device works with when the host passes a T (§4.5: "the
+/// matching between the two types has to be a 1:1 relation").
+template <typename T>
+using device_type_t = typename detail::device_type_impl<T>::type;
+
+/// The host-side partner of a device type.
+template <typename T>
+using host_type_t = typename detail::host_type_impl<T>::type;
+
+// --- member detection (the "template metaprogramming" of §4.4) ---
+
+template <typename T>
+concept has_transform = requires(const T& t, const device& d) {
+    { t.transform(d) } -> std::convertible_to<device_type_t<T>>;
+};
+
+template <typename T>
+concept has_get_device_reference = requires(const T& t, const device& d) {
+    { t.get_device_reference(d) } -> std::convertible_to<device_reference<device_type_t<T>>>;
+};
+
+template <typename T>
+concept has_dirty =
+    requires(T& t, device_reference<device_type_t<T>> r) { t.dirty(r); };
+
+// --- the three operations with their §4.4 defaults ---
+
+/// Produces the byte-wise-copyable object pushed onto the kernel stack for a
+/// by-value parameter.
+template <typename T>
+[[nodiscard]] device_type_t<T> transform_for_device(const T& value, const device& d) {
+    if constexpr (has_transform<T>) {
+        return value.transform(d);
+    } else {
+        // Default of listing 4.5: cast *this to the device type.
+        return static_cast<device_type_t<T>>(value);
+    }
+}
+
+/// Produces the global-memory copy used for a by-reference parameter.
+template <typename T>
+[[nodiscard]] device_reference<device_type_t<T>> make_device_reference(const T& value,
+                                                                       const device& d) {
+    if constexpr (has_get_device_reference<T>) {
+        return value.get_device_reference(d);
+    } else {
+        // Default: copy the transformed object to global memory.
+        return device_reference<device_type_t<T>>(d, transform_for_device(value, d));
+    }
+}
+
+/// Applied to a host object after a kernel received it as a non-const
+/// reference: the device may have changed it (§4.4).
+template <typename T>
+void apply_dirty(T& value, device_reference<device_type_t<T>> ref) {
+    if constexpr (has_dirty<T>) {
+        value.dirty(ref);
+    } else {
+        // Default: replace *this with the updated device data.
+        value = static_cast<T>(ref.get());
+    }
+}
+
+}  // namespace cupp

@@ -1,0 +1,77 @@
+// cupp::constant_array<T> — read-only data in the device's constant memory.
+//
+// The thesis lists constant-memory support as CuPP future work (§7); this
+// is that extension. Constant memory is 64 KiB, read through a per-MP cache
+// at near-register cost (Table 2.2 discussion, §2.1), and ideal for
+// parameters every thread reads: flocking weights, physics constants,
+// small lookup tables.
+//
+// A constant_array plugs into the kernel-call protocol via the type
+// transformation: its device type is cusim::ConstantPtr<T>, so kernels
+// declare `ConstantPtr<T>` parameters and hosts pass the constant_array.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cupp/device.hpp"
+#include "cupp/exception.hpp"
+#include "cusim/constant_memory.hpp"
+
+namespace cupp {
+
+template <typename T>
+class constant_array {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "constant memory holds byte-wise copyable values only");
+
+public:
+    using device_type = cusim::ConstantPtr<T>;
+    using host_type = constant_array<T>;
+
+    /// Allocates constant memory for `values` and uploads them.
+    constant_array(const device& d, std::span<const T> values)
+        : dev_(&d), host_(values.begin(), values.end()) {
+        ptr_ = translated([&] { return d.sim().template malloc_constant<T>(host_.size()); });
+        upload();
+    }
+
+    constant_array(const device& d, std::initializer_list<T> values)
+        : constant_array(d, std::span<const T>(values.begin(), values.end())) {}
+
+    // Constant memory has no free(); the allocation lives as long as the
+    // device. The handle itself is freely copyable (both copies refer to
+    // the same constant range, which is immutable from the device side).
+    constant_array(const constant_array&) = default;
+    constant_array& operator=(const constant_array&) = default;
+
+    [[nodiscard]] std::uint64_t size() const { return host_.size(); }
+
+    /// Host-side read access (the host copy is always current: only the
+    /// host can write constant memory).
+    [[nodiscard]] const T& operator[](std::uint64_t i) const { return host_.at(i); }
+
+    /// Updates one value and re-uploads (blocks while a kernel is active).
+    void set(std::uint64_t i, const T& value) {
+        host_.at(i) = value;
+        upload();
+    }
+
+    /// The kernel-call protocol: pass the ConstantPtr by value.
+    [[nodiscard]] device_type transform(const device&) const { return ptr_; }
+
+private:
+    void upload() {
+        translated([&] {
+            dev_->sim().copy_to_constant(ptr_.addr(), host_.data(),
+                                         host_.size() * sizeof(T));
+        });
+    }
+
+    const device* dev_;
+    std::vector<T> host_;
+    cusim::ConstantPtr<T> ptr_;
+};
+
+}  // namespace cupp

@@ -1,0 +1,20 @@
+// Umbrella header for the CuPP framework.
+//
+//   #include <cupp/cupp.hpp>
+//
+//   cupp::device device_hdl;                      // §4.1 device handle
+//   cupp::vector<float> data = {...};             // §4.6 lazy vector
+//   cupp::kernel k(get_kernel_ptr(), grid, block);// §4.3 kernel functor
+//   k(device_hdl, data);                          // C++-style kernel call
+#pragma once
+
+#include "cupp/call_traits.hpp"
+#include "cupp/constant_array.hpp"
+#include "cupp/device.hpp"
+#include "cupp/device_reference.hpp"
+#include "cupp/exception.hpp"
+#include "cupp/kernel.hpp"
+#include "cupp/memory1d.hpp"
+#include "cupp/shared_ptr.hpp"
+#include "cupp/type_traits.hpp"
+#include "cupp/vector.hpp"

@@ -1,0 +1,125 @@
+// cupp::device — the explicit device handle of thesis §4.1.
+//
+// "Device management is no longer done implicitly when associating a thread
+// with a device as it was done by CUDA. Instead, the developer is forced to
+// create a device handle, which is passed to all CuPP functions using the
+// device. [...] When the device handle is destroyed, all memory allocated
+// on this device is freed as well."
+//
+// The handle is movable but not copyable (it owns the allocations made
+// through it). CuPP functions take `const device&`: passing the handle
+// around never implies the right to re-configure it, but memory operations
+// are logically device-side state, reachable through the const handle —
+// exactly the signatures of listing 4.4 (`transform(const cupp::device&)`).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "cupp/exception.hpp"
+#include "cusim/device.hpp"
+#include "cusim/registry.hpp"
+
+namespace cupp {
+
+class device {
+public:
+    /// Creates a handle to the default device (ordinal 0, like the implicit
+    /// CUDA binding of §3.2.1).
+    device() : device(cusim::Registry::instance().current_ordinal()) {}
+
+    /// Creates a handle to the device best matching `request`
+    /// (cudaChooseDevice semantics).
+    explicit device(const cusim::DeviceProperties& request)
+        : device(translated([&] { return cusim::Registry::instance().choose_device(request); })) {}
+
+    /// Handle to a specific ordinal.
+    explicit device(int ordinal)
+        : ordinal_(ordinal),
+          dev_(&translated([&]() -> cusim::Device& {
+              return cusim::Registry::instance().device(ordinal);
+          })) {
+        cusim::Registry::instance().set_device(ordinal);
+    }
+
+    device(const device&) = delete;
+    device& operator=(const device&) = delete;
+
+    device(device&& other) noexcept
+        : ordinal_(other.ordinal_),
+          dev_(other.dev_),
+          allocations_(std::move(other.allocations_)) {
+        other.dev_ = nullptr;
+        other.allocations_.clear();
+    }
+
+    device& operator=(device&& other) noexcept {
+        if (this != &other) {
+            release_all();
+            ordinal_ = other.ordinal_;
+            dev_ = other.dev_;
+            allocations_ = std::move(other.allocations_);
+            other.dev_ = nullptr;
+            other.allocations_.clear();
+        }
+        return *this;
+    }
+
+    /// Frees every allocation made through this handle (§4.1).
+    ~device() { release_all(); }
+
+    // --- queries (§4.1: "the device handle can be queried") ---
+    [[nodiscard]] int ordinal() const { return ordinal_; }
+    [[nodiscard]] const std::string& name() const { return sim().properties().name; }
+    [[nodiscard]] std::uint64_t total_memory() const {
+        return sim().properties().total_global_mem;
+    }
+    [[nodiscard]] std::uint64_t free_memory() const {
+        return sim().memory().size() - sim().memory().used();
+    }
+    [[nodiscard]] unsigned multiprocessors() const { return sim().properties().multiprocessors; }
+    [[nodiscard]] bool supports_atomics() const { return sim().properties().supports_atomics; }
+
+    // --- memory (exception-throwing CUDA-style management, §4.2) ---
+    /// Allocates `bytes` of global memory owned by this handle.
+    [[nodiscard]] cusim::DeviceAddr malloc(std::uint64_t bytes) const {
+        const auto addr = translated([&] { return sim().malloc_bytes(bytes); });
+        allocations_.insert(addr);
+        return addr;
+    }
+
+    /// Frees an allocation made through this handle.
+    void free(cusim::DeviceAddr addr) const {
+        translated([&] { sim().free_bytes(addr); });
+        allocations_.erase(addr);
+    }
+
+    // --- access to the simulated device for the rest of the framework ---
+    [[nodiscard]] cusim::Device& sim() const {
+        if (!dev_) throw usage_error("use of a moved-from cupp::device");
+        return *dev_;
+    }
+
+    /// Host blocks until the device is idle.
+    void synchronize() const { sim().synchronize(); }
+
+private:
+    void release_all() noexcept {
+        if (!dev_) return;
+        for (const auto addr : allocations_) {
+            try {
+                dev_->free_bytes(addr);
+            } catch (...) {
+                // Destruction must not throw; a stale entry is ignorable.
+            }
+        }
+        allocations_.clear();
+    }
+
+    int ordinal_ = 0;
+    cusim::Device* dev_ = nullptr;
+    mutable std::set<cusim::DeviceAddr> allocations_;
+};
+
+}  // namespace cupp

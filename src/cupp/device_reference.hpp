@@ -1,0 +1,75 @@
+// cupp::device_reference<T> — a reference to an object living in global
+// memory (thesis §4.4).
+//
+// "When created, it automatically copies the object passed to its
+// constructor to global memory. The member function get() can be used to
+// transfer the object from global memory back to the host memory."
+//
+// Copyable with shared ownership of the device copy, because the kernel
+// call traits pass device_reference by value (listing 4.4/4.5).
+#pragma once
+
+#include <memory>
+#include <type_traits>
+
+#include "cupp/device.hpp"
+#include "cupp/exception.hpp"
+#include "cusim/types.hpp"
+
+namespace cupp {
+
+template <typename T>
+class device_reference {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "only byte-wise copyable device types can be referenced in global memory");
+
+public:
+    /// Copies `value` to freshly allocated global memory.
+    device_reference(const device& d, const T& value)
+        : state_(std::make_shared<State>(d)) {
+        translated([&] {
+            state_->addr = d.sim().malloc_bytes(sizeof(T));
+            d.sim().copy_to_device(state_->addr, &value, sizeof(T));
+        });
+    }
+
+    /// Reads the (possibly kernel-modified) object back from global memory.
+    /// Synchronises with the device (§4.3.2 step 4).
+    [[nodiscard]] T get() const {
+        T value;
+        translated([&] { state_->dev->sim().copy_to_host(&value, state_->addr, sizeof(T)); });
+        return value;
+    }
+
+    /// Overwrites the device copy from the host.
+    void set(const T& value) {
+        translated([&] { state_->dev->sim().copy_to_device(state_->addr, &value, sizeof(T)); });
+    }
+
+    /// Address of the object in global memory — what is pushed onto the
+    /// kernel stack for a by-reference parameter (§4.3.2 step 2).
+    [[nodiscard]] cusim::DeviceAddr addr() const { return state_->addr; }
+
+private:
+    struct State {
+        explicit State(const device& d) : dev(&d) {}
+        ~State() {
+            if (addr != cusim::kNullAddr) {
+                try {
+                    dev->sim().free_bytes(addr);
+                } catch (...) {
+                    // Freeing a dead device copy must not terminate.
+                }
+            }
+        }
+        State(const State&) = delete;
+        State& operator=(const State&) = delete;
+
+        const device* dev;
+        cusim::DeviceAddr addr = cusim::kNullAddr;
+    };
+
+    std::shared_ptr<State> state_;
+};
+
+}  // namespace cupp

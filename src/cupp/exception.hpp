@@ -1,0 +1,64 @@
+// CuPP exception hierarchy.
+//
+// Thesis §4.2: "exceptions are thrown when an error occurs instead of
+// returning an error code" — the first difference between CuPP's and CUDA's
+// memory management.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "cusim/error.hpp"
+
+namespace cupp {
+
+/// Root of all CuPP errors.
+class exception : public std::runtime_error {
+public:
+    explicit exception(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Device-memory allocation / transfer / addressing failures.
+class memory_error : public exception {
+public:
+    using exception::exception;
+};
+
+/// Kernel launch and execution failures.
+class kernel_error : public exception {
+public:
+    using exception::exception;
+};
+
+/// Misuse of the framework itself (bad geometry, wrong device, ...).
+class usage_error : public exception {
+public:
+    using exception::exception;
+};
+
+/// Maps a low-level simulator error onto the CuPP hierarchy and throws it.
+[[noreturn]] inline void rethrow(const cusim::Error& e) {
+    switch (e.code()) {
+        case cusim::ErrorCode::MemoryAllocation:
+        case cusim::ErrorCode::InvalidDevicePointer:
+        case cusim::ErrorCode::DeviceInUse:
+            throw memory_error(e.what());
+        case cusim::ErrorCode::LaunchFailure:
+        case cusim::ErrorCode::InvalidConfiguration:
+            throw kernel_error(e.what());
+        default:
+            throw usage_error(e.what());
+    }
+}
+
+/// Runs `f`, translating simulator errors into CuPP exceptions.
+template <typename F>
+decltype(auto) translated(F&& f) {
+    try {
+        return std::forward<F>(f)();
+    } catch (const cusim::Error& e) {
+        rethrow(e);
+    }
+}
+
+}  // namespace cupp

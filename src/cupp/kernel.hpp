@@ -1,0 +1,249 @@
+// cupp::kernel — the C++ kernel-call functor (thesis §4.3).
+//
+// "CuPP supports CUDA kernel calls by offering a so called functor called
+// cupp::kernel. [...] The call of operator() of cupp::kernel calls the
+// kernel and issues all instructions described in section 3.2.2" — i.e. it
+// drives the raw three-step launch protocol (ConfigureCall / SetupArgument
+// / Launch) underneath a C++ function-call syntax with full call-by-value
+// and call-by-reference semantics:
+//
+//  * by value (§4.3.1): the host object is transform()ed into its device
+//    type and byte-wise copied onto the kernel stack;
+//  * by reference (§4.3.2): the object is copied to global memory, its
+//    *address* goes onto the kernel stack, and after the launch the data is
+//    copied back over the host object — unless the kernel declares the
+//    parameter `const T&`, which the signature analysis (type_traits.hpp)
+//    detects and then skips the copy-back entirely;
+//  * classes customise all of this via transform()/get_device_reference()/
+//    dirty() (call_traits.hpp).
+//
+// Kernels are ordinary functions `cusim::KernelTask k(cusim::ThreadCtx&,
+// Params...)` — the simulator's equivalent of a __global__ function. Plain
+// `T&` parameters arrive as references into simulated global memory;
+// element accesses through them are not cycle-accounted (use the accounted
+// container device types, e.g. deviceT::vector, in performance-relevant
+// kernels).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <optional>
+#include <tuple>
+#include <utility>
+#include <variant>
+
+#include "cupp/call_traits.hpp"
+#include "cupp/device.hpp"
+#include "cupp/exception.hpp"
+#include "cupp/type_traits.hpp"
+#include "cusim/runtime_api.hpp"
+
+namespace cupp {
+
+namespace detail {
+
+constexpr std::size_t align_up(std::size_t v, std::size_t a) { return (v + a - 1) / a * a; }
+
+/// What actually lives on the kernel stack for a parameter: the device
+/// value for by-value parameters, the global-memory address for references.
+template <typename A>
+using stored_t = std::conditional_t<param_traits<A>::is_reference, cusim::DeviceAddr,
+                                    typename param_traits<A>::value_type>;
+
+/// Byte offsets of the parameters on the kernel stack, laid out in
+/// declaration order with natural alignment (what nvcc does).
+template <typename... Args>
+constexpr std::array<std::size_t, sizeof...(Args)> stack_offsets() {
+    std::array<std::size_t, sizeof...(Args)> offs{};
+    [[maybe_unused]] std::size_t cur = 0;
+    std::size_t i = 0;
+    ((offs[i] = cur = align_up(cur, alignof(stored_t<Args>)), cur += sizeof(stored_t<Args>),
+      ++i),
+     ...);
+    return offs;
+}
+
+template <typename... Args>
+constexpr std::size_t stack_size() {
+    std::size_t cur = 0;
+    ((cur = align_up(cur, alignof(stored_t<Args>)) + sizeof(stored_t<Args>)), ...);
+    return cur;
+}
+
+/// Slot holding the device_reference of a by-reference parameter between
+/// launch and copy-back; by-value parameters need no slot.
+template <typename A, bool = param_traits<A>::is_reference>
+struct ref_slot {
+    using type = std::monostate;
+};
+template <typename A>
+struct ref_slot<A, true> {
+    using type = std::optional<device_reference<typename param_traits<A>::value_type>>;
+};
+
+inline void check(cusim::ErrorCode code, const char* what) {
+    if (code != cusim::ErrorCode::Success) {
+        throw kernel_error(std::string(what) + ": " + cusim::rt::cusimGetErrorString(code));
+    }
+}
+
+}  // namespace detail
+
+template <typename F>
+class kernel;
+
+template <typename... Args>
+class kernel<cusim::KernelTask (*)(cusim::ThreadCtx&, Args...)> {
+public:
+    using fn_type = cusim::KernelTask (*)(cusim::ThreadCtx&, Args...);
+    static constexpr std::size_t arity = sizeof...(Args);
+
+    /// Wraps a kernel function pointer; grid and block dimensions may be
+    /// given here or set later (§4.3: "Grid and block dimension [...] can
+    /// be passed as an optional parameter to the constructor or may be
+    /// changed later with set-methods").
+    explicit kernel(fn_type f, cusim::dim3 grid_dim = cusim::dim3{1},
+                    cusim::dim3 block_dim = cusim::dim3{cusim::kWarpSize})
+        : fn_(f), grid_(grid_dim), block_(block_dim) {
+        static_assert(detail::stack_size<Args...>() <= cusim::rt::kKernelStackSize,
+                      "kernel parameters exceed the 256-byte kernel stack");
+        handle_ = cusim::rt::register_kernel(
+            [f](cusim::ThreadCtx& ctx, cusim::Device& dev, const std::byte* stack) {
+                return invoke(f, ctx, dev, stack, std::index_sequence_for<Args...>{});
+            });
+    }
+
+    // --- configuration ---
+    void set_grid_dim(cusim::dim3 g) { grid_ = g; }
+    void set_block_dim(cusim::dim3 b) { block_ = b; }
+    void set_shared_bytes(std::uint32_t bytes) { shared_bytes_ = bytes; }
+    void set_regs_per_thread(std::uint32_t regs) { regs_per_thread_ = regs; }
+    [[nodiscard]] cusim::dim3 grid_dim() const { return grid_; }
+    [[nodiscard]] cusim::dim3 block_dim() const { return block_; }
+
+    /// The C++-style kernel call: first parameter is the device the kernel
+    /// runs on, all following parameters are passed to the kernel
+    /// (listing 4.3).
+    template <typename... CallArgs>
+    void operator()(const device& d, CallArgs&&... call_args) {
+        static_assert(sizeof...(CallArgs) == arity,
+                      "wrong number of kernel arguments");
+        detail::check(cusim::rt::cusimSetDevice(d.ordinal()), "set device");
+        detail::check(
+            cusim::rt::cusimConfigureCall(grid_, block_, shared_bytes_, regs_per_thread_),
+            "configure call");
+
+        slots_t slots;
+        // Host copies for by-value parameters (§4.3.1 step 1). They stay
+        // alive until after the launch: their destructors run "after the
+        // kernel has started", never before.
+        std::tuple<std::optional<std::remove_cvref_t<CallArgs>>...> copies;
+        auto args = std::forward_as_tuple(call_args...);
+        [&]<std::size_t... I>(std::index_sequence<I...>) {
+            (push_arg<I>(d, slots, copies, std::get<I>(args)), ...);
+        }(std::index_sequence_for<Args...>{});
+
+        detail::check(cusim::rt::cusimLaunch(handle_), "launch");
+        stats_ = cusim::rt::cusimLastLaunchStats();
+
+        // Copy-back for non-const references (§4.3.2 step 4; skipped for
+        // const ones thanks to the signature analysis).
+        [&]<std::size_t... I>(std::index_sequence<I...>) {
+            (finish_arg<I>(slots, std::get<I>(args)), ...);
+        }(std::index_sequence_for<Args...>{});
+    }
+
+    /// Simulator statistics of the most recent call through this functor.
+    [[nodiscard]] const cusim::LaunchStats& last_stats() const { return stats_; }
+
+private:
+    template <std::size_t I>
+    using arg_t = std::tuple_element_t<I, std::tuple<Args...>>;
+
+    using slots_t = std::tuple<typename detail::ref_slot<Args>::type...>;
+    static constexpr auto kOffsets = detail::stack_offsets<Args...>();
+
+    template <std::size_t I, typename CopyTuple, typename CallArg>
+    void push_arg(const device& d, slots_t& slots, CopyTuple& copies, CallArg& host_arg) {
+        using A = arg_t<I>;
+        using P = param_traits<A>;
+        using H = std::remove_cv_t<std::remove_reference_t<CallArg>>;
+        static_assert(std::is_same_v<device_type_t<H>, typename P::value_type>,
+                      "argument's device type does not match the kernel parameter");
+        if constexpr (P::is_reference) {
+            auto& slot = std::get<I>(slots);
+            slot.emplace(make_device_reference(host_arg, d));
+            const cusim::DeviceAddr addr = slot->addr();
+            detail::check(
+                cusim::rt::cusimSetupArgument(&addr, sizeof(addr), kOffsets[I]),
+                "setup argument");
+        } else {
+            // Call-by-value (§4.3.1): 1. copy-construct on the host,
+            // 2. transform the copy and push the bytes onto the kernel
+            // stack. This is what makes passing a cupp::vector by value
+            // expensive — every element is copied (thesis conclusion).
+            auto& copy = std::get<I>(copies);
+            copy.emplace(host_arg);
+            const auto device_value = transform_for_device(*copy, d);
+            detail::check(cusim::rt::cusimSetupArgument(&device_value, sizeof(device_value),
+                                                        kOffsets[I]),
+                          "setup argument");
+        }
+    }
+
+    template <std::size_t I, typename CallArg>
+    void finish_arg(slots_t& slots, CallArg& host_arg) {
+        using A = arg_t<I>;
+        using P = param_traits<A>;
+        if constexpr (P::is_reference && !P::is_const_reference) {
+            apply_dirty(host_arg, *std::get<I>(slots));
+        } else {
+            (void)slots;
+            (void)host_arg;
+        }
+    }
+
+    template <std::size_t I>
+    static decltype(auto) unpack(cusim::Device& dev, const std::byte* stack) {
+        using A = arg_t<I>;
+        using P = param_traits<A>;
+        if constexpr (P::is_reference) {
+            cusim::DeviceAddr addr;
+            std::memcpy(&addr, stack + kOffsets[I], sizeof(addr));
+            using T = typename P::value_type;
+            // The reference the kernel sees aims straight into simulated
+            // global memory — the byte-wise copy placed there by
+            // device_reference.
+            return static_cast<A>(*reinterpret_cast<T*>(dev.memory().raw(addr)));
+        } else {
+            typename P::value_type value;
+            std::memcpy(&value, stack + kOffsets[I], sizeof(value));
+            return value;
+        }
+    }
+
+    template <std::size_t... I>
+    static cusim::KernelTask invoke(fn_type f, cusim::ThreadCtx& ctx, cusim::Device& dev,
+                                    const std::byte* stack, std::index_sequence<I...>) {
+        return f(ctx, unpack<I>(dev, stack)...);
+    }
+
+    fn_type fn_;
+    cusim::rt::KernelHandle handle_;
+    cusim::dim3 grid_;
+    cusim::dim3 block_;
+    std::uint32_t shared_bytes_ = 0;
+    std::uint32_t regs_per_thread_ = 16;
+    cusim::LaunchStats stats_{};
+};
+
+/// Deduction guide: `cupp::kernel f(get_kernel_ptr(), grid, block);`
+template <typename... Args>
+kernel(cusim::KernelTask (*)(cusim::ThreadCtx&, Args...), cusim::dim3, cusim::dim3)
+    -> kernel<cusim::KernelTask (*)(cusim::ThreadCtx&, Args...)>;
+template <typename... Args>
+kernel(cusim::KernelTask (*)(cusim::ThreadCtx&, Args...))
+    -> kernel<cusim::KernelTask (*)(cusim::ThreadCtx&, Args...)>;
+
+}  // namespace cupp

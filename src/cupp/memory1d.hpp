@@ -1,0 +1,156 @@
+// cupp::memory1d<T> — an owned linear block of global memory (thesis §4.2).
+//
+// "Objects of this class represent a linear block of global memory. The
+// memory is allocated when the object is created and freed when the object
+// is destroyed. When the object is copied, the copy allocates new memory
+// and copies the data from the original memory to the newly allocated one."
+//
+// Transfers come in the two flavours of §4.2: pointer-based (for data that
+// already is a linear block) and iterator-based (any container is
+// linearised in traversal order).
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <type_traits>
+#include <vector>
+
+#include "cupp/device.hpp"
+#include "cupp/exception.hpp"
+#include "cusim/device_ptr.hpp"
+
+namespace cupp {
+
+template <typename T>
+class memory1d {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "global memory holds byte-wise copyable values only");
+
+public:
+    /// Allocates `count` elements (uninitialised, like cudaMalloc).
+    memory1d(const device& d, std::uint64_t count) : dev_(&d), count_(count) {
+        addr_ = d.malloc(count * sizeof(T));
+    }
+
+    /// Allocates and fills from a linear host block (pointer flavour).
+    memory1d(const device& d, const T* first, const T* last)
+        : memory1d(d, static_cast<std::uint64_t>(last - first)) {
+        copy_from_host(first);
+    }
+
+    /// Allocates and fills from any input-iterator range (iterator flavour):
+    /// the range is linearised in traversal order (§4.2).
+    template <std::input_iterator It>
+        requires(!std::is_pointer_v<It>)
+    memory1d(const device& d, It first, It last)
+        : memory1d(d, staging(first, last), d) {}
+
+    /// Deep copy: new device allocation, device-to-device data copy.
+    memory1d(const memory1d& other) : memory1d(*other.dev_, other.count_) {
+        translated([&] {
+            dev_->sim().copy_device_to_device(addr_, other.addr_, count_ * sizeof(T));
+        });
+    }
+
+    memory1d& operator=(const memory1d& other) {
+        if (this != &other) {
+            memory1d copy(other);
+            swap(copy);
+        }
+        return *this;
+    }
+
+    memory1d(memory1d&& other) noexcept
+        : dev_(other.dev_), addr_(other.addr_), count_(other.count_) {
+        other.addr_ = cusim::kNullAddr;
+        other.count_ = 0;
+    }
+
+    memory1d& operator=(memory1d&& other) noexcept {
+        if (this != &other) {
+            release();
+            dev_ = other.dev_;
+            addr_ = other.addr_;
+            count_ = other.count_;
+            other.addr_ = cusim::kNullAddr;
+            other.count_ = 0;
+        }
+        return *this;
+    }
+
+    ~memory1d() { release(); }
+
+    void swap(memory1d& other) noexcept {
+        std::swap(dev_, other.dev_);
+        std::swap(addr_, other.addr_);
+        std::swap(count_, other.count_);
+    }
+
+    // --- transfers ---
+    /// Host -> device from a linear block of count() elements.
+    void copy_from_host(const T* src) {
+        translated([&] { dev_->sim().copy_to_device(addr_, src, count_ * sizeof(T)); });
+    }
+
+    /// Device -> host into a linear block of count() elements.
+    void copy_to_host(T* dst) const {
+        translated([&] { dev_->sim().copy_to_host(dst, addr_, count_ * sizeof(T)); });
+    }
+
+    /// Host -> device from an iterator range (linearised, must cover
+    /// exactly count() elements).
+    template <std::input_iterator It>
+    void copy_from(It first, It last) {
+        const std::vector<T> stage(first, last);
+        if (stage.size() != count_) {
+            throw usage_error("iterator range does not match memory1d size");
+        }
+        copy_from_host(stage.data());
+    }
+
+    /// Device -> host through an output iterator.
+    template <std::output_iterator<T> It>
+    void copy_to(It out) const {
+        std::vector<T> stage(count_);
+        copy_to_host(stage.data());
+        for (const T& v : stage) *out++ = v;
+    }
+
+    // --- observers ---
+    [[nodiscard]] std::uint64_t size() const { return count_; }
+    [[nodiscard]] cusim::DeviceAddr addr() const { return addr_; }
+    [[nodiscard]] const device& owner() const { return *dev_; }
+
+    /// Typed accounted view for kernels.
+    [[nodiscard]] cusim::DevicePtr<T> device_ptr() const {
+        return translated([&] { return dev_->sim().view<T>(addr_, count_); });
+    }
+
+private:
+    // Helper for the iterator constructor: stage first, then delegate.
+    template <typename It>
+    static std::vector<T> staging(It first, It last) {
+        return std::vector<T>(first, last);
+    }
+    memory1d(const device& d, const std::vector<T>& stage, const device&)
+        : memory1d(d, stage.empty() ? 1 : stage.size()) {
+        count_ = stage.size();
+        if (!stage.empty()) copy_from_host(stage.data());
+    }
+
+    void release() noexcept {
+        if (addr_ != cusim::kNullAddr && dev_) {
+            try {
+                dev_->free(addr_);
+            } catch (...) {
+            }
+        }
+        addr_ = cusim::kNullAddr;
+    }
+
+    const device* dev_;
+    cusim::DeviceAddr addr_ = cusim::kNullAddr;
+    std::uint64_t count_ = 0;
+};
+
+}  // namespace cupp

@@ -1,0 +1,87 @@
+// cupp::shared_device_ptr<T> — a boost-compatible shared pointer for global
+// memory (thesis §4.2).
+//
+// "To ease the development with this basic approach, a boost
+// library-compliant shared pointer for global memory is supplied. [...] The
+// memory is freed automatically after the last smart pointer pointing to a
+// specific memory address is destroyed, so resource leaks can hardly occur."
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "cupp/device.hpp"
+#include "cusim/device_ptr.hpp"
+
+namespace cupp {
+
+template <typename T>
+class shared_device_ptr {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "global memory holds byte-wise copyable values only");
+
+public:
+    shared_device_ptr() = default;
+
+    /// Allocates `count` elements of global memory with shared ownership.
+    shared_device_ptr(const device& d, std::uint64_t count)
+        : state_(std::make_shared<State>(d, count)) {}
+
+    // --- boost::shared_ptr-style interface ---
+    [[nodiscard]] long use_count() const {
+        return state_ ? state_.use_count() : 0;
+    }
+    [[nodiscard]] bool unique() const { return use_count() == 1; }
+    explicit operator bool() const { return static_cast<bool>(state_); }
+
+    void reset() { state_.reset(); }
+    void swap(shared_device_ptr& other) noexcept { state_.swap(other.state_); }
+
+    friend bool operator==(const shared_device_ptr& a, const shared_device_ptr& b) {
+        return a.state_ == b.state_;
+    }
+
+    // --- device memory access ---
+    [[nodiscard]] cusim::DeviceAddr addr() const { return state_->addr; }
+    [[nodiscard]] std::uint64_t size() const { return state_ ? state_->count : 0; }
+
+    [[nodiscard]] cusim::DevicePtr<T> device_ptr() const {
+        return translated(
+            [&] { return state_->dev->sim().template view<T>(state_->addr, state_->count); });
+    }
+
+    void upload(const T* src) const {
+        translated([&] {
+            state_->dev->sim().copy_to_device(state_->addr, src, state_->count * sizeof(T));
+        });
+    }
+    void download(T* dst) const {
+        translated([&] {
+            state_->dev->sim().copy_to_host(dst, state_->addr, state_->count * sizeof(T));
+        });
+    }
+
+private:
+    struct State {
+        State(const device& d, std::uint64_t n) : dev(&d), count(n) {
+            addr = d.malloc(n * sizeof(T));
+        }
+        ~State() {
+            try {
+                dev->free(addr);
+            } catch (...) {
+            }
+        }
+        State(const State&) = delete;
+        State& operator=(const State&) = delete;
+
+        const device* dev;
+        cusim::DeviceAddr addr = cusim::kNullAddr;
+        std::uint64_t count;
+    };
+
+    std::shared_ptr<State> state_;
+};
+
+}  // namespace cupp

@@ -1,0 +1,64 @@
+// Kernel-signature introspection.
+//
+// The thesis uses boost::function_traits plus "self-written template
+// metaprogramming code" to analyse kernel declarations — most importantly
+// to detect `const T&` parameters so the device->host copy-back can be
+// elided (§4.3.2). This header is that machinery, written against C++20.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <type_traits>
+
+#include "cusim/kernel_task.hpp"
+
+namespace cusim {
+class ThreadCtx;
+}
+
+namespace cupp {
+
+/// Traits of a kernel function pointer
+/// `cusim::KernelTask (*)(cusim::ThreadCtx&, Args...)`.
+template <typename F>
+struct kernel_traits;
+
+template <typename... Args>
+struct kernel_traits<cusim::KernelTask (*)(cusim::ThreadCtx&, Args...)> {
+    static constexpr std::size_t arity = sizeof...(Args);
+
+    /// Declared type of parameter I (reference qualifiers preserved).
+    template <std::size_t I>
+    using arg = std::tuple_element_t<I, std::tuple<Args...>>;
+
+    using args_tuple = std::tuple<Args...>;
+};
+
+/// Per-parameter classification used by cupp::kernel.
+template <typename Arg>
+struct param_traits {
+    /// Parameter is `T&` or `const T&`: call-by-reference semantics.
+    static constexpr bool is_reference = std::is_lvalue_reference_v<Arg>;
+    /// Parameter is `const T&`: the device cannot change it, so the
+    /// copy-back of step 4 is skipped (§4.3.2).
+    static constexpr bool is_const_reference =
+        is_reference && std::is_const_v<std::remove_reference_t<Arg>>;
+    /// The value type the device sees.
+    using value_type = std::remove_cv_t<std::remove_reference_t<Arg>>;
+};
+
+/// Number of `T&` (non-const reference) parameters — the ones that trigger
+/// a copy-back.
+template <typename F>
+constexpr std::size_t mutable_reference_count() {
+    using traits = kernel_traits<F>;
+    return []<std::size_t... I>(std::index_sequence<I...>) {
+        return ((param_traits<typename traits::template arg<I>>::is_reference &&
+                         !param_traits<typename traits::template arg<I>>::is_const_reference
+                     ? 1u
+                     : 0u) +
+                ... + 0u);
+    }(std::make_index_sequence<traits::arity>{});
+}
+
+}  // namespace cupp

@@ -1,0 +1,127 @@
+// Cycle and divergence accounting structures.
+//
+// Costs are charged per thread; at thread completion the engine folds them
+// into the thread's warp with SIMD (max) semantics: in a warp all threads
+// execute the same instruction stream, so a full warp charging one FADD per
+// thread costs 4 cycles once, not 32 times (Table 2.2 is "per warp").
+//
+// Branch divergence (§2.3/§6.3.1) is tracked per static branch site and per
+// dynamic occurrence: within a warp, the k-th evaluation of a site by one
+// lane is lined up against the k-th evaluation by every other lane (exact
+// for uniform loop structure, an approximation when the site itself sits
+// behind non-uniform control flow). A warp-step whose lanes disagree about
+// the predicate is a divergent event: the hardware serialises both paths.
+// The thesis itself could not measure this ("no profiling tool is
+// available", §6.3.1); the simulator exposes the counters it could not get.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cusim/cost_model.hpp"
+#include "cusim/types.hpp"
+
+namespace cusim {
+
+/// Per-site branch record within one warp.
+struct BranchSiteStats {
+    /// Occurrences beyond this are counted but not divergence-checked
+    /// (bounds memory for degenerate barrier-free mega-loops).
+    static constexpr std::uint64_t kMaxTrackedOccurrences = 1ull << 22;
+
+    explicit BranchSiteStats(std::uint64_t key) : site_key(key) {}
+
+    std::uint64_t site_key = 0;   ///< hash of the source location
+    std::uint64_t evaluations = 0;
+    std::uint64_t taken = 0;
+    std::uint64_t divergent = 0;  ///< warp-steps whose lanes disagreed
+
+    std::vector<bool> pred_log;   ///< first-lane predicate per occurrence
+    std::vector<bool> diverged;   ///< occurrence already counted divergent
+    std::array<std::uint32_t, kWarpSize> lane_occurrence{};
+
+    void note(unsigned lane, bool pred) {
+        ++evaluations;
+        taken += pred ? 1u : 0u;
+        const std::uint32_t idx = lane_occurrence[lane]++;
+        if (idx >= kMaxTrackedOccurrences) return;
+        if (idx >= pred_log.size()) {
+            pred_log.resize(idx + 1, pred);
+            diverged.resize(idx + 1, false);
+        } else if (pred_log[idx] != pred && !diverged[idx]) {
+            diverged[idx] = true;
+            ++divergent;
+        }
+    }
+};
+
+/// Accounting state of one warp.
+struct WarpAcct {
+    // Cycle costs are SIMD-folded: max over the warp's threads (the warp
+    // advances at the pace of its slowest lane). Byte traffic is summed —
+    // each lane moves its own data over the bus.
+    std::uint64_t compute_cycles = 0;  ///< issue (compute-pipe) cycles, max-fold
+    std::uint64_t stall_cycles = 0;    ///< memory-latency cycles (hideable), max-fold
+    std::uint64_t bytes_read = 0;      ///< device-memory traffic, sum-fold
+    std::uint64_t bytes_written = 0;   ///< sum-fold
+
+    std::vector<BranchSiteStats> branch_sites;
+
+    void note_branch(std::uint64_t site_key, unsigned lane, bool pred) {
+        for (auto& s : branch_sites) {
+            if (s.site_key == site_key) {
+                s.note(lane, pred);
+                return;
+            }
+        }
+        branch_sites.emplace_back(site_key);
+        branch_sites.back().note(lane, pred);
+    }
+
+    /// Divergent warp-steps over the whole kernel.
+    [[nodiscard]] std::uint64_t divergent_events() const {
+        std::uint64_t events = 0;
+        for (const auto& s : branch_sites) events += s.divergent;
+        return events;
+    }
+
+    [[nodiscard]] std::uint64_t total_branch_evaluations() const {
+        std::uint64_t n = 0;
+        for (const auto& s : branch_sites) n += s.evaluations;
+        return n;
+    }
+};
+
+/// Per-thread accounting, folded into the warp when the thread finishes.
+struct ThreadAcct {
+    std::uint64_t compute_cycles = 0;
+    std::uint64_t stall_cycles = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+
+    void charge(const CostModel& cm, Op op, unsigned n = 1) {
+        compute_cycles += std::uint64_t{cm.issue_cycles(op)} * n;
+        stall_cycles += std::uint64_t{cm.stall_cycles(op)} * n;
+    }
+};
+
+/// Aggregate result of one kernel launch (returned by Device::launch).
+struct LaunchStats {
+    std::uint64_t blocks = 0;
+    std::uint64_t warps = 0;
+    std::uint64_t threads = 0;
+
+    std::uint64_t compute_cycles = 0;       ///< sum over warps
+    std::uint64_t stall_cycles = 0;         ///< sum over warps
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    std::uint64_t divergent_events = 0;     ///< estimated divergent warp-steps
+    std::uint64_t branch_evaluations = 0;
+    std::uint64_t syncthreads_count = 0;    ///< barrier episodes summed over blocks
+
+    unsigned resident_blocks_per_mp = 0;    ///< occupancy actually achieved
+    double device_seconds = 0.0;            ///< modelled execution time
+};
+
+}  // namespace cusim

@@ -1,0 +1,163 @@
+// The performance model of the simulated G80 device.
+//
+// This file is the single source of truth for every timing constant used by
+// the reproduction. The instruction costs implement Table 2.2 of the thesis:
+//
+//   FADD, FMUL, FMAD, IADD                       4 cycles / warp
+//   bitwise, compare, min, max                   4
+//   reciprocal, reciprocal square root           16
+//   accessing registers                          0
+//   accessing shared memory                      >= 4
+//   reading from device memory                   400 - 600
+//   synchronizing all threads within a block     4 + waiting time
+//
+// Writing to device memory is "fire and forget" (§2.3): it costs one issue
+// slot, the latency is absorbed by the memory write unit, but it consumes
+// bandwidth.
+//
+// Memory-latency hiding by warp switching (§2.3) and the bandwidth ceiling of
+// the part are modelled in multiprocessor.hpp from the constants below.
+#pragma once
+
+#include <cstdint>
+
+#include "cusim/types.hpp"
+
+namespace cusim {
+
+/// Instruction classes the accounting hooks can charge.
+enum class Op : std::uint8_t {
+    FAdd,          ///< floating-point add
+    FMul,          ///< floating-point multiply
+    FMad,          ///< fused multiply-add
+    IAdd,          ///< integer add
+    Bitwise,       ///< and/or/xor/shift
+    Compare,       ///< compare / set-predicate
+    MinMax,        ///< min or max
+    Recip,         ///< reciprocal
+    RSqrt,         ///< reciprocal square root
+    Register,      ///< register move (free)
+    SharedAccess,  ///< shared-memory read or write
+    GlobalRead,    ///< device-memory read (latency!)
+    GlobalWrite,   ///< device-memory write (fire and forget)
+    LocalSpill,    ///< thread-local variable spilled to device memory (§6.2.2 / Table 2.1)
+    SyncThreads,   ///< barrier
+    Branch,        ///< control-flow instruction (cost of the branch itself)
+    ConstantRead,  ///< read through the per-MP constant cache (broadcast)
+    TextureHit,    ///< texture fetch served by the texture cache
+};
+
+inline constexpr int kOpCount = static_cast<int>(Op::TextureHit) + 1;
+
+/// Cost table + machine constants of the simulated device. All figures are
+/// in core clock cycles *per warp* as in Table 2.2.
+struct CostModel {
+    // --- Table 2.2 ---
+    unsigned fadd = 4;
+    unsigned fmul = 4;
+    unsigned fmad = 4;
+    unsigned iadd = 4;
+    unsigned bitwise = 4;
+    unsigned compare = 4;
+    unsigned minmax = 4;
+    unsigned recip = 16;
+    unsigned rsqrt = 16;
+    unsigned register_access = 0;
+    unsigned shared_access = 4;
+    unsigned global_read_latency = 500;  ///< 400-600; we take the midpoint.
+    unsigned global_write_issue = 4;     ///< fire-and-forget: issue cost only.
+    unsigned sync_base = 4;              ///< 4 + waiting time (waiting modelled by the barrier).
+    unsigned branch = 4;                 ///< uniform control-flow instruction.
+
+    /// Cost of reading a thread-local variable the compiler spilled to
+    /// device memory (§6.2.2). Spilled loads feed an immediately dependent
+    /// use, so most of the 400-600 cycle latency is exposed rather than
+    /// hidden — which is exactly why version 4 (recompute) beats version 3
+    /// (cache in local memory).
+    unsigned local_spill_cycles = 400;
+
+    // --- the cached read-only paths (§2.1, future-work §7) ---
+    unsigned constant_read = 4;   ///< constant-cache read (warp broadcast)
+    unsigned texture_hit = 4;     ///< texture fetch served from cache
+    /// One in `texture_miss_period` texture fetches goes to device memory
+    /// (a deterministic stand-in for a ~75% cache hit rate on streaming
+    /// access patterns).
+    unsigned texture_miss_period = 4;
+
+    // --- machine constants (GeForce 8800 GTS 640 MB, §5.3) ---
+    double core_clock_hz = 1.2e9;        ///< processor ("shader") clock.
+    unsigned multiprocessors = 12;
+    unsigned max_blocks_per_mp = 8;
+    std::uint32_t shared_mem_per_mp = 16 * 1024;   ///< bytes
+    std::uint32_t registers_per_mp = 8192;         ///< 32-bit registers
+    double mem_bandwidth_bytes_per_s = 64.0e9;     ///< aggregate device bandwidth.
+
+    // --- host/device interaction ---
+    double pcie_bandwidth_bytes_per_s = 3.0e9;     ///< PCIe x16 gen1-ish.
+    double transfer_latency_s = 10e-6;             ///< fixed per-transfer cost.
+    double launch_overhead_s = 8e-6;               ///< host-side cost of a launch.
+
+    /// Serialisation penalty charged per divergent branch event: both sides
+    /// of the branch are executed by the warp (§2.3). The per-instruction
+    /// cost of the longer path is already accounted by the executing
+    /// threads; this constant adds the re-issue of the shorter path.
+    unsigned divergence_penalty = 16;
+
+    /// Bus bytes charged per lane for an access that G80 cannot coalesce.
+    /// G80 coalescing demands 4-, 8- or 16-byte elements at aligned
+    /// addresses; anything else (e.g. a 12-byte Vec3) splits into one 32-byte
+    /// transaction per lane pair — modelled as a flat per-lane cost.
+    unsigned uncoalesced_access_bytes = 64;
+
+    /// Bus traffic charged for one lane accessing an element of `elem_size`
+    /// bytes.
+    [[nodiscard]] constexpr std::uint64_t charged_bytes(std::uint64_t elem_size) const {
+        const bool coalesced =
+            elem_size == 4 || elem_size == 8 || (elem_size % 16 == 0 && elem_size > 0);
+        if (coalesced) return elem_size;
+        return elem_size > uncoalesced_access_bytes ? elem_size : uncoalesced_access_bytes;
+    }
+
+    /// Issue (compute-pipe) cycles for an op. For GlobalRead this is the
+    /// issue slot only; the latency goes to the stall pipe.
+    [[nodiscard]] constexpr unsigned issue_cycles(Op op) const {
+        switch (op) {
+            case Op::FAdd: return fadd;
+            case Op::FMul: return fmul;
+            case Op::FMad: return fmad;
+            case Op::IAdd: return iadd;
+            case Op::Bitwise: return bitwise;
+            case Op::Compare: return compare;
+            case Op::MinMax: return minmax;
+            case Op::Recip: return recip;
+            case Op::RSqrt: return rsqrt;
+            case Op::Register: return register_access;
+            case Op::SharedAccess: return shared_access;
+            case Op::GlobalRead: return 4;
+            case Op::GlobalWrite: return global_write_issue;
+            case Op::LocalSpill: return local_spill_cycles;
+            case Op::SyncThreads: return sync_base;
+            case Op::Branch: return branch;
+            case Op::ConstantRead: return constant_read;
+            case Op::TextureHit: return texture_hit;
+        }
+        return 0;
+    }
+
+    /// Memory-stall cycles for an op (hideable by warp switching). Spilled
+    /// local-memory reads carry their exposed latency in issue_cycles
+    /// instead — see local_spill_cycles.
+    [[nodiscard]] constexpr unsigned stall_cycles(Op op) const {
+        switch (op) {
+            case Op::GlobalRead: return global_read_latency;
+            default: return 0;
+        }
+    }
+
+    /// Per-multiprocessor memory bandwidth expressed in bytes per core cycle.
+    [[nodiscard]] double bytes_per_cycle_per_mp() const {
+        return mem_bandwidth_bytes_per_s / multiprocessors / core_clock_hz;
+    }
+};
+
+}  // namespace cusim

@@ -1,0 +1,54 @@
+#include "cusim/device.hpp"
+
+#include <algorithm>
+
+#include "cusim/engine.hpp"
+#include "cusim/multiprocessor.hpp"
+
+namespace cusim {
+
+LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry) {
+    cfg.validate();
+    // Occupancy limits are checked before running anything.
+    (void)blocks_per_mp(props_.cost, cfg);
+
+    LaunchStats stats;
+    stats.blocks = cfg.grid.count();
+    stats.threads = cfg.total_threads();
+    stats.warps = std::uint64_t{cfg.warps_per_block()} * cfg.grid.count();
+
+    std::vector<BlockCost> costs;
+    costs.reserve(static_cast<std::size_t>(cfg.grid.count()));
+
+    for (unsigned by = 0; by < cfg.grid.y; ++by) {
+        for (unsigned bx = 0; bx < cfg.grid.x; ++bx) {
+            BlockResult br = run_block(props_.cost, cfg, entry, uint3{bx, by, 0});
+            stats.syncthreads_count += br.sync_episodes;
+            for (const WarpAcct& w : br.warps) {
+                stats.divergent_events += w.divergent_events();
+                stats.branch_evaluations += w.total_branch_evaluations();
+                stats.bytes_read += w.bytes_read;
+                stats.bytes_written += w.bytes_written;
+            }
+            costs.push_back(BlockCost::from(br, props_.cost));
+            stats.compute_cycles += costs.back().compute_cycles;
+            stats.stall_cycles += costs.back().stall_cycles;
+        }
+    }
+
+    stats.device_seconds =
+        model_grid_seconds(props_.cost, cfg, costs, &stats.resident_blocks_per_mp);
+
+    // Asynchronous launch semantics: the device starts as soon as it is free
+    // and the host has issued the call; the host only pays the launch
+    // overhead (§2.2 "a kernel invocation does not block the host").
+    const double start = std::max(host_time_, device_free_at_);
+    device_free_at_ = start + stats.device_seconds;
+    host_time_ += props_.cost.launch_overhead_s;
+
+    last_launch_ = stats;
+    ++launch_count_;
+    return stats;
+}
+
+}  // namespace cusim

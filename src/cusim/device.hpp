@@ -1,0 +1,180 @@
+// Device — the top-level handle of the simulated GPU.
+//
+// Owns the global-memory address space and the simulated timeline. Kernel
+// launches are asynchronous on that timeline, exactly as in §2.2: the launch
+// returns immediately (advancing the host clock only by the launch
+// overhead), and the device clock runs ahead; any host access to device
+// memory first waits until no kernel is active. This is what makes the
+// double-buffering experiment (§6.3.2) measurable.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cusim/accounting.hpp"
+#include "cusim/constant_memory.hpp"
+#include "cusim/cost_model.hpp"
+#include "cusim/device_properties.hpp"
+#include "cusim/device_ptr.hpp"
+#include "cusim/global_memory.hpp"
+#include "cusim/launch.hpp"
+
+namespace cusim {
+
+class Device {
+public:
+    explicit Device(DeviceProperties props = g80_properties())
+        : props_(std::move(props)), memory_(props_.total_global_mem) {}
+
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    [[nodiscard]] const DeviceProperties& properties() const { return props_; }
+    [[nodiscard]] GlobalMemory& memory() { return memory_; }
+    [[nodiscard]] const GlobalMemory& memory() const { return memory_; }
+
+    // --- allocation -------------------------------------------------------
+    [[nodiscard]] DeviceAddr malloc_bytes(std::uint64_t bytes) {
+        return memory_.allocate(bytes);
+    }
+    void free_bytes(DeviceAddr addr) { memory_.free(addr); }
+
+    /// Typed allocation of `count` elements.
+    template <typename T>
+    [[nodiscard]] DevicePtr<T> malloc_n(std::uint64_t count) {
+        const DeviceAddr addr = memory_.allocate(count * sizeof(T));
+        return DevicePtr<T>(memory_.raw(addr), addr, count);
+    }
+
+    template <typename T>
+    void free(const DevicePtr<T>& p) {
+        if (!p.null()) memory_.free(p.addr());
+    }
+
+    /// Re-creates a typed view over an existing allocation (validated).
+    template <typename T>
+    [[nodiscard]] DevicePtr<T> view(DeviceAddr addr, std::uint64_t count) {
+        if (!memory_.range_valid(addr, count * sizeof(T))) {
+            throw Error(ErrorCode::InvalidDevicePointer, "view outside any allocation");
+        }
+        return DevicePtr<T>(memory_.raw(addr), addr, count);
+    }
+
+    // --- host <-> device transfers (blocking, clock-advancing) ------------
+    void copy_to_device(DeviceAddr dst, const void* src, std::uint64_t bytes) {
+        begin_host_access(bytes);
+        memory_.write(dst, src, bytes);
+        bytes_to_device_ += bytes;
+    }
+    void copy_to_host(void* dst, DeviceAddr src, std::uint64_t bytes) {
+        begin_host_access(bytes);
+        memory_.read(src, dst, bytes);
+        bytes_to_host_ += bytes;
+    }
+    void copy_device_to_device(DeviceAddr dst, DeviceAddr src, std::uint64_t bytes) {
+        // Device-side copy: consumes device time, not host time.
+        const double secs = static_cast<double>(bytes) / props_.cost.mem_bandwidth_bytes_per_s;
+        device_free_at_ = std::max(device_free_at_, host_time_) + secs;
+        memory_.copy(dst, src, bytes);
+    }
+
+    template <typename T>
+    void upload(const DevicePtr<T>& dst, std::span<const T> src) {
+        if (src.size() > dst.size()) {
+            throw Error(ErrorCode::InvalidValue, "upload larger than destination");
+        }
+        copy_to_device(dst.addr(), src.data(), src.size_bytes());
+    }
+    template <typename T>
+    void download(std::span<T> dst, const DevicePtr<T>& src) {
+        if (dst.size() > src.size()) {
+            throw Error(ErrorCode::InvalidValue, "download larger than source");
+        }
+        copy_to_host(dst.data(), src.addr(), dst.size_bytes());
+    }
+
+    // --- constant memory & textures (§2.1, future-work §7) ------------------
+    [[nodiscard]] ConstantMemory& constant_memory() { return constant_; }
+
+    /// Allocates `count` elements in the 64 KiB constant space.
+    template <typename T>
+    [[nodiscard]] ConstantPtr<T> malloc_constant(std::uint64_t count) {
+        const DeviceAddr addr = constant_.allocate(count * sizeof(T));
+        return ConstantPtr<T>(constant_.raw(addr), addr, count);
+    }
+
+    /// Host upload into constant memory (blocks while a kernel is active,
+    /// like any host access to device state).
+    void copy_to_constant(DeviceAddr addr, const void* src, std::uint64_t bytes) {
+        begin_host_access(bytes);
+        constant_.write(addr, src, bytes);
+        bytes_to_device_ += bytes;
+    }
+
+    // --- execution ---------------------------------------------------------
+    /// Executes a grid and advances the device timeline by the modelled
+    /// time. Asynchronous w.r.t. the host clock (§2.2).
+    LaunchStats launch(const LaunchConfig& cfg, const KernelEntry& entry);
+
+    // --- the simulated timeline --------------------------------------------
+    [[nodiscard]] double host_time() const { return host_time_; }
+    [[nodiscard]] double device_free_at() const { return device_free_at_; }
+    [[nodiscard]] bool kernel_active() const { return device_free_at_ > host_time_; }
+
+    /// Advances the host clock (CPU work happening between API calls; the
+    /// steering library's CPU cost model feeds this).
+    void advance_host(double seconds) { host_time_ += seconds; }
+
+    /// cudaThreadSynchronize: host blocks until the device is idle.
+    void synchronize() { host_time_ = std::max(host_time_, device_free_at_); }
+
+    // --- events (cudaEventRecord-style timing) -------------------------------
+    /// A point on the device timeline.
+    struct Event {
+        double device_time = 0.0;
+    };
+
+    /// Records an event after all currently queued device work.
+    [[nodiscard]] Event record_event() const {
+        return Event{std::max(device_free_at_, host_time_)};
+    }
+
+    /// Milliseconds of device time between two recorded events.
+    [[nodiscard]] static double elapsed_ms(const Event& start, const Event& stop) {
+        return (stop.device_time - start.device_time) * 1e3;
+    }
+
+    /// Resets the timeline (a new measurement run).
+    void reset_clock() { host_time_ = 0.0; device_free_at_ = 0.0; }
+
+    // --- statistics ---------------------------------------------------------
+    [[nodiscard]] const LaunchStats& last_launch() const { return last_launch_; }
+    [[nodiscard]] std::uint64_t launches() const { return launch_count_; }
+    [[nodiscard]] std::uint64_t bytes_to_device() const { return bytes_to_device_; }
+    [[nodiscard]] std::uint64_t bytes_to_host() const { return bytes_to_host_; }
+    void reset_transfer_stats() { bytes_to_device_ = 0; bytes_to_host_ = 0; }
+
+private:
+    /// Host access to device memory blocks until no kernel is active (§2.2)
+    /// and then pays the PCIe transfer cost.
+    void begin_host_access(std::uint64_t bytes) {
+        synchronize();
+        host_time_ += props_.cost.transfer_latency_s +
+                      static_cast<double>(bytes) / props_.cost.pcie_bandwidth_bytes_per_s;
+    }
+
+    DeviceProperties props_;
+    GlobalMemory memory_;
+    ConstantMemory constant_;
+    double host_time_ = 0.0;
+    double device_free_at_ = 0.0;
+    LaunchStats last_launch_{};
+    std::uint64_t launch_count_ = 0;
+    std::uint64_t bytes_to_device_ = 0;
+    std::uint64_t bytes_to_host_ = 0;
+};
+
+}  // namespace cusim

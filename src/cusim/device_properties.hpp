@@ -1,0 +1,47 @@
+// Device properties, mirroring cudaDeviceProp (thesis §3.2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cusim/cost_model.hpp"
+#include "cusim/types.hpp"
+
+namespace cusim {
+
+/// Static description of a simulated device. Devices are registered with the
+/// Registry; cusimChooseDevice matches requested against available
+/// properties, like the CUDA device-management API.
+struct DeviceProperties {
+    std::string name = "cusim G80 (8800 GTS class)";
+    std::uint64_t total_global_mem = 640ull * 1024 * 1024;  ///< bytes
+    unsigned multiprocessors = 12;
+    unsigned warp_size = kWarpSize;
+    unsigned max_threads_per_block = kMaxThreadsPerBlock;
+    std::uint32_t shared_mem_per_block = 16 * 1024;
+    std::uint32_t registers_per_block = 8192;
+    bool supports_atomics = false;  ///< compute capability 1.0 has none.
+    CostModel cost;
+
+    /// Number of scalar processors (12 MPs x 8 = 96 on the thesis hardware).
+    [[nodiscard]] unsigned processor_count() const {
+        return multiprocessors * kProcessorsPerMP;
+    }
+};
+
+/// Default part used throughout the reproduction: the thesis hardware.
+[[nodiscard]] inline DeviceProperties g80_properties() {
+    return DeviceProperties{};
+}
+
+/// A smaller part, handy for tests that want to hit resource limits fast.
+[[nodiscard]] inline DeviceProperties tiny_properties() {
+    DeviceProperties p;
+    p.name = "cusim tiny (test part)";
+    p.total_global_mem = 4ull * 1024 * 1024;
+    p.multiprocessors = 2;
+    p.cost.multiprocessors = 2;
+    return p;
+}
+
+}  // namespace cusim

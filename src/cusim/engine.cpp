@@ -1,0 +1,105 @@
+#include "cusim/engine.hpp"
+
+#include <memory>
+#include <string>
+
+#include "cusim/error.hpp"
+#include "cusim/thread_ctx.hpp"
+
+namespace cusim {
+
+namespace {
+
+uint3 unlinearize_thread(unsigned tid, const dim3& bd) {
+    uint3 t;
+    t.x = tid % bd.x;
+    t.y = (tid / bd.x) % bd.y;
+    t.z = tid / (bd.x * bd.y);
+    return t;
+}
+
+[[noreturn]] void rethrow_as_launch_failure(std::exception_ptr ep) {
+    try {
+        std::rethrow_exception(ep);
+    } catch (const Error& e) {
+        throw Error(ErrorCode::LaunchFailure, std::string("kernel threw: ") + e.what());
+    } catch (const std::exception& e) {
+        throw Error(ErrorCode::LaunchFailure, std::string("kernel threw: ") + e.what());
+    } catch (...) {
+        throw Error(ErrorCode::LaunchFailure, "kernel threw a non-standard exception");
+    }
+}
+
+}  // namespace
+
+BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
+                      const KernelEntry& entry, uint3 block_idx) {
+    const unsigned nthreads = static_cast<unsigned>(cfg.block.count());
+    const unsigned nwarps = cfg.warps_per_block();
+
+    BlockResult result;
+    result.warps.resize(nwarps);
+
+    BlockState block_state;
+    block_state.shared_arena.assign(cfg.shared_bytes, std::byte{0});
+
+    // Build contexts and coroutines (created suspended).
+    std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+    std::vector<KernelTask> tasks;
+    ctxs.reserve(nthreads);
+    tasks.reserve(nthreads);
+    for (unsigned tid = 0; tid < nthreads; ++tid) {
+        ctxs.push_back(std::make_unique<ThreadCtx>(
+            unlinearize_thread(tid, cfg.block), block_idx, cfg.block, cfg.grid, &cm,
+            &block_state, &result.warps[tid / kWarpSize]));
+        tasks.push_back(entry(*ctxs.back()));
+    }
+
+    std::vector<bool> finished(nthreads, false);
+    unsigned live = nthreads;
+
+    while (live > 0) {
+        unsigned at_barrier = 0;
+        unsigned finished_this_epoch = 0;
+        for (unsigned tid = 0; tid < nthreads; ++tid) {
+            if (finished[tid] || ctxs[tid]->at_barrier()) {
+                at_barrier += ctxs[tid]->at_barrier() ? 1u : 0u;
+                continue;
+            }
+            tasks[tid].resume();
+            if (auto ep = tasks[tid].exception()) rethrow_as_launch_failure(ep);
+            if (tasks[tid].done()) {
+                finished[tid] = true;
+                --live;
+                ++finished_this_epoch;
+                // SIMD fold into the warp: cycles at the pace of the slowest
+                // lane, traffic summed over lanes.
+                WarpAcct& w = ctxs[tid]->warp();
+                const ThreadAcct& a = ctxs[tid]->acct();
+                if (a.compute_cycles > w.compute_cycles) w.compute_cycles = a.compute_cycles;
+                if (a.stall_cycles > w.stall_cycles) w.stall_cycles = a.stall_cycles;
+                w.bytes_read += a.bytes_read;
+                w.bytes_written += a.bytes_written;
+            } else {
+                ++at_barrier;
+            }
+        }
+        if (at_barrier > 0 && (finished_this_epoch > 0 || at_barrier != live)) {
+            // __syncthreads() must be reached by every thread of the block;
+            // a thread finishing (or not arriving) while others wait is the
+            // CUDA-undefined divergent barrier, diagnosed instead of hung.
+            throw Error(ErrorCode::LaunchFailure,
+                        "__syncthreads() reached by " + std::to_string(at_barrier) +
+                            " of " + std::to_string(live + finished_this_epoch) +
+                            " threads (divergent barrier)");
+        }
+        if (live == 0) break;
+        for (auto& ctx : ctxs) ctx->clear_barrier();
+        ++block_state.sync_episodes;
+    }
+
+    result.sync_episodes = block_state.sync_episodes;
+    return result;
+}
+
+}  // namespace cusim

@@ -1,0 +1,33 @@
+// The block execution engine.
+//
+// Executes one thread block functionally: every device thread is a coroutine
+// that runs until it either finishes or suspends at __syncthreads(). The
+// engine drives threads in rounds ("epochs"): one epoch ends when every live
+// thread sits at the barrier, which is then released collectively. A block
+// whose threads disagree about the barrier (some finished, some waiting) is
+// the CUDA-undefined divergent-__syncthreads case; the engine turns it into
+// a LaunchFailure instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cusim/accounting.hpp"
+#include "cusim/launch.hpp"
+#include "cusim/types.hpp"
+
+namespace cusim {
+
+/// Everything the timing model needs to know about one executed block.
+struct BlockResult {
+    std::vector<WarpAcct> warps;
+    std::uint64_t sync_episodes = 0;
+};
+
+/// Runs all threads of block `block_idx` to completion. Throws
+/// Error(LaunchFailure) wrapping any exception escaping a kernel body and on
+/// divergent barrier use.
+BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
+                      const KernelEntry& entry, uint3 block_idx);
+
+}  // namespace cusim

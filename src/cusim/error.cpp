@@ -1,0 +1,21 @@
+#include "cusim/error.hpp"
+
+namespace cusim {
+
+const char* error_string(ErrorCode code) noexcept {
+    switch (code) {
+        case ErrorCode::Success: return "success";
+        case ErrorCode::InvalidValue: return "invalid value";
+        case ErrorCode::InvalidConfiguration: return "invalid launch configuration";
+        case ErrorCode::MemoryAllocation: return "out of device memory";
+        case ErrorCode::InvalidDevicePointer: return "invalid device pointer";
+        case ErrorCode::InvalidMemcpyDirection: return "invalid memcpy direction";
+        case ErrorCode::InvalidDevice: return "invalid device";
+        case ErrorCode::LaunchFailure: return "kernel launch failure";
+        case ErrorCode::NotReady: return "operation not ready";
+        case ErrorCode::DeviceInUse: return "device memory busy (kernel active)";
+    }
+    return "unknown error";
+}
+
+}  // namespace cusim

@@ -1,0 +1,40 @@
+// Error handling for the cusim substrate.
+//
+// The raw runtime API (runtime_api.hpp) reports CUDA-1.0-style error codes;
+// the C++ layers throw cusim::Error carrying the same code.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cusim {
+
+enum class ErrorCode {
+    Success = 0,
+    InvalidValue,
+    InvalidConfiguration,   // bad grid/block geometry
+    MemoryAllocation,       // out of device memory
+    InvalidDevicePointer,
+    InvalidMemcpyDirection,
+    InvalidDevice,
+    LaunchFailure,          // kernel threw / barrier misuse
+    NotReady,
+    DeviceInUse,            // host touched device memory owned by a live kernel
+};
+
+/// Human-readable name of an error code (mirrors cudaGetErrorString).
+const char* error_string(ErrorCode code) noexcept;
+
+/// Exception thrown by the C++ simulator layers.
+class Error : public std::runtime_error {
+public:
+    Error(ErrorCode code, const std::string& what)
+        : std::runtime_error(std::string(error_string(code)) + ": " + what), code_(code) {}
+
+    [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+private:
+    ErrorCode code_;
+};
+
+}  // namespace cusim

@@ -1,0 +1,177 @@
+// The global-memory (device memory) address space of a simulated device.
+//
+// Implements the linear-memory model of thesis §3.2.3: a 32-bit byte
+// address space, malloc/free-style allocation, and host<->device transfers.
+// Host access rules (§2.2: "device memory can only be accessed by the host
+// if no kernel is active") are enforced by Device, which brokers all host
+// access and blocks the host clock until the device is idle.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cusim/error.hpp"
+#include "cusim/types.hpp"
+
+namespace cusim {
+
+/// Allocator + backing store for one device's global memory.
+///
+/// Addresses handed out are byte offsets into a single arena, so device
+/// "pointers" are plain integers that mean nothing to the host — mirroring
+/// the real rule that dereferencing a cudaMalloc pointer on the host is
+/// undefined. All access from the simulator goes through checked methods.
+class GlobalMemory {
+public:
+    /// Creates an address space of `size` bytes. The arena is allocated
+    /// up front (virtual memory; pages commit on first touch).
+    explicit GlobalMemory(std::uint64_t size)
+        : size_(size), arena_(new std::byte[size]()) {
+        if (size > (1ull << 32)) {
+            throw Error(ErrorCode::InvalidValue,
+                        "G80 global memory is a 32-bit address space");
+        }
+        free_list_[0] = size;
+    }
+
+    GlobalMemory(const GlobalMemory&) = delete;
+    GlobalMemory& operator=(const GlobalMemory&) = delete;
+
+    /// cudaMalloc: first-fit allocation, 256-byte aligned like CUDA. Bounds
+    /// checks are against the *requested* size, so off-by-one accesses are
+    /// caught even when they land in alignment padding.
+    [[nodiscard]] DeviceAddr allocate(std::uint64_t bytes) {
+        if (bytes == 0) bytes = 1;
+        const std::uint64_t aligned = round_up(bytes, kAlignment);
+        for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+            if (it->second >= aligned) {
+                const DeviceAddr addr = it->first;
+                const std::uint64_t remaining = it->second - aligned;
+                free_list_.erase(it);
+                if (remaining > 0) free_list_[addr + aligned] = remaining;
+                allocations_[addr] = Allocation{bytes, aligned};
+                used_ += aligned;
+                return addr;
+            }
+        }
+        throw Error(ErrorCode::MemoryAllocation,
+                    "requested " + std::to_string(bytes) + " bytes, " +
+                        std::to_string(size_ - used_) + " free");
+    }
+
+    /// cudaFree. Freeing kNullAddr is a no-op (like free(nullptr)); freeing
+    /// anything that was not allocated throws.
+    void free(DeviceAddr addr) {
+        if (addr == kNullAddr) return;
+        auto it = allocations_.find(addr);
+        if (it == allocations_.end()) {
+            throw Error(ErrorCode::InvalidDevicePointer,
+                        "free of unallocated address " + std::to_string(addr));
+        }
+        const std::uint64_t bytes = it->second.aligned;
+        used_ -= bytes;
+        allocations_.erase(it);
+        coalesce_insert(addr, bytes);
+    }
+
+    /// Releases every allocation (used when a cupp::device handle dies:
+    /// "when the device handle is destroyed, all memory allocated on this
+    /// device is freed as well", §4.1).
+    void free_all() {
+        allocations_.clear();
+        free_list_.clear();
+        free_list_[0] = size_;
+        used_ = 0;
+    }
+
+    /// Size in bytes of the allocation starting at `addr`; throws if `addr`
+    /// is not the base of a live allocation.
+    [[nodiscard]] std::uint64_t allocation_size(DeviceAddr addr) const {
+        auto it = allocations_.find(addr);
+        if (it == allocations_.end()) {
+            throw Error(ErrorCode::InvalidDevicePointer,
+                        "address " + std::to_string(addr) + " is not an allocation base");
+        }
+        return it->second.requested;
+    }
+
+    /// True iff [addr, addr+bytes) lies fully inside one live allocation's
+    /// requested extent.
+    [[nodiscard]] bool range_valid(DeviceAddr addr, std::uint64_t bytes) const {
+        auto it = allocations_.upper_bound(addr);
+        if (it == allocations_.begin()) return false;
+        --it;
+        return addr >= it->first && addr + bytes <= it->first + it->second.requested;
+    }
+
+    /// Raw pointer into the arena. The caller must have validated the range;
+    /// the accounting wrappers (DevicePtr) do so once at creation.
+    [[nodiscard]] std::byte* raw(DeviceAddr addr) { return arena_.get() + addr; }
+    [[nodiscard]] const std::byte* raw(DeviceAddr addr) const { return arena_.get() + addr; }
+
+    /// Checked byte copy used by the memcpy paths.
+    void write(DeviceAddr dst, const void* src, std::uint64_t bytes) {
+        check_range(dst, bytes);
+        std::memcpy(raw(dst), src, bytes);
+    }
+    void read(DeviceAddr src, void* dst, std::uint64_t bytes) const {
+        check_range(src, bytes);
+        std::memcpy(dst, raw(src), bytes);
+    }
+    void copy(DeviceAddr dst, DeviceAddr src, std::uint64_t bytes) {
+        check_range(dst, bytes);
+        check_range(src, bytes);
+        std::memmove(raw(dst), raw(src), bytes);
+    }
+
+    [[nodiscard]] std::uint64_t size() const { return size_; }
+    [[nodiscard]] std::uint64_t used() const { return used_; }
+    [[nodiscard]] std::size_t allocation_count() const { return allocations_.size(); }
+
+private:
+    static constexpr std::uint64_t kAlignment = 256;
+
+    static std::uint64_t round_up(std::uint64_t v, std::uint64_t a) {
+        return (v + a - 1) / a * a;
+    }
+
+    void check_range(DeviceAddr addr, std::uint64_t bytes) const {
+        if (!range_valid(addr, bytes)) {
+            throw Error(ErrorCode::InvalidDevicePointer,
+                        "access [" + std::to_string(addr) + ", " +
+                            std::to_string(addr + bytes) + ") outside any allocation");
+        }
+    }
+
+    void coalesce_insert(DeviceAddr addr, std::uint64_t bytes) {
+        auto next = free_list_.lower_bound(addr);
+        if (next != free_list_.end() && addr + bytes == next->first) {
+            bytes += next->second;
+            next = free_list_.erase(next);
+        }
+        if (next != free_list_.begin()) {
+            auto prev = std::prev(next);
+            if (prev->first + prev->second == addr) {
+                prev->second += bytes;
+                return;
+            }
+        }
+        free_list_[addr] = bytes;
+    }
+
+    struct Allocation {
+        std::uint64_t requested;
+        std::uint64_t aligned;
+    };
+
+    std::uint64_t size_;
+    std::uint64_t used_ = 0;
+    std::unique_ptr<std::byte[]> arena_;
+    std::map<DeviceAddr, std::uint64_t> free_list_;   // addr -> bytes
+    std::map<DeviceAddr, Allocation> allocations_;
+};
+
+}  // namespace cusim

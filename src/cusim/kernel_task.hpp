@@ -1,0 +1,69 @@
+// The coroutine type used for simulated device threads.
+//
+// A cusim kernel is an ordinary C++ function returning KernelTask and taking
+// ThreadCtx& as its first parameter — the moral equivalent of a __global__
+// function. `co_await ctx.syncthreads()` suspends the thread until every
+// thread of its block reaches the barrier; the block engine (engine.hpp)
+// resumes it afterwards.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace cusim {
+
+/// Move-only handle to one device thread's coroutine frame. Created
+/// suspended; the engine drives it with resume().
+class KernelTask {
+public:
+    struct promise_type {
+        std::exception_ptr exception;
+
+        KernelTask get_return_object() {
+            return KernelTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+        void unhandled_exception() noexcept { exception = std::current_exception(); }
+    };
+
+    KernelTask() = default;
+    explicit KernelTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    KernelTask(KernelTask&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+    KernelTask& operator=(KernelTask&& other) noexcept {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+    KernelTask(const KernelTask&) = delete;
+    KernelTask& operator=(const KernelTask&) = delete;
+    ~KernelTask() { destroy(); }
+
+    /// Runs the thread until it suspends (barrier) or finishes.
+    void resume() { handle_.resume(); }
+
+    [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+    [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+
+    /// Exception thrown by the kernel body, if any.
+    [[nodiscard]] std::exception_ptr exception() const {
+        return handle_ ? handle_.promise().exception : nullptr;
+    }
+
+private:
+    void destroy() {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_{};
+};
+
+}  // namespace cusim

@@ -1,0 +1,58 @@
+// Launch configuration (grid/block geometry + per-block resources).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cusim/error.hpp"
+#include "cusim/kernel_task.hpp"
+#include "cusim/types.hpp"
+
+namespace cusim {
+
+class ThreadCtx;
+
+/// Geometry and resource demand of a kernel launch. Mirrors
+/// cudaConfigureCall plus the implicit per-kernel resource usage that nvcc
+/// would report (registers per thread, static shared memory).
+struct LaunchConfig {
+    dim3 grid;
+    dim3 block;
+    std::uint32_t shared_bytes = 0;       ///< static __shared__ usage per block
+    std::uint32_t regs_per_thread = 16;   ///< occupancy input (G80 default-ish)
+
+    /// Validates the geometry against the software model (§2.2): <= 512
+    /// threads per block, 1-/2-dim grids of <= 2^16 blocks per dimension,
+    /// 3-dim blocks.
+    void validate() const {
+        if (block.count() == 0 || block.count() > kMaxThreadsPerBlock) {
+            throw Error(ErrorCode::InvalidConfiguration,
+                        "block has " + std::to_string(block.count()) +
+                            " threads (max " + std::to_string(kMaxThreadsPerBlock) + ")");
+        }
+        if (grid.count() == 0) {
+            throw Error(ErrorCode::InvalidConfiguration, "empty grid");
+        }
+        if (grid.z != 1) {
+            throw Error(ErrorCode::InvalidConfiguration,
+                        "grids are 1- or 2-dimensional on this architecture");
+        }
+        if (grid.x > kMaxGridDim || grid.y > kMaxGridDim) {
+            throw Error(ErrorCode::InvalidConfiguration,
+                        "grid dimension exceeds 2^16 blocks");
+        }
+    }
+
+    [[nodiscard]] std::uint64_t total_threads() const { return grid.count() * block.count(); }
+    [[nodiscard]] unsigned warps_per_block() const {
+        return static_cast<unsigned>((block.count() + kWarpSize - 1) / kWarpSize);
+    }
+};
+
+/// Type-erased per-thread kernel entry: the engine calls it once per device
+/// thread with that thread's context. Higher layers (cupp::kernel) bind the
+/// user's typed arguments into this.
+using KernelEntry = std::function<KernelTask(ThreadCtx&)>;
+
+}  // namespace cusim

@@ -1,0 +1,48 @@
+// The multiprocessor timing model.
+//
+// Functional execution (engine.hpp) produces per-warp cycle accounts; this
+// file turns them into modelled device time, implementing the scheduling
+// rules of §2.2 and the latency hiding of §2.3:
+//
+//  * blocks are mapped whole onto multiprocessors; several blocks share an
+//    MP if its resources (shared memory, registers, max 8 blocks) allow;
+//  * a block stays on its MP until it completes; remaining blocks run in
+//    subsequent "waves";
+//  * within a wave, warps time-share the MP's 8 processors, so total issue
+//    time is the sum of the warps' compute cycles;
+//  * global-memory latency is hidden by switching to other warps: stall
+//    cycles are exposed only to the extent they exceed the issue work the
+//    other resident warps can perform;
+//  * total traffic cannot exceed the part's memory bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cusim/accounting.hpp"
+#include "cusim/cost_model.hpp"
+#include "cusim/engine.hpp"
+#include "cusim/launch.hpp"
+
+namespace cusim {
+
+/// Collapsed cost of one executed block.
+struct BlockCost {
+    std::uint64_t compute_cycles = 0;          ///< Σ warps (incl. divergence penalty)
+    std::uint64_t stall_cycles = 0;            ///< Σ warps
+    std::uint64_t max_warp_busy = 0;           ///< max over warps of compute+stall
+    std::uint64_t bytes = 0;                   ///< read + written
+    unsigned warps = 0;
+
+    static BlockCost from(const BlockResult& br, const CostModel& cm);
+};
+
+/// Number of blocks that fit on one multiprocessor concurrently.
+unsigned blocks_per_mp(const CostModel& cm, const LaunchConfig& cfg);
+
+/// Models the execution time (seconds) of a whole grid from its block costs.
+/// `resident_out`, if non-null, receives the achieved blocks-per-MP.
+double model_grid_seconds(const CostModel& cm, const LaunchConfig& cfg,
+                          const std::vector<BlockCost>& blocks, unsigned* resident_out);
+
+}  // namespace cusim

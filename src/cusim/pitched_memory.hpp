@@ -1,0 +1,86 @@
+// Pitched (2D) device memory — the second linear-memory flavour of the
+// CUDA host runtime (§3.2.3 discusses cudaMalloc; cudaMallocPitch is its 2D
+// sibling: rows padded to an alignment boundary so row starts coalesce).
+//
+// The thesis uses only plain linear memory; this completes the memory-
+// management surface for workloads with 2D data (matrices, images).
+#pragma once
+
+#include <cstdint>
+
+#include "cusim/device.hpp"
+#include "cusim/device_ptr.hpp"
+#include "cusim/error.hpp"
+
+namespace cusim {
+
+/// A 2D allocation: `height` rows of `width` elements, each row starting at
+/// a multiple of the pitch (bytes).
+template <typename T>
+class PitchedPtr {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "device memory holds byte-wise copyable values only");
+
+public:
+    PitchedPtr() = default;
+    PitchedPtr(DevicePtr<std::byte> storage, std::uint64_t width, std::uint64_t height,
+               std::uint64_t pitch_bytes)
+        : storage_(storage), width_(width), height_(height), pitch_(pitch_bytes) {}
+
+    [[nodiscard]] std::uint64_t width() const { return width_; }
+    [[nodiscard]] std::uint64_t height() const { return height_; }
+    [[nodiscard]] std::uint64_t pitch() const { return pitch_; }
+    [[nodiscard]] DeviceAddr addr() const { return storage_.addr(); }
+
+    /// Accounted 2D element access: row-start alignment makes these
+    /// coalescible regardless of the row width.
+    T read(ThreadCtx& ctx, std::uint64_t row, std::uint64_t col) const {
+        return view_row(row).read(ctx, col);
+    }
+    void write(ThreadCtx& ctx, std::uint64_t row, std::uint64_t col, const T& v) const {
+        view_row(row).write(ctx, col, v);
+    }
+
+private:
+    [[nodiscard]] DevicePtr<T> view_row(std::uint64_t row) const {
+        if (row >= height_) {
+            throw Error(ErrorCode::InvalidDevicePointer, "pitched row out of range");
+        }
+        return storage_.slice(row * pitch_, width_ * sizeof(T)).template as<T>();
+    }
+
+    DevicePtr<std::byte> storage_;
+    std::uint64_t width_ = 0;
+    std::uint64_t height_ = 0;
+    std::uint64_t pitch_ = 0;
+};
+
+/// cudaMallocPitch: allocates height rows padded to 256-byte pitch.
+template <typename T>
+[[nodiscard]] PitchedPtr<T> malloc_pitched(Device& dev, std::uint64_t width,
+                                           std::uint64_t height) {
+    constexpr std::uint64_t kPitchAlign = 256;
+    const std::uint64_t row_bytes = width * sizeof(T);
+    const std::uint64_t pitch = (row_bytes + kPitchAlign - 1) / kPitchAlign * kPitchAlign;
+    auto storage = dev.malloc_n<std::byte>(pitch * height);
+    return PitchedPtr<T>(storage, width, height, pitch);
+}
+
+/// Host <-> device 2D copies (cudaMemcpy2D): row by row, skipping padding.
+template <typename T>
+void copy_to_pitched(Device& dev, const PitchedPtr<T>& dst, const T* src) {
+    for (std::uint64_t r = 0; r < dst.height(); ++r) {
+        dev.copy_to_device(dst.addr() + r * dst.pitch(), src + r * dst.width(),
+                           dst.width() * sizeof(T));
+    }
+}
+
+template <typename T>
+void copy_from_pitched(Device& dev, T* dst, const PitchedPtr<T>& src) {
+    for (std::uint64_t r = 0; r < src.height(); ++r) {
+        dev.copy_to_host(dst + r * src.width(), src.addr() + r * src.pitch(),
+                         src.width() * sizeof(T));
+    }
+}
+
+}  // namespace cusim

@@ -1,0 +1,69 @@
+#include "cusim/registry.hpp"
+
+#include "cusim/error.hpp"
+
+namespace cusim {
+
+namespace {
+// CUDA 1.0 binds one device per host thread (§3.2.1).
+thread_local int t_bound_ordinal = -1;
+}  // namespace
+
+Registry::Registry() { devices_.push_back(std::make_unique<Device>(g80_properties())); }
+
+Registry& Registry::instance() {
+    static Registry registry;
+    return registry;
+}
+
+int Registry::add_device(DeviceProperties props) {
+    devices_.push_back(std::make_unique<Device>(std::move(props)));
+    return static_cast<int>(devices_.size()) - 1;
+}
+
+Device& Registry::device(int ordinal) {
+    if (ordinal < 0 || ordinal >= device_count()) {
+        throw Error(ErrorCode::InvalidDevice,
+                    "device ordinal " + std::to_string(ordinal) + " of " +
+                        std::to_string(device_count()));
+    }
+    return *devices_[static_cast<std::size_t>(ordinal)];
+}
+
+int Registry::choose_device(const DeviceProperties& request) const {
+    int best = -1;
+    unsigned best_mps = 0;
+    for (int i = 0; i < device_count(); ++i) {
+        const DeviceProperties& p = devices_[static_cast<std::size_t>(i)]->properties();
+        if (p.total_global_mem < request.total_global_mem) continue;
+        if (request.supports_atomics && !p.supports_atomics) continue;
+        if (p.multiprocessors >= best_mps) {
+            best_mps = p.multiprocessors;
+            best = i;
+        }
+    }
+    if (best < 0) {
+        throw Error(ErrorCode::InvalidDevice, "no device matches the requested properties");
+    }
+    return best;
+}
+
+void Registry::set_device(int ordinal) {
+    (void)device(ordinal);  // validate
+    t_bound_ordinal = ordinal;
+}
+
+Device& Registry::current_device() { return device(current_ordinal()); }
+
+int Registry::current_ordinal() {
+    if (t_bound_ordinal < 0) t_bound_ordinal = 0;  // implicit device 0 (§3.2.1)
+    return t_bound_ordinal;
+}
+
+void Registry::reset() {
+    devices_.clear();
+    devices_.push_back(std::make_unique<Device>(g80_properties()));
+    t_bound_ordinal = -1;
+}
+
+}  // namespace cusim

@@ -1,0 +1,51 @@
+// The device registry: the process-wide set of simulated devices and the
+// per-host-thread device binding of CUDA 1.0 device management (§3.2.1):
+// one host thread is bound to at most one device; if no device has been
+// selected before the first use, device 0 is selected automatically.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cusim/device.hpp"
+#include "cusim/device_properties.hpp"
+
+namespace cusim {
+
+class Registry {
+public:
+    /// The process-wide registry. Starts out with a single default G80-class
+    /// device; tests may add more.
+    static Registry& instance();
+
+    /// Registers a new device; returns its ordinal.
+    int add_device(DeviceProperties props);
+
+    [[nodiscard]] int device_count() const { return static_cast<int>(devices_.size()); }
+
+    /// Device by ordinal; throws InvalidDevice for a bad ordinal.
+    [[nodiscard]] Device& device(int ordinal);
+
+    /// cudaChooseDevice: ordinal of the device best matching `request`.
+    /// Matching prefers devices with enough memory and the requested
+    /// capabilities; among matches, the one with the most multiprocessors.
+    [[nodiscard]] int choose_device(const DeviceProperties& request) const;
+
+    // --- per-host-thread binding ---
+    /// cudaSetDevice for the calling thread.
+    void set_device(int ordinal);
+
+    /// Bound device of the calling thread, auto-binding device 0 on first use.
+    [[nodiscard]] Device& current_device();
+    [[nodiscard]] int current_ordinal();
+
+    /// Drops every registered device and re-creates the default one
+    /// (test isolation helper).
+    void reset();
+
+private:
+    Registry();
+    std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace cusim

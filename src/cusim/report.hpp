@@ -1,0 +1,63 @@
+// Human-readable kernel launch reports — the profiler the thesis wished it
+// had ("no profiling tool is available offering this information", §6.3.1).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cusim/accounting.hpp"
+#include "cusim/cost_model.hpp"
+
+namespace cusim {
+
+/// Which of the three wave-time lower bounds dominated a launch.
+enum class BoundBy { Compute, LatencyChain, Bandwidth };
+
+[[nodiscard]] inline const char* to_string(BoundBy b) {
+    switch (b) {
+        case BoundBy::Compute: return "compute";
+        case BoundBy::LatencyChain: return "latency";
+        case BoundBy::Bandwidth: return "bandwidth";
+    }
+    return "?";
+}
+
+/// Classifies a launch by its dominating resource (approximate: aggregates
+/// over the whole grid rather than per wave).
+[[nodiscard]] inline BoundBy bound_by(const LaunchStats& s, const CostModel& cm) {
+    const double compute = static_cast<double>(s.compute_cycles);
+    const double bandwidth =
+        static_cast<double>(s.bytes_read + s.bytes_written) / cm.bytes_per_cycle_per_mp();
+    const double chain =
+        s.warps > 0 ? static_cast<double>(s.compute_cycles + s.stall_cycles) / s.warps *
+                          cm.multiprocessors
+                    : 0.0;
+    if (bandwidth >= compute && bandwidth >= chain) return BoundBy::Bandwidth;
+    if (chain > compute) return BoundBy::LatencyChain;
+    return BoundBy::Compute;
+}
+
+/// One-paragraph report of a launch, e.g. for examples and harness logs.
+[[nodiscard]] inline std::string describe(const LaunchStats& s, const CostModel& cm) {
+    char buf[512];
+    const double div_rate =
+        s.branch_evaluations > 0
+            ? 100.0 * static_cast<double>(s.divergent_events) /
+                  (static_cast<double>(s.branch_evaluations) / kWarpSize)
+            : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "%llu blocks x %llu threads (%u resident blocks/MP), %.3f ms, "
+                  "%s-bound; %.2f MiB read, %.2f MiB written; "
+                  "%llu divergent warp-steps (%.1f%% of warp branches); "
+                  "%llu barrier rounds",
+                  static_cast<unsigned long long>(s.blocks),
+                  static_cast<unsigned long long>(s.threads / (s.blocks ? s.blocks : 1)),
+                  s.resident_blocks_per_mp, s.device_seconds * 1e3,
+                  to_string(bound_by(s, cm)), s.bytes_read / 1048576.0,
+                  s.bytes_written / 1048576.0,
+                  static_cast<unsigned long long>(s.divergent_events), div_rate,
+                  static_cast<unsigned long long>(s.syncthreads_count));
+    return std::string(buf);
+}
+
+}  // namespace cusim

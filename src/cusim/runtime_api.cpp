@@ -1,0 +1,175 @@
+#include "cusim/runtime_api.hpp"
+
+#include <array>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "cusim/registry.hpp"
+
+namespace cusim::rt {
+
+namespace {
+
+/// Per-host-thread launch staging area (config + argument stack), matching
+/// the statefulness of the real three-step launch protocol.
+struct LaunchState {
+    LaunchConfig config;
+    bool configured = false;
+    std::array<std::byte, kKernelStackSize> stack{};
+    std::size_t stack_high_water = 0;
+};
+
+thread_local LaunchState t_launch;
+thread_local ErrorCode t_last_error = ErrorCode::Success;
+
+ErrorCode set_error(ErrorCode code) {
+    t_last_error = code;
+    return code;
+}
+
+/// Registered trampolines. A deque keeps element addresses stable, so the
+/// element address itself can serve as the handle.
+std::deque<Trampoline>& trampolines() {
+    static std::deque<Trampoline> t;
+    return t;
+}
+std::mutex& trampoline_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+template <typename F>
+ErrorCode guarded(F&& f) {
+    try {
+        f();
+        return set_error(ErrorCode::Success);
+    } catch (const Error& e) {
+        return set_error(e.code());
+    } catch (...) {
+        return set_error(ErrorCode::LaunchFailure);
+    }
+}
+
+}  // namespace
+
+KernelHandle register_kernel(Trampoline trampoline) {
+    std::lock_guard<std::mutex> lock(trampoline_mutex());
+    trampolines().push_back(std::move(trampoline));
+    return &trampolines().back();
+}
+
+ErrorCode cusimSetDevice(int device) {
+    return guarded([&] { Registry::instance().set_device(device); });
+}
+
+ErrorCode cusimGetDevice(int* device) {
+    if (!device) return set_error(ErrorCode::InvalidValue);
+    return guarded([&] { *device = Registry::instance().current_ordinal(); });
+}
+
+ErrorCode cusimGetDeviceCount(int* count) {
+    if (!count) return set_error(ErrorCode::InvalidValue);
+    *count = Registry::instance().device_count();
+    return set_error(ErrorCode::Success);
+}
+
+ErrorCode cusimChooseDevice(int* device, const DeviceProperties* prop) {
+    if (!device || !prop) return set_error(ErrorCode::InvalidValue);
+    return guarded([&] { *device = Registry::instance().choose_device(*prop); });
+}
+
+ErrorCode cusimGetDeviceProperties(DeviceProperties* prop, int device) {
+    if (!prop) return set_error(ErrorCode::InvalidValue);
+    return guarded([&] { *prop = Registry::instance().device(device).properties(); });
+}
+
+ErrorCode cusimMalloc(DeviceAddr* dev_ptr, std::size_t count) {
+    if (!dev_ptr) return set_error(ErrorCode::InvalidValue);
+    return guarded(
+        [&] { *dev_ptr = Registry::instance().current_device().malloc_bytes(count); });
+}
+
+ErrorCode cusimFree(DeviceAddr dev_ptr) {
+    return guarded([&] { Registry::instance().current_device().free_bytes(dev_ptr); });
+}
+
+ErrorCode cusimMemcpy(void* dst, const void* src, std::size_t count, CopyKind kind) {
+    if (kind != CopyKind::HostToHost) return set_error(ErrorCode::InvalidMemcpyDirection);
+    if (!dst || !src) return set_error(ErrorCode::InvalidValue);
+    std::memmove(dst, src, count);
+    return set_error(ErrorCode::Success);
+}
+
+ErrorCode cusimMemcpyToDevice(DeviceAddr dst, const void* src, std::size_t count) {
+    if (!src) return set_error(ErrorCode::InvalidValue);
+    return guarded(
+        [&] { Registry::instance().current_device().copy_to_device(dst, src, count); });
+}
+
+ErrorCode cusimMemcpyToHost(void* dst, DeviceAddr src, std::size_t count) {
+    if (!dst) return set_error(ErrorCode::InvalidValue);
+    return guarded(
+        [&] { Registry::instance().current_device().copy_to_host(dst, src, count); });
+}
+
+ErrorCode cusimMemcpyDeviceToDevice(DeviceAddr dst, DeviceAddr src, std::size_t count) {
+    return guarded([&] {
+        Registry::instance().current_device().copy_device_to_device(dst, src, count);
+    });
+}
+
+ErrorCode cusimConfigureCall(dim3 grid, dim3 block, std::uint32_t shared_bytes,
+                             std::uint32_t regs_per_thread) {
+    return guarded([&] {
+        LaunchConfig cfg{grid, block, shared_bytes, regs_per_thread};
+        cfg.validate();
+        t_launch.config = cfg;
+        t_launch.configured = true;
+        t_launch.stack.fill(std::byte{0});
+        t_launch.stack_high_water = 0;
+    });
+}
+
+ErrorCode cusimSetupArgument(const void* arg, std::size_t size, std::size_t offset) {
+    if (!arg) return set_error(ErrorCode::InvalidValue);
+    if (offset + size > kKernelStackSize) return set_error(ErrorCode::InvalidValue);
+    if (!t_launch.configured) return set_error(ErrorCode::InvalidConfiguration);
+    std::memcpy(t_launch.stack.data() + offset, arg, size);
+    t_launch.stack_high_water = std::max(t_launch.stack_high_water, offset + size);
+    return set_error(ErrorCode::Success);
+}
+
+ErrorCode cusimLaunch(KernelHandle kernel) {
+    if (!kernel) return set_error(ErrorCode::InvalidValue);
+    if (!t_launch.configured) return set_error(ErrorCode::InvalidConfiguration);
+    const auto* trampoline = static_cast<const Trampoline*>(kernel);
+    return guarded([&] {
+        Device& dev = Registry::instance().current_device();
+        // The stack is copied so the staging area can be reused immediately.
+        auto stack = std::make_shared<std::array<std::byte, kKernelStackSize>>(t_launch.stack);
+        KernelEntry entry = [trampoline, &dev, stack](ThreadCtx& ctx) {
+            return (*trampoline)(ctx, dev, stack->data());
+        };
+        dev.launch(t_launch.config, entry);
+        t_launch.configured = false;
+    });
+}
+
+const LaunchStats& cusimLastLaunchStats() {
+    return Registry::instance().current_device().last_launch();
+}
+
+ErrorCode cusimGetLastError() {
+    const ErrorCode e = t_last_error;
+    t_last_error = ErrorCode::Success;
+    return e;
+}
+
+const char* cusimGetErrorString(ErrorCode code) { return error_string(code); }
+
+ErrorCode cusimThreadSynchronize() {
+    return guarded([] { Registry::instance().current_device().synchronize(); });
+}
+
+}  // namespace cusim::rt

@@ -1,0 +1,72 @@
+// The CUDA-1.0-style host runtime API (§3.2).
+//
+// This is the C-flavoured layer the thesis builds CuPP on: error codes, a
+// per-host-thread bound device, and the three-step kernel launch of §3.2.2
+// (cusimConfigureCall -> cusimSetupArgument xN -> cusimLaunch). The CuPP
+// kernel functor (cupp/kernel.hpp) issues exactly these calls.
+//
+// Because the simulator has no nvcc, "__global__ function pointers" are
+// handles obtained by registering a trampoline that unpacks the kernel
+// stack into the typed coroutine call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "cusim/device.hpp"
+#include "cusim/device_properties.hpp"
+#include "cusim/error.hpp"
+#include "cusim/kernel_task.hpp"
+#include "cusim/types.hpp"
+
+namespace cusim::rt {
+
+/// Opaque handle standing in for a __global__ function pointer.
+using KernelHandle = const void*;
+
+/// A registered kernel: unpacks the launch stack and creates one device
+/// thread's coroutine.
+using Trampoline =
+    std::function<KernelTask(ThreadCtx&, Device&, const std::byte* stack)>;
+
+/// Registers a kernel trampoline; the returned handle is what
+/// cusimLaunch accepts. Handles stay valid for the process lifetime.
+KernelHandle register_kernel(Trampoline trampoline);
+
+// --- device management (§3.2.1) ---
+ErrorCode cusimSetDevice(int device);
+ErrorCode cusimGetDevice(int* device);
+ErrorCode cusimGetDeviceCount(int* count);
+ErrorCode cusimChooseDevice(int* device, const DeviceProperties* prop);
+ErrorCode cusimGetDeviceProperties(DeviceProperties* prop, int device);
+
+// --- memory management (§3.2.3) ---
+ErrorCode cusimMalloc(DeviceAddr* dev_ptr, std::size_t count);
+ErrorCode cusimFree(DeviceAddr dev_ptr);
+ErrorCode cusimMemcpy(void* dst, const void* src, std::size_t count, CopyKind kind);
+/// Device-addressed variants (device "pointers" are arena offsets, so the
+/// void* flavour cannot express them; these are the checked equivalents).
+ErrorCode cusimMemcpyToDevice(DeviceAddr dst, const void* src, std::size_t count);
+ErrorCode cusimMemcpyToHost(void* dst, DeviceAddr src, std::size_t count);
+ErrorCode cusimMemcpyDeviceToDevice(DeviceAddr dst, DeviceAddr src, std::size_t count);
+
+// --- execution control (§3.2.2) ---
+ErrorCode cusimConfigureCall(dim3 grid, dim3 block, std::uint32_t shared_bytes = 0,
+                             std::uint32_t regs_per_thread = 16);
+ErrorCode cusimSetupArgument(const void* arg, std::size_t size, std::size_t offset);
+ErrorCode cusimLaunch(KernelHandle kernel);
+
+/// Stats of the most recent successful launch on the calling thread's device.
+const LaunchStats& cusimLastLaunchStats();
+
+// --- error handling ---
+ErrorCode cusimGetLastError();
+const char* cusimGetErrorString(ErrorCode code);
+/// cudaThreadSynchronize.
+ErrorCode cusimThreadSynchronize();
+
+/// Size of the kernel argument stack (CUDA 1.0: 256 bytes).
+inline constexpr std::size_t kKernelStackSize = 256;
+
+}  // namespace cusim::rt

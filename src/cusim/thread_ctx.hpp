@@ -1,0 +1,238 @@
+// ThreadCtx — the view a device thread has of the machine.
+//
+// Provides the CUDA built-in variables (threadIdx, blockIdx, blockDim,
+// gridDim, §3.1.3), the __syncthreads() barrier (§3.1.4) as an awaitable,
+// shared-memory allocation, and the accounting hooks that feed the
+// performance model.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <cstring>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "cusim/accounting.hpp"
+#include "cusim/constant_memory.hpp"
+#include "cusim/cost_model.hpp"
+#include "cusim/device_ptr.hpp"
+#include "cusim/shared_array.hpp"
+#include "cusim/types.hpp"
+
+namespace cusim {
+
+/// State shared by all threads of one executing block.
+struct BlockState {
+    std::vector<std::byte> shared_arena;  ///< the block's shared memory
+    std::uint64_t sync_episodes = 0;      ///< completed barrier rounds
+};
+
+class ThreadCtx {
+public:
+    ThreadCtx(uint3 thread_idx, uint3 block_idx, dim3 block_dim, dim3 grid_dim,
+              const CostModel* cm, BlockState* block, WarpAcct* warp)
+        : thread_idx_(thread_idx),
+          block_idx_(block_idx),
+          block_dim_(block_dim),
+          grid_dim_(grid_dim),
+          cm_(cm),
+          block_(block),
+          warp_(warp) {}
+
+    ThreadCtx(const ThreadCtx&) = delete;
+    ThreadCtx& operator=(const ThreadCtx&) = delete;
+
+    // --- built-in variables ---
+    [[nodiscard]] const uint3& thread_idx() const { return thread_idx_; }
+    [[nodiscard]] const uint3& block_idx() const { return block_idx_; }
+    [[nodiscard]] const dim3& block_dim() const { return block_dim_; }
+    [[nodiscard]] const dim3& grid_dim() const { return grid_dim_; }
+
+    /// Linearised thread index within the block (CUDA convention: x fastest).
+    [[nodiscard]] unsigned linear_tid() const {
+        return thread_idx_.x + block_dim_.x * (thread_idx_.y + block_dim_.y * thread_idx_.z);
+    }
+    /// Linearised block index within the grid.
+    [[nodiscard]] unsigned linear_bid() const {
+        return block_idx_.x + grid_dim_.x * block_idx_.y;
+    }
+    /// Linearised grid-global thread id — the usual blockIdx*blockDim+threadIdx.
+    [[nodiscard]] std::uint64_t global_id() const {
+        return std::uint64_t{linear_bid()} * block_dim_.count() + linear_tid();
+    }
+
+    // --- __syncthreads() ---
+    struct SyncAwaitable {
+        ThreadCtx* ctx;
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<>) const noexcept {
+            ctx->at_barrier_ = true;
+        }
+        void await_resume() const noexcept {}
+    };
+
+    /// `co_await ctx.syncthreads();` — blocks until every thread of the
+    /// block reaches the barrier. Costs 4 cycles + waiting time (Table 2.2);
+    /// the waiting time is implicit in the max-fold over the warp.
+    [[nodiscard]] SyncAwaitable syncthreads() {
+        acct_.charge(*cm_, Op::SyncThreads);
+        return SyncAwaitable{this};
+    }
+
+    // --- accounting hooks ---
+    /// Charges `n` instructions of class `op` per Table 2.2.
+    void charge(Op op, unsigned n = 1) { acct_.charge(*cm_, op, n); }
+
+    /// Control-flow instruction with divergence tracking. Returns `pred`, so
+    /// kernels write `if (ctx.branch(d2 < r2)) { ... }`. The warp records
+    /// taken/not-taken counts per static site; see accounting.hpp for the
+    /// divergence estimator.
+    bool branch(bool pred, std::source_location loc = std::source_location::current()) {
+        acct_.charge(*cm_, Op::Branch);
+        const auto key = reinterpret_cast<std::uintptr_t>(loc.file_name()) ^
+                         (std::uint64_t{loc.line()} << 40) ^ (std::uint64_t{loc.column()} << 52);
+        warp_->note_branch(key, linear_tid() % kWarpSize, pred);
+        return pred;
+    }
+
+    /// Models a thread-local variable that the compiler spilled to device
+    /// memory (§2.2, Table 2.1: local memory is registers *or* device
+    /// memory). Version 3 of the Boids port pays these (§6.2.2).
+    void local_spill_read(unsigned n = 1) { acct_.charge(*cm_, Op::LocalSpill, n); }
+    void local_spill_write(unsigned n = 1) { acct_.charge(*cm_, Op::GlobalWrite, n); }
+
+    /// Accounts one texture fetch: served from the texture cache except for
+    /// every `texture_miss_period`-th access, which goes to device memory.
+    /// Returns whether this fetch missed (the caller charges the traffic).
+    bool account_texture_fetch() {
+        if (texture_fetches_++ % cm_->texture_miss_period == 0) {
+            acct_.charge(*cm_, Op::GlobalRead);
+            return true;
+        }
+        acct_.charge(*cm_, Op::TextureHit);
+        return false;
+    }
+
+    // --- shared memory ---
+    /// Carves a typed array out of the block's shared arena. Every thread of
+    /// the block must perform the same sequence of shared_array calls (just
+    /// as every CUDA thread sees the same __shared__ declarations).
+    template <typename T>
+    SharedArray<T> shared_array(std::uint64_t count) {
+        const std::uint64_t align = alignof(T);
+        std::uint64_t offset = (shared_cursor_ + align - 1) / align * align;
+        const std::uint64_t end = offset + count * sizeof(T);
+        if (end > block_->shared_arena.size()) {
+            throw Error(ErrorCode::InvalidConfiguration,
+                        "shared_array exceeds the block's shared memory (" +
+                            std::to_string(block_->shared_arena.size()) + " bytes)");
+        }
+        shared_cursor_ = end;
+        return SharedArray<T>(block_->shared_arena.data() + offset, count);
+    }
+
+    // --- internals used by the engine and the memory views ---
+    [[nodiscard]] bool at_barrier() const { return at_barrier_; }
+    void clear_barrier() { at_barrier_ = false; }
+    [[nodiscard]] ThreadAcct& acct() { return acct_; }
+    [[nodiscard]] WarpAcct& warp() { return *warp_; }
+    [[nodiscard]] const CostModel& cost_model() const { return *cm_; }
+    [[nodiscard]] BlockState& block_state() { return *block_; }
+
+private:
+    template <typename T>
+    friend class DevicePtr;
+    template <typename T>
+    friend class SharedArray;
+
+    uint3 thread_idx_;
+    uint3 block_idx_;
+    dim3 block_dim_;
+    dim3 grid_dim_;
+    const CostModel* cm_;
+    BlockState* block_;
+    WarpAcct* warp_;
+    ThreadAcct acct_;
+    std::uint64_t shared_cursor_ = 0;
+    std::uint64_t texture_fetches_ = 0;
+    bool at_barrier_ = false;
+};
+
+// --- accounted accesses (need the full ThreadCtx) ---
+
+template <typename T>
+T DevicePtr<T>::read(ThreadCtx& ctx, std::uint64_t i) const {
+    if (i >= count_) {
+        throw Error(ErrorCode::InvalidDevicePointer,
+                    "device read at index " + std::to_string(i) + " of " +
+                        std::to_string(count_));
+    }
+    ctx.acct().charge(ctx.cost_model(), Op::GlobalRead);
+    ctx.acct().bytes_read += ctx.cost_model().charged_bytes(sizeof(T));
+    T v;
+    std::memcpy(&v, base_ + i * sizeof(T), sizeof(T));
+    return v;
+}
+
+template <typename T>
+void DevicePtr<T>::write(ThreadCtx& ctx, std::uint64_t i, const T& v) const {
+    if (i >= count_) {
+        throw Error(ErrorCode::InvalidDevicePointer,
+                    "device write at index " + std::to_string(i) + " of " +
+                        std::to_string(count_));
+    }
+    ctx.acct().charge(ctx.cost_model(), Op::GlobalWrite);
+    ctx.acct().bytes_written += ctx.cost_model().charged_bytes(sizeof(T));
+    std::memcpy(base_ + i * sizeof(T), &v, sizeof(T));
+}
+
+template <typename T>
+T DevicePtr<T>::tex_read(ThreadCtx& ctx, std::uint64_t i) const {
+    if (i >= count_) {
+        throw Error(ErrorCode::InvalidDevicePointer,
+                    "texture fetch at index " + std::to_string(i) + " of " +
+                        std::to_string(count_));
+    }
+    if (ctx.account_texture_fetch()) {
+        ctx.acct().bytes_read += ctx.cost_model().charged_bytes(sizeof(T));
+    }
+    T v;
+    std::memcpy(&v, base_ + i * sizeof(T), sizeof(T));
+    return v;
+}
+
+template <typename T>
+T ConstantPtr<T>::read(ThreadCtx& ctx, std::uint64_t i) const {
+    if (i >= count_) {
+        throw Error(ErrorCode::InvalidDevicePointer,
+                    "constant read at index " + std::to_string(i) + " of " +
+                        std::to_string(count_));
+    }
+    ctx.charge(Op::ConstantRead);
+    T v;
+    std::memcpy(&v, base_ + i * sizeof(T), sizeof(T));
+    return v;
+}
+
+template <typename T>
+T SharedArray<T>::read(ThreadCtx& ctx, std::uint64_t i) const {
+    if (i >= count_) {
+        throw Error(ErrorCode::InvalidValue, "shared read out of range");
+    }
+    ctx.acct().charge(ctx.cost_model(), Op::SharedAccess);
+    T v;
+    std::memcpy(&v, base_ + i * sizeof(T), sizeof(T));
+    return v;
+}
+
+template <typename T>
+void SharedArray<T>::write(ThreadCtx& ctx, std::uint64_t i, const T& v) const {
+    if (i >= count_) {
+        throw Error(ErrorCode::InvalidValue, "shared write out of range");
+    }
+    ctx.acct().charge(ctx.cost_model(), Op::SharedAccess);
+    std::memcpy(base_ + i * sizeof(T), &v, sizeof(T));
+}
+
+}  // namespace cusim

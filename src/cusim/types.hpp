@@ -1,0 +1,67 @@
+// cusim — a software model of the CUDA 1.0 / G80 machine.
+//
+// Basic index and launch-geometry types mirroring the CUDA common runtime
+// library (uint3 / dim3, thesis §3.1.3) plus the launch limits of the
+// software model (§2.2): up to 512 threads per block, blocks addressed by
+// 1- or 2-dimensional indexes (<= 2^16 per dimension), threads by 1-, 2- or
+// 3-dimensional indexes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cusim {
+
+/// 3-component unsigned vector; CUDA's built-in uint3.
+struct uint3 {
+    unsigned x = 0;
+    unsigned y = 0;
+    unsigned z = 0;
+
+    friend bool operator==(const uint3&, const uint3&) = default;
+};
+
+/// Launch-geometry type; like uint3 but unspecified components default to 1.
+struct dim3 {
+    unsigned x = 1;
+    unsigned y = 1;
+    unsigned z = 1;
+
+    constexpr dim3() = default;
+    constexpr dim3(unsigned x_, unsigned y_ = 1, unsigned z_ = 1) : x(x_), y(y_), z(z_) {}
+
+    [[nodiscard]] constexpr std::uint64_t count() const {
+        return std::uint64_t{x} * y * z;
+    }
+
+    friend bool operator==(const dim3&, const dim3&) = default;
+};
+
+/// CUDA-style factory (the thesis example uses make_dim3(10, 10)).
+constexpr dim3 make_dim3(unsigned x, unsigned y = 1, unsigned z = 1) {
+    return dim3{x, y, z};
+}
+
+/// Hardware constants of the simulated G80 part (thesis §2.1/§2.2 and §5.3).
+inline constexpr unsigned kWarpSize = 32;
+inline constexpr unsigned kMaxThreadsPerBlock = 512;
+inline constexpr unsigned kMaxGridDim = 1u << 16;   // 2^16 blocks per grid dimension
+inline constexpr unsigned kProcessorsPerMP = 8;
+
+/// A byte offset into a device's global-memory address space.
+/// The paper's hardware has a 32-bit linear address space (§3.2.3); we keep
+/// 64 bits in the handle and enforce the 32-bit limit in the allocator.
+using DeviceAddr = std::uint64_t;
+
+/// Sentinel for "no address".
+inline constexpr DeviceAddr kNullAddr = ~DeviceAddr{0};
+
+/// Direction of a host<->device transfer (cudaMemcpyKind).
+enum class CopyKind {
+    HostToDevice,
+    DeviceToHost,
+    DeviceToDevice,
+    HostToHost,
+};
+
+}  // namespace cusim

@@ -1,0 +1,54 @@
+// GPU neighbor search over the host-built spatial grid — the future-work
+// extension of thesis §7 realised with the type-transformation machinery:
+// the host constructs the grid (cheap, serial), the flat CSR arrays are
+// transferred, and the device performs high-arithmetic-intensity lookups.
+#pragma once
+
+#include "cupp/cupp.hpp"
+#include "gpusteer/kernels.hpp"
+#include "steer/spatial_grid.hpp"
+
+namespace gpusteer {
+
+/// Host-side holder: rebuilds the grid each step and keeps the CuPP vectors
+/// whose lazy copying moves the CSR arrays only when they changed.
+class GridUpload {
+public:
+    /// Rebuilds from current positions and refreshes the device vectors.
+    void build(std::span<const steer::Vec3> positions, float cell_size,
+               float world_radius) {
+        grid_.build(positions, cell_size, world_radius);
+        auto& cs = cell_start_.mutate();
+        cs.assign(grid_.cell_start().begin(), grid_.cell_start().end());
+        auto& en = entries_.mutate();
+        en.assign(grid_.entries().begin(), grid_.entries().end());
+    }
+
+    [[nodiscard]] const steer::SpatialGrid& host_grid() const { return grid_; }
+    [[nodiscard]] cupp::vector<std::uint32_t>& cell_start() { return cell_start_; }
+    [[nodiscard]] cupp::vector<std::uint32_t>& entries() { return entries_; }
+    [[nodiscard]] const steer::GridSpec& spec() const { return grid_.spec(); }
+
+private:
+    steer::SpatialGrid grid_;
+    cupp::vector<std::uint32_t> cell_start_;
+    cupp::vector<std::uint32_t> entries_;
+};
+
+/// Neighbor search visiting only the 27 cells around each agent. Same
+/// output contract as ns_global_kernel / ns_shared_kernel.
+cusim::KernelTask ns_grid_kernel(cusim::ThreadCtx& ctx, const DVec3& positions,
+                                 const DU32& cell_start, const DU32& entries,
+                                 steer::GridSpec spec, float search_radius, DU32& result,
+                                 DU32& result_count, ThinkMap map);
+
+/// The full simulation substage over the grid: grid-walk neighbor search +
+/// flocking, one steering vector per thinking agent. Visits candidates in
+/// the identical order as steer::SpatialGrid::find_neighbors, so a CPU run
+/// with WorldSpec::use_spatial_grid computes the identical flock.
+cusim::KernelTask sim_grid_kernel(cusim::ThreadCtx& ctx, const DVec3& positions,
+                                  const DVec3& forwards, const DU32& cell_start,
+                                  const DU32& entries, steer::GridSpec spec,
+                                  DVec3& steerings, FlockParams fp, ThinkMap map);
+
+}  // namespace gpusteer

@@ -1,0 +1,153 @@
+#include "gpusteer/kernels.hpp"
+
+#include "gpusteer/dev_costs.hpp"
+#include "gpusteer/kernel_detail.hpp"
+#include "steer/behaviors.hpp"
+#include "steer/neighbor_search.hpp"
+
+namespace gpusteer {
+
+using cusim::KernelTask;
+using cusim::Op;
+using cusim::ThreadCtx;
+using steer::NeighborList;
+using steer::Vec3;
+
+using detail::device_flocking;
+using detail::offer_candidate;
+using detail::write_neighbor_list;
+
+KernelTask ns_global_kernel(ThreadCtx& ctx, const DVec3& positions, float search_radius,
+                            DU32& result, DU32& result_count, ThinkMap map) {
+    const std::uint32_t n = positions.size();
+    const std::uint32_t me = map.agent_of(ctx.global_id());
+    if (me >= n) co_return;  // no barrier in this kernel: early exit is fine
+
+    const Vec3 my_pos = positions.read(ctx, me);
+    const float r2 = search_radius * search_radius;
+    NeighborList list;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        ctx.charge(Op::Branch);  // uniform loop condition
+        // Every candidate comes from global memory: the expensive version.
+        const Vec3 p = positions.read(ctx, i);
+        const Vec3 offset = p - my_pos;
+        offer_candidate(ctx, list, i, offset.length_squared(), r2, i != me,
+                        NeighborList::kCapacity);
+    }
+    write_neighbor_list(ctx, list, me, result, result_count);
+    co_return;
+}
+
+KernelTask ns_shared_kernel(ThreadCtx& ctx, const DVec3& positions, float search_radius,
+                            DU32& result, DU32& result_count, ThinkMap map) {
+    const std::uint32_t n = positions.size();
+    const std::uint32_t tpb = ctx.block_dim().x;
+    const std::uint32_t tid = ctx.thread_idx().x;
+    const std::uint32_t me = map.agent_of(ctx.global_id());
+    const bool active = me < n;
+
+    auto s_positions = ctx.shared_array<Vec3>(tpb);
+    Vec3 my_pos{};
+    if (active) my_pos = positions.read(ctx, me);
+    const float r2 = search_radius * search_radius;
+    NeighborList list;
+
+    // Listing 6.2: iterate through all agents one block-sized tile at a
+    // time; each thread stages one element, everyone synchronises, then the
+    // search runs against the fast shared copy.
+    for (std::uint32_t base = 0; base < n; base += tpb) {
+        s_positions.write(ctx, tid, positions.read(ctx, base + tid));
+        co_await ctx.syncthreads();
+        if (ctx.branch(active)) {
+            for (std::uint32_t i = 0; i < tpb; ++i) {
+                ctx.charge(Op::Branch);
+                const Vec3 p = s_positions.read(ctx, i);
+                const Vec3 offset = p - my_pos;
+                const std::uint32_t global_index = base + i;
+                offer_candidate(ctx, list, global_index, offset.length_squared(), r2,
+                                global_index != me, NeighborList::kCapacity);
+            }
+        }
+        co_await ctx.syncthreads();
+    }
+    if (active) write_neighbor_list(ctx, list, me, result, result_count);
+    co_return;
+}
+
+KernelTask sim_kernel(ThreadCtx& ctx, const DVec3& positions, const DVec3& forwards,
+                      DVec3& steerings, FlockParams fp, ThinkMap map, NeighborData mode) {
+    const std::uint32_t n = positions.size();
+    const std::uint32_t tpb = ctx.block_dim().x;
+    const std::uint32_t tid = ctx.thread_idx().x;
+    const std::uint32_t me = map.agent_of(ctx.global_id());
+    const bool active = me < n;
+
+    auto s_positions = ctx.shared_array<Vec3>(tpb);
+    Vec3 my_pos{};
+    Vec3 my_fwd{};
+    if (active) {
+        my_pos = positions.read(ctx, me);
+        my_fwd = forwards.read(ctx, me);
+    }
+    const float r2 = fp.search_radius * fp.search_radius;
+    NeighborList list;
+
+    for (std::uint32_t base = 0; base < n; base += tpb) {
+        s_positions.write(ctx, tid, positions.read(ctx, base + tid));
+        co_await ctx.syncthreads();
+        if (ctx.branch(active)) {
+            for (std::uint32_t i = 0; i < tpb; ++i) {
+                ctx.charge(Op::Branch);
+                const Vec3 p = s_positions.read(ctx, i);
+                const Vec3 offset = p - my_pos;
+                const std::uint32_t global_index = base + i;
+                offer_candidate(ctx, list, global_index, offset.length_squared(), r2,
+                                global_index != me, fp.max_neighbors);
+            }
+        }
+        co_await ctx.syncthreads();
+    }
+
+    if (active) {
+        const Vec3 steering =
+            device_flocking(ctx, positions, forwards, my_pos, my_fwd, list, fp, mode);
+        steerings.write(ctx, me, steering);
+    }
+    co_return;
+}
+
+KernelTask modify_kernel(ThreadCtx& ctx, DVec3& positions, DVec3& forwards, DF32& speeds,
+                         const DVec3& steerings, DMat4& matrices, ModifyParams mp) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid >= positions.size()) co_return;
+
+    steer::Agent agent;
+    agent.position = positions.read(ctx, gid);
+    agent.forward = forwards.read(ctx, gid);
+    agent.speed = speeds.read(ctx, gid);
+    const Vec3 steering = steerings.read(ctx, gid);
+
+    // Version 5 keeps its temporaries in shared memory, "used as an
+    // extension to thread local memory, so local variables are not stored
+    // in device memory" (§6.2.3) — cheap shared traffic instead of spills.
+    ctx.charge(Op::SharedAccess, 10);
+
+    // The kernel's few branches (§6.3.1): division-by-zero guards. They
+    // rarely diverge, which is why the modification kernel "is not the
+    // important factor considering the SIMD branching issue".
+    (void)ctx.branch(!steering.is_zero());
+    (void)ctx.branch(agent.speed > 0.0f);
+    charge_modify(ctx);
+    steer::apply_steering(agent, steering, mp.dt, mp.params);
+    steer::wrap_world(agent, mp.world_radius);
+
+    positions.write(ctx, gid, agent.position);
+    forwards.write(ctx, gid, agent.forward);
+    speeds.write(ctx, gid, agent.speed);
+
+    charge_draw_matrix(ctx);
+    matrices.write(ctx, gid, steer::agent_matrix(agent.position, agent.forward));
+    co_return;
+}
+
+}  // namespace gpusteer

@@ -1,0 +1,148 @@
+// The GPU Boids plugin — the CUDA/CuPP OpenSteer integration of thesis
+// chapter 6, selectable in the five development versions of Table 6.1 and
+// with the double-buffering optimisation of §6.3.2.
+//
+// Time lives on the simulated clock of the device handle: host-side work
+// advances the host clock through the CPU cost model, kernels run
+// asynchronously on the device clock, and host access to device data
+// blocks until the device is idle — so overlap (or the lack of it) shows up
+// in the measured frame times exactly as it did on the thesis hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cupp/cupp.hpp"
+#include "gpusteer/grid_kernels.hpp"
+#include "gpusteer/kernels.hpp"
+#include "steer/plugin.hpp"
+#include "steer/simulation.hpp"
+
+namespace gpusteer {
+
+/// The five development versions of Table 6.1, plus the future-work grid
+/// variant of §7 as version 6.
+enum class Version {
+    V1_NeighborSearchGlobal = 1,  ///< NS on device, global memory only
+    V2_NeighborSearchShared = 2,  ///< NS on device, shared-memory cache
+    V3_SimSubstageCached = 3,     ///< full simulation substage, local-mem caching
+    V4_SimSubstageRecompute = 4,  ///< full simulation substage, recompute
+    V5_FullUpdateOnDevice = 5,    ///< + modification substage on device
+    V6_GridNeighborSearch = 6,    ///< v5 with the host-built spatial grid (§7)
+};
+
+/// Which update-stage parts run on the device for `v` (the rows of
+/// Table 6.1).
+struct VersionTraits {
+    bool ns_on_device;
+    bool steering_on_device;
+    bool modification_on_device;
+
+    static constexpr VersionTraits of(Version v) {
+        switch (v) {
+            case Version::V1_NeighborSearchGlobal:
+            case Version::V2_NeighborSearchShared:
+                return {true, false, false};
+            case Version::V3_SimSubstageCached:
+            case Version::V4_SimSubstageRecompute:
+                return {true, true, false};
+            case Version::V5_FullUpdateOnDevice:
+            case Version::V6_GridNeighborSearch:
+                return {true, true, true};
+        }
+        return {false, false, false};
+    }
+};
+
+class GpuBoidsPlugin final : public steer::PlugIn {
+public:
+    explicit GpuBoidsPlugin(Version version, bool double_buffering = false,
+                            bool with_draw_stage = true);
+
+    [[nodiscard]] std::string_view name() const override { return name_; }
+    void open(const steer::WorldSpec& spec) override;
+    steer::StageTimes step() override;
+    [[nodiscard]] std::span<const steer::Mat4> draw_matrices() const override {
+        return drawn_;
+    }
+    [[nodiscard]] std::vector<steer::Agent> snapshot() const override;
+    [[nodiscard]] const steer::UpdateCounters& counters() const override { return totals_; }
+    void close() override;
+
+    [[nodiscard]] Version version() const { return version_; }
+    [[nodiscard]] bool double_buffering() const { return double_buffer_; }
+
+    /// Aggregated simulator statistics of all kernel launches so far —
+    /// the divergence counters of §6.3.1 among them.
+    [[nodiscard]] std::uint64_t divergent_warp_steps() const { return divergent_events_; }
+    [[nodiscard]] std::uint64_t branch_evaluations() const { return branch_evaluations_; }
+    [[nodiscard]] std::uint64_t kernel_launches() const { return launches_; }
+
+    /// The device handle (e.g. to reset the simulated clock between runs).
+    [[nodiscard]] const cupp::device& device_handle() const { return dev_; }
+
+private:
+    steer::StageTimes step_host_versions();  // v1-v4
+    steer::StageTimes step_device_version(); // v5/v6
+    /// Launches the simulation-substage kernel(s) for this step: the
+    /// shared-memory brute force (v5) or the host-built grid pipeline (v6).
+    void launch_simulation_kernel(const ThinkMap& map, const FlockParams& fp,
+                                  std::uint32_t thinking_count);
+    void host_steering(const std::vector<std::uint32_t>& thinking);
+    void host_modification();
+    void extract_positions();
+    void extract_forwards();
+    double draw_stage(bool from_device_matrices);
+    [[nodiscard]] ThinkMap think_map() const;
+    void accumulate_stats(const cusim::LaunchStats& s);
+
+    Version version_;
+    bool double_buffer_;
+    bool with_draw_;
+    std::string name_;
+
+    steer::WorldSpec spec_{};
+    steer::CpuCostModel cpu_{};
+    cupp::device dev_;
+
+    // Device-side state.
+    cupp::vector<steer::Vec3> positions_;
+    cupp::vector<steer::Vec3> forwards_;
+    cupp::vector<float> speeds_;
+    cupp::vector<steer::Vec3> steerings_;
+    cupp::vector<std::uint32_t> result_;
+    cupp::vector<std::uint32_t> result_count_;
+    cupp::vector<steer::Mat4> matrices_[2];
+    int current_buffer_ = 0;
+
+    // Host-side state (authoritative for versions 1-4).
+    std::vector<steer::Agent> flock_;
+    std::vector<steer::Vec3> steering_host_;
+    std::vector<steer::Mat4> drawn_;
+
+    // Kernel functors (constructed once; geometry set per step).
+    using NsKernelFn = cusim::KernelTask (*)(cusim::ThreadCtx&, const DVec3&, float, DU32&,
+                                             DU32&, ThinkMap);
+    using SimKernelFn = cusim::KernelTask (*)(cusim::ThreadCtx&, const DVec3&, const DVec3&,
+                                              DVec3&, FlockParams, ThinkMap, NeighborData);
+    using ModKernelFn = cusim::KernelTask (*)(cusim::ThreadCtx&, DVec3&, DVec3&, DF32&,
+                                              const DVec3&, DMat4&, ModifyParams);
+    using GridSimKernelFn = cusim::KernelTask (*)(cusim::ThreadCtx&, const DVec3&,
+                                                  const DVec3&, const DU32&, const DU32&,
+                                                  steer::GridSpec, DVec3&, FlockParams,
+                                                  ThinkMap);
+    cupp::kernel<NsKernelFn> ns_kernel_;
+    cupp::kernel<SimKernelFn> sim_kernel_;
+    cupp::kernel<ModKernelFn> mod_kernel_;
+    cupp::kernel<GridSimKernelFn> grid_sim_kernel_;
+    GridUpload grid_upload_;  ///< v6: host-built grid, lazily uploaded CSR
+
+    steer::UpdateCounters totals_{};
+    std::uint64_t step_index_ = 0;
+    std::uint64_t divergent_events_ = 0;
+    std::uint64_t branch_evaluations_ = 0;
+    std::uint64_t launches_ = 0;
+};
+
+}  // namespace gpusteer

@@ -1,0 +1,141 @@
+#include "gpusteer/pursuit_kernels.hpp"
+
+#include <array>
+
+#include "gpusteer/dev_costs.hpp"
+
+namespace gpusteer {
+
+using cusim::KernelTask;
+using cusim::Op;
+using cusim::ThreadCtx;
+using steer::Agent;
+using steer::SphereObstacle;
+using steer::Vec3;
+
+namespace {
+
+Agent load_agent(ThreadCtx& ctx, const DVec3& positions, const DVec3& forwards,
+                 const DF32& speeds, std::uint64_t i) {
+    Agent a;
+    a.position = positions.read(ctx, i);
+    a.forward = forwards.read(ctx, i);
+    a.speed = speeds.read(ctx, i);
+    return a;
+}
+
+/// Distance-squared scan cost per candidate (offset + lengthSquared + cmp).
+void charge_scan_step(ThreadCtx& ctx) {
+    ctx.charge(Op::FAdd, 3);
+    ctx.charge(Op::FMad, 3);
+    ctx.charge(Op::Compare, 1);
+}
+
+}  // namespace
+
+KernelTask pursuit_sim_kernel(ThreadCtx& ctx, const DVec3& positions, const DVec3& forwards,
+                              const DF32& speeds, DWander& wander, DU32& targets,
+                              DObstacles obstacles, std::uint32_t obstacle_count,
+                              PursuitParams pp, DVec3& steerings) {
+    const std::uint32_t n = positions.size();
+    const std::uint64_t gid = ctx.global_id();
+    if (gid >= n) co_return;
+    const auto me = static_cast<std::uint32_t>(gid);
+
+    const Agent self = load_agent(ctx, positions, forwards, speeds, me);
+    Vec3 steering;
+
+    if (ctx.branch(me < pp.predators)) {
+        // --- predator: sticky pursuit of the nearest prey ---
+        std::uint32_t nearest = pp.predators;
+        float nearest_d2 = 1e30f;
+        for (std::uint32_t i = pp.predators; i < n; ++i) {
+            charge_scan_step(ctx);
+            const float d2 = (positions.read(ctx, i) - self.position).length_squared();
+            if (ctx.branch(d2 < nearest_d2)) {
+                nearest_d2 = d2;
+                nearest = i;
+            }
+        }
+        std::uint32_t quarry = targets.read(ctx, me);
+        if (ctx.branch(quarry >= n || quarry < pp.predators)) quarry = nearest;
+        const Agent quarry_agent = load_agent(ctx, positions, forwards, speeds, quarry);
+        const float quarry_d = (quarry_agent.position - self.position).length();
+        const float nearest_d =
+            (positions.read(ctx, nearest) - self.position).length();
+        ctx.charge(Op::RSqrt, 2);
+        if (ctx.branch(quarry_d > 2.0f * nearest_d + 5.0f)) quarry = nearest;
+        targets.write(ctx, me, quarry);
+
+        const Agent fresh_quarry = load_agent(ctx, positions, forwards, speeds, quarry);
+        const float fresh_d = (fresh_quarry.position - self.position).length();
+        ctx.charge(Op::FMad, 24);  // the pursue/seek math
+        ctx.charge(Op::RSqrt, 2);
+        steering = ctx.branch(fresh_d < pp.close_range)
+                       ? steer::seek(self, fresh_quarry.position, pp.predator_max_speed)
+                       : steer::pursue(self, fresh_quarry, pp.predator_max_speed);
+    } else {
+        // --- prey: evade the closest predator if near, otherwise wander ---
+        std::uint32_t threat = 0;
+        float threat_d2 = 1e30f;
+        for (std::uint32_t p = 0; p < pp.predators; ++p) {
+            charge_scan_step(ctx);
+            const float d2 = (positions.read(ctx, p) - self.position).length_squared();
+            if (ctx.branch(d2 < threat_d2)) {
+                threat_d2 = d2;
+                threat = p;
+            }
+        }
+        if (ctx.branch(threat_d2 < pp.evade_radius * pp.evade_radius)) {
+            const Agent menace = load_agent(ctx, positions, forwards, speeds, threat);
+            ctx.charge(Op::FMad, 20);
+            ctx.charge(Op::RSqrt, 2);
+            steering = steer::evade(self, menace, pp.max_speed);
+        } else {
+            steer::WanderState w = wander.read(ctx, me);
+            ctx.charge(Op::FMad, 22);
+            ctx.charge(Op::RSqrt, 2);
+            steering = w.step(self, pp.wander_strength);
+            wander.write(ctx, me, w);
+        }
+    }
+
+    // Obstacle avoidance overrides everything when a collision looms; the
+    // obstacle set lives in constant memory (cheap broadcast reads).
+    std::array<SphereObstacle, 16> local{};
+    const std::uint32_t nobs = obstacle_count < 16 ? obstacle_count : 16;
+    for (std::uint32_t i = 0; i < nobs; ++i) local[i] = obstacles.read(ctx, i);
+    ctx.charge(Op::FMad, 12 * nobs);
+    const Vec3 avoid = steer::avoid_obstacles(
+        self, pp.agent_radius, std::span<const SphereObstacle>(local.data(), nobs),
+        pp.avoid_horizon);
+    if (ctx.branch(!avoid.is_zero())) steering = avoid * pp.max_force;
+
+    steerings.write(ctx, me, steering);
+    co_return;
+}
+
+KernelTask pursuit_modify_kernel(ThreadCtx& ctx, DVec3& positions, DVec3& forwards,
+                                 DF32& speeds, const DVec3& steerings, DMat4& matrices,
+                                 ModifyParams prey_mp, steer::AgentParams predator_params,
+                                 std::uint32_t predators) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid >= positions.size()) co_return;
+
+    Agent agent = load_agent(ctx, positions, forwards, speeds, gid);
+    const Vec3 steering = steerings.read(ctx, gid);
+    charge_modify(ctx);
+    const steer::AgentParams& params =
+        ctx.branch(gid < predators) ? predator_params : prey_mp.params;
+    steer::apply_steering(agent, steering, prey_mp.dt, params);
+    steer::wrap_world(agent, prey_mp.world_radius);
+
+    positions.write(ctx, gid, agent.position);
+    forwards.write(ctx, gid, agent.forward);
+    speeds.write(ctx, gid, agent.speed);
+    charge_draw_matrix(ctx);
+    matrices.write(ctx, gid, steer::agent_matrix(agent.position, agent.forward));
+    co_return;
+}
+
+}  // namespace gpusteer

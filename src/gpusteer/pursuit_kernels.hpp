@@ -1,0 +1,53 @@
+// The pursuit scenario on the device — a second CuPP application beyond
+// Boids, showing the framework carries over unchanged: the same lazy
+// vectors, the same call semantics, plus the constant-memory extension for
+// the obstacle set.
+//
+// Unlike the Boids kernels this one is control-flow heavy (predator vs
+// prey roles, evade-vs-wander decisions, obstacle overrides), which makes
+// it a worst-case probe for the SIMD branching issue of §6.3.1.
+#pragma once
+
+#include "cupp/constant_array.hpp"
+#include "gpusteer/kernels.hpp"
+#include "steer/basic_behaviors.hpp"
+#include "steer/obstacles.hpp"
+
+namespace gpusteer {
+
+using DWander = cupp::deviceT::vector<steer::WanderState>;
+using DObstacles = cusim::ConstantPtr<steer::SphereObstacle>;
+
+/// Scenario parameters as they travel to the device.
+struct PursuitParams {
+    std::uint32_t predators;     ///< agents [0, predators) hunt the rest
+    float evade_radius;          ///< prey notice a predator this close
+    float close_range;           ///< predators switch to pure pursuit here
+    float max_speed;             ///< prey top speed
+    float predator_max_speed;
+    float max_force;             ///< prey force (obstacle override scale)
+    float wander_strength;
+    float avoid_horizon;         ///< obstacle look-ahead seconds
+    float agent_radius;
+};
+
+/// The pursuit simulation substage: every agent decides its steering vector
+/// on a state snapshot. Mirrors steer::PursuitPlugin's host loop statement
+/// for statement, so a host run over the same inputs computes the identical
+/// steering vectors.
+cusim::KernelTask pursuit_sim_kernel(cusim::ThreadCtx& ctx, const DVec3& positions,
+                                     const DVec3& forwards, const DF32& speeds,
+                                     DWander& wander, DU32& targets, DObstacles obstacles,
+                                     std::uint32_t obstacle_count, PursuitParams pp,
+                                     DVec3& steerings);
+
+/// The pursuit modification substage: applies the steering vectors with the
+/// per-role kinematic limits (predators are faster and stronger) and emits
+/// the draw matrices.
+cusim::KernelTask pursuit_modify_kernel(cusim::ThreadCtx& ctx, DVec3& positions,
+                                        DVec3& forwards, DF32& speeds,
+                                        const DVec3& steerings, DMat4& matrices,
+                                        ModifyParams prey_mp, steer::AgentParams predator_params,
+                                        std::uint32_t predators);
+
+}  // namespace gpusteer

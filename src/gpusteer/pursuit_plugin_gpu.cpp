@@ -1,0 +1,156 @@
+#include "gpusteer/pursuit_plugin_gpu.hpp"
+
+namespace gpusteer {
+
+using steer::Agent;
+using steer::StageTimes;
+using steer::Vec3;
+namespace pc = steer::pursuit;
+
+void GpuPursuitPlugin::open(const steer::WorldSpec& spec) {
+    spec_ = spec;
+    predator_params_ = pc::predator_params(spec.params);
+    predators_ = std::max(1u, spec.agents / std::max(1u, prey_per_predator_));
+    captures_ = 0;
+    obstacles_ = pc::make_obstacles(spec);
+    dev_obstacles_.emplace(
+        dev_, std::span<const steer::SphereObstacle>(obstacles_.data(), obstacles_.size()));
+
+    const auto flock = steer::make_flock(spec);
+    const auto n = spec.agents;
+    positions_ = cupp::vector<Vec3>(n);
+    forwards_ = cupp::vector<Vec3>(n);
+    speeds_ = cupp::vector<float>(n);
+    steerings_ = cupp::vector<Vec3>(n, steer::kZero);
+    wander_ = cupp::vector<steer::WanderState>(n);
+    targets_ = cupp::vector<std::uint32_t>(n, n);  // invalid: resolved on first step
+    matrices_ = cupp::vector<steer::Mat4>(n);
+    {
+        auto& p = positions_.mutate();
+        auto& f = forwards_.mutate();
+        auto& s = speeds_.mutate();
+        auto& w = wander_.mutate();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            p[i] = flock[i].position;
+            f[i] = flock[i].forward;
+            s[i] = flock[i].speed;
+            w[i].rng = pc::wander_rng(spec.seed, i);
+        }
+    }
+    // Prime device storage and cached handles while the device is idle.
+    (void)positions_.get_device_reference(dev_);
+    (void)forwards_.get_device_reference(dev_);
+    (void)speeds_.get_device_reference(dev_);
+    (void)steerings_.get_device_reference(dev_);
+    (void)wander_.get_device_reference(dev_);
+    (void)targets_.get_device_reference(dev_);
+    (void)matrices_.get_device_reference(dev_);
+
+    drawn_.clear();
+    totals_ = {};
+    step_index_ = 0;
+    divergent_events_ = 0;
+    branch_evaluations_ = 0;
+    dev_.sim().reset_clock();
+}
+
+void GpuPursuitPlugin::close() {
+    drawn_.clear();
+    obstacles_.clear();
+}
+
+StageTimes GpuPursuitPlugin::step() {
+    auto& sim = dev_.sim();
+    const std::uint32_t n = spec_.agents;
+    StageTimes times;
+    const double t0 = sim.host_time();
+
+    const PursuitParams pp{predators_,
+                           pc::kEvadeRadius,
+                           pc::kCloseRange,
+                           spec_.params.max_speed,
+                           predator_params_.max_speed,
+                           spec_.params.max_force,
+                           spec_.params.max_speed * pc::kWanderFraction,
+                           pc::kAvoidHorizonSeconds,
+                           spec_.params.radius};
+    const ModifyParams mp{spec_.dt, spec_.world_radius, spec_.params};
+
+    const cusim::dim3 grid{(n + kThreadsPerBlock - 1) / kThreadsPerBlock};
+    sim_kernel_.set_grid_dim(grid);
+    sim_kernel_(dev_, positions_, forwards_, speeds_, wander_, targets_,
+                *dev_obstacles_, static_cast<std::uint32_t>(obstacles_.size()), pp,
+                steerings_);
+    divergent_events_ += sim_kernel_.last_stats().divergent_events;
+    branch_evaluations_ += sim_kernel_.last_stats().branch_evaluations;
+
+    mod_kernel_.set_grid_dim(grid);
+    mod_kernel_(dev_, positions_, forwards_, speeds_, steerings_, matrices_, mp,
+                predator_params_, predators_);
+    divergent_events_ += mod_kernel_.last_stats().divergent_events;
+    branch_evaluations_ += mod_kernel_.last_stats().branch_evaluations;
+
+    // --- captures (host side, like the grid construction: cheap, branchy,
+    //     serial work stays on the CPU) ---
+    // Mutable local copy: a respawn by predator p must be visible to the
+    // capture checks of predators > p, exactly as in the CPU plugin's
+    // in-place loop over the flock.
+    auto positions = positions_.snapshot();  // syncs with the kernels
+    const auto targets = targets_.snapshot();
+    std::uint32_t captured_this_step = 0;
+    for (std::uint32_t p = 0; p < predators_; ++p) {
+        std::uint32_t quarry = targets[p];
+        if (quarry >= n || quarry < predators_) {
+            // Fallback: nearest prey, as in the CPU plugin.
+            float best_d2 = 1e30f;
+            quarry = predators_;
+            for (std::uint32_t i = predators_; i < n; ++i) {
+                const float d2 = (positions[i] - positions[p]).length_squared();
+                if (d2 < best_d2) {
+                    best_d2 = d2;
+                    quarry = i;
+                }
+            }
+        }
+        if ((positions[p] - positions[quarry]).length() <
+            pc::kCaptureRadius + 2.0f * spec_.params.radius) {
+            ++captures_;
+            ++captured_this_step;
+            positions[quarry] = -positions[quarry];
+            positions_.mutate()[quarry] = positions[quarry];
+            targets_.mutate()[p] = predators_ + n;  // force re-target
+        }
+    }
+    sim.advance_host(cpu_.seconds(40.0 * predators_));  // capture-scan cost
+
+    totals_.thinks += n;
+    totals_.modifies += n;
+    totals_.pairs_examined +=
+        std::uint64_t{predators_} * (n - predators_) + std::uint64_t{n - predators_} * predators_;
+
+    times.simulation = sim.host_time() - t0;
+
+    // --- graphics stage ---
+    const double d0 = sim.host_time();
+    drawn_ = matrices_.snapshot();
+    sim.advance_host(steer::draw_stage_seconds(n, cpu_));
+    times.draw = sim.host_time() - d0;
+
+    ++step_index_;
+    return times;
+}
+
+std::vector<Agent> GpuPursuitPlugin::snapshot() const {
+    const auto p = positions_.snapshot();
+    const auto f = forwards_.snapshot();
+    const auto s = speeds_.snapshot();
+    std::vector<Agent> out(spec_.agents);
+    for (std::uint32_t i = 0; i < spec_.agents; ++i) {
+        out[i].position = p[i];
+        out[i].forward = f[i];
+        out[i].speed = s[i];
+    }
+    return out;
+}
+
+}  // namespace gpusteer

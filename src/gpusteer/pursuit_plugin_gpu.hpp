@@ -1,0 +1,80 @@
+// The pursuit scenario on the GPU — the same plugin contract and the same
+// decision logic as steer::PursuitPlugin, with the simulation and
+// modification substages running on the device. Captures (rare, branchy,
+// serial) stay on the host: the same construct-on-the-host split the
+// framework encourages everywhere else.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "cupp/cupp.hpp"
+#include "gpusteer/pursuit_kernels.hpp"
+#include "steer/plugin.hpp"
+#include "steer/pursuit_plugin.hpp"
+
+namespace gpusteer {
+
+class GpuPursuitPlugin final : public steer::PlugIn {
+public:
+    explicit GpuPursuitPlugin(std::uint32_t prey_per_predator = 32)
+        : prey_per_predator_(prey_per_predator),
+          sim_kernel_(&pursuit_sim_kernel),
+          mod_kernel_(&pursuit_modify_kernel) {
+        sim_kernel_.set_block_dim(cusim::dim3{kThreadsPerBlock});
+        mod_kernel_.set_block_dim(cusim::dim3{kThreadsPerBlock});
+    }
+
+    [[nodiscard]] std::string_view name() const override { return "pursuit-gpu"; }
+    void open(const steer::WorldSpec& spec) override;
+    steer::StageTimes step() override;
+    [[nodiscard]] std::span<const steer::Mat4> draw_matrices() const override {
+        return drawn_;
+    }
+    [[nodiscard]] std::vector<steer::Agent> snapshot() const override;
+    [[nodiscard]] const steer::UpdateCounters& counters() const override { return totals_; }
+    void close() override;
+
+    [[nodiscard]] std::uint32_t predators() const { return predators_; }
+    [[nodiscard]] std::uint32_t captures() const { return captures_; }
+    [[nodiscard]] std::uint64_t divergent_warp_steps() const { return divergent_events_; }
+    [[nodiscard]] std::uint64_t branch_evaluations() const { return branch_evaluations_; }
+    [[nodiscard]] const cupp::device& device_handle() const { return dev_; }
+
+private:
+    std::uint32_t prey_per_predator_;
+    steer::WorldSpec spec_{};
+    steer::AgentParams predator_params_{};
+    steer::CpuCostModel cpu_{};
+    cupp::device dev_;
+
+    std::uint32_t predators_ = 0;
+    std::uint32_t captures_ = 0;
+    std::vector<steer::SphereObstacle> obstacles_;
+    std::optional<cupp::constant_array<steer::SphereObstacle>> dev_obstacles_;
+
+    cupp::vector<steer::Vec3> positions_;
+    cupp::vector<steer::Vec3> forwards_;
+    cupp::vector<float> speeds_;
+    cupp::vector<steer::Vec3> steerings_;
+    cupp::vector<steer::WanderState> wander_;
+    cupp::vector<std::uint32_t> targets_;
+    cupp::vector<steer::Mat4> matrices_;
+    std::vector<steer::Mat4> drawn_;
+
+    using SimFn = cusim::KernelTask (*)(cusim::ThreadCtx&, const DVec3&, const DVec3&,
+                                        const DF32&, DWander&, DU32&, DObstacles,
+                                        std::uint32_t, PursuitParams, DVec3&);
+    using ModFn = cusim::KernelTask (*)(cusim::ThreadCtx&, DVec3&, DVec3&, DF32&,
+                                        const DVec3&, DMat4&, ModifyParams,
+                                        steer::AgentParams, std::uint32_t);
+    cupp::kernel<SimFn> sim_kernel_;
+    cupp::kernel<ModFn> mod_kernel_;
+
+    steer::UpdateCounters totals_{};
+    std::uint64_t step_index_ = 0;
+    std::uint64_t divergent_events_ = 0;
+    std::uint64_t branch_evaluations_ = 0;
+};
+
+}  // namespace gpusteer

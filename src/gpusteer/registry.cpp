@@ -1,0 +1,34 @@
+#include "gpusteer/registry.hpp"
+
+#include <memory>
+
+#include "gpusteer/plugin.hpp"
+#include "gpusteer/pursuit_plugin_gpu.hpp"
+#include "steer/pursuit_plugin.hpp"
+#include "steer/simulation.hpp"
+
+namespace gpusteer {
+
+void register_all_plugins(steer::PlugInRegistry& registry) {
+    registry.add("boids-cpu", []() -> std::unique_ptr<steer::PlugIn> {
+        return std::make_unique<steer::CpuBoidsPlugin>();
+    });
+    for (int v = 1; v <= 6; ++v) {
+        registry.add("boids-gpu-v" + std::to_string(v),
+                     [v]() -> std::unique_ptr<steer::PlugIn> {
+                         return std::make_unique<GpuBoidsPlugin>(static_cast<Version>(v));
+                     });
+    }
+    registry.add("boids-gpu-v5-db", []() -> std::unique_ptr<steer::PlugIn> {
+        return std::make_unique<GpuBoidsPlugin>(Version::V5_FullUpdateOnDevice,
+                                                /*double_buffering=*/true);
+    });
+    registry.add("pursuit-cpu", []() -> std::unique_ptr<steer::PlugIn> {
+        return std::make_unique<steer::PursuitPlugin>();
+    });
+    registry.add("pursuit-gpu", []() -> std::unique_ptr<steer::PlugIn> {
+        return std::make_unique<GpuPursuitPlugin>();
+    });
+}
+
+}  // namespace gpusteer

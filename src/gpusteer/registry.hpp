@@ -1,0 +1,13 @@
+// Registration of the Boids plugins with the OpenSteerDemo-style registry.
+#pragma once
+
+#include "steer/plugin.hpp"
+
+namespace gpusteer {
+
+/// Registers the CPU reference plugin and every GPU development version
+/// (plus the double-buffered variant) under their canonical names:
+///   boids-cpu, boids-gpu-v1 ... boids-gpu-v5, boids-gpu-v5-db
+void register_all_plugins(steer::PlugInRegistry& registry = steer::PlugInRegistry::instance());
+
+}  // namespace gpusteer

@@ -1,0 +1,54 @@
+// Agent state and kinematics (thesis §5.1/§5.3).
+//
+// "An agent in the Boids simulation is represented by a sphere. The radius
+// of the sphere is identical for all agents [...] The simulation takes
+// place in a spherical world. An agent leaving the world is put back into
+// the world at the diametric opposite point."
+#pragma once
+
+#include "steer/vec3.hpp"
+
+namespace steer {
+
+/// Kinematic state of one boid. Trivially copyable: the identical struct is
+/// what travels to the simulated device.
+struct Agent {
+    Vec3 position{};
+    Vec3 forward{0.0f, 0.0f, 1.0f};  ///< unit heading
+    float speed = 0.0f;              ///< scalar speed along forward
+
+    [[nodiscard]] Vec3 velocity() const { return forward * speed; }
+};
+
+/// Tunables shared by every agent of a flock.
+struct AgentParams {
+    float radius = 0.5f;      ///< bounding-sphere radius (identical for all)
+    float mass = 1.0f;
+    float max_speed = 9.0f;
+    float max_force = 27.0f;
+};
+
+/// Applies a steering vector for one time step: the modification substage's
+/// per-agent work. "The direction of the vector defines the direction in
+/// which the agent wants to move, whereas the length of the vector defines
+/// the acceleration" (§5.1).
+inline void apply_steering(Agent& agent, const Vec3& steering, float dt,
+                           const AgentParams& params) {
+    const Vec3 force = steering.truncated(params.max_force);
+    const Vec3 acceleration = force / params.mass;
+    Vec3 velocity = agent.velocity() + acceleration * dt;
+    velocity = velocity.truncated(params.max_speed);
+    agent.position += velocity * dt;
+    agent.speed = velocity.length();
+    if (agent.speed > 0.0f) agent.forward = velocity / agent.speed;
+}
+
+/// Spherical-world wrap: an agent leaving the world re-enters at the
+/// diametrically opposite point (§5.1).
+inline void wrap_world(Agent& agent, float world_radius) {
+    if (agent.position.length_squared() > world_radius * world_radius) {
+        agent.position = -agent.position.normalized() * world_radius;
+    }
+}
+
+}  // namespace steer

@@ -1,0 +1,93 @@
+// The simple steering behaviors of OpenSteer (thesis §5.3: "It provides
+// simple steering behaviors and a basic agent implementation").
+//
+// Flocking (behaviors.hpp) is the scenario the thesis evaluates; these are
+// the rest of the library's classic repertoire after Reynolds [Rey99]:
+// seek, flee, arrival, pursuit, evasion and wander. All are pure functions
+// from agent state to a steering vector, in the same convention as
+// flocking: direction = desired heading, length = acceleration.
+#pragma once
+
+#include "steer/agent.hpp"
+#include "steer/lcg.hpp"
+#include "steer/vec3.hpp"
+
+namespace steer {
+
+/// Seek: steer towards a world position at full speed.
+[[nodiscard]] inline Vec3 seek(const Agent& agent, const Vec3& target, float max_speed) {
+    const Vec3 desired = (target - agent.position).normalized() * max_speed;
+    return desired - agent.velocity();
+}
+
+/// Flee: the opposite of seek.
+[[nodiscard]] inline Vec3 flee(const Agent& agent, const Vec3& threat, float max_speed) {
+    const Vec3 desired = (agent.position - threat).normalized() * max_speed;
+    return desired - agent.velocity();
+}
+
+/// Arrival: seek that slows down inside `slowing_radius` and stops at the
+/// target.
+[[nodiscard]] inline Vec3 arrival(const Agent& agent, const Vec3& target, float max_speed,
+                                  float slowing_radius) {
+    const Vec3 offset = target - agent.position;
+    const float distance = offset.length();
+    if (distance < 1e-6f) return -agent.velocity();
+    const float ramped = max_speed * (distance / slowing_radius);
+    const float clipped = ramped < max_speed ? ramped : max_speed;
+    const Vec3 desired = offset * (clipped / distance);
+    return desired - agent.velocity();
+}
+
+/// Predicts where a moving quarry will be after `lead_time` seconds.
+[[nodiscard]] inline Vec3 predict_position(const Agent& quarry, float lead_time) {
+    return quarry.position + quarry.velocity() * lead_time;
+}
+
+/// Pursuit: seek the quarry's predicted future position. The lead time is
+/// the classic distance/speed estimate.
+[[nodiscard]] inline Vec3 pursue(const Agent& agent, const Agent& quarry, float max_speed) {
+    const float distance = (quarry.position - agent.position).length();
+    const float speed = agent.speed > 0.1f ? agent.speed : max_speed;
+    const float lead_time = distance / speed;
+    return seek(agent, predict_position(quarry, lead_time), max_speed);
+}
+
+/// Evasion: flee from the menace's predicted future position. The
+/// prediction horizon is damped by the closing speed (menace + self), so a
+/// menace heading straight in is never extrapolated *past* the agent —
+/// the classic failure mode of the plain distance/speed estimate.
+[[nodiscard]] inline Vec3 evade(const Agent& agent, const Agent& menace, float max_speed) {
+    const float distance = (menace.position - agent.position).length();
+    const float closing = menace.speed + max_speed;
+    const float lead_time = closing > 0.1f ? distance / closing : 0.0f;
+    return flee(agent, predict_position(menace, lead_time), max_speed);
+}
+
+/// Wander: a persistent pseudo-random walk. State (the wander side/up
+/// deflections) lives with the caller; each step nudges it and steers
+/// forward plus the deflection — Reynolds' classic jitter-on-a-sphere.
+struct WanderState {
+    float side = 0.0f;
+    float up = 0.0f;
+    Lcg rng{12u};
+
+    [[nodiscard]] Vec3 step(const Agent& agent, float strength) {
+        auto jitter = [&](float v) {
+            v += rng.uniform(-0.3f, 0.3f);
+            return v < -1.0f ? -1.0f : (v > 1.0f ? 1.0f : v);
+        };
+        side = jitter(side);
+        up = jitter(up);
+        // Build a local frame from the heading.
+        const Vec3 forward = agent.forward.normalized();
+        Vec3 world_up{0.0f, 1.0f, 0.0f};
+        Vec3 right = forward.cross(world_up);
+        if (right.length_squared() < 1e-12f) right = Vec3{1.0f, 0.0f, 0.0f};
+        right = right.normalized();
+        const Vec3 local_up = right.cross(forward);
+        return (forward + right * side + local_up * up).normalized() * strength;
+    }
+};
+
+}  // namespace steer

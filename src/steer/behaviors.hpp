@@ -1,0 +1,72 @@
+// The three basic steering behaviors and their flocking combination
+// (thesis §5.2, listings 5.1 and 5.3-5.5).
+#pragma once
+
+#include <span>
+
+#include "steer/neighbor_search.hpp"
+#include "steer/vec3.hpp"
+
+namespace steer {
+
+/// Separation (listing 5.3): repulsion with 1/d falloff.
+[[nodiscard]] inline Vec3 separation(const Vec3& my_position, const NeighborList& neighbors,
+                                     std::span<const Vec3> positions) {
+    Vec3 steering = kZero;
+    for (std::uint32_t i = 0; i < neighbors.count; ++i) {
+        const Vec3 distance = positions[neighbors.index[i]] - my_position;
+        const float len = distance.length();
+        if (len > 0.0f) {
+            // "divided to get 1/d falloff": normalise, then divide by the
+            // original length a second time.
+            steering -= distance / (len * len);
+        }
+    }
+    return steering;
+}
+
+/// Cohesion (listing 5.4): towards the neighbors.
+[[nodiscard]] inline Vec3 cohesion(const Vec3& my_position, const NeighborList& neighbors,
+                                   std::span<const Vec3> positions) {
+    Vec3 steering = kZero;
+    for (std::uint32_t i = 0; i < neighbors.count; ++i) {
+        steering += positions[neighbors.index[i]] - my_position;
+    }
+    return steering;
+}
+
+/// Alignment (listing 5.5): match the neighbors' average heading.
+[[nodiscard]] inline Vec3 alignment(const Vec3& my_forward, const NeighborList& neighbors,
+                                    std::span<const Vec3> forwards) {
+    Vec3 steering = kZero;
+    for (std::uint32_t i = 0; i < neighbors.count; ++i) {
+        steering += forwards[neighbors.index[i]];
+    }
+    steering -= static_cast<float>(neighbors.count) * my_forward;
+    return steering;
+}
+
+/// Weights of the flocking combination.
+struct FlockingWeights {
+    float separation;
+    float alignment;
+    float cohesion;
+};
+
+/// Flocking (listing 5.1): the weighted sum of the normalised basic
+/// behaviors. The neighbor search is done once and shared by all three
+/// behaviors, as the profiled OpenSteer version does (§5.3: "The neighbor
+/// search is done once for every calculation of the resulting steering
+/// vector and not once for every basic steering behavior").
+[[nodiscard]] inline Vec3 flocking(const Vec3& my_position, const Vec3& my_forward,
+                                   const NeighborList& neighbors,
+                                   std::span<const Vec3> positions,
+                                   std::span<const Vec3> forwards,
+                                   const FlockingWeights& w) {
+    const Vec3 separation_w = w.separation * separation(my_position, neighbors, positions).normalized();
+    const Vec3 alignment_w = w.alignment * alignment(my_forward, neighbors, forwards).normalized();
+    const Vec3 cohesion_w = w.cohesion * cohesion(my_position, neighbors, positions).normalized();
+    return separation_w + alignment_w + cohesion_w;
+}
+
+}  // namespace steer

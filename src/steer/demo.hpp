@@ -1,0 +1,85 @@
+// The OpenSteerDemo-style main loop (thesis §5.3 / Fig. 5.4): "It runs a
+// main loop, which first recalculates all agent states and then draws the
+// new states to the screen."
+//
+// The Demo owns one active plugin, runs update stage -> graphics stage per
+// frame, and aggregates the per-stage statistics every harness needs
+// (update rate, frame rate, stage shares).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "steer/plugin.hpp"
+
+namespace steer {
+
+class Demo {
+public:
+    explicit Demo(PlugInRegistry& registry = PlugInRegistry::instance())
+        : registry_(&registry) {}
+
+    /// Selects and opens a plugin by registry name. Returns false if the
+    /// name is unknown.
+    bool select(const std::string& name, const WorldSpec& spec) {
+        auto plugin = registry_->create(name);
+        if (!plugin) return false;
+        if (active_) active_->close();
+        active_ = std::move(plugin);
+        active_->open(spec);
+        spec_ = spec;
+        accumulated_ = {};
+        frames_ = 0;
+        return true;
+    }
+
+    /// One main-loop iteration.
+    StageTimes step() {
+        const StageTimes t = active_->step();
+        accumulated_ += t;
+        ++frames_;
+        return t;
+    }
+
+    /// Runs `n` frames.
+    void run(int n) {
+        for (int i = 0; i < n; ++i) (void)step();
+    }
+
+    [[nodiscard]] PlugIn& active() const { return *active_; }
+    [[nodiscard]] bool has_plugin() const { return static_cast<bool>(active_); }
+    [[nodiscard]] const WorldSpec& spec() const { return spec_; }
+    [[nodiscard]] std::uint64_t frames() const { return frames_; }
+
+    /// Mean per-stage seconds over all frames so far.
+    [[nodiscard]] StageTimes mean_times() const {
+        StageTimes m = accumulated_;
+        if (frames_ > 0) {
+            const auto f = static_cast<double>(frames_);
+            m.simulation /= f;
+            m.modification /= f;
+            m.transfer /= f;
+            m.draw /= f;
+        }
+        return m;
+    }
+
+    [[nodiscard]] double update_rate() const { return 1.0 / mean_times().update(); }
+    [[nodiscard]] double frame_rate() const { return 1.0 / mean_times().total(); }
+
+    void close() {
+        if (active_) {
+            active_->close();
+            active_.reset();
+        }
+    }
+
+private:
+    PlugInRegistry* registry_;
+    std::unique_ptr<PlugIn> active_;
+    WorldSpec spec_{};
+    StageTimes accumulated_{};
+    std::uint64_t frames_ = 0;
+};
+
+}  // namespace steer

@@ -1,0 +1,53 @@
+// The (headless) graphics stage.
+//
+// OpenSteerDemo's loop is update stage -> graphics stage (§5.3, Fig. 5.4).
+// The reproduction renders nothing, but the draw stage still exists because
+// two experiments depend on it: §6.2.3 (only "a 4x4 matrix containing 16
+// float values" per agent crosses back to the host in version 5) and §6.3.2
+// (double buffering overlaps the draw stage with the next update). This
+// header builds those matrices and prices the stage on the host clock.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "steer/agent.hpp"
+#include "steer/vec3.hpp"
+
+namespace steer {
+
+/// Column-major 4x4 transform — the 16 floats of §6.2.3.
+struct Mat4 {
+    std::array<float, 16> m{};
+
+    friend bool operator==(const Mat4&, const Mat4&) = default;
+};
+
+/// Builds the local-to-world transform of one agent: rotation from its
+/// heading (gram-schmidt against world-up), translation from its position.
+[[nodiscard]] inline Mat4 agent_matrix(const Vec3& position, const Vec3& forward) {
+    const Vec3 f = forward.normalized();
+    Vec3 up{0.0f, 1.0f, 0.0f};
+    Vec3 side = f.cross(up);
+    if (side.length_squared() < 1e-12f) side = Vec3{1.0f, 0.0f, 0.0f};
+    side = side.normalized();
+    up = side.cross(f);
+
+    Mat4 out;
+    out.m = {side.x, side.y, side.z, 0.0f,  //
+             up.x,   up.y,   up.z,   0.0f,  //
+             f.x,    f.y,    f.z,    0.0f,  //
+             position.x, position.y, position.z, 1.0f};
+    return out;
+}
+
+/// Builds all draw matrices for a flock (the CPU path of the draw stage).
+inline void build_draw_matrices(std::span<const Agent> flock, std::vector<Mat4>& out) {
+    out.resize(flock.size());
+    for (std::size_t i = 0; i < flock.size(); ++i) {
+        out[i] = agent_matrix(flock[i].position, flock[i].forward);
+    }
+}
+
+}  // namespace steer

@@ -1,0 +1,35 @@
+// Small deterministic PRNG for reproducible worlds.
+//
+// All experiments must produce the same flock on every run and on both the
+// CPU and the GPU path, so world setup uses this fixed linear congruential
+// generator rather than std:: facilities whose streams may differ between
+// library versions.
+#pragma once
+
+#include <cstdint>
+
+namespace steer {
+
+class Lcg {
+public:
+    explicit constexpr Lcg(std::uint64_t seed = 0x853c49e6748fea9bull) : state_(seed) {}
+
+    /// Next raw 32 bits.
+    constexpr std::uint32_t next_u32() {
+        state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<std::uint32_t>(state_ >> 32);
+    }
+
+    /// Uniform float in [0, 1).
+    constexpr float next_float() {
+        return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    /// Uniform float in [lo, hi).
+    constexpr float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace steer

@@ -1,0 +1,76 @@
+// The neighbor search of thesis §5.2.1 (listing 5.2): the 7 nearest agents
+// within the search radius, found by a linear scan over the whole flock —
+// O(n) per agent, O(n^2) for the full simulation substage, which is exactly
+// the bottleneck the GPU port attacks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "steer/vec3.hpp"
+
+namespace steer {
+
+/// Fixed-capacity neighbor list (index + squared distance), kept unsorted;
+/// the insertion rule replaces the farthest entry, as in listing 5.2.
+struct NeighborList {
+    static constexpr std::uint32_t kCapacity = 7;
+
+    std::array<std::uint32_t, kCapacity> index{};
+    std::array<float, kCapacity> dist2{};
+    std::uint32_t count = 0;
+
+    /// Implements the listing-5.2 insertion: while fewer than capacity
+    /// neighbors are known, just add; afterwards replace the farthest known
+    /// neighbor if the candidate is closer.
+    void offer(std::uint32_t candidate, float candidate_dist2, std::uint32_t max_neighbors) {
+        if (count < max_neighbors) {
+            index[count] = candidate;
+            dist2[count] = candidate_dist2;
+            ++count;
+            return;
+        }
+        std::uint32_t farthest = 0;
+        for (std::uint32_t i = 1; i < count; ++i) {
+            if (dist2[i] > dist2[farthest]) farthest = i;
+        }
+        if (candidate_dist2 < dist2[farthest]) {
+            index[farthest] = candidate;
+            dist2[farthest] = candidate_dist2;
+        }
+    }
+};
+
+/// Statistics of one search, feeding the CPU cost model.
+struct SearchCounters {
+    std::uint64_t pairs_examined = 0;
+    std::uint64_t in_radius = 0;
+};
+
+/// Finds up to `max_neighbors` (<= 7) agents within `radius` of agent `me`,
+/// preferring the nearest ones. Complexity O(n).
+[[nodiscard]] inline NeighborList find_neighbors(std::uint32_t me,
+                                                 std::span<const Vec3> positions,
+                                                 float radius, std::uint32_t max_neighbors,
+                                                 SearchCounters* counters = nullptr) {
+    NeighborList result;
+    const Vec3 my_position = positions[me];
+    const float r2 = radius * radius;
+    std::uint64_t in_radius = 0;
+    for (std::uint32_t i = 0; i < positions.size(); ++i) {
+        const Vec3 offset = positions[i] - my_position;
+        const float d2 = offset.length_squared();
+        if (d2 < r2 && i != me) {
+            ++in_radius;
+            result.offer(i, d2, max_neighbors);
+        }
+    }
+    if (counters) {
+        counters->pairs_examined += positions.size();
+        counters->in_radius += in_radius;
+    }
+    return result;
+}
+
+}  // namespace steer

@@ -1,0 +1,66 @@
+// Obstacle avoidance — part of OpenSteer's standard behavior set.
+//
+// Spherical obstacles with Reynolds' classic scheme: look ahead along the
+// heading for min_time_to_collision seconds; if the path (a cylinder of the
+// agent's radius) intersects an obstacle's sphere, steer laterally away
+// from the obstacle centre, preferring the nearest threat.
+#pragma once
+
+#include <span>
+
+#include "steer/agent.hpp"
+#include "steer/vec3.hpp"
+
+namespace steer {
+
+struct SphereObstacle {
+    Vec3 center{};
+    float radius = 1.0f;
+};
+
+/// Steering to avoid one obstacle; zero when it is no threat.
+/// `agent_radius` is the agent's bounding-sphere radius.
+[[nodiscard]] inline Vec3 avoid_obstacle(const Agent& agent, float agent_radius,
+                                         const SphereObstacle& obstacle,
+                                         float min_time_to_collision) {
+    const float look_ahead = agent.speed * min_time_to_collision;
+    if (look_ahead <= 0.0f) return kZero;
+
+    const Vec3 offset = obstacle.center - agent.position;
+    const float along = offset.dot(agent.forward);
+    // Behind us, or farther than the look-ahead horizon: no threat.
+    if (along < 0.0f || along > look_ahead + obstacle.radius) return kZero;
+
+    const Vec3 lateral = offset - agent.forward * along;
+    const float clearance = obstacle.radius + agent_radius;
+    if (lateral.length_squared() >= clearance * clearance) return kZero;
+
+    // Steer directly away from the obstacle centre, scaled up the closer
+    // the predicted pass.
+    const float urgency = 1.0f - along / (look_ahead + obstacle.radius);
+    Vec3 away = lateral.is_zero() ? agent.forward.cross(Vec3{0.0f, 1.0f, 0.0f})
+                                  : -lateral;
+    if (away.is_zero()) away = Vec3{1.0f, 0.0f, 0.0f};
+    return away.normalized() * (1.0f + urgency);
+}
+
+/// Avoids the *nearest* threatening obstacle (OpenSteer picks one, not a
+/// blend — blending opposing avoidance vectors can cancel out).
+[[nodiscard]] inline Vec3 avoid_obstacles(const Agent& agent, float agent_radius,
+                                          std::span<const SphereObstacle> obstacles,
+                                          float min_time_to_collision) {
+    Vec3 best = kZero;
+    float best_along = 1e30f;
+    for (const SphereObstacle& o : obstacles) {
+        const Vec3 steering = avoid_obstacle(agent, agent_radius, o, min_time_to_collision);
+        if (steering.is_zero()) continue;
+        const float along = (o.center - agent.position).dot(agent.forward);
+        if (along < best_along) {
+            best_along = along;
+            best = steering;
+        }
+    }
+    return best;
+}
+
+}  // namespace steer

@@ -1,0 +1,94 @@
+// OpenSteerDemo-style plugin architecture (thesis §5.3, Fig. 5.4).
+//
+// A plugin owns one scenario. The demo main loop calls step(), which runs
+// the update stage (simulation substage + modification substage) and the
+// graphics stage, and reports modelled per-stage times so the harnesses can
+// regenerate the thesis' stage breakdowns and rates.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "steer/agent.hpp"
+#include "steer/cpu_cost_model.hpp"
+#include "steer/draw_stage.hpp"
+#include "steer/world.hpp"
+
+namespace steer {
+
+/// Modelled seconds spent in each stage of one main-loop iteration.
+struct StageTimes {
+    double simulation = 0.0;    ///< simulation substage (incl. neighbor search)
+    double modification = 0.0;  ///< modification substage
+    double transfer = 0.0;      ///< host<->device traffic + waits (GPU plugins)
+    double draw = 0.0;          ///< graphics stage
+
+    [[nodiscard]] double update() const { return simulation + modification + transfer; }
+    [[nodiscard]] double total() const { return update() + draw; }
+
+    StageTimes& operator+=(const StageTimes& o) {
+        simulation += o.simulation;
+        modification += o.modification;
+        transfer += o.transfer;
+        draw += o.draw;
+        return *this;
+    }
+};
+
+class PlugIn {
+public:
+    virtual ~PlugIn() = default;
+
+    [[nodiscard]] virtual std::string_view name() const = 0;
+
+    /// Creates the scenario's world.
+    virtual void open(const WorldSpec& spec) = 0;
+
+    /// One main-loop iteration: update stage then graphics stage.
+    virtual StageTimes step() = 0;
+
+    /// The draw matrices produced by the most recent graphics stage.
+    [[nodiscard]] virtual std::span<const Mat4> draw_matrices() const = 0;
+
+    /// Current agent states (for verification and cross-checking).
+    [[nodiscard]] virtual std::vector<Agent> snapshot() const = 0;
+
+    /// Operation counts accumulated since open() (Fig. 5.5 input).
+    [[nodiscard]] virtual const UpdateCounters& counters() const = 0;
+
+    virtual void close() = 0;
+};
+
+/// Name -> factory registry, like OpenSteerDemo's plugin list.
+class PlugInRegistry {
+public:
+    using Factory = std::function<std::unique_ptr<PlugIn>()>;
+
+    static PlugInRegistry& instance() {
+        static PlugInRegistry r;
+        return r;
+    }
+
+    void add(std::string name, Factory factory) { factories_[std::move(name)] = std::move(factory); }
+
+    [[nodiscard]] std::unique_ptr<PlugIn> create(const std::string& name) const {
+        auto it = factories_.find(name);
+        return it == factories_.end() ? nullptr : it->second();
+    }
+
+    [[nodiscard]] std::vector<std::string> names() const {
+        std::vector<std::string> out;
+        for (const auto& [k, v] : factories_) out.push_back(k);
+        return out;
+    }
+
+private:
+    std::map<std::string, Factory> factories_;
+};
+
+}  // namespace steer

@@ -1,0 +1,145 @@
+#include "steer/pursuit_plugin.hpp"
+
+namespace steer {
+
+void PursuitPlugin::open(const WorldSpec& spec) {
+    spec_ = spec;
+    flock_ = make_flock(spec);
+    // Predators are faster and stronger than their prey — otherwise an
+    // evading prey at equal top speed is never caught.
+    predator_params_ = pursuit::predator_params(spec.params);
+    predators_ = std::max(1u, spec.agents / std::max(1u, prey_per_predator_));
+    captures_ = 0;
+    target_.assign(predators_, spec.agents);  // invalid: resolved on the first step
+    steering_.assign(spec.agents, kZero);
+    wander_.clear();
+    wander_.reserve(spec.agents);
+    for (std::uint32_t i = 0; i < spec.agents; ++i) {
+        wander_.emplace_back();
+        wander_.back().rng = pursuit::wander_rng(spec.seed, i);
+    }
+    obstacles_ = pursuit::make_obstacles(spec);
+
+    matrices_.clear();
+    totals_ = {};
+    step_index_ = 0;
+}
+
+std::uint32_t PursuitPlugin::nearest_prey(std::uint32_t predator) const {
+    std::uint32_t best = predators_;  // first prey as fallback
+    float best_d2 = 1e30f;
+    for (std::uint32_t i = predators_; i < spec_.agents; ++i) {
+        const float d2 = (flock_[i].position - flock_[predator].position).length_squared();
+        if (d2 < best_d2) {
+            best_d2 = d2;
+            best = i;
+        }
+    }
+    return best;
+}
+
+StageTimes PursuitPlugin::step() {
+    const std::uint32_t n = spec_.agents;
+    const float max_speed = spec_.params.max_speed;
+    UpdateCounters c;
+
+    // --- simulation substage: everyone decides on a snapshot ---
+    const std::vector<Agent> snapshot = flock_;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Vec3 steering;
+        if (is_predator(i)) {
+            // Sticky targeting: a predator keeps its quarry while chasing;
+            // re-targeting every frame makes it zigzag and never catch up.
+            const std::uint32_t nearest = nearest_prey(i);
+            c.pairs_examined += n - predators_;  // the nearest-prey scan
+            std::uint32_t& quarry = target_[i];
+            if (quarry >= n || quarry < predators_) quarry = nearest;
+            const float quarry_d =
+                (snapshot[quarry].position - snapshot[i].position).length();
+            const float nearest_d =
+                (snapshot[nearest].position - snapshot[i].position).length();
+            if (quarry_d > 2.0f * nearest_d + 5.0f) quarry = nearest;
+            // Lead the quarry at range; switch to pure pursuit (plain seek)
+            // up close — extrapolating a turning target sweeps the aim
+            // point sideways and settles into a stable orbit.
+            const float fresh_d =
+                (snapshot[quarry].position - snapshot[i].position).length();
+            steering = fresh_d < pursuit::kCloseRange
+                           ? seek(snapshot[i], snapshot[quarry].position,
+                                  predator_params_.max_speed)
+                           : pursue(snapshot[i], snapshot[quarry],
+                                    predator_params_.max_speed);
+        } else {
+            // Prey: evade the closest predator if near, otherwise wander.
+            std::uint32_t threat = 0;
+            float threat_d2 = 1e30f;
+            for (std::uint32_t p = 0; p < predators_; ++p) {
+                const float d2 =
+                    (snapshot[p].position - snapshot[i].position).length_squared();
+                if (d2 < threat_d2) {
+                    threat_d2 = d2;
+                    threat = p;
+                }
+            }
+            c.pairs_examined += predators_;
+            if (threat_d2 < pursuit::kEvadeRadius * pursuit::kEvadeRadius) {
+                steering = evade(snapshot[i], snapshot[threat], max_speed);
+            } else {
+                steering = wander_[i].step(snapshot[i],
+                                           max_speed * pursuit::kWanderFraction);
+            }
+        }
+        // Obstacle avoidance overrides everything when a collision looms.
+        const Vec3 avoid = avoid_obstacles(snapshot[i], spec_.params.radius, obstacles_,
+                                           pursuit::kAvoidHorizonSeconds);
+        if (!avoid.is_zero()) steering = avoid * spec_.params.max_force;
+        steering_[i] = steering;
+        ++c.thinks;
+    }
+
+    // --- modification substage ---
+    for (std::uint32_t i = 0; i < n; ++i) {
+        apply_steering(flock_[i], steering_[i], spec_.dt,
+                       is_predator(i) ? predator_params_ : spec_.params);
+        wrap_world(flock_[i], spec_.world_radius);
+    }
+    c.modifies = n;
+
+    // Captures: a predator touching its quarry scores; the prey respawns at
+    // the diametrically opposite point (cheap, deterministic) and the
+    // predator picks a new target.
+    for (std::uint32_t p = 0; p < predators_; ++p) {
+        const std::uint32_t quarry = target_[p] < n ? target_[p] : nearest_prey(p);
+        if ((flock_[p].position - flock_[quarry].position).length() <
+            pursuit::kCaptureRadius + 2.0f * spec_.params.radius) {
+            ++captures_;
+            flock_[quarry].position = -flock_[quarry].position;
+            target_[p] = predators_ + spec_.agents;  // force re-target
+        }
+    }
+
+    // --- graphics stage ---
+    build_draw_matrices(flock_, matrices_);
+
+    totals_ += c;
+    ++step_index_;
+
+    StageTimes times;
+    UpdateCounters sim_only = c;
+    sim_only.modifies = 0;
+    times.simulation = update_stage_seconds(sim_only, cost_);
+    UpdateCounters mod_only{};
+    mod_only.modifies = c.modifies;
+    times.modification = update_stage_seconds(mod_only, cost_);
+    times.draw = draw_stage_seconds(n, cost_);
+    return times;
+}
+
+void PursuitPlugin::close() {
+    flock_.clear();
+    steering_.clear();
+    matrices_.clear();
+    obstacles_.clear();
+}
+
+}  // namespace steer

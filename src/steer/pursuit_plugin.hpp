@@ -1,0 +1,100 @@
+// A second OpenSteerDemo scenario: predator-and-prey pursuit.
+//
+// OpenSteerDemo "currently offers different scenarios — among others the
+// Boids scenario" (§5.3). This plugin is one of the others: a small number
+// of predators pursue the nearest prey; prey wander until a predator gets
+// close, then evade; spherical obstacles dot the world. It exercises the
+// whole basic-behavior set (pursue/evade/wander/obstacle avoidance) under
+// the same plugin interface and stage structure as the Boids scenario.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "steer/basic_behaviors.hpp"
+#include "steer/cpu_cost_model.hpp"
+#include "steer/obstacles.hpp"
+#include "steer/plugin.hpp"
+
+namespace steer {
+
+/// Scenario constants and setup helpers, shared by the CPU plugin and the
+/// GPU port (gpusteer::GpuPursuitPlugin) so both simulate the same world.
+namespace pursuit {
+
+inline constexpr float kEvadeRadius = 12.0f;       ///< prey notice a predator this close
+inline constexpr float kCaptureRadius = 1.5f;
+inline constexpr float kAvoidHorizonSeconds = 1.5f;
+inline constexpr float kCloseRange = 8.0f;         ///< predators switch to pure pursuit
+inline constexpr float kPredatorSpeedFactor = 1.8f;
+inline constexpr float kPredatorForceFactor = 4.0f;
+inline constexpr float kWanderFraction = 0.4f;
+
+[[nodiscard]] inline AgentParams predator_params(const AgentParams& prey) {
+    AgentParams p = prey;
+    p.max_speed *= kPredatorSpeedFactor;
+    p.max_force *= kPredatorForceFactor;
+    return p;
+}
+
+[[nodiscard]] inline Lcg wander_rng(std::uint64_t seed, std::uint32_t agent) {
+    return Lcg(seed ^ (0x9e3779b97f4a7c15ull * (agent + 1)));
+}
+
+/// A handful of spherical obstacles scattered around the world centre.
+[[nodiscard]] inline std::vector<SphereObstacle> make_obstacles(const WorldSpec& spec) {
+    std::vector<SphereObstacle> obstacles;
+    Lcg rng(spec.seed + 77);
+    for (int i = 0; i < 8; ++i) {
+        SphereObstacle o;
+        o.center = Vec3{rng.uniform(-0.6f, 0.6f), rng.uniform(-0.6f, 0.6f),
+                        rng.uniform(-0.6f, 0.6f)} *
+                   spec.world_radius;
+        o.radius = rng.uniform(2.0f, 6.0f);
+        obstacles.push_back(o);
+    }
+    return obstacles;
+}
+
+}  // namespace pursuit
+
+class PursuitPlugin final : public PlugIn {
+public:
+    /// One predator per `prey_per_predator` prey (at least one predator).
+    explicit PursuitPlugin(std::uint32_t prey_per_predator = 32)
+        : prey_per_predator_(prey_per_predator) {}
+
+    [[nodiscard]] std::string_view name() const override { return "pursuit-cpu"; }
+
+    void open(const WorldSpec& spec) override;
+    StageTimes step() override;
+    [[nodiscard]] std::span<const Mat4> draw_matrices() const override { return matrices_; }
+    [[nodiscard]] std::vector<Agent> snapshot() const override { return flock_; }
+    [[nodiscard]] const UpdateCounters& counters() const override { return totals_; }
+    void close() override;
+
+    [[nodiscard]] std::uint32_t predators() const { return predators_; }
+    [[nodiscard]] std::uint32_t captures() const { return captures_; }
+    [[nodiscard]] std::span<const SphereObstacle> obstacles() const { return obstacles_; }
+    [[nodiscard]] bool is_predator(std::uint32_t i) const { return i < predators_; }
+
+private:
+    [[nodiscard]] std::uint32_t nearest_prey(std::uint32_t predator) const;
+
+    std::uint32_t prey_per_predator_;
+    WorldSpec spec_{};
+    AgentParams predator_params_{};
+    CpuCostModel cost_{};
+    std::uint32_t predators_ = 0;
+    std::uint32_t captures_ = 0;
+    std::vector<Agent> flock_;  ///< [0, predators) predators, rest prey
+    std::vector<std::uint32_t> target_;  ///< sticky quarry per predator
+    std::vector<WanderState> wander_;
+    std::vector<SphereObstacle> obstacles_;
+    std::vector<Vec3> steering_;
+    std::vector<Mat4> matrices_;
+    UpdateCounters totals_{};
+    std::uint64_t step_index_ = 0;
+};
+
+}  // namespace steer

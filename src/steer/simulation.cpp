@@ -1,0 +1,88 @@
+#include "steer/simulation.hpp"
+
+namespace steer {
+
+void CpuBoidsPlugin::open(const WorldSpec& spec) {
+    spec_ = spec;
+    flock_ = make_flock(spec);
+    steering_.assign(spec.agents, kZero);
+    positions_.resize(spec.agents);
+    forwards_.resize(spec.agents);
+    matrices_.clear();
+    totals_ = {};
+    last_ = {};
+    step_index_ = 0;
+}
+
+StageTimes CpuBoidsPlugin::step() {
+    const std::uint32_t n = spec_.agents;
+    UpdateCounters c;
+
+    // --- simulation substage ---------------------------------------------
+    // "Within the simulation substage all agents compute their steering
+    // vectors, but do not change their state" (§5.3): behaviors read a
+    // snapshot taken before any modification.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        positions_[i] = flock_[i].position;
+        forwards_[i] = flock_[i].forward;
+    }
+    const FlockingWeights weights{spec_.weight_separation, spec_.weight_alignment,
+                                  spec_.weight_cohesion};
+    double grid_build_seconds = 0.0;
+    if (spec_.use_spatial_grid) {
+        // Future-work §7: construct on the host (low arithmetic intensity),
+        // then search only the 27 surrounding cells per agent.
+        grid_.build(positions_, spec_.search_radius, spec_.world_radius);
+        grid_build_seconds = cost_.seconds(cost_.cycles_per_grid_agent * n +
+                                           cost_.cycles_per_grid_cell * grid_.spec().cells());
+    }
+    SearchCounters sc;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!thinks_this_step(i, step_index_, spec_.think_period)) continue;
+        const NeighborList neighbors =
+            spec_.use_spatial_grid
+                ? grid_.find_neighbors(i, positions_, spec_.search_radius,
+                                       spec_.max_neighbors, &sc)
+                : find_neighbors(i, positions_, spec_.search_radius, spec_.max_neighbors,
+                                 &sc);
+        steering_[i] =
+            flocking(positions_[i], forwards_[i], neighbors, positions_, forwards_, weights);
+        ++c.thinks;
+        c.neighbors_found += neighbors.count;
+    }
+    c.pairs_examined = sc.pairs_examined;
+
+    // --- modification substage --------------------------------------------
+    // "These changes are carried out in a second substage" — every agent
+    // moves every step, with its most recent steering vector.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        apply_steering(flock_[i], steering_[i], spec_.dt, spec_.params);
+        wrap_world(flock_[i], spec_.world_radius);
+    }
+    c.modifies = n;
+
+    // --- graphics stage ----------------------------------------------------
+    build_draw_matrices(flock_, matrices_);
+
+    totals_ += c;
+    last_ = c;
+    ++step_index_;
+
+    StageTimes times;
+    UpdateCounters sim_only = c;
+    sim_only.modifies = 0;
+    times.simulation = update_stage_seconds(sim_only, cost_) + grid_build_seconds;
+    UpdateCounters mod_only{};
+    mod_only.modifies = c.modifies;
+    times.modification = update_stage_seconds(mod_only, cost_);
+    times.draw = draw_stage_seconds(n, cost_);
+    return times;
+}
+
+void CpuBoidsPlugin::close() {
+    flock_.clear();
+    steering_.clear();
+    matrices_.clear();
+}
+
+}  // namespace steer

@@ -1,0 +1,53 @@
+// The CPU Boids plugin — the reference implementation profiled in thesis
+// chapter 5 (the "version by Knafla and Leopold" baseline, single core).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "steer/behaviors.hpp"
+#include "steer/cpu_cost_model.hpp"
+#include "steer/plugin.hpp"
+#include "steer/spatial_grid.hpp"
+
+namespace steer {
+
+/// Decides whether agent `agent` runs its simulation substage in step
+/// `step`. With think_period T, 1/T of the agents think per step
+/// ("skipThink", §5.3).
+[[nodiscard]] constexpr bool thinks_this_step(std::uint32_t agent, std::uint64_t step,
+                                              std::uint32_t think_period) {
+    return think_period <= 1 || (agent % think_period) == (step % think_period);
+}
+
+class CpuBoidsPlugin final : public PlugIn {
+public:
+    [[nodiscard]] std::string_view name() const override { return "boids-cpu"; }
+
+    void open(const WorldSpec& spec) override;
+    StageTimes step() override;
+    [[nodiscard]] std::span<const Mat4> draw_matrices() const override { return matrices_; }
+    [[nodiscard]] std::vector<Agent> snapshot() const override { return flock_; }
+    [[nodiscard]] const UpdateCounters& counters() const override { return totals_; }
+    void close() override;
+
+    /// Counters of the most recent step only (stage-breakdown input).
+    [[nodiscard]] const UpdateCounters& last_step_counters() const { return last_; }
+
+    [[nodiscard]] const CpuCostModel& cost_model() const { return cost_; }
+
+private:
+    WorldSpec spec_{};
+    CpuCostModel cost_{};
+    std::vector<Agent> flock_;
+    std::vector<Vec3> steering_;   ///< last computed steering vector per agent
+    std::vector<Vec3> positions_;  ///< state snapshot for the substage split
+    std::vector<Vec3> forwards_;
+    SpatialGrid grid_;             ///< used when spec_.use_spatial_grid
+    std::vector<Mat4> matrices_;
+    UpdateCounters totals_{};
+    UpdateCounters last_{};
+    std::uint64_t step_index_ = 0;
+};
+
+}  // namespace steer

@@ -1,0 +1,126 @@
+// Uniform spatial grid for the neighbor search — the thesis' future-work
+// item: "spatial data structures could improve the neighbor search
+// performance. Data structures must be constructed at the host, due to the
+// low arithmetic intensity of such a process, and then be transferred to
+// the GPU" (§7).
+//
+// CSR layout: cell_start[c]..cell_start[c+1] indexes into `entries`, the
+// agent indices bucketed per cell. Cells are cubes of the neighbor-search
+// radius, so a query only visits the 27 cells around the agent.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "steer/neighbor_search.hpp"
+#include "steer/vec3.hpp"
+
+namespace steer {
+
+/// Geometry of the grid — a POD that travels to the device as-is.
+struct GridSpec {
+    float origin = 0.0f;     ///< cells cover [-origin, +origin]^3
+    float cell_size = 1.0f;
+    std::uint32_t dim = 1;   ///< cells per axis
+
+    [[nodiscard]] std::uint32_t clamp_axis(float x) const {
+        const float fi = (x + origin) / cell_size;
+        if (fi <= 0.0f) return 0;
+        const auto i = static_cast<std::uint32_t>(fi);
+        return i >= dim ? dim - 1 : i;
+    }
+    [[nodiscard]] std::uint32_t cell_of(const Vec3& p) const {
+        return clamp_axis(p.x) + dim * (clamp_axis(p.y) + dim * clamp_axis(p.z));
+    }
+    [[nodiscard]] std::uint32_t cells() const { return dim * dim * dim; }
+};
+
+class SpatialGrid {
+public:
+    /// Builds the grid over `positions` with cells of `cell_size`, covering
+    /// the [-world_radius, world_radius]^3 cube. O(n) counting sort — the
+    /// cheap host-side construction the thesis calls for.
+    void build(std::span<const Vec3> positions, float cell_size, float world_radius) {
+        spec_.origin = world_radius;
+        spec_.cell_size = cell_size;
+        spec_.dim = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(2.0f * world_radius / cell_size) + 1);
+        const std::uint32_t cells = spec_.cells();
+
+        cell_of_.resize(positions.size());
+        cell_start_.assign(cells + 1, 0);
+        for (std::size_t i = 0; i < positions.size(); ++i) {
+            cell_of_[i] = spec_.cell_of(positions[i]);
+            ++cell_start_[cell_of_[i] + 1];
+        }
+        for (std::uint32_t c = 0; c < cells; ++c) cell_start_[c + 1] += cell_start_[c];
+
+        entries_.resize(positions.size());
+        std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+        for (std::uint32_t i = 0; i < positions.size(); ++i) {
+            entries_[cursor[cell_of_[i]]++] = i;
+        }
+    }
+
+    [[nodiscard]] const GridSpec& spec() const { return spec_; }
+    [[nodiscard]] std::span<const std::uint32_t> cell_start() const { return cell_start_; }
+    [[nodiscard]] std::span<const std::uint32_t> entries() const { return entries_; }
+
+    /// Grid-accelerated version of find_neighbors: visits only the 27 cells
+    /// around `me` instead of the whole flock. Requires cell_size >= radius.
+    [[nodiscard]] NeighborList find_neighbors(std::uint32_t me,
+                                              std::span<const Vec3> positions, float radius,
+                                              std::uint32_t max_neighbors,
+                                              SearchCounters* counters = nullptr) const {
+        NeighborList result;
+        const Vec3 my_position = positions[me];
+        const float r2 = radius * radius;
+        const std::uint32_t cx = spec_.clamp_axis(my_position.x);
+        const std::uint32_t cy = spec_.clamp_axis(my_position.y);
+        const std::uint32_t cz = spec_.clamp_axis(my_position.z);
+        std::uint64_t examined = 0;
+        std::uint64_t in_radius = 0;
+
+        for (int dz = -1; dz <= 1; ++dz) {
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    const std::int64_t x = std::int64_t{cx} + dx;
+                    const std::int64_t y = std::int64_t{cy} + dy;
+                    const std::int64_t z = std::int64_t{cz} + dz;
+                    if (x < 0 || y < 0 || z < 0 || x >= spec_.dim || y >= spec_.dim ||
+                        z >= spec_.dim) {
+                        continue;
+                    }
+                    const auto cell = static_cast<std::uint32_t>(
+                        x + spec_.dim * (y + std::int64_t{spec_.dim} * z));
+                    for (std::uint32_t e = cell_start_[cell]; e < cell_start_[cell + 1];
+                         ++e) {
+                        const std::uint32_t candidate = entries_[e];
+                        ++examined;
+                        const Vec3 offset = positions[candidate] - my_position;
+                        const float d2 = offset.length_squared();
+                        if (d2 < r2 && candidate != me) {
+                            ++in_radius;
+                            result.offer(candidate, d2, max_neighbors);
+                        }
+                    }
+                }
+            }
+        }
+        if (counters) {
+            counters->pairs_examined += examined;
+            counters->in_radius += in_radius;
+        }
+        return result;
+    }
+
+private:
+    GridSpec spec_{};
+    std::vector<std::uint32_t> cell_of_;
+    std::vector<std::uint32_t> cell_start_;
+    std::vector<std::uint32_t> entries_;
+};
+
+}  // namespace steer

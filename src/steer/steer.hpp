@@ -1,0 +1,18 @@
+// Umbrella header for the steering library.
+#pragma once
+
+#include "steer/agent.hpp"
+#include "steer/basic_behaviors.hpp"
+#include "steer/behaviors.hpp"
+#include "steer/cpu_cost_model.hpp"
+#include "steer/demo.hpp"
+#include "steer/draw_stage.hpp"
+#include "steer/lcg.hpp"
+#include "steer/neighbor_search.hpp"
+#include "steer/obstacles.hpp"
+#include "steer/plugin.hpp"
+#include "steer/pursuit_plugin.hpp"
+#include "steer/simulation.hpp"
+#include "steer/spatial_grid.hpp"
+#include "steer/vec3.hpp"
+#include "steer/world.hpp"

@@ -1,0 +1,77 @@
+// 3-component float vector — the Vec3 of OpenSteer (thesis chapter 5).
+//
+// Float-based because the device works in single precision; the CPU
+// reference implementation uses the identical type so both paths compute
+// the same flock.
+#pragma once
+
+#include <cmath>
+
+namespace steer {
+
+struct Vec3 {
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3& operator+=(const Vec3& o) {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+    constexpr Vec3& operator-=(const Vec3& o) {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+    constexpr Vec3& operator*=(float s) {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+    constexpr Vec3& operator/=(float s) { return *this *= (1.0f / s); }
+
+    friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+    friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+    friend constexpr Vec3 operator*(Vec3 a, float s) { return a *= s; }
+    friend constexpr Vec3 operator*(float s, Vec3 a) { return a *= s; }
+    friend constexpr Vec3 operator/(Vec3 a, float s) { return a /= s; }
+    friend constexpr Vec3 operator-(const Vec3& a) { return Vec3{-a.x, -a.y, -a.z}; }
+
+    friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+    [[nodiscard]] constexpr float dot(const Vec3& o) const {
+        return x * o.x + y * o.y + z * o.z;
+    }
+    [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+        return Vec3{y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    [[nodiscard]] constexpr float length_squared() const { return dot(*this); }
+    [[nodiscard]] float length() const { return std::sqrt(length_squared()); }
+
+    /// Unit vector; the zero vector normalises to itself (OpenSteer
+    /// convention, avoids NaNs in degenerate flocks).
+    [[nodiscard]] Vec3 normalized() const {
+        const float len = length();
+        return len > 0.0f ? *this / len : *this;
+    }
+
+    /// Clamps the length to `max_len`.
+    [[nodiscard]] Vec3 truncated(float max_len) const {
+        const float len2 = length_squared();
+        if (len2 <= max_len * max_len) return *this;
+        return normalized() * max_len;
+    }
+
+    [[nodiscard]] constexpr bool is_zero() const { return x == 0.0f && y == 0.0f && z == 0.0f; }
+};
+
+inline constexpr Vec3 kZero{0.0f, 0.0f, 0.0f};
+
+}  // namespace steer

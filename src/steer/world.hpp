@@ -1,0 +1,72 @@
+// Flock container and deterministic world setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "steer/agent.hpp"
+#include "steer/lcg.hpp"
+#include "steer/vec3.hpp"
+
+namespace steer {
+
+/// Configuration of a Boids scenario (thesis §5.2/§5.3).
+struct WorldSpec {
+    std::uint32_t agents = 1024;
+    float world_radius = 50.0f;        ///< spherical world
+    float search_radius = 9.0f;        ///< neighbor search radius
+    std::uint32_t max_neighbors = 7;   ///< "We only consider the 7 nearest"
+    float weight_separation = 12.0f;   ///< flocking weights (listing 5.1)
+    float weight_alignment = 8.0f;
+    float weight_cohesion = 8.0f;
+    std::uint32_t think_period = 1;    ///< 10 = the thesis' 1/10 think frequency
+    float dt = 1.0f / 60.0f;           ///< simulation time step
+    /// Use the host-built spatial grid for the neighbor search instead of
+    /// the O(n) linear scan — the thesis' future-work data structure (§7).
+    bool use_spatial_grid = false;
+    AgentParams params{};
+    std::uint64_t seed = 2009;
+
+    [[nodiscard]] WorldSpec with_agents(std::uint32_t n) const {
+        WorldSpec s = *this;
+        s.agents = n;
+        return s;
+    }
+    [[nodiscard]] WorldSpec with_think(std::uint32_t period) const {
+        WorldSpec s = *this;
+        s.think_period = period;
+        return s;
+    }
+    [[nodiscard]] WorldSpec with_grid(bool enabled = true) const {
+        WorldSpec s = *this;
+        s.use_spatial_grid = enabled;
+        return s;
+    }
+};
+
+/// Deterministically creates a flock: positions uniform in the world
+/// sphere, headings uniform on the unit sphere, initial speed half max.
+[[nodiscard]] inline std::vector<Agent> make_flock(const WorldSpec& spec) {
+    std::vector<Agent> flock(spec.agents);
+    Lcg rng(spec.seed);
+    for (Agent& a : flock) {
+        // Rejection-sample a point in the unit ball.
+        Vec3 p;
+        do {
+            p = Vec3{rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f),
+                     rng.uniform(-1.0f, 1.0f)};
+        } while (p.length_squared() > 1.0f);
+        a.position = p * spec.world_radius;
+
+        Vec3 f;
+        do {
+            f = Vec3{rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f),
+                     rng.uniform(-1.0f, 1.0f)};
+        } while (f.length_squared() > 1.0f || f.is_zero());
+        a.forward = f.normalized();
+        a.speed = spec.params.max_speed * 0.5f;
+    }
+    return flock;
+}
+
+}  // namespace steer

@@ -1,0 +1,177 @@
+// memory1d and shared_device_ptr tests (§4.2).
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <list>
+#include <numeric>
+#include <vector>
+
+#include "cupp/cupp.hpp"
+
+namespace {
+
+TEST(Memory1d, AllocFreeLifecycle) {
+    cupp::device d;
+    const auto used_before = d.sim().memory().used();
+    {
+        cupp::memory1d<float> m(d, 1024);
+        EXPECT_EQ(m.size(), 1024u);
+        EXPECT_GT(d.sim().memory().used(), used_before);
+    }
+    EXPECT_EQ(d.sim().memory().used(), used_before);  // freed on destruction
+}
+
+TEST(Memory1d, PointerTransferRoundTrip) {
+    cupp::device d;
+    std::vector<int> data(100);
+    std::iota(data.begin(), data.end(), 0);
+    cupp::memory1d<int> m(d, data.data(), data.data() + data.size());
+    std::vector<int> back(100);
+    m.copy_to_host(back.data());
+    EXPECT_EQ(back, data);
+}
+
+TEST(Memory1d, IteratorTransferLinearizesTraversalOrder) {
+    // "the value of the iterator passed to the function is the first value
+    // in the memory block, the value the iterator points to when
+    // incrementing is the next value and so on" (§4.2).
+    cupp::device d;
+    std::list<int> data = {5, 4, 3, 2, 1};
+    cupp::memory1d<int> m(d, data.begin(), data.end());
+    EXPECT_EQ(m.size(), 5u);
+    std::vector<int> back;
+    m.copy_to(std::back_inserter(back));
+    EXPECT_EQ(back, (std::vector<int>{5, 4, 3, 2, 1}));
+}
+
+TEST(Memory1d, DeepCopySemantics) {
+    // "When the object is copied, the copy allocates new memory and copies
+    // the data from the original memory to the newly allocated one."
+    cupp::device d;
+    std::vector<double> data = {1.0, 2.0, 3.0};
+    cupp::memory1d<double> a(d, data.data(), data.data() + 3);
+    cupp::memory1d<double> b(a);
+    EXPECT_NE(a.addr(), b.addr());
+
+    // Mutating a leaves b untouched.
+    const std::vector<double> changed = {9.0, 9.0, 9.0};
+    a.copy_from_host(changed.data());
+    std::vector<double> back(3);
+    b.copy_to_host(back.data());
+    EXPECT_EQ(back, data);
+}
+
+TEST(Memory1d, CopyAssignmentIsStronglyExceptionSafeDeepCopy) {
+    cupp::device d;
+    std::vector<int> xs = {1, 2, 3, 4};
+    cupp::memory1d<int> a(d, xs.data(), xs.data() + 4);
+    cupp::memory1d<int> b(d, 4);
+    b = a;
+    std::vector<int> back(4);
+    b.copy_to_host(back.data());
+    EXPECT_EQ(back, xs);
+    b = b;  // self-assignment is a no-op
+    b.copy_to_host(back.data());
+    EXPECT_EQ(back, xs);
+}
+
+TEST(Memory1d, IteratorRangeSizeMismatchThrows) {
+    cupp::device d;
+    cupp::memory1d<int> m(d, 4);
+    std::vector<int> three = {1, 2, 3};
+    EXPECT_THROW(m.copy_from(three.begin(), three.end()), cupp::usage_error);
+}
+
+TEST(Memory1d, MemberOfClassDeepCopies) {
+    // §4.2: "If cupp::memory1d is used as a member of class and an object of
+    // this class is copied, the memory on the device is copied too."
+    cupp::device d;
+    struct Holder {
+        cupp::memory1d<int> block;
+    };
+    std::vector<int> xs = {7, 8};
+    Holder h1{cupp::memory1d<int>(d, xs.data(), xs.data() + 2)};
+    Holder h2(h1);  // implicit copy ctor deep-copies the member
+    EXPECT_NE(h1.block.addr(), h2.block.addr());
+    std::vector<int> back(2);
+    h2.block.copy_to_host(back.data());
+    EXPECT_EQ(back, xs);
+}
+
+TEST(SharedDevicePtr, SharedOwnershipFreesOnce) {
+    cupp::device d;
+    const auto used_before = d.sim().memory().used();
+    cupp::shared_device_ptr<float> p(d, 256);
+    EXPECT_EQ(p.use_count(), 1);
+    {
+        cupp::shared_device_ptr<float> q = p;
+        EXPECT_EQ(p.use_count(), 2);
+        EXPECT_FALSE(p.unique());
+        EXPECT_EQ(p.addr(), q.addr());
+    }
+    EXPECT_TRUE(p.unique());
+    EXPECT_GT(d.sim().memory().used(), used_before);
+    p.reset();
+    EXPECT_EQ(d.sim().memory().used(), used_before);
+}
+
+TEST(SharedDevicePtr, UploadDownload) {
+    cupp::device d;
+    cupp::shared_device_ptr<int> p(d, 8);
+    std::vector<int> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+    p.upload(xs.data());
+    std::vector<int> back(8);
+    p.download(back.data());
+    EXPECT_EQ(back, xs);
+}
+
+TEST(SharedDevicePtr, DefaultConstructedIsEmpty) {
+    cupp::shared_device_ptr<int> p;
+    EXPECT_FALSE(p);
+    EXPECT_EQ(p.use_count(), 0);
+    EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(Device, HandleQueries) {
+    cupp::device d;
+    EXPECT_EQ(d.ordinal(), 0);
+    EXPECT_EQ(d.multiprocessors(), 12u);
+    EXPECT_GT(d.total_memory(), 0u);
+    EXPECT_LE(d.free_memory(), d.total_memory());
+    EXPECT_FALSE(d.name().empty());
+}
+
+TEST(Device, RawAllocationsFreedOnHandleDestruction) {
+    // §4.1: "When the device handle is destroyed, all memory allocated on
+    // this device is freed as well."
+    auto& sim = cusim::Registry::instance().device(0);
+    const auto used_before = sim.memory().used();
+    {
+        cupp::device d;
+        (void)d.malloc(4096);
+        (void)d.malloc(4096);
+        EXPECT_GT(sim.memory().used(), used_before);
+    }
+    EXPECT_EQ(sim.memory().used(), used_before);
+}
+
+TEST(Device, MoveTransfersOwnership) {
+    auto& sim = cusim::Registry::instance().device(0);
+    const auto used_before = sim.memory().used();
+    cupp::device a;
+    (void)a.malloc(1024);
+    cupp::device b(std::move(a));
+    EXPECT_THROW((void)a.sim(), cupp::usage_error);
+    EXPECT_GT(sim.memory().used(), used_before);
+    cupp::device c = std::move(b);
+    (void)c;
+}
+
+TEST(Device, ChooseByProperties) {
+    cusim::DeviceProperties request;
+    request.total_global_mem = 1024;  // any device has this much
+    cupp::device d(request);
+    EXPECT_GE(d.total_memory(), request.total_global_mem);
+}
+
+}  // namespace

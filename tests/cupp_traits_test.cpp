@@ -1,0 +1,209 @@
+// Compile-time machinery tests: kernel signature traits, const-reference
+// detection, stack layout, host/device type mapping, member detection, and
+// the constant_array extension.
+#include <gtest/gtest.h>
+
+#include "cupp/cupp.hpp"
+
+namespace {
+
+using cusim::KernelTask;
+using cusim::ThreadCtx;
+
+// --- kernel_traits / param_traits ---
+
+using K0 = KernelTask (*)(ThreadCtx&);
+using K3 = KernelTask (*)(ThreadCtx&, int, const float&, double&);
+
+static_assert(cupp::kernel_traits<K0>::arity == 0);
+static_assert(cupp::kernel_traits<K3>::arity == 3);
+static_assert(std::is_same_v<cupp::kernel_traits<K3>::arg<0>, int>);
+static_assert(std::is_same_v<cupp::kernel_traits<K3>::arg<1>, const float&>);
+static_assert(std::is_same_v<cupp::kernel_traits<K3>::arg<2>, double&>);
+
+static_assert(!cupp::param_traits<int>::is_reference);
+static_assert(cupp::param_traits<const float&>::is_reference);
+static_assert(cupp::param_traits<const float&>::is_const_reference);
+static_assert(cupp::param_traits<double&>::is_reference);
+static_assert(!cupp::param_traits<double&>::is_const_reference);
+static_assert(std::is_same_v<cupp::param_traits<const float&>::value_type, float>);
+
+static_assert(cupp::mutable_reference_count<K0>() == 0);
+static_assert(cupp::mutable_reference_count<K3>() == 1);
+
+using KAllMut = KernelTask (*)(ThreadCtx&, int&, float&, double&);
+static_assert(cupp::mutable_reference_count<KAllMut>() == 3);
+
+// --- stack layout ---
+
+TEST(Traits, StackOffsetsRespectAlignment) {
+    // [int][pad][DeviceAddr for double&][float by value]: the reference slot
+    // stores an 8-byte address and must be 8-aligned.
+    constexpr auto offs = cupp::detail::stack_offsets<int, double&, float>();
+    EXPECT_EQ(offs[0], 0u);
+    EXPECT_EQ(offs[1], 8u);   // aligned up from 4
+    EXPECT_EQ(offs[2], 16u);
+    EXPECT_EQ((cupp::detail::stack_size<int, double&, float>()), 20u);
+}
+
+TEST(Traits, ReferenceParamsStoreAnAddress) {
+    static_assert(std::is_same_v<cupp::detail::stored_t<int&>, cusim::DeviceAddr>);
+    static_assert(std::is_same_v<cupp::detail::stored_t<const int&>, cusim::DeviceAddr>);
+    static_assert(std::is_same_v<cupp::detail::stored_t<int>, int>);
+}
+
+// --- host/device type mapping (§4.5) ---
+
+struct DevThing {
+    int payload;
+    using device_type = DevThing;
+    using host_type = struct HostThing;
+};
+struct HostThing {
+    using device_type = DevThing;
+    using host_type = HostThing;
+    int value = 0;
+    explicit operator DevThing() const { return DevThing{value * 2}; }
+};
+
+static_assert(std::is_same_v<cupp::device_type_t<HostThing>, DevThing>);
+static_assert(std::is_same_v<cupp::host_type_t<DevThing>, HostThing>);
+static_assert(std::is_same_v<cupp::device_type_t<int>, int>);      // PODs map to themselves
+static_assert(std::is_same_v<cupp::host_type_t<float>, float>);
+
+// The 1:1 relation of §4.5, checked both ways.
+static_assert(std::is_same_v<cupp::device_type_t<cupp::host_type_t<DevThing>>, DevThing>);
+
+// --- member detection (§4.4) ---
+
+struct WithTransform {
+    using device_type = int;
+    int transform(const cupp::device&) const { return 7; }
+};
+struct Plain {};
+
+static_assert(cupp::has_transform<WithTransform>);
+static_assert(!cupp::has_transform<Plain>);
+static_assert(!cupp::has_dirty<Plain>);
+static_assert(!cupp::has_get_device_reference<Plain>);
+
+TEST(Traits, DefaultTransformIsStaticCast) {
+    cupp::device d;
+    HostThing h;
+    h.value = 21;
+    // No transform() member: the listing-4.5 default casts to device_type.
+    const DevThing dev = cupp::transform_for_device(h, d);
+    EXPECT_EQ(dev.payload, 42);
+}
+
+TEST(Traits, CustomTransformWins) {
+    cupp::device d;
+    WithTransform w;
+    EXPECT_EQ(cupp::transform_for_device(w, d), 7);
+}
+
+TEST(Traits, DefaultDirtyReplacesFromDevice) {
+    cupp::device d;
+    int value = 1;
+    cupp::device_reference<int> ref(d, 99);
+    cupp::apply_dirty(value, ref);
+    EXPECT_EQ(value, 99);
+}
+
+// --- device_reference ---
+
+TEST(DeviceReference, RoundTripAndSet) {
+    cupp::device d;
+    cupp::device_reference<double> ref(d, 2.5);
+    EXPECT_DOUBLE_EQ(ref.get(), 2.5);
+    ref.set(7.25);
+    EXPECT_DOUBLE_EQ(ref.get(), 7.25);
+}
+
+TEST(DeviceReference, SharedOwnershipFreesOnce) {
+    cupp::device d;
+    const auto used_before = d.sim().memory().used();
+    {
+        cupp::device_reference<int> a(d, 1);
+        auto b = a;  // shared
+        EXPECT_EQ(a.addr(), b.addr());
+        EXPECT_GT(d.sim().memory().used(), used_before);
+    }
+    EXPECT_EQ(d.sim().memory().used(), used_before);
+}
+
+// --- constant_array (future-work extension) ---
+
+KernelTask weighted_kernel(ThreadCtx& ctx, cusim::ConstantPtr<float> weights,
+                           cupp::deviceT::vector<float>& out) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < out.size()) {
+        out.write(ctx, gid, weights.read(ctx, gid % weights.size()) * 10.0f);
+    }
+    co_return;
+}
+
+TEST(ConstantArray, KernelReadsThroughTypeTransformation) {
+    static_assert(cupp::has_transform<cupp::constant_array<float>>);
+    static_assert(std::is_same_v<cupp::device_type_t<cupp::constant_array<float>>,
+                                 cusim::ConstantPtr<float>>);
+
+    cupp::device d;
+    cupp::constant_array<float> weights(d, {1.0f, 2.0f, 3.0f});
+    cupp::vector<float> out(6, 0.0f);
+    using F = KernelTask (*)(ThreadCtx&, cusim::ConstantPtr<float>,
+                             cupp::deviceT::vector<float>&);
+    cupp::kernel k(static_cast<F>(weighted_kernel), cusim::dim3{1}, cusim::dim3{32});
+    k(d, weights, out);
+    EXPECT_FLOAT_EQ(out[0], 10.0f);
+    EXPECT_FLOAT_EQ(out[1], 20.0f);
+    EXPECT_FLOAT_EQ(out[2], 30.0f);
+    EXPECT_FLOAT_EQ(out[3], 10.0f);
+}
+
+TEST(ConstantArray, HostUpdateReachesTheDevice) {
+    cupp::device d;
+    cupp::constant_array<float> weights(d, {5.0f});
+    EXPECT_FLOAT_EQ(weights[0], 5.0f);
+    weights.set(0, 9.0f);
+    cupp::vector<float> out(1, 0.0f);
+    using F = KernelTask (*)(ThreadCtx&, cusim::ConstantPtr<float>,
+                             cupp::deviceT::vector<float>&);
+    cupp::kernel k(static_cast<F>(weighted_kernel), cusim::dim3{1}, cusim::dim3{32});
+    k(d, weights, out);
+    EXPECT_FLOAT_EQ(out[0], 90.0f);
+}
+
+// --- texture-fetch mode on cupp::vector ---
+
+KernelTask tex_sum_kernel(ThreadCtx& ctx, const cupp::deviceT::vector<float>& v,
+                          cupp::deviceT::vector<float>& out) {
+    if (ctx.global_id() == 0) {
+        float sum = 0.0f;
+        for (std::uint64_t i = 0; i < v.size(); ++i) sum += v.read(ctx, i);
+        out.write(ctx, 0, sum);
+    }
+    co_return;
+}
+
+TEST(TextureVector, SameResultLessTraffic) {
+    cupp::device d;
+    cupp::vector<float> v(256, 2.0f);
+    cupp::vector<float> out(1, 0.0f);
+    using F = KernelTask (*)(ThreadCtx&, const cupp::deviceT::vector<float>&,
+                             cupp::deviceT::vector<float>&);
+    cupp::kernel k(static_cast<F>(tex_sum_kernel), cusim::dim3{1}, cusim::dim3{32});
+
+    k(d, v, out);
+    const auto plain_bytes = k.last_stats().bytes_read;
+    EXPECT_FLOAT_EQ(out[0], 512.0f);
+
+    v.set_texture_fetches(true);
+    out[0] = 0.0f;
+    k(d, v, out);
+    const auto tex_bytes = k.last_stats().bytes_read;
+    EXPECT_FLOAT_EQ(out[0], 512.0f);
+    EXPECT_LT(tex_bytes, plain_bytes / 2);
+}
+
+}  // namespace

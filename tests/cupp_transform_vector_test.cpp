@@ -1,0 +1,131 @@
+// cupp::vector with element-wise type transformation (§4.5/§4.6: "The type
+// transformation is not only done to the vector itself, but also to the
+// type of the values stored by the vector"), plus the proxy-class corner
+// cases of §4.6 footnote 4.
+#include <gtest/gtest.h>
+
+#include "cupp/cupp.hpp"
+#include "cusim/report.hpp"
+
+namespace {
+
+using cusim::KernelTask;
+using cusim::ThreadCtx;
+
+// Host element: double-precision complex-ish pair; device element: packed
+// floats — a miniature of the paper's host/device representation split.
+struct DevSample {
+    float value;
+    float weight;
+    using device_type = DevSample;
+    using host_type = struct HostSample;
+};
+
+struct HostSample {
+    using device_type = DevSample;
+    using host_type = HostSample;
+
+    double value = 0.0;
+    double weight = 1.0;
+
+    DevSample transform(const cupp::device&) const {
+        return DevSample{static_cast<float>(value), static_cast<float>(weight)};
+    }
+    explicit HostSample() = default;
+    HostSample(double v, double w) : value(v), weight(w) {}
+    explicit HostSample(const DevSample& d) : value(d.value), weight(d.weight) {}
+};
+
+KernelTask weighted_sum(ThreadCtx& ctx, const cupp::deviceT::vector<DevSample>& samples,
+                        cupp::deviceT::vector<float>& out) {
+    if (ctx.global_id() == 0) {
+        float sum = 0.0f;
+        for (std::uint64_t i = 0; i < samples.size(); ++i) {
+            const DevSample s = samples.read(ctx, i);
+            ctx.charge(cusim::Op::FMad);
+            sum += s.value * s.weight;
+        }
+        out.write(ctx, 0, sum);
+    }
+    co_return;
+}
+
+TEST(TransformedVector, ElementTypeIsTransformedOnUpload) {
+    static_assert(std::is_same_v<cupp::vector<HostSample>::device_type,
+                                 cupp::deviceT::vector<DevSample>>);
+
+    cupp::device d;
+    cupp::vector<HostSample> samples;
+    samples.push_back(HostSample{2.0, 3.0});
+    samples.push_back(HostSample{5.0, 1.0});
+    cupp::vector<float> out(1, 0.0f);
+
+    using F = KernelTask (*)(ThreadCtx&, const cupp::deviceT::vector<DevSample>&,
+                             cupp::deviceT::vector<float>&);
+    cupp::kernel k(static_cast<F>(weighted_sum), cusim::dim3{1}, cusim::dim3{32});
+    k(d, samples, out);
+    EXPECT_FLOAT_EQ(out[0], 2.0f * 3.0f + 5.0f * 1.0f);
+}
+
+TEST(TransformedVector, HostSideKeepsDoublePrecision) {
+    cupp::device d;
+    cupp::vector<HostSample> samples(1, HostSample{1.0000000001, 1.0});
+    // Host reads stay double precision (no device round trip happened).
+    EXPECT_DOUBLE_EQ(std::as_const(samples)[0].value, 1.0000000001);
+    (void)d;
+}
+
+// --- the proxy-class corner cases of §4.6 footnote 4 ---
+
+TEST(ProxyQuirks, AutoDeducesTheProxyNotTheValue) {
+    cupp::vector<int> v = {1, 2, 3};
+    // "Proxy classes mimic the classes they are representing, but are not
+    // identical. Therefore they behave differently in some rather rare
+    // situations."
+    auto p = v[0];  // deduces cupp::vector<int>::reference, not int!
+    static_assert(std::is_same_v<decltype(p), cupp::vector<int>::reference>);
+    const int value = p;  // but converts on demand
+    EXPECT_EQ(value, 1);
+
+    // Writing through the held proxy still works and marks the state.
+    p = 42;
+    EXPECT_EQ(static_cast<int>(v[0]), 42);
+}
+
+TEST(ProxyQuirks, ProxyToProxyAssignmentCopiesTheValue) {
+    cupp::vector<int> v = {7, 0};
+    v[1] = v[0];  // proxy = proxy
+    EXPECT_EQ(static_cast<int>(v[1]), 7);
+}
+
+TEST(ProxyQuirks, ConstAccessReturnsPlainReferences) {
+    const cupp::vector<int> v = {1, 2, 3};
+    static_assert(std::is_same_v<decltype(v[0]), const int&>);
+    EXPECT_EQ(v[1], 2);
+}
+
+// --- launch report sanity ---
+
+KernelTask bandwidth_hog(ThreadCtx& ctx, cusim::DevicePtr<float> data) {
+    for (int i = 0; i < 200; ++i) {
+        (void)data.read(ctx, (ctx.global_id() * 7 + i) % data.size());
+    }
+    co_return;
+}
+
+TEST(LaunchReport, ClassifiesAndDescribes) {
+    cusim::Device dev(cusim::tiny_properties());
+    auto data = dev.malloc_n<float>(1024);
+    const auto stats =
+        dev.launch(cusim::LaunchConfig{cusim::dim3{8}, cusim::dim3{128}},
+                   [&](ThreadCtx& ctx) { return bandwidth_hog(ctx, data); });
+    const auto& cm = dev.properties().cost;
+    const std::string text = cusim::describe(stats, cm);
+    EXPECT_NE(text.find("ms"), std::string::npos);
+    EXPECT_NE(text.find("MiB read"), std::string::npos);
+    // 200 dependent global reads per thread and barely any arithmetic:
+    // that is not compute-bound.
+    EXPECT_NE(cusim::bound_by(stats, cm), cusim::BoundBy::Compute);
+}
+
+}  // namespace

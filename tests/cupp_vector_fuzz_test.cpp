@@ -1,0 +1,166 @@
+// Property/fuzz test of the lazy-copying state machine: a random sequence
+// of host operations and kernel calls against a plain std::vector oracle.
+// Whatever the interleaving of reads, writes, resizes, copies and device
+// round-trips, the cupp::vector must always observe the oracle's content.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cupp/cupp.hpp"
+#include "steer/lcg.hpp"
+
+namespace {
+
+using cusim::KernelTask;
+using cusim::ThreadCtx;
+
+KernelTask add_one(ThreadCtx& ctx, cupp::deviceT::vector<int>& v) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < v.size()) v.write(ctx, gid, v.read(ctx, gid) + 1);
+    co_return;
+}
+using AddK = KernelTask (*)(ThreadCtx&, cupp::deviceT::vector<int>&);
+
+KernelTask sum_into(ThreadCtx& ctx, const cupp::deviceT::vector<int>& v,
+                    cupp::deviceT::vector<long>& out) {
+    if (ctx.global_id() == 0) {
+        long sum = 0;
+        for (std::uint64_t i = 0; i < v.size(); ++i) sum += v.read(ctx, i);
+        out.write(ctx, 0, sum);
+    }
+    co_return;
+}
+using SumK =
+    KernelTask (*)(ThreadCtx&, const cupp::deviceT::vector<int>&, cupp::deviceT::vector<long>&);
+
+class VectorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VectorFuzz, MatchesOracleUnderRandomOperations) {
+    steer::Lcg rng(GetParam());
+    cupp::device d;
+    cupp::kernel add_k(static_cast<AddK>(add_one), cusim::dim3{8}, cusim::dim3{64});
+    cupp::kernel sum_k(static_cast<SumK>(sum_into), cusim::dim3{1}, cusim::dim3{32});
+
+    cupp::vector<int> v;
+    std::vector<int> oracle;
+    cupp::vector<long> out = {0};
+
+    for (int step = 0; step < 300; ++step) {
+        switch (rng.next_u32() % 8) {
+            case 0: {  // push_back
+                const int x = static_cast<int>(rng.next_u32() % 1000);
+                v.push_back(x);
+                oracle.push_back(x);
+                break;
+            }
+            case 1: {  // pop_back
+                if (!oracle.empty()) {
+                    v.pop_back();
+                    oracle.pop_back();
+                }
+                break;
+            }
+            case 2: {  // proxy write
+                if (!oracle.empty()) {
+                    const auto i = rng.next_u32() % oracle.size();
+                    const int x = static_cast<int>(rng.next_u32() % 1000);
+                    v[i] = x;
+                    oracle[i] = x;
+                }
+                break;
+            }
+            case 3: {  // proxy read
+                if (!oracle.empty()) {
+                    const auto i = rng.next_u32() % oracle.size();
+                    ASSERT_EQ(static_cast<int>(v[i]), oracle[i]) << "step " << step;
+                }
+                break;
+            }
+            case 4: {  // mutating kernel (only when the grid covers the data)
+                if (!oracle.empty() && oracle.size() <= 512) {
+                    add_k(d, v);
+                    for (auto& x : oracle) ++x;
+                }
+                break;
+            }
+            case 5: {  // read-only kernel
+                if (oracle.size() <= 512) {
+                    sum_k(d, v, out);
+                    long expect = 0;
+                    for (const int x : oracle) expect += x;
+                    ASSERT_EQ(static_cast<long>(out[0]), expect) << "step " << step;
+                }
+                break;
+            }
+            case 6: {  // resize
+                const auto n = rng.next_u32() % 64;
+                v.resize(n);
+                oracle.resize(n);
+                break;
+            }
+            case 7: {  // copy and swap in
+                cupp::vector<int> copy(v);
+                v = copy;
+                break;
+            }
+        }
+        ASSERT_EQ(v.size(), oracle.size()) << "step " << step;
+    }
+
+    // Full final comparison.
+    const auto snap = v.snapshot();
+    EXPECT_EQ(snap, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorFuzz,
+                         ::testing::Values(1ull, 7ull, 42ull, 2009ull, 31337ull));
+
+class AllocatorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorFuzz, NeverCorruptsLiveAllocations) {
+    steer::Lcg rng(GetParam());
+    cusim::GlobalMemory mem(1 << 20);
+
+    struct Live {
+        cusim::DeviceAddr addr;
+        std::uint32_t size;
+        std::uint8_t fill;
+    };
+    std::vector<Live> live;
+
+    for (int step = 0; step < 2000; ++step) {
+        const bool do_alloc = live.empty() || (rng.next_u32() % 2 == 0);
+        if (do_alloc) {
+            const std::uint32_t size = 1 + rng.next_u32() % 4096;
+            cusim::DeviceAddr addr;
+            try {
+                addr = mem.allocate(size);
+            } catch (const cusim::Error&) {
+                continue;  // exhausted: fine, frees will follow
+            }
+            const auto fill = static_cast<std::uint8_t>(rng.next_u32());
+            std::vector<std::uint8_t> data(size, fill);
+            mem.write(addr, data.data(), size);
+            live.push_back({addr, size, fill});
+        } else {
+            const auto i = rng.next_u32() % live.size();
+            // Verify content survived all the churn, then free.
+            std::vector<std::uint8_t> data(live[i].size);
+            mem.read(live[i].addr, data.data(), live[i].size);
+            for (const auto b : data) ASSERT_EQ(b, live[i].fill) << "step " << step;
+            mem.free(live[i].addr);
+            live[i] = live.back();
+            live.pop_back();
+        }
+    }
+    for (const auto& l : live) mem.free(l.addr);
+    EXPECT_EQ(mem.used(), 0u);
+    EXPECT_EQ(mem.allocation_count(), 0u);
+    // After everything is freed the space must have coalesced back.
+    const auto big = mem.allocate((1 << 20) - 256);
+    mem.free(big);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorFuzz, ::testing::Values(3ull, 99ull, 12345ull));
+
+}  // namespace

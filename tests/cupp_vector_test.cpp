@@ -1,0 +1,224 @@
+// cupp::vector lazy-memory-copying tests (§4.6): the four-rule state
+// machine, the write-detecting proxy, STL behaviour, and nested vectors.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cupp/cupp.hpp"
+
+namespace {
+
+using cusim::KernelTask;
+using cusim::ThreadCtx;
+
+KernelTask double_elements(ThreadCtx& ctx, cupp::deviceT::vector<int>& v) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < v.size()) {
+        v.write(ctx, gid, v.read(ctx, gid) * 2);
+    }
+    co_return;
+}
+using DoubleK = KernelTask (*)(ThreadCtx&, cupp::deviceT::vector<int>&);
+
+KernelTask sum_elements(ThreadCtx& ctx, const cupp::deviceT::vector<int>& v,
+                        cupp::deviceT::vector<long>& out) {
+    if (ctx.global_id() == 0) {
+        long sum = 0;
+        for (std::uint64_t i = 0; i < v.size(); ++i) sum += v.read(ctx, i);
+        out.write(ctx, 0, sum);
+    }
+    co_return;
+}
+using SumK =
+    KernelTask (*)(ThreadCtx&, const cupp::deviceT::vector<int>&, cupp::deviceT::vector<long>&);
+
+TEST(Vector, StlBasics) {
+    cupp::vector<int> v;
+    EXPECT_TRUE(v.empty());
+    v.push_back(1);
+    v.push_back(2);
+    v.push_back(3);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(static_cast<int>(v[1]), 2);
+    EXPECT_EQ(v.front(), 1);
+    EXPECT_EQ(v.back(), 3);
+    v.pop_back();
+    EXPECT_EQ(v.size(), 2u);
+    v.resize(5);
+    EXPECT_EQ(v.size(), 5u);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(Vector, IterationAndConstruction) {
+    std::vector<int> src(10);
+    std::iota(src.begin(), src.end(), 1);
+    cupp::vector<int> v(src.begin(), src.end());
+    int sum = 0;
+    for (int x : v) sum += x;
+    EXPECT_EQ(sum, 55);
+
+    cupp::vector<int> filled(4, 7);
+    EXPECT_EQ(filled.size(), 4u);
+    EXPECT_EQ(static_cast<int>(filled[3]), 7);
+}
+
+TEST(Vector, KernelRoundTripThroughReference) {
+    cupp::device d;
+    cupp::vector<int> v = {1, 2, 3, 4, 5};
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{1}, cusim::dim3{32});
+    k(d, v);
+    EXPECT_EQ(static_cast<int>(v[0]), 2);
+    EXPECT_EQ(static_cast<int>(v[4]), 10);
+}
+
+TEST(Vector, LazyCopying_NoReuploadBetweenKernels) {
+    // "the developer may pass a vector directly to one or multiple kernels
+    // [...] the memory is only transferred if it is really needed" (§4.6).
+    cupp::device d;
+    cupp::vector<int> v(256, 1);
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{8}, cusim::dim3{32});
+
+    k(d, v);
+    EXPECT_EQ(v.uploads(), 1u);
+    k(d, v);
+    k(d, v);
+    // Host never touched the data: still exactly one upload.
+    EXPECT_EQ(v.uploads(), 1u);
+    EXPECT_EQ(v.downloads(), 0u);
+
+    // First host read triggers exactly one download.
+    EXPECT_EQ(static_cast<int>(v[0]), 8);
+    EXPECT_EQ(v.downloads(), 1u);
+    // More reads are free.
+    EXPECT_EQ(static_cast<int>(v[255]), 8);
+    EXPECT_EQ(v.downloads(), 1u);
+}
+
+TEST(Vector, ConstReferencePassDoesNotMarkHostStale) {
+    cupp::device d;
+    cupp::vector<int> v(64, 3);
+    cupp::vector<long> out = {0};
+    cupp::kernel k(static_cast<SumK>(sum_elements), cusim::dim3{1}, cusim::dim3{32});
+    k(d, v, out);
+    EXPECT_EQ(static_cast<long>(out[0]), 64 * 3);
+    EXPECT_TRUE(v.host_data_valid());  // const ref: no dirty() call
+    EXPECT_EQ(v.downloads(), 0u);
+}
+
+TEST(Vector, HostWriteInvalidatesDeviceCopy) {
+    cupp::device d;
+    cupp::vector<int> v(32, 1);
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{1}, cusim::dim3{32});
+    k(d, v);
+    EXPECT_EQ(v.uploads(), 1u);
+
+    v[0] = 99;  // proxy write: host touched -> device stale
+    EXPECT_FALSE(v.device_data_valid());
+    k(d, v);
+    EXPECT_EQ(v.uploads(), 2u);  // re-upload was required
+    EXPECT_EQ(static_cast<int>(v[0]), 198);
+    EXPECT_EQ(static_cast<int>(v[1]), 4);  // doubled twice
+}
+
+TEST(Vector, ProxyReadDoesNotInvalidateDevice) {
+    cupp::device d;
+    cupp::vector<int> v(32, 5);
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{1}, cusim::dim3{32});
+    k(d, v);
+    const int x = v[7];  // proxy read only
+    EXPECT_EQ(x, 10);
+    EXPECT_TRUE(v.device_data_valid());
+    k(d, v);
+    EXPECT_EQ(v.uploads(), 1u);  // read did not force a re-upload
+}
+
+TEST(Vector, CopyHasItsOwnDataset) {
+    cupp::device d;
+    cupp::vector<int> v = {1, 2, 3};
+    cupp::vector<int> copy(v);
+    copy[0] = 42;
+    EXPECT_EQ(static_cast<int>(v[0]), 1);
+    EXPECT_EQ(static_cast<int>(copy[0]), 42);
+
+    // Copying a device-resident vector snapshots the device data.
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{1}, cusim::dim3{32});
+    k(d, v);
+    cupp::vector<int> copy2(v);
+    EXPECT_EQ(static_cast<int>(copy2[1]), 4);
+}
+
+TEST(Vector, PassByValueDoesNotReflectChanges) {
+    // §6.2.1: "Changes done by the kernel are only reflected back, when an
+    // argument is passed as a reference." By value, the kernel works on a
+    // copy's device buffer.
+    cupp::device d;
+    cupp::vector<int> v = {1, 2, 3};
+
+    // Kernel taking the handle *by value*.
+    struct Local {
+        static KernelTask by_value(ThreadCtx& ctx, cupp::deviceT::vector<int> handle) {
+            const std::uint64_t gid = ctx.global_id();
+            if (gid < handle.size()) handle.write(ctx, gid, 100);
+            co_return;
+        }
+    };
+    cupp::kernel k(
+        static_cast<KernelTask (*)(ThreadCtx&, cupp::deviceT::vector<int>)>(Local::by_value),
+        cusim::dim3{1}, cusim::dim3{32});
+    k(d, v);
+    EXPECT_EQ(static_cast<int>(v[0]), 1);  // original untouched
+}
+
+KernelTask nested_sum(ThreadCtx& ctx,
+                      const cupp::deviceT::vector<cupp::deviceT::vector<int>>& vv,
+                      cupp::deviceT::vector<int>& out) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < vv.size()) {
+        const auto inner = vv.read(ctx, gid);
+        int sum = 0;
+        for (std::uint64_t i = 0; i < inner.size(); ++i) sum += inner.read(ctx, i);
+        out.write(ctx, gid, sum);
+    }
+    co_return;
+}
+
+TEST(Vector, NestedVectorReachesDevice) {
+    // §4.6: "This kind of transformation makes it possible to pass e.g. a
+    // two dimensional vector (vector<vector<T>>) to a kernel."
+    static_assert(std::is_same_v<cupp::vector<cupp::vector<int>>::device_type,
+                                 cupp::deviceT::vector<cupp::deviceT::vector<int>>>);
+
+    cupp::device d;
+    cupp::vector<cupp::vector<int>> vv;
+    vv.push_back(cupp::vector<int>{1, 2, 3});
+    vv.push_back(cupp::vector<int>{10, 20});
+    vv.push_back(cupp::vector<int>{});
+    cupp::vector<int> out(3, -1);
+
+    using F = KernelTask (*)(ThreadCtx&, const cupp::deviceT::vector<cupp::deviceT::vector<int>>&,
+                             cupp::deviceT::vector<int>&);
+    cupp::kernel k(static_cast<F>(nested_sum), cusim::dim3{1}, cusim::dim3{32});
+    k(d, vv, out);
+    EXPECT_EQ(static_cast<int>(out[0]), 6);
+    EXPECT_EQ(static_cast<int>(out[1]), 30);
+    EXPECT_EQ(static_cast<int>(out[2]), 0);
+}
+
+TEST(Vector, MoveLeavesSourceEmpty) {
+    cupp::vector<int> v = {1, 2, 3};
+    cupp::vector<int> w(std::move(v));
+    EXPECT_EQ(w.size(), 3u);
+    cupp::vector<int> u;
+    u = std::move(w);
+    EXPECT_EQ(u.size(), 3u);
+    EXPECT_EQ(static_cast<int>(u[2]), 3);
+}
+
+TEST(Vector, AtThrowsOutOfRange) {
+    cupp::vector<int> v = {1};
+    EXPECT_EQ(v.at(0), 1);
+    EXPECT_THROW((void)v.at(1), cupp::usage_error);
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Engine stress and edge-case tests: extreme geometries, partial warps,
+// many barrier rounds, multiple shared arrays, inter-thread communication
+// patterns, and kernel-argument plumbing through the trampoline layer.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cusim/cusim.hpp"
+
+namespace {
+
+using namespace cusim;
+
+KernelTask count_me(ThreadCtx& ctx, DevicePtr<std::uint32_t> counter) {
+    // Serialised execution in the engine makes this race-free; on real
+    // hardware this would need an atomic (which compute capability 1.0
+    // lacks — §3.2.1 mentions atomics as an optional capability).
+    counter.write(ctx, 0, counter.read(ctx, 0) + 1);
+    co_return;
+}
+
+class GeometrySweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned, unsigned>> {};
+
+TEST_P(GeometrySweep, EveryThreadRunsExactlyOnce) {
+    const auto [gx, gy, threads] = GetParam();
+    Device dev(tiny_properties());
+    auto counter = dev.malloc_n<std::uint32_t>(1);
+    const std::uint32_t zero = 0;
+    dev.copy_to_device(counter.addr(), &zero, 4);
+
+    LaunchConfig cfg{dim3{gx, gy}, dim3{threads}};
+    auto stats =
+        dev.launch(cfg, [&](ThreadCtx& ctx) { return count_me(ctx, counter); });
+    std::uint32_t total = 0;
+    dev.copy_to_host(&total, counter.addr(), 4);
+    EXPECT_EQ(total, cfg.total_threads());
+    EXPECT_EQ(stats.threads, cfg.total_threads());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GeometrySweep,
+                         ::testing::Values(std::tuple{1u, 1u, 1u},          // minimal
+                                           std::tuple{1u, 1u, 512u},        // max block
+                                           std::tuple{7u, 3u, 33u},         // partial warps
+                                           std::tuple{1u, 16u, 64u},        // y-heavy grid
+                                           std::tuple{100u, 1u, 17u}));
+
+KernelTask dim3_block_kernel(ThreadCtx& ctx, DevicePtr<std::uint32_t> out) {
+    // 3-dimensional thread indexing (§2.2: threads are 1-, 2- or 3-dim).
+    const auto& t = ctx.thread_idx();
+    const auto& b = ctx.block_dim();
+    const unsigned linear = t.x + b.x * (t.y + b.y * t.z);
+    EXPECT_EQ(linear, ctx.linear_tid());
+    out.write(ctx, ctx.global_id(), linear);
+    co_return;
+}
+
+TEST(EngineStress, ThreeDimensionalBlocks) {
+    Device dev(tiny_properties());
+    LaunchConfig cfg{dim3{2}, dim3{4, 4, 4}};  // 64 threads, 3-dim
+    auto out = dev.malloc_n<std::uint32_t>(cfg.total_threads());
+    dev.launch(cfg, [&](ThreadCtx& ctx) { return dim3_block_kernel(ctx, out); });
+    std::vector<std::uint32_t> host(cfg.total_threads());
+    dev.download(std::span<std::uint32_t>(host), out);
+    for (unsigned block = 0; block < 2; ++block) {
+        for (unsigned i = 0; i < 64; ++i) EXPECT_EQ(host[block * 64 + i], i);
+    }
+}
+
+KernelTask rotate_kernel(ThreadCtx& ctx, DevicePtr<std::uint32_t> data, int rounds) {
+    // Block-wide rotation through shared memory: each round every thread
+    // passes its value to the next lane. Exercises many barrier rounds.
+    auto s = ctx.shared_array<std::uint32_t>(ctx.block_dim().x);
+    const unsigned tid = ctx.thread_idx().x;
+    const unsigned n = ctx.block_dim().x;
+    std::uint32_t value = data.read(ctx, ctx.global_id());
+    for (int r = 0; r < rounds; ++r) {
+        s.write(ctx, tid, value);
+        co_await ctx.syncthreads();
+        value = s.read(ctx, (tid + n - 1) % n);
+        co_await ctx.syncthreads();
+    }
+    data.write(ctx, ctx.global_id(), value);
+    co_return;
+}
+
+TEST(EngineStress, ManyBarrierRoundsRotateCorrectly) {
+    Device dev(tiny_properties());
+    constexpr unsigned kThreads = 96;
+    constexpr int kRounds = 100;
+    std::vector<std::uint32_t> init(kThreads);
+    std::iota(init.begin(), init.end(), 0);
+    auto data = dev.malloc_n<std::uint32_t>(kThreads);
+    dev.upload(data, std::span<const std::uint32_t>(init));
+
+    LaunchConfig cfg{dim3{1}, dim3{kThreads}};
+    cfg.shared_bytes = kThreads * sizeof(std::uint32_t);
+    auto stats =
+        dev.launch(cfg, [&](ThreadCtx& ctx) { return rotate_kernel(ctx, data, kRounds); });
+    EXPECT_EQ(stats.syncthreads_count, 2u * kRounds);
+
+    std::vector<std::uint32_t> result(kThreads);
+    dev.download(std::span<std::uint32_t>(result), data);
+    for (unsigned i = 0; i < kThreads; ++i) {
+        // After 100 single-step rotations the value from lane (i - 100) mod n
+        // arrives at lane i.
+        EXPECT_EQ(result[i], (i + kThreads - kRounds % kThreads) % kThreads);
+    }
+}
+
+KernelTask two_arrays_kernel(ThreadCtx& ctx, DevicePtr<float> out) {
+    // Two shared arrays with different types must not overlap, and every
+    // thread must see the same carving.
+    auto a = ctx.shared_array<std::uint8_t>(13);  // odd size: forces padding
+    auto b = ctx.shared_array<double>(4);
+    const unsigned tid = ctx.thread_idx().x;
+    if (tid == 0) {
+        for (unsigned i = 0; i < 13; ++i) a.write(ctx, i, static_cast<std::uint8_t>(i));
+        for (unsigned i = 0; i < 4; ++i) b.write(ctx, i, i * 1.5);
+    }
+    co_await ctx.syncthreads();
+    if (tid == 1) {
+        float sum = 0.0f;
+        for (unsigned i = 0; i < 13; ++i) sum += a.read(ctx, i);
+        for (unsigned i = 0; i < 4; ++i) sum += static_cast<float>(b.read(ctx, i));
+        out.write(ctx, 0, sum);
+    }
+    co_return;
+}
+
+TEST(EngineStress, MultipleSharedArraysWithPadding) {
+    Device dev(tiny_properties());
+    auto out = dev.malloc_n<float>(1);
+    LaunchConfig cfg{dim3{1}, dim3{32}};
+    cfg.shared_bytes = 64;
+    dev.launch(cfg, [&](ThreadCtx& ctx) { return two_arrays_kernel(ctx, out); });
+    float sum = 0.0f;
+    dev.copy_to_host(&sum, out.addr(), 4);
+    EXPECT_FLOAT_EQ(sum, 78.0f + 9.0f);  // 0..12 summed + (0+1.5+3+4.5)
+}
+
+TEST(EngineStress, SharedArrayOverflowDiagnosed) {
+    Device dev(tiny_properties());
+    LaunchConfig cfg{dim3{1}, dim3{1}};
+    cfg.shared_bytes = 16;
+    auto entry = [](ThreadCtx& ctx) -> KernelTask {
+        (void)ctx.shared_array<double>(3);  // 24 bytes > 16
+        co_return;
+    };
+    EXPECT_THROW(dev.launch(cfg, entry), Error);
+}
+
+KernelTask grid_edge_kernel(ThreadCtx& ctx, DevicePtr<std::uint32_t> out) {
+    if (ctx.block_idx().x == ctx.grid_dim().x - 1 && ctx.thread_idx().x == 0) {
+        out.write(ctx, 0, ctx.block_idx().x);
+    }
+    co_return;
+}
+
+TEST(EngineStress, WideGridsExecute) {
+    // 4096 single-thread blocks: scheduling pressure on the wave model.
+    Device dev(tiny_properties());
+    auto out = dev.malloc_n<std::uint32_t>(1);
+    LaunchConfig cfg{dim3{4096}, dim3{1}};
+    auto stats =
+        dev.launch(cfg, [&](ThreadCtx& ctx) { return grid_edge_kernel(ctx, out); });
+    EXPECT_EQ(stats.blocks, 4096u);
+    std::uint32_t last = 0;
+    dev.copy_to_host(&last, out.addr(), 4);
+    EXPECT_EQ(last, 4095u);
+}
+
+TEST(EngineStress, LaunchesAccumulateOnTheDeviceTimeline) {
+    Device dev(tiny_properties());
+    // Long enough that the device is still busy when the host issues the
+    // next launch (the host only pays ~8us of launch overhead per call).
+    auto entry = [](ThreadCtx& ctx) -> KernelTask {
+        ctx.charge(Op::FAdd, 1'000'000);
+        co_return;
+    };
+    LaunchConfig cfg{dim3{1}, dim3{32}};
+    const auto s1 = dev.launch(cfg, entry);
+    const double busy1 = dev.device_free_at();
+    EXPECT_TRUE(dev.kernel_active());
+    const auto s2 = dev.launch(cfg, entry);
+    EXPECT_DOUBLE_EQ(s1.device_seconds, s2.device_seconds);
+    // Back-to-back launches queue: the second starts when the first ends.
+    EXPECT_NEAR(dev.device_free_at(), busy1 + s2.device_seconds, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Pitched (2D) device memory tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cusim/cusim.hpp"
+
+namespace {
+
+using namespace cusim;
+
+TEST(PitchedMemory, PitchIsAlignedAndCoversRows) {
+    Device dev(tiny_properties());
+    auto m = malloc_pitched<float>(dev, 100, 10);  // 400-byte rows
+    EXPECT_EQ(m.width(), 100u);
+    EXPECT_EQ(m.height(), 10u);
+    EXPECT_EQ(m.pitch() % 256, 0u);
+    EXPECT_GE(m.pitch(), 100 * sizeof(float));
+}
+
+TEST(PitchedMemory, HostRoundTripSkipsPadding) {
+    Device dev(tiny_properties());
+    constexpr std::uint64_t kW = 33, kH = 7;  // odd width: padding guaranteed
+    auto m = malloc_pitched<int>(dev, kW, kH);
+    std::vector<int> host(kW * kH);
+    std::iota(host.begin(), host.end(), 0);
+    copy_to_pitched(dev, m, host.data());
+    std::vector<int> back(kW * kH, -1);
+    copy_from_pitched(dev, back.data(), m);
+    EXPECT_EQ(back, host);
+}
+
+KernelTask transpose_kernel(ThreadCtx& ctx, PitchedPtr<int> in, PitchedPtr<int> out) {
+    const std::uint64_t gid = ctx.global_id();
+    const std::uint64_t row = gid / in.width();
+    const std::uint64_t col = gid % in.width();
+    if (row < in.height()) {
+        out.write(ctx, col, row, in.read(ctx, row, col));
+    }
+    co_return;
+}
+
+TEST(PitchedMemory, DeviceSideTranspose) {
+    Device dev(tiny_properties());
+    constexpr std::uint64_t kW = 16, kH = 8;
+    auto in = malloc_pitched<int>(dev, kW, kH);
+    auto out = malloc_pitched<int>(dev, kH, kW);
+    std::vector<int> host(kW * kH);
+    std::iota(host.begin(), host.end(), 0);
+    copy_to_pitched(dev, in, host.data());
+
+    LaunchConfig cfg{dim3{4}, dim3{32}};  // 128 threads = kW*kH
+    dev.launch(cfg, [&](ThreadCtx& ctx) { return transpose_kernel(ctx, in, out); });
+
+    std::vector<int> back(kW * kH);
+    copy_from_pitched(dev, back.data(), out);
+    for (std::uint64_t r = 0; r < kH; ++r) {
+        for (std::uint64_t c = 0; c < kW; ++c) {
+            EXPECT_EQ(back[c * kH + r], host[r * kW + c]);
+        }
+    }
+}
+
+KernelTask row_oob_kernel(ThreadCtx& ctx, PitchedPtr<int> m) {
+    (void)m.read(ctx, m.height(), 0);
+    co_return;
+}
+
+KernelTask col_oob_kernel(ThreadCtx& ctx, PitchedPtr<int> m) {
+    (void)m.read(ctx, 0, m.width());
+    co_return;
+}
+
+TEST(PitchedMemory, OutOfRangeAccessDiagnosed) {
+    Device dev(tiny_properties());
+    auto m = malloc_pitched<int>(dev, 8, 4);
+    LaunchConfig cfg{dim3{1}, dim3{1}};
+    EXPECT_THROW(dev.launch(cfg, [&](ThreadCtx& ctx) { return row_oob_kernel(ctx, m); }),
+                 Error);
+    EXPECT_THROW(dev.launch(cfg, [&](ThreadCtx& ctx) { return col_oob_kernel(ctx, m); }),
+                 Error);
+}
+
+TEST(PitchedMemory, RowsCoalesceRegardlessOfWidth) {
+    // The point of pitching: 12-byte rows of Vec3-like data would be
+    // uncoalesced in flat layout; pitched rows start aligned, and the
+    // element type here is 4-byte, so every access is coalesced.
+    Device dev(tiny_properties());
+    auto m = malloc_pitched<float>(dev, 3, 4);
+    auto entry = [&](ThreadCtx& ctx) -> KernelTask {
+        (void)m.read(ctx, 1, 0);
+        co_return;
+    };
+    const auto stats = dev.launch(LaunchConfig{dim3{1}, dim3{1}}, entry);
+    EXPECT_EQ(stats.bytes_read, sizeof(float));
+}
+
+}  // namespace

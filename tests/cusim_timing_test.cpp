@@ -1,0 +1,235 @@
+// Tests of the performance model: occupancy limits, the three lower bounds
+// of the wave-time model, latency hiding, coalescing charges, and the
+// cached read-only paths (constant + texture memory).
+#include <gtest/gtest.h>
+
+#include "cusim/cusim.hpp"
+
+namespace {
+
+using namespace cusim;
+
+// --- occupancy (blocks per multiprocessor) ---
+
+TEST(Occupancy, LimitedByMaxBlocks) {
+    CostModel cm;
+    LaunchConfig cfg{dim3{100}, dim3{32}};
+    cfg.regs_per_thread = 1;
+    EXPECT_EQ(blocks_per_mp(cm, cfg), cm.max_blocks_per_mp);
+}
+
+TEST(Occupancy, LimitedBySharedMemory) {
+    CostModel cm;  // 16 KiB shared per MP
+    LaunchConfig cfg{dim3{100}, dim3{32}};
+    cfg.regs_per_thread = 1;
+    cfg.shared_bytes = 6 * 1024;
+    EXPECT_EQ(blocks_per_mp(cm, cfg), 2u);  // 16/6
+    cfg.shared_bytes = 16 * 1024;
+    EXPECT_EQ(blocks_per_mp(cm, cfg), 1u);
+    cfg.shared_bytes = 17 * 1024;
+    EXPECT_THROW(blocks_per_mp(cm, cfg), Error);
+}
+
+TEST(Occupancy, LimitedByRegisters) {
+    CostModel cm;  // 8192 registers per MP
+    LaunchConfig cfg{dim3{100}, dim3{128}};
+    cfg.regs_per_thread = 16;  // 2048 per block
+    EXPECT_EQ(blocks_per_mp(cm, cfg), 4u);
+    cfg.regs_per_thread = 64;  // 8192 per block
+    EXPECT_EQ(blocks_per_mp(cm, cfg), 1u);
+    cfg.regs_per_thread = 65;
+    EXPECT_THROW(blocks_per_mp(cm, cfg), Error);
+}
+
+// --- the wave-time model ---
+
+BlockCost make_cost(std::uint64_t compute, std::uint64_t stall, std::uint64_t bytes,
+                    unsigned warps) {
+    BlockCost c;
+    c.compute_cycles = compute;
+    c.stall_cycles = stall;
+    c.max_warp_busy = compute / warps + stall / warps;
+    c.bytes = bytes;
+    c.warps = warps;
+    return c;
+}
+
+TEST(TimingModel, ComputeBoundGridScalesWithIssueWork) {
+    CostModel cm;
+    LaunchConfig cfg{dim3{12}, dim3{128}};  // one block per MP
+    std::vector<BlockCost> blocks(12, make_cost(1'000'000, 0, 0, 4));
+    const double t = model_grid_seconds(cm, cfg, blocks, nullptr);
+    EXPECT_NEAR(t, 1'000'000 / cm.core_clock_hz, 1e-9);
+
+    // Twice the work, twice the time.
+    std::vector<BlockCost> heavier(12, make_cost(2'000'000, 0, 0, 4));
+    EXPECT_NEAR(model_grid_seconds(cm, cfg, heavier, nullptr), 2 * t, 1e-9);
+}
+
+TEST(TimingModel, BandwidthBoundGridScalesWithTraffic) {
+    CostModel cm;
+    LaunchConfig cfg{dim3{12}, dim3{128}};
+    const std::uint64_t bytes = 100 * 1024 * 1024;
+    std::vector<BlockCost> blocks(12, make_cost(1000, 0, bytes, 4));
+    const double t = model_grid_seconds(cm, cfg, blocks, nullptr);
+    const double expected = bytes / cm.bytes_per_cycle_per_mp() / cm.core_clock_hz;
+    EXPECT_NEAR(t, expected, expected * 1e-9);
+}
+
+TEST(TimingModel, SingleWarpPaysItsFullLatencyChain) {
+    CostModel cm;
+    LaunchConfig cfg{dim3{1}, dim3{32}};
+    BlockCost c = make_cost(1000, 500'000, 0, 1);
+    const double t = model_grid_seconds(cm, cfg, {c}, nullptr);
+    EXPECT_NEAR(t, (1000 + 500'000) / cm.core_clock_hz, 1e-9);
+}
+
+TEST(TimingModel, ManyWarpsHideEachOthersLatency) {
+    // 16 warps with the same per-warp chain: the MP overlaps their stalls,
+    // so total time is far below the serialised sum.
+    CostModel cm;
+    LaunchConfig cfg{dim3{1}, dim3{512}};
+    BlockCost c;
+    c.warps = 16;
+    c.compute_cycles = 16 * 1000;
+    c.stall_cycles = 16 * 50'000;
+    c.max_warp_busy = 1000 + 50'000;
+    c.bytes = 0;
+    const double t = model_grid_seconds(cm, cfg, {c}, nullptr);
+    EXPECT_NEAR(t, (1000 + 50'000) / cm.core_clock_hz, 1e-9);   // one chain
+    EXPECT_LT(t, 16 * 50'000 / cm.core_clock_hz);               // not the sum
+}
+
+TEST(TimingModel, MoreMultiprocessorsMeansFasterGrids) {
+    CostModel cm12;
+    CostModel cm2 = cm12;
+    cm2.multiprocessors = 2;
+    LaunchConfig cfg{dim3{24}, dim3{128}};
+    std::vector<BlockCost> blocks(24, make_cost(1'000'000, 0, 0, 4));
+    const double t12 = model_grid_seconds(cm12, cfg, blocks, nullptr);
+    const double t2 = model_grid_seconds(cm2, cfg, blocks, nullptr);
+    EXPECT_NEAR(t2 / t12, 6.0, 0.01);
+}
+
+TEST(TimingModel, WavesAccumulate) {
+    // 24 identical single-warp-heavy blocks on 12 MPs with room for only
+    // one block per MP per wave -> exactly two waves.
+    CostModel cm;
+    LaunchConfig cfg{dim3{24}, dim3{128}};
+    cfg.shared_bytes = 16 * 1024;  // one block per MP
+    std::vector<BlockCost> blocks(24, make_cost(1'000'000, 0, 0, 4));
+    unsigned resident = 0;
+    const double t = model_grid_seconds(cm, cfg, blocks, &resident);
+    EXPECT_EQ(resident, 1u);
+    EXPECT_NEAR(t, 2.0 * 1'000'000 / cm.core_clock_hz, 1e-9);
+}
+
+// --- coalescing charges ---
+
+TEST(Coalescing, ChargedBytesRule) {
+    const CostModel cm;
+    EXPECT_EQ(cm.charged_bytes(4), 4u);    // float: coalesced
+    EXPECT_EQ(cm.charged_bytes(8), 8u);    // double/int2: coalesced
+    EXPECT_EQ(cm.charged_bytes(16), 16u);  // float4: coalesced
+    EXPECT_EQ(cm.charged_bytes(64), 64u);  // Mat4: multiple of 16
+    EXPECT_EQ(cm.charged_bytes(12), cm.uncoalesced_access_bytes);  // Vec3!
+    EXPECT_EQ(cm.charged_bytes(1), cm.uncoalesced_access_bytes);
+    EXPECT_EQ(cm.charged_bytes(100), 100u);  // big but unaligned: its own size
+}
+
+KernelTask read_n(ThreadCtx& ctx, DevicePtr<float> f, int n) {
+    for (int i = 0; i < n; ++i) (void)f.read(ctx, 0);
+    co_return;
+}
+
+TEST(Coalescing, TrafficAccountedPerAccess) {
+    Device dev(tiny_properties());
+    auto f = dev.malloc_n<float>(4);
+    auto stats = dev.launch(LaunchConfig{dim3{1}, dim3{1}},
+                            [&](ThreadCtx& ctx) { return read_n(ctx, f, 10); });
+    EXPECT_EQ(stats.bytes_read, 10u * sizeof(float));
+    EXPECT_EQ(stats.stall_cycles, 10u * dev.properties().cost.global_read_latency);
+}
+
+// --- constant memory ---
+
+KernelTask const_sum_kernel(ThreadCtx& ctx, ConstantPtr<float> weights,
+                            DevicePtr<float> out) {
+    if (ctx.global_id() == 0) {
+        float sum = 0.0f;
+        for (std::uint64_t i = 0; i < weights.size(); ++i) {
+            ctx.charge(Op::FAdd);
+            sum += weights.read(ctx, i);
+        }
+        out.write(ctx, 0, sum);
+    }
+    co_return;
+}
+
+TEST(ConstantMemory, UploadReadRoundTrip) {
+    Device dev(tiny_properties());
+    auto weights = dev.malloc_constant<float>(4);
+    const float values[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+    dev.copy_to_constant(weights.addr(), values, sizeof(values));
+
+    auto out = dev.malloc_n<float>(1);
+    auto stats = dev.launch(LaunchConfig{dim3{1}, dim3{32}}, [&](ThreadCtx& ctx) {
+        return const_sum_kernel(ctx, weights, out);
+    });
+    float result = 0.0f;
+    dev.copy_to_host(&result, out.addr(), sizeof(float));
+    EXPECT_FLOAT_EQ(result, 10.0f);
+    // Constant reads are cached: no device-memory traffic at all.
+    EXPECT_EQ(stats.bytes_read, 0u);
+}
+
+TEST(ConstantMemory, SixtyFourKiBLimit) {
+    Device dev(tiny_properties());
+    (void)dev.malloc_constant<std::byte>(60 * 1024);
+    EXPECT_THROW((void)dev.malloc_constant<std::byte>(8 * 1024), Error);
+}
+
+TEST(ConstantMemory, OutOfRangeAccessThrows) {
+    Device dev(tiny_properties());
+    auto p = dev.malloc_constant<int>(2);
+    const int xs[2] = {1, 2};
+    dev.copy_to_constant(p.addr(), xs, sizeof(xs));
+    auto entry = [&](ThreadCtx& ctx) -> KernelTask {
+        (void)p.read(ctx, 5);
+        co_return;
+    };
+    EXPECT_THROW(dev.launch(LaunchConfig{dim3{1}, dim3{1}}, entry), Error);
+}
+
+// --- texture fetches ---
+
+KernelTask tex_read_kernel(ThreadCtx& ctx, DevicePtr<float> data, int n) {
+    float sink = 0.0f;
+    for (int i = 0; i < n; ++i) {
+        ctx.charge(Op::FAdd);
+        sink += data.tex_read(ctx, static_cast<std::uint64_t>(i) % data.size());
+    }
+    if (ctx.global_id() == 0) data.write(ctx, 0, sink);
+    co_return;
+}
+
+TEST(Texture, CacheReducesTrafficAndStalls) {
+    Device dev(tiny_properties());
+    auto data = dev.malloc_n<float>(64);
+    std::vector<float> xs(64, 1.0f);
+    dev.upload(data, std::span<const float>(xs));
+    constexpr int kReads = 100;
+
+    auto plain = dev.launch(LaunchConfig{dim3{1}, dim3{1}}, [&](ThreadCtx& ctx) {
+        return read_n(ctx, data, kReads);
+    });
+    auto textured = dev.launch(LaunchConfig{dim3{1}, dim3{1}}, [&](ThreadCtx& ctx) {
+        return tex_read_kernel(ctx, data, kReads);
+    });
+    const unsigned period = dev.properties().cost.texture_miss_period;
+    EXPECT_LT(textured.bytes_read, plain.bytes_read);
+    EXPECT_LT(textured.stall_cycles, plain.stall_cycles);
+    EXPECT_EQ(textured.bytes_read, (kReads + period - 1) / period * sizeof(float));
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Tests for the index types, launch-geometry rules and the cost model.
+#include <gtest/gtest.h>
+
+#include "cusim/cost_model.hpp"
+#include "cusim/launch.hpp"
+#include "cusim/types.hpp"
+
+namespace {
+
+using namespace cusim;
+
+TEST(Types, Dim3DefaultsUnspecifiedComponentsToOne) {
+    // "dim3 is identical to uint3, except that all components left
+    // unspecified when creating have the value 1" (§3.1.3).
+    EXPECT_EQ(make_dim3(7), dim3(7, 1, 1));
+    EXPECT_EQ(make_dim3(7, 3), dim3(7, 3, 1));
+    EXPECT_EQ(dim3{}.count(), 1u);
+    EXPECT_EQ(make_dim3(10, 10).count(), 100u);
+}
+
+TEST(Types, LaunchConfigAcceptsPaperGeometry) {
+    // Listing 4.3: 10x10 blocks of 8x8 threads.
+    LaunchConfig cfg{make_dim3(10, 10), make_dim3(8, 8)};
+    EXPECT_NO_THROW(cfg.validate());
+    EXPECT_EQ(cfg.total_threads(), 6400u);
+    EXPECT_EQ(cfg.warps_per_block(), 2u);
+}
+
+TEST(Types, LaunchConfigRejectsOversizedBlocks) {
+    LaunchConfig cfg{dim3{1}, dim3{kMaxThreadsPerBlock + 1}};
+    EXPECT_THROW(cfg.validate(), Error);
+    LaunchConfig max_ok{dim3{1}, dim3{kMaxThreadsPerBlock}};
+    EXPECT_NO_THROW(max_ok.validate());
+}
+
+TEST(Types, LaunchConfigRejects3DGridsAndHugeGrids) {
+    EXPECT_THROW((LaunchConfig{dim3{2, 2, 2}, dim3{32}}).validate(), Error);
+    EXPECT_THROW((LaunchConfig{dim3{kMaxGridDim + 1}, dim3{32}}).validate(), Error);
+    EXPECT_NO_THROW((LaunchConfig{dim3{kMaxGridDim, kMaxGridDim}, dim3{1}}).validate());
+}
+
+TEST(Types, WarpsPerBlockRoundsUp) {
+    EXPECT_EQ((LaunchConfig{dim3{1}, dim3{1}}).warps_per_block(), 1u);
+    EXPECT_EQ((LaunchConfig{dim3{1}, dim3{32}}).warps_per_block(), 1u);
+    EXPECT_EQ((LaunchConfig{dim3{1}, dim3{33}}).warps_per_block(), 2u);
+    EXPECT_EQ((LaunchConfig{dim3{1}, dim3{512}}).warps_per_block(), 16u);
+}
+
+// Table 2.2 is the contract of the cost model.
+TEST(CostModel, ImplementsTable2_2) {
+    const CostModel cm;
+    EXPECT_EQ(cm.issue_cycles(Op::FAdd), 4u);
+    EXPECT_EQ(cm.issue_cycles(Op::FMul), 4u);
+    EXPECT_EQ(cm.issue_cycles(Op::FMad), 4u);
+    EXPECT_EQ(cm.issue_cycles(Op::IAdd), 4u);
+    EXPECT_EQ(cm.issue_cycles(Op::Bitwise), 4u);
+    EXPECT_EQ(cm.issue_cycles(Op::Compare), 4u);
+    EXPECT_EQ(cm.issue_cycles(Op::MinMax), 4u);
+    EXPECT_EQ(cm.issue_cycles(Op::Recip), 16u);
+    EXPECT_EQ(cm.issue_cycles(Op::RSqrt), 16u);
+    EXPECT_EQ(cm.issue_cycles(Op::Register), 0u);
+    EXPECT_GE(cm.issue_cycles(Op::SharedAccess), 4u);
+    EXPECT_EQ(cm.issue_cycles(Op::SyncThreads), 4u);
+    // Reading device memory: 400-600 cycles of latency.
+    EXPECT_GE(cm.stall_cycles(Op::GlobalRead), 400u);
+    EXPECT_LE(cm.stall_cycles(Op::GlobalRead), 600u);
+    // Local-memory spills live in device memory (Table 2.1); their latency
+    // is mostly exposed (dependent use), so it is carried as issue cycles.
+    EXPECT_GE(cm.issue_cycles(Op::LocalSpill), 400u);
+    EXPECT_LE(cm.issue_cycles(Op::LocalSpill), 600u);
+    // Writes are fire-and-forget: no stall.
+    EXPECT_EQ(cm.stall_cycles(Op::GlobalWrite), 0u);
+}
+
+TEST(CostModel, G80MachineConstants) {
+    const CostModel cm;
+    EXPECT_EQ(cm.multiprocessors, 12u);  // 8800 GTS: 96 processors (§5.3)
+    EXPECT_EQ(cm.multiprocessors * kProcessorsPerMP, 96u);
+    EXPECT_DOUBLE_EQ(cm.core_clock_hz, 1.2e9);
+    EXPECT_GT(cm.bytes_per_cycle_per_mp(), 0.0);
+}
+
+}  // namespace

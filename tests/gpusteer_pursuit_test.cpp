@@ -1,0 +1,107 @@
+// The GPU pursuit plugin against its CPU reference: identical decision
+// logic, identical kinematics, host-side captures in both — the flocks must
+// agree bit for bit. Plus the divergence profile the scenario exists to
+// probe.
+#include <gtest/gtest.h>
+
+#include "gpusteer/pursuit_plugin_gpu.hpp"
+#include "gpusteer/registry.hpp"
+#include "steer/steer.hpp"
+
+namespace {
+
+using gpusteer::GpuPursuitPlugin;
+using steer::Agent;
+using steer::PursuitPlugin;
+using steer::WorldSpec;
+
+void expect_same_flock(const std::vector<Agent>& a, const std::vector<Agent>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].position, b[i].position) << "agent " << i;
+        EXPECT_EQ(a[i].forward, b[i].forward) << "agent " << i;
+        EXPECT_FLOAT_EQ(a[i].speed, b[i].speed) << "agent " << i;
+    }
+}
+
+TEST(GpuPursuit, MatchesCpuReferenceBitForBit) {
+    WorldSpec spec;
+    spec.agents = 96;
+    PursuitPlugin cpu;
+    cpu.open(spec);
+    GpuPursuitPlugin gpu;
+    gpu.open(spec);
+    EXPECT_EQ(gpu.predators(), cpu.predators());
+    for (int step = 0; step < 10; ++step) {
+        cpu.step();
+        gpu.step();
+    }
+    expect_same_flock(cpu.snapshot(), gpu.snapshot());
+    EXPECT_EQ(gpu.captures(), cpu.captures());
+}
+
+TEST(GpuPursuit, CapturesAgreeOverALongRun) {
+    WorldSpec spec;
+    spec.agents = 64;
+    PursuitPlugin cpu;
+    cpu.open(spec);
+    GpuPursuitPlugin gpu;
+    gpu.open(spec);
+    int first_capture_cpu = -1, first_capture_gpu = -1;
+    for (int step = 0; step < 900; ++step) {
+        cpu.step();
+        gpu.step();
+        if (first_capture_cpu < 0 && cpu.captures() > 0) first_capture_cpu = step;
+        if (first_capture_gpu < 0 && gpu.captures() > 0) first_capture_gpu = step;
+        if (first_capture_cpu >= 0 && first_capture_gpu >= 0) break;
+    }
+    EXPECT_EQ(first_capture_cpu, first_capture_gpu);
+    EXPECT_GE(first_capture_gpu, 0) << "no capture within 900 steps";
+    expect_same_flock(cpu.snapshot(), gpu.snapshot());
+}
+
+TEST(GpuPursuit, HeavilyDivergentByDesign) {
+    // Role branches, evade-vs-wander, obstacle overrides: this kernel is
+    // the §6.3.1 worst case. Its divergence *rate* should dwarf the
+    // Boids neighbor-search kernels'.
+    WorldSpec spec;
+    spec.agents = 256;
+    GpuPursuitPlugin gpu;
+    gpu.open(spec);
+    for (int i = 0; i < 3; ++i) gpu.step();
+    EXPECT_GT(gpu.branch_evaluations(), 0u);
+    EXPECT_GT(gpu.divergent_warp_steps(), 0u);
+    const double rate = static_cast<double>(gpu.divergent_warp_steps()) /
+                        (static_cast<double>(gpu.branch_evaluations()) / cusim::kWarpSize);
+    EXPECT_GT(rate, 0.05);  // divergence-heavy, as intended
+}
+
+TEST(GpuPursuit, StateStaysOnDeviceBetweenSteps) {
+    WorldSpec spec;
+    spec.agents = 128;
+    GpuPursuitPlugin gpu;
+    gpu.open(spec);
+    auto& sim = cusim::Registry::instance().device(0);
+    gpu.step();
+    const auto base = sim.bytes_to_device();
+    // Without captures, subsequent steps upload nothing but kernel handles.
+    for (int i = 0; i < 3; ++i) gpu.step();
+    if (gpu.captures() == 0) {
+        EXPECT_LT(sim.bytes_to_device() - base, 3u * 1024u);
+    }
+}
+
+TEST(GpuPursuit, RegisteredAndRunnableThroughTheDemo) {
+    steer::PlugInRegistry registry;
+    gpusteer::register_all_plugins(registry);
+    steer::Demo demo(registry);
+    WorldSpec spec;
+    spec.agents = 96;
+    ASSERT_TRUE(demo.select("pursuit-gpu", spec));
+    demo.run(3);
+    EXPECT_GT(demo.update_rate(), 0.0);
+    EXPECT_EQ(demo.active().draw_matrices().size(), spec.agents);
+    demo.close();
+}
+
+}  // namespace

@@ -1,0 +1,244 @@
+// GPU Boids plugin tests: every development version must compute the exact
+// same flock as the CPU reference (the kernels share the steering math), and
+// the structural properties of chapter 6 — lazy transfers in version 5,
+// divergence counters, double buffering — must hold.
+#include <gtest/gtest.h>
+
+#include "gpusteer/plugin.hpp"
+#include "steer/steer.hpp"
+
+namespace {
+
+using gpusteer::GpuBoidsPlugin;
+using gpusteer::Version;
+using steer::Agent;
+using steer::WorldSpec;
+
+WorldSpec small_world(std::uint32_t agents = 256, std::uint32_t think = 1) {
+    WorldSpec spec;
+    spec.agents = agents;  // multiple of 128 for the shared-memory kernels
+    spec.think_period = think;
+    return spec;
+}
+
+void expect_same_flock(const std::vector<Agent>& a, const std::vector<Agent>& b,
+                       const char* what) {
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].position, b[i].position) << what << " agent " << i;
+        EXPECT_EQ(a[i].forward, b[i].forward) << what << " agent " << i;
+        EXPECT_FLOAT_EQ(a[i].speed, b[i].speed) << what << " agent " << i;
+    }
+}
+
+class VersionEquivalence : public ::testing::TestWithParam<Version> {};
+
+TEST_P(VersionEquivalence, MatchesCpuReferenceBitForBit) {
+    const WorldSpec spec = small_world();
+    steer::CpuBoidsPlugin cpu;
+    cpu.open(spec);
+    GpuBoidsPlugin gpu(GetParam());
+    gpu.open(spec);
+
+    for (int step = 0; step < 5; ++step) {
+        cpu.step();
+        gpu.step();
+    }
+    expect_same_flock(cpu.snapshot(), gpu.snapshot(), "after 5 steps");
+}
+
+TEST_P(VersionEquivalence, MatchesCpuWithThinkFrequency) {
+    const WorldSpec spec = small_world(256, 4);
+    steer::CpuBoidsPlugin cpu;
+    cpu.open(spec);
+    GpuBoidsPlugin gpu(GetParam());
+    gpu.open(spec);
+    for (int step = 0; step < 9; ++step) {
+        cpu.step();
+        gpu.step();
+    }
+    expect_same_flock(cpu.snapshot(), gpu.snapshot(), "think frequency");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, VersionEquivalence,
+                         ::testing::Values(Version::V1_NeighborSearchGlobal,
+                                           Version::V2_NeighborSearchShared,
+                                           Version::V3_SimSubstageCached,
+                                           Version::V4_SimSubstageRecompute,
+                                           Version::V5_FullUpdateOnDevice),
+                         [](const auto& info) {
+                             return "v" + std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(GpuPlugin, Version6MatchesCpuGridReferenceBitForBit) {
+    // The future-work §7 pipeline: host-built grid + full device update.
+    // Its oracle is the CPU plugin running with the same spatial grid —
+    // both walk candidates in identical cell order.
+    WorldSpec spec = small_world(250);  // v6 needs no block-size multiple
+    steer::CpuBoidsPlugin cpu;
+    cpu.open(spec.with_grid());
+    GpuBoidsPlugin gpu(Version::V6_GridNeighborSearch);
+    gpu.open(spec);
+    for (int step = 0; step < 5; ++step) {
+        cpu.step();
+        gpu.step();
+    }
+    expect_same_flock(cpu.snapshot(), gpu.snapshot(), "v6 vs cpu-grid");
+}
+
+TEST(GpuPlugin, Version6MatchesCpuGridWithThinkFrequency) {
+    WorldSpec spec = small_world(256, 3);
+    steer::CpuBoidsPlugin cpu;
+    cpu.open(spec.with_grid());
+    GpuBoidsPlugin gpu(Version::V6_GridNeighborSearch);
+    gpu.open(spec);
+    for (int step = 0; step < 7; ++step) {
+        cpu.step();
+        gpu.step();
+    }
+    expect_same_flock(cpu.snapshot(), gpu.snapshot(), "v6 think frequency");
+}
+
+TEST(GpuPlugin, GridAndBruteForceFlocksConvergeOnTheSameNeighbors) {
+    // Different candidate order => different float sums => slightly
+    // different flocks; but the neighbor *sets* match, so positions stay
+    // close over a short run.
+    const WorldSpec spec = small_world(256);
+    GpuBoidsPlugin v5(Version::V5_FullUpdateOnDevice);
+    GpuBoidsPlugin v6(Version::V6_GridNeighborSearch);
+    v5.open(spec);
+    v6.open(spec);
+    for (int step = 0; step < 3; ++step) {
+        v5.step();
+        v6.step();
+    }
+    const auto a = v5.snapshot();
+    const auto b = v6.snapshot();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_LT((a[i].position - b[i].position).length(), 0.05f) << i;
+    }
+}
+
+TEST(GpuPlugin, DoubleBufferingComputesTheSameFlock) {
+    const WorldSpec spec = small_world();
+    GpuBoidsPlugin plain(Version::V5_FullUpdateOnDevice, /*double_buffering=*/false);
+    GpuBoidsPlugin db(Version::V5_FullUpdateOnDevice, /*double_buffering=*/true);
+    plain.open(spec);
+    db.open(spec);
+    for (int step = 0; step < 6; ++step) {
+        plain.step();
+        db.step();
+    }
+    expect_same_flock(plain.snapshot(), db.snapshot(), "double buffering");
+}
+
+TEST(GpuPlugin, DoubleBufferingDrawsThePreviousStep) {
+    const WorldSpec spec = small_world();
+    GpuBoidsPlugin plain(Version::V5_FullUpdateOnDevice, false);
+    GpuBoidsPlugin db(Version::V5_FullUpdateOnDevice, true);
+    plain.open(spec);
+    db.open(spec);
+    plain.step();
+    db.step();
+    plain.step();
+    db.step();
+    // At step k the double-buffered demo draws step k-1's matrices.
+    GpuBoidsPlugin ref(Version::V5_FullUpdateOnDevice, false);
+    ref.open(spec);
+    ref.step();
+    ASSERT_EQ(db.draw_matrices().size(), ref.draw_matrices().size());
+    for (std::size_t i = 0; i < ref.draw_matrices().size(); ++i) {
+        EXPECT_EQ(db.draw_matrices()[i], ref.draw_matrices()[i]) << i;
+    }
+}
+
+TEST(GpuPlugin, Version5KeepsAgentStateOnDevice) {
+    // §6.2.3: "only the required information to draw the agents is moved
+    // from the device to the host memory. All other data stays on the
+    // device."
+    const WorldSpec spec = small_world();
+    GpuBoidsPlugin gpu(Version::V5_FullUpdateOnDevice);
+    gpu.open(spec);
+    auto& sim = cusim::Registry::instance().device(0);
+
+    gpu.step();  // first step uploads the initial state
+    const auto to_device_after_first = sim.bytes_to_device();
+    const auto to_host_after_first = sim.bytes_to_host();
+    for (int i = 0; i < 4; ++i) gpu.step();
+
+    // No further uploads of agent state: only the tiny per-call argument
+    // handles (8 vector references of ~32 bytes each).
+    const auto upload_per_step =
+        (sim.bytes_to_device() - to_device_after_first) / 4;
+    EXPECT_LE(upload_per_step, 512u);
+    EXPECT_LT(upload_per_step, spec.agents * sizeof(steer::Vec3));
+
+    // Downloads are exactly the draw matrices (+ nothing else).
+    const auto download_per_step = (sim.bytes_to_host() - to_host_after_first) / 4;
+    EXPECT_LE(download_per_step, spec.agents * sizeof(steer::Mat4) + 256u);
+    EXPECT_GE(download_per_step, spec.agents * sizeof(steer::Mat4));
+}
+
+TEST(GpuPlugin, Version1UploadsPositionsEveryStep) {
+    const WorldSpec spec = small_world();
+    GpuBoidsPlugin gpu(Version::V1_NeighborSearchGlobal);
+    gpu.open(spec);
+    auto& sim = cusim::Registry::instance().device(0);
+    gpu.step();
+    const auto base = sim.bytes_to_device();
+    gpu.step();
+    // Positions (n * 12 bytes) must travel every step: the host modified them.
+    EXPECT_GE(sim.bytes_to_device() - base, spec.agents * sizeof(steer::Vec3));
+}
+
+TEST(GpuPlugin, DivergenceCountersActive) {
+    // §6.3.1: the neighbor-search branches diverge; the counters must see it.
+    const WorldSpec spec = small_world(512);
+    GpuBoidsPlugin gpu(Version::V5_FullUpdateOnDevice);
+    gpu.open(spec);
+    for (int i = 0; i < 2; ++i) gpu.step();
+    EXPECT_GT(gpu.branch_evaluations(), 0u);
+    EXPECT_GT(gpu.divergent_warp_steps(), 0u);
+    // ... but far fewer divergent steps than branch evaluations.
+    EXPECT_LT(gpu.divergent_warp_steps(), gpu.branch_evaluations() / 4);
+}
+
+TEST(GpuPlugin, SharedKernelRequiresMultipleOfBlockSize) {
+    GpuBoidsPlugin gpu(Version::V2_NeighborSearchShared);
+    WorldSpec spec = small_world(100);  // not a multiple of 128
+    EXPECT_THROW(gpu.open(spec), cupp::usage_error);
+    // Version 1 has no such restriction.
+    GpuBoidsPlugin v1(Version::V1_NeighborSearchGlobal);
+    EXPECT_NO_THROW(v1.open(spec));
+    v1.step();
+}
+
+TEST(GpuPlugin, SimulatedTimeAdvancesMonotonically) {
+    const WorldSpec spec = small_world();
+    GpuBoidsPlugin gpu(Version::V5_FullUpdateOnDevice);
+    gpu.open(spec);
+    double last = gpu.device_handle().sim().host_time();
+    for (int i = 0; i < 3; ++i) {
+        const auto t = gpu.step();
+        EXPECT_GT(t.total(), 0.0);
+        const double now = gpu.device_handle().sim().host_time();
+        EXPECT_GT(now, last);
+        last = now;
+    }
+}
+
+TEST(GpuPlugin, VersionTraitsMatchTable6_1) {
+    using gpusteer::VersionTraits;
+    constexpr auto v1 = VersionTraits::of(Version::V1_NeighborSearchGlobal);
+    constexpr auto v2 = VersionTraits::of(Version::V2_NeighborSearchShared);
+    constexpr auto v3 = VersionTraits::of(Version::V3_SimSubstageCached);
+    constexpr auto v4 = VersionTraits::of(Version::V4_SimSubstageRecompute);
+    constexpr auto v5 = VersionTraits::of(Version::V5_FullUpdateOnDevice);
+    EXPECT_TRUE(v1.ns_on_device && !v1.steering_on_device && !v1.modification_on_device);
+    EXPECT_TRUE(v2.ns_on_device && !v2.steering_on_device && !v2.modification_on_device);
+    EXPECT_TRUE(v3.ns_on_device && v3.steering_on_device && !v3.modification_on_device);
+    EXPECT_TRUE(v4.ns_on_device && v4.steering_on_device && !v4.modification_on_device);
+    EXPECT_TRUE(v5.ns_on_device && v5.steering_on_device && v5.modification_on_device);
+}
+
+}  // namespace

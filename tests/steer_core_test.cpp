@@ -1,0 +1,315 @@
+// Steering-library unit tests: Vec3 math, agent kinematics, world setup,
+// neighbor search against a brute-force oracle, and the three behaviors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "steer/steer.hpp"
+
+namespace {
+
+using namespace steer;
+
+TEST(Vec3, Arithmetic) {
+    const Vec3 a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_EQ(a + b, Vec3(5, 7, 9));
+    EXPECT_EQ(b - a, Vec3(3, 3, 3));
+    EXPECT_EQ(a * 2.0f, Vec3(2, 4, 6));
+    EXPECT_EQ(2.0f * a, a * 2.0f);
+    EXPECT_FLOAT_EQ(a.dot(b), 32.0f);
+    EXPECT_EQ(Vec3(1, 0, 0).cross(Vec3(0, 1, 0)), Vec3(0, 0, 1));
+    EXPECT_FLOAT_EQ(Vec3(3, 4, 0).length(), 5.0f);
+    EXPECT_FLOAT_EQ(Vec3(3, 4, 0).length_squared(), 25.0f);
+}
+
+TEST(Vec3, NormalizeAndTruncate) {
+    EXPECT_FLOAT_EQ(Vec3(10, 0, 0).normalized().length(), 1.0f);
+    EXPECT_EQ(kZero.normalized(), kZero);  // zero-safe
+    EXPECT_EQ(Vec3(1, 0, 0).truncated(5.0f), Vec3(1, 0, 0));
+    EXPECT_FLOAT_EQ(Vec3(10, 0, 0).truncated(5.0f).length(), 5.0f);
+}
+
+TEST(Agent, ApplySteeringRespectsLimits) {
+    Agent a;
+    a.forward = Vec3{0, 0, 1};
+    a.speed = 1.0f;
+    AgentParams p;
+    p.max_force = 2.0f;
+    p.max_speed = 3.0f;
+    // A huge steering force is clipped to max_force, speed to max_speed.
+    for (int i = 0; i < 100; ++i) apply_steering(a, Vec3{1000, 0, 0}, 0.1f, p);
+    EXPECT_LE(a.speed, p.max_speed + 1e-4f);
+    EXPECT_NEAR(a.forward.length(), 1.0f, 1e-5f);
+}
+
+TEST(Agent, ZeroSteeringKeepsHeading) {
+    Agent a;
+    a.forward = Vec3{0, 0, 1};
+    a.speed = 2.0f;
+    const Vec3 before = a.position;
+    apply_steering(a, kZero, 0.5f, AgentParams{});
+    EXPECT_EQ(a.forward, Vec3(0, 0, 1));
+    EXPECT_FLOAT_EQ((a.position - before).length(), 1.0f);  // 2.0 * 0.5
+}
+
+TEST(Agent, WorldWrapDiametricOpposite) {
+    Agent a;
+    a.position = Vec3{60, 0, 0};
+    wrap_world(a, 50.0f);
+    EXPECT_NEAR(a.position.x, -50.0f, 1e-4f);
+    // Inside the world: untouched.
+    Agent b;
+    b.position = Vec3{10, 10, 10};
+    wrap_world(b, 50.0f);
+    EXPECT_EQ(b.position, Vec3(10, 10, 10));
+}
+
+TEST(World, DeterministicSetupInsideSphere) {
+    WorldSpec spec;
+    spec.agents = 500;
+    const auto flock1 = make_flock(spec);
+    const auto flock2 = make_flock(spec);
+    ASSERT_EQ(flock1.size(), 500u);
+    for (std::size_t i = 0; i < flock1.size(); ++i) {
+        EXPECT_EQ(flock1[i].position, flock2[i].position);
+        EXPECT_LE(flock1[i].position.length(), spec.world_radius + 1e-3f);
+        EXPECT_NEAR(flock1[i].forward.length(), 1.0f, 1e-5f);
+    }
+    spec.seed = 7;
+    const auto flock3 = make_flock(spec);
+    EXPECT_NE(flock1[0].position, flock3[0].position);
+}
+
+// Brute-force oracle: sort all in-radius agents by distance, take first 7.
+std::vector<std::uint32_t> oracle_neighbors(std::uint32_t me,
+                                            const std::vector<Vec3>& positions, float radius,
+                                            std::uint32_t k) {
+    std::vector<std::pair<float, std::uint32_t>> all;
+    for (std::uint32_t i = 0; i < positions.size(); ++i) {
+        if (i == me) continue;
+        const float d2 = (positions[i] - positions[me]).length_squared();
+        if (d2 < radius * radius) all.emplace_back(d2, i);
+    }
+    std::sort(all.begin(), all.end());
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 0; i < std::min<std::size_t>(k, all.size()); ++i) {
+        out.push_back(all[i].second);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+class NeighborSearchProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(NeighborSearchProperty, MatchesBruteForceOracle) {
+    WorldSpec spec;
+    spec.agents = GetParam();
+    spec.seed = 42 + GetParam();
+    const auto flock = make_flock(spec);
+    std::vector<Vec3> positions(flock.size());
+    for (std::size_t i = 0; i < flock.size(); ++i) positions[i] = flock[i].position;
+
+    for (std::uint32_t me = 0; me < spec.agents; me += 7) {
+        const NeighborList list =
+            find_neighbors(me, positions, spec.search_radius, spec.max_neighbors);
+        std::vector<std::uint32_t> got(list.index.begin(), list.index.begin() + list.count);
+        std::sort(got.begin(), got.end());
+        const auto want =
+            oracle_neighbors(me, positions, spec.search_radius, spec.max_neighbors);
+        EXPECT_EQ(got, want) << "agent " << me << " of " << spec.agents;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NeighborSearchProperty,
+                         ::testing::Values(1u, 8u, 64u, 257u, 1024u));
+
+TEST(NeighborSearch, SelfIsNeverANeighbor) {
+    std::vector<Vec3> positions = {{0, 0, 0}, {0.1f, 0, 0}};
+    const auto list = find_neighbors(0, positions, 10.0f, 7);
+    ASSERT_EQ(list.count, 1u);
+    EXPECT_EQ(list.index[0], 1u);
+}
+
+TEST(NeighborSearch, RadiusIsExclusive) {
+    std::vector<Vec3> positions = {{0, 0, 0}, {3.0f, 0, 0}};
+    EXPECT_EQ(find_neighbors(0, positions, 3.0f, 7).count, 0u);
+    EXPECT_EQ(find_neighbors(0, positions, 3.01f, 7).count, 1u);
+}
+
+TEST(NeighborSearch, CountsFeedCostModel) {
+    std::vector<Vec3> positions(100, Vec3{0, 0, 0});
+    SearchCounters c;
+    (void)find_neighbors(0, positions, 1.0f, 7, &c);
+    EXPECT_EQ(c.pairs_examined, 100u);
+    EXPECT_EQ(c.in_radius, 99u);  // everyone shares the origin except me
+}
+
+TEST(Behaviors, SeparationPushesAway) {
+    std::vector<Vec3> positions = {{0, 0, 0}, {1, 0, 0}};
+    NeighborList list;
+    list.index[0] = 1;
+    list.count = 1;
+    const Vec3 s = separation(positions[0], list, positions);
+    EXPECT_LT(s.x, 0.0f);  // pushed away from the neighbor at +x
+    EXPECT_FLOAT_EQ(s.y, 0.0f);
+}
+
+TEST(Behaviors, SeparationFalloffIsOneOverDistance) {
+    std::vector<Vec3> near = {{0, 0, 0}, {1, 0, 0}};
+    std::vector<Vec3> far = {{0, 0, 0}, {4, 0, 0}};
+    NeighborList list;
+    list.index[0] = 1;
+    list.count = 1;
+    const float near_mag = separation(near[0], list, near).length();
+    const float far_mag = separation(far[0], list, far).length();
+    EXPECT_NEAR(near_mag / far_mag, 4.0f, 1e-4f);  // 1/d falloff
+}
+
+TEST(Behaviors, CohesionPullsTowardsNeighbors) {
+    std::vector<Vec3> positions = {{0, 0, 0}, {2, 0, 0}, {0, 2, 0}};
+    NeighborList list;
+    list.index[0] = 1;
+    list.index[1] = 2;
+    list.count = 2;
+    const Vec3 c = cohesion(positions[0], list, positions);
+    EXPECT_EQ(c, Vec3(2, 2, 0));
+}
+
+TEST(Behaviors, AlignmentMatchesHeadings) {
+    std::vector<Vec3> forwards = {{0, 0, 1}, {1, 0, 0}, {1, 0, 0}};
+    NeighborList list;
+    list.index[0] = 1;
+    list.index[1] = 2;
+    list.count = 2;
+    const Vec3 a = alignment(forwards[0], list, forwards);
+    // sum of neighbor headings (2,0,0) minus 2 * my heading (0,0,2).
+    EXPECT_EQ(a, Vec3(2, 0, -2));
+}
+
+TEST(Behaviors, FlockingIsWeightedSumOfNormalizedParts) {
+    std::vector<Vec3> positions = {{0, 0, 0}, {1, 0, 0}};
+    std::vector<Vec3> forwards = {{0, 0, 1}, {0, 1, 0}};
+    NeighborList list;
+    list.index[0] = 1;
+    list.count = 1;
+    const FlockingWeights w{2.0f, 3.0f, 5.0f};
+    const Vec3 f = flocking(positions[0], forwards[0], list, positions, forwards, w);
+    const Vec3 expect = 2.0f * separation(positions[0], list, positions).normalized() +
+                        3.0f * alignment(forwards[0], list, forwards).normalized() +
+                        5.0f * cohesion(positions[0], list, positions).normalized();
+    EXPECT_EQ(f, expect);
+}
+
+TEST(Behaviors, NoNeighborsMeansNoSteering) {
+    std::vector<Vec3> positions = {{0, 0, 0}};
+    std::vector<Vec3> forwards = {{0, 0, 1}};
+    NeighborList empty;
+    const FlockingWeights w{1, 1, 1};
+    EXPECT_EQ(flocking(positions[0], forwards[0], empty, positions, forwards, w), kZero);
+}
+
+TEST(DrawStage, MatrixEncodesPositionAndHeading) {
+    const Mat4 m = agent_matrix(Vec3{1, 2, 3}, Vec3{0, 0, 1});
+    EXPECT_FLOAT_EQ(m.m[12], 1.0f);
+    EXPECT_FLOAT_EQ(m.m[13], 2.0f);
+    EXPECT_FLOAT_EQ(m.m[14], 3.0f);
+    EXPECT_FLOAT_EQ(m.m[15], 1.0f);
+    EXPECT_FLOAT_EQ(m.m[10], 1.0f);  // forward column = +z
+    // Rotation part is orthonormal.
+    const Vec3 side{m.m[0], m.m[1], m.m[2]};
+    const Vec3 up{m.m[4], m.m[5], m.m[6]};
+    const Vec3 fwd{m.m[8], m.m[9], m.m[10]};
+    EXPECT_NEAR(side.dot(up), 0.0f, 1e-5f);
+    EXPECT_NEAR(side.dot(fwd), 0.0f, 1e-5f);
+    EXPECT_NEAR(up.length(), 1.0f, 1e-5f);
+}
+
+TEST(DrawStage, DegenerateHeadingStillOrthonormal) {
+    const Mat4 m = agent_matrix(kZero, Vec3{0, 1, 0});  // parallel to world-up
+    const Vec3 side{m.m[0], m.m[1], m.m[2]};
+    EXPECT_NEAR(side.length(), 1.0f, 1e-5f);
+}
+
+TEST(ThinkFrequency, OneTenthOfAgentsPerStep) {
+    // §5.3: "In one simulation time step only 1/10th of the agents execute
+    // the simulation substage."
+    constexpr std::uint32_t kAgents = 1000, kPeriod = 10;
+    for (std::uint64_t step = 0; step < kPeriod; ++step) {
+        std::uint32_t thinking = 0;
+        for (std::uint32_t i = 0; i < kAgents; ++i) {
+            if (thinks_this_step(i, step, kPeriod)) ++thinking;
+        }
+        EXPECT_EQ(thinking, kAgents / kPeriod);
+    }
+    // Every agent thinks exactly once per period.
+    for (std::uint32_t i = 0; i < kAgents; i += 97) {
+        std::uint32_t thinks = 0;
+        for (std::uint64_t step = 0; step < kPeriod; ++step) {
+            if (thinks_this_step(i, step, kPeriod)) ++thinks;
+        }
+        EXPECT_EQ(thinks, 1u);
+    }
+}
+
+TEST(CpuPlugin, RunsAndProfiles) {
+    CpuBoidsPlugin plugin;
+    WorldSpec spec;
+    spec.agents = 128;
+    plugin.open(spec);
+    const StageTimes t = plugin.step();
+    EXPECT_GT(t.simulation, 0.0);
+    EXPECT_GT(t.modification, 0.0);
+    EXPECT_GT(t.draw, 0.0);
+    EXPECT_EQ(plugin.counters().pairs_examined, 128u * 128u);
+    EXPECT_EQ(plugin.counters().modifies, 128u);
+    EXPECT_EQ(plugin.draw_matrices().size(), 128u);
+    plugin.close();
+}
+
+TEST(CpuPlugin, ThinkFrequencyReducesPairsTenfold) {
+    WorldSpec spec;
+    spec.agents = 500;
+    spec.think_period = 10;
+    CpuBoidsPlugin plugin;
+    plugin.open(spec);
+    for (int i = 0; i < 10; ++i) plugin.step();
+    // Over a full period, every agent thought once: n*n pairs total instead
+    // of 10*n*n.
+    EXPECT_EQ(plugin.counters().pairs_examined, 500u * 500u);
+    plugin.close();
+}
+
+TEST(CpuPlugin, FlockStaysInWorldAndMoves) {
+    WorldSpec spec;
+    spec.agents = 200;
+    CpuBoidsPlugin plugin;
+    plugin.open(spec);
+    const auto before = plugin.snapshot();
+    for (int i = 0; i < 20; ++i) plugin.step();
+    const auto after = plugin.snapshot();
+    bool moved = false;
+    for (std::size_t i = 0; i < after.size(); ++i) {
+        EXPECT_LE(after[i].position.length(), spec.world_radius + 1e-3f);
+        EXPECT_LE(after[i].speed, spec.params.max_speed + 1e-3f);
+        if (!(after[i].position == before[i].position)) moved = true;
+    }
+    EXPECT_TRUE(moved);
+}
+
+TEST(CostModel, Fig55ShapeAt1024Agents) {
+    // The profile of Fig. 5.5: neighbor search ~82% of the CPU cycles.
+    WorldSpec spec;
+    spec.agents = 1024;
+    CpuBoidsPlugin plugin;
+    plugin.open(spec);
+    const StageTimes t = plugin.step();
+    const CpuCostModel& m = plugin.cost_model();
+    const double ns = neighbor_search_seconds(plugin.last_step_counters(), m);
+    const double share = ns / t.update();
+    EXPECT_GT(share, 0.75);
+    EXPECT_LT(share, 0.90);
+    plugin.close();
+}
+
+}  // namespace

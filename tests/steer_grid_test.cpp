@@ -1,0 +1,165 @@
+// Spatial-grid neighbor search (the thesis' future-work data structure):
+// host grid against the brute-force oracle, and the GPU grid kernel against
+// the host grid.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gpusteer/grid_kernels.hpp"
+#include "steer/steer.hpp"
+
+namespace {
+
+using namespace steer;
+
+std::vector<std::uint32_t> sorted_indices(const NeighborList& list) {
+    std::vector<std::uint32_t> out(list.index.begin(), list.index.begin() + list.count);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+class GridVsBruteForce : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GridVsBruteForce, SameNeighborsForEveryAgent) {
+    WorldSpec spec;
+    spec.agents = GetParam();
+    spec.seed = 1000 + GetParam();
+    const auto flock = make_flock(spec);
+    std::vector<Vec3> positions(flock.size());
+    for (std::size_t i = 0; i < flock.size(); ++i) positions[i] = flock[i].position;
+
+    SpatialGrid grid;
+    grid.build(positions, spec.search_radius, spec.world_radius);
+
+    for (std::uint32_t me = 0; me < spec.agents; me += 3) {
+        const auto brute =
+            find_neighbors(me, positions, spec.search_radius, spec.max_neighbors);
+        const auto via_grid = grid.find_neighbors(me, positions, spec.search_radius,
+                                                  spec.max_neighbors);
+        // The 7-nearest set is order-independent (ties are measure-zero with
+        // random float positions).
+        EXPECT_EQ(sorted_indices(via_grid), sorted_indices(brute)) << "agent " << me;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridVsBruteForce,
+                         ::testing::Values(16u, 100u, 512u, 2000u));
+
+TEST(SpatialGrid, ExaminesFarFewerPairsAtScale) {
+    WorldSpec spec;
+    spec.agents = 4096;
+    const auto flock = make_flock(spec);
+    std::vector<Vec3> positions(flock.size());
+    for (std::size_t i = 0; i < flock.size(); ++i) positions[i] = flock[i].position;
+
+    SpatialGrid grid;
+    grid.build(positions, spec.search_radius, spec.world_radius);
+
+    SearchCounters brute_c, grid_c;
+    for (std::uint32_t me = 0; me < spec.agents; ++me) {
+        (void)find_neighbors(me, positions, spec.search_radius, spec.max_neighbors,
+                             &brute_c);
+        (void)grid.find_neighbors(me, positions, spec.search_radius, spec.max_neighbors,
+                                  &grid_c);
+    }
+    EXPECT_EQ(brute_c.in_radius, grid_c.in_radius);  // found the same candidates
+    EXPECT_LT(grid_c.pairs_examined, brute_c.pairs_examined / 10);
+}
+
+TEST(SpatialGrid, CsrInvariants) {
+    WorldSpec spec;
+    spec.agents = 777;
+    const auto flock = make_flock(spec);
+    std::vector<Vec3> positions(flock.size());
+    for (std::size_t i = 0; i < flock.size(); ++i) positions[i] = flock[i].position;
+
+    SpatialGrid grid;
+    grid.build(positions, spec.search_radius, spec.world_radius);
+    const auto starts = grid.cell_start();
+    const auto entries = grid.entries();
+
+    // Monotone prefix sums covering every agent exactly once.
+    ASSERT_EQ(starts.size(), grid.spec().cells() + 1u);
+    EXPECT_EQ(starts.front(), 0u);
+    EXPECT_EQ(starts.back(), spec.agents);
+    for (std::size_t c = 0; c + 1 < starts.size(); ++c) EXPECT_LE(starts[c], starts[c + 1]);
+
+    std::vector<bool> seen(spec.agents, false);
+    for (const auto e : entries) {
+        ASSERT_LT(e, spec.agents);
+        EXPECT_FALSE(seen[e]) << "agent appears twice";
+        seen[e] = true;
+    }
+
+    // Every agent sits in the cell its bucket claims.
+    for (std::uint32_t c = 0; c < grid.spec().cells(); ++c) {
+        for (std::uint32_t i = starts[c]; i < starts[c + 1]; ++i) {
+            EXPECT_EQ(grid.spec().cell_of(positions[entries[i]]), c);
+        }
+    }
+}
+
+TEST(SpatialGrid, EmptyAndSingleAgent) {
+    SpatialGrid grid;
+    std::vector<Vec3> one = {{0, 0, 0}};
+    grid.build(one, 5.0f, 50.0f);
+    const auto list = grid.find_neighbors(0, one, 5.0f, 7);
+    EXPECT_EQ(list.count, 0u);
+
+    std::vector<Vec3> none;
+    grid.build(none, 5.0f, 50.0f);
+    EXPECT_EQ(grid.entries().size(), 0u);
+}
+
+TEST(SpatialGrid, AgentsOnTheWorldBoundary) {
+    // wrap_world clamps agents to |p| <= R; cells must clamp, not overflow.
+    std::vector<Vec3> positions = {{50, 50, 50}, {-50, -50, -50}, {49.5f, 50, 50}};
+    SpatialGrid grid;
+    grid.build(positions, 9.0f, 50.0f);
+    const auto list = grid.find_neighbors(0, positions, 9.0f, 7);
+    ASSERT_EQ(list.count, 1u);
+    EXPECT_EQ(list.index[0], 2u);
+}
+
+TEST(GridKernel, MatchesHostGridSearch) {
+    WorldSpec spec;
+    spec.agents = 512;
+    const auto flock = make_flock(spec);
+    std::vector<Vec3> host_positions(flock.size());
+    for (std::size_t i = 0; i < flock.size(); ++i) host_positions[i] = flock[i].position;
+
+    // Host side.
+    SpatialGrid host_grid;
+    host_grid.build(host_positions, spec.search_radius, spec.world_radius);
+
+    // Device side.
+    cupp::device d;
+    cupp::vector<Vec3> positions(host_positions.begin(), host_positions.end());
+    gpusteer::GridUpload upload;
+    upload.build(host_positions, spec.search_radius, spec.world_radius);
+    cupp::vector<std::uint32_t> result(std::uint64_t{spec.agents} * NeighborList::kCapacity);
+    cupp::vector<std::uint32_t> counts(spec.agents);
+
+    using F = cusim::KernelTask (*)(cusim::ThreadCtx&, const gpusteer::DVec3&,
+                                    const gpusteer::DU32&, const gpusteer::DU32&, GridSpec,
+                                    float, gpusteer::DU32&, gpusteer::DU32&,
+                                    gpusteer::ThinkMap);
+    cupp::kernel k(static_cast<F>(gpusteer::ns_grid_kernel), cusim::dim3{4},
+                   cusim::dim3{128});
+    k(d, positions, upload.cell_start(), upload.entries(), upload.spec(),
+      spec.search_radius, result, counts, gpusteer::ThinkMap{});
+
+    for (std::uint32_t me = 0; me < spec.agents; ++me) {
+        const auto host_list = host_grid.find_neighbors(me, host_positions,
+                                                        spec.search_radius,
+                                                        spec.max_neighbors);
+        NeighborList dev_list;
+        dev_list.count = counts[me];
+        for (std::uint32_t j = 0; j < dev_list.count; ++j) {
+            dev_list.index[j] = result[std::uint64_t{me} * NeighborList::kCapacity + j];
+        }
+        EXPECT_EQ(sorted_indices(dev_list), sorted_indices(host_list)) << "agent " << me;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Plugin registry and demo main-loop tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gpusteer/registry.hpp"
+#include "steer/steer.hpp"
+
+namespace {
+
+class PluginRegistryTest : public ::testing::Test {
+protected:
+    void SetUp() override { gpusteer::register_all_plugins(registry_); }
+    steer::PlugInRegistry registry_;
+};
+
+TEST_F(PluginRegistryTest, AllCanonicalPluginsRegistered) {
+    const auto names = registry_.names();
+    for (const char* expect :
+         {"boids-cpu", "boids-gpu-v1", "boids-gpu-v2", "boids-gpu-v3", "boids-gpu-v4",
+          "boids-gpu-v5", "boids-gpu-v5-db"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expect), names.end()) << expect;
+    }
+}
+
+TEST_F(PluginRegistryTest, UnknownNameReturnsNull) {
+    EXPECT_EQ(registry_.create("no-such-plugin"), nullptr);
+}
+
+TEST_F(PluginRegistryTest, CreatedPluginsReportTheirNames) {
+    for (const auto& name : registry_.names()) {
+        auto plugin = registry_.create(name);
+        ASSERT_NE(plugin, nullptr) << name;
+        EXPECT_EQ(plugin->name(), name);
+    }
+}
+
+TEST_F(PluginRegistryTest, EveryPluginRunsTheMainLoop) {
+    steer::WorldSpec spec;
+    spec.agents = 128;
+    for (const auto& name : registry_.names()) {
+        auto plugin = registry_.create(name);
+        ASSERT_NE(plugin, nullptr);
+        plugin->open(spec);
+        steer::StageTimes sum{};
+        for (int i = 0; i < 3; ++i) sum += plugin->step();
+        EXPECT_GT(sum.total(), 0.0) << name;
+        EXPECT_EQ(plugin->draw_matrices().size(), spec.agents) << name;
+        EXPECT_EQ(plugin->snapshot().size(), spec.agents) << name;
+        EXPECT_EQ(plugin->counters().modifies, 3u * spec.agents) << name;
+        plugin->close();
+    }
+}
+
+TEST_F(PluginRegistryTest, AllPluginsAgreeOnTheFlock) {
+    // The strongest property of the reproduction: every execution strategy
+    // computes the identical flock.
+    steer::WorldSpec spec;
+    spec.agents = 128;
+    auto reference = registry_.create("boids-cpu");
+    reference->open(spec);
+    for (int i = 0; i < 4; ++i) reference->step();
+    const auto expect = reference->snapshot();
+
+    for (const auto& name : registry_.names()) {
+        if (name.find("boids-gpu") != 0) continue;  // other scenarios differ by design
+        // v6 walks the grid in cell order: the same neighbor *sets* but a
+        // different float summation order; its oracle is the CPU grid run
+        // (checked in gpusteer_test), not this one.
+        if (name.find("v6") != std::string::npos) continue;
+        auto plugin = registry_.create(name);
+        plugin->open(spec);
+        for (int i = 0; i < 4; ++i) plugin->step();
+        const auto got = plugin->snapshot();
+        ASSERT_EQ(got.size(), expect.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].position, expect[i].position) << name << " agent " << i;
+        }
+    }
+}
+
+TEST(StageTimes, Accumulation) {
+    steer::StageTimes a{1.0, 2.0, 0.5, 3.0};
+    steer::StageTimes b{0.5, 0.5, 0.5, 0.5};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.simulation, 1.5);
+    EXPECT_DOUBLE_EQ(a.modification, 2.5);
+    EXPECT_DOUBLE_EQ(a.transfer, 1.0);
+    EXPECT_DOUBLE_EQ(a.draw, 3.5);
+    EXPECT_DOUBLE_EQ(a.update(), 5.0);
+    EXPECT_DOUBLE_EQ(a.total(), 8.5);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Obstacle-avoidance behavior and the pursuit scenario plugin.
+#include <gtest/gtest.h>
+
+#include "steer/steer.hpp"
+
+namespace {
+
+using namespace steer;
+
+Agent moving_agent(Vec3 pos, Vec3 fwd, float speed) {
+    Agent a;
+    a.position = pos;
+    a.forward = fwd.normalized();
+    a.speed = speed;
+    return a;
+}
+
+TEST(Obstacles, NoThreatNoSteering) {
+    const Agent a = moving_agent({0, 0, 0}, {0, 0, 1}, 5.0f);
+    // Behind the agent.
+    EXPECT_EQ(avoid_obstacle(a, 0.5f, {{0, 0, -10}, 3.0f}, 2.0f), kZero);
+    // Far off to the side.
+    EXPECT_EQ(avoid_obstacle(a, 0.5f, {{20, 0, 5}, 3.0f}, 2.0f), kZero);
+    // Beyond the look-ahead horizon.
+    EXPECT_EQ(avoid_obstacle(a, 0.5f, {{0, 0, 100}, 3.0f}, 2.0f), kZero);
+    // A stationary agent looks ahead zero distance.
+    const Agent still = moving_agent({0, 0, 0}, {0, 0, 1}, 0.0f);
+    EXPECT_EQ(avoid_obstacle(still, 0.5f, {{0, 0, 3}, 2.0f}, 2.0f), kZero);
+}
+
+TEST(Obstacles, HeadOnCollisionSteersLaterally) {
+    const Agent a = moving_agent({0, 0, 0}, {0, 0, 1}, 5.0f);
+    const SphereObstacle dead_ahead{{0.5f, 0, 6}, 2.0f};
+    const Vec3 s = avoid_obstacle(a, 0.5f, dead_ahead, 2.0f);
+    ASSERT_FALSE(s.is_zero());
+    // Steers away from the obstacle centre (obstacle slightly +x -> steer -x)
+    EXPECT_LT(s.x, 0.0f);
+    // Lateral: no component along the heading.
+    EXPECT_NEAR(s.dot(a.forward), 0.0f, 1e-5f);
+}
+
+TEST(Obstacles, CloserThreatsSteerHarder) {
+    const Agent a = moving_agent({0, 0, 0}, {0, 0, 1}, 5.0f);
+    const Vec3 near = avoid_obstacle(a, 0.5f, {{0.5f, 0, 3}, 2.0f}, 2.0f);
+    const Vec3 far = avoid_obstacle(a, 0.5f, {{0.5f, 0, 9}, 2.0f}, 2.0f);
+    EXPECT_GT(near.length(), far.length());
+}
+
+TEST(Obstacles, NearestThreatWinsAmongMany) {
+    const Agent a = moving_agent({0, 0, 0}, {0, 0, 1}, 5.0f);
+    const SphereObstacle near_left{{-0.5f, 0, 3}, 2.0f};   // steer +x
+    const SphereObstacle far_right{{0.5f, 0, 8}, 2.0f};    // steer -x
+    const SphereObstacle set[] = {far_right, near_left};
+    const Vec3 s = avoid_obstacles(a, 0.5f, set, 2.0f);
+    EXPECT_GT(s.x, 0.0f);  // the nearer (left) obstacle decided
+}
+
+TEST(Obstacles, AgentActuallyAvoidsTheSphere) {
+    AgentParams params;
+    Agent a = moving_agent({0, 0, -20}, {0, 0, 1}, params.max_speed);
+    const SphereObstacle wall{{0, 0, 0}, 4.0f};
+    float min_center_distance = 1e30f;
+    for (int i = 0; i < 600; ++i) {
+        Vec3 steering = avoid_obstacle(a, params.radius, wall, 2.0f) * params.max_force;
+        if (steering.is_zero()) steering = seek(a, Vec3{0, 0, 40}, params.max_speed);
+        apply_steering(a, steering, 1.0f / 60.0f, params);
+        min_center_distance = std::min(min_center_distance, (wall.center - a.position).length());
+    }
+    // Never penetrated the obstacle...
+    EXPECT_GT(min_center_distance, wall.radius);
+    // ...and still made it to the far side.
+    EXPECT_GT(a.position.z, 10.0f);
+}
+
+TEST(PursuitPlugin, RunsDeterministically) {
+    WorldSpec spec;
+    spec.agents = 96;
+    PursuitPlugin p1, p2;
+    p1.open(spec);
+    p2.open(spec);
+    for (int i = 0; i < 20; ++i) {
+        p1.step();
+        p2.step();
+    }
+    const auto f1 = p1.snapshot();
+    const auto f2 = p2.snapshot();
+    for (std::size_t i = 0; i < f1.size(); ++i) {
+        EXPECT_EQ(f1[i].position, f2[i].position) << i;
+    }
+    EXPECT_EQ(p1.captures(), p2.captures());
+}
+
+TEST(PursuitPlugin, PredatorsChasePrey) {
+    WorldSpec spec;
+    spec.agents = 64;
+    PursuitPlugin plugin;
+    plugin.open(spec);
+    EXPECT_EQ(plugin.predators(), 2u);  // 64 / 32
+
+    // Over a long run predators should score at least one capture.
+    for (int i = 0; i < 1500 && plugin.captures() == 0; ++i) plugin.step();
+    EXPECT_GT(plugin.captures(), 0u);
+    plugin.close();
+}
+
+TEST(PursuitPlugin, AgentsStayInWorldAndAvoidObstacles) {
+    WorldSpec spec;
+    spec.agents = 128;
+    PursuitPlugin plugin;
+    plugin.open(spec);
+    for (int i = 0; i < 120; ++i) plugin.step();
+    const auto flock = plugin.snapshot();
+    // Predators are allowed a higher top speed than the prey's limit.
+    const float predator_cap = spec.params.max_speed * 1.8f;
+    for (std::uint32_t i = 0; i < flock.size(); ++i) {
+        const auto& agent = flock[i];
+        EXPECT_LE(agent.position.length(), spec.world_radius + 1e-3f);
+        EXPECT_LE(agent.speed,
+                  (plugin.is_predator(i) ? predator_cap : spec.params.max_speed) + 1e-3f);
+        EXPECT_FALSE(std::isnan(agent.position.x));
+    }
+    // Agents spend no time deep inside obstacles.
+    std::uint32_t deep = 0;
+    for (const auto& agent : flock) {
+        for (const auto& o : plugin.obstacles()) {
+            if ((agent.position - o.center).length() < o.radius * 0.5f) ++deep;
+        }
+    }
+    EXPECT_LE(deep, flock.size() / 20);
+    plugin.close();
+}
+
+TEST(PursuitPlugin, StageTimesAndCountersPopulated) {
+    WorldSpec spec;
+    spec.agents = 64;
+    PursuitPlugin plugin;
+    plugin.open(spec);
+    const StageTimes t = plugin.step();
+    EXPECT_GT(t.simulation, 0.0);
+    EXPECT_GT(t.modification, 0.0);
+    EXPECT_GT(t.draw, 0.0);
+    EXPECT_EQ(plugin.counters().thinks, 64u);
+    EXPECT_EQ(plugin.counters().modifies, 64u);
+    EXPECT_GT(plugin.counters().pairs_examined, 0u);
+    EXPECT_EQ(plugin.draw_matrices().size(), 64u);
+}
+
+}  // namespace
