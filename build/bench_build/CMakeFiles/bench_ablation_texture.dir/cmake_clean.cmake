@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_texture"
+  "../bench/bench_ablation_texture.pdb"
+  "CMakeFiles/bench_ablation_texture.dir/bench_ablation_texture.cpp.o"
+  "CMakeFiles/bench_ablation_texture.dir/bench_ablation_texture.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_texture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_1_flops"
+  "../bench/bench_fig1_1_flops.pdb"
+  "CMakeFiles/bench_fig1_1_flops.dir/bench_fig1_1_flops.cpp.o"
+  "CMakeFiles/bench_fig1_1_flops.dir/bench_fig1_1_flops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_1_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

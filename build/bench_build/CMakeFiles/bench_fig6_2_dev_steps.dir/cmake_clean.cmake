@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_2_dev_steps"
+  "../bench/bench_fig6_2_dev_steps.pdb"
+  "CMakeFiles/bench_fig6_2_dev_steps.dir/bench_fig6_2_dev_steps.cpp.o"
+  "CMakeFiles/bench_fig6_2_dev_steps.dir/bench_fig6_2_dev_steps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_2_dev_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_4_double_buffering"
+  "../bench/bench_fig6_4_double_buffering.pdb"
+  "CMakeFiles/bench_fig6_4_double_buffering.dir/bench_fig6_4_double_buffering.cpp.o"
+  "CMakeFiles/bench_fig6_4_double_buffering.dir/bench_fig6_4_double_buffering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_4_double_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

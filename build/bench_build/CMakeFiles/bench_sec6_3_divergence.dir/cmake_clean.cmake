@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec6_3_divergence"
+  "../bench/bench_sec6_3_divergence.pdb"
+  "CMakeFiles/bench_sec6_3_divergence.dir/bench_sec6_3_divergence.cpp.o"
+  "CMakeFiles/bench_sec6_3_divergence.dir/bench_sec6_3_divergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_3_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

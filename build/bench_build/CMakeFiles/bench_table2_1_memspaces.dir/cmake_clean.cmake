@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_1_memspaces"
+  "../bench/bench_table2_1_memspaces.pdb"
+  "CMakeFiles/bench_table2_1_memspaces.dir/bench_table2_1_memspaces.cpp.o"
+  "CMakeFiles/bench_table2_1_memspaces.dir/bench_table2_1_memspaces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_1_memspaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boids_demo.dir/boids_demo.cpp.o"
+  "CMakeFiles/boids_demo.dir/boids_demo.cpp.o.d"
+  "boids_demo"
+  "boids_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boids_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

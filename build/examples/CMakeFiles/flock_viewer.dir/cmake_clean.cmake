@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flock_viewer.dir/flock_viewer.cpp.o"
+  "CMakeFiles/flock_viewer.dir/flock_viewer.cpp.o.d"
+  "flock_viewer"
+  "flock_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flock_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

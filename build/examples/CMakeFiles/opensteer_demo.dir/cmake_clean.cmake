@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opensteer_demo.dir/opensteer_demo.cpp.o"
+  "CMakeFiles/opensteer_demo.dir/opensteer_demo.cpp.o.d"
+  "opensteer_demo"
+  "opensteer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opensteer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saxpy.dir/saxpy.cpp.o"
+  "CMakeFiles/saxpy.dir/saxpy.cpp.o.d"
+  "saxpy"
+  "saxpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saxpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_transform.dir/type_transform.cpp.o"
+  "CMakeFiles/type_transform.dir/type_transform.cpp.o.d"
+  "type_transform"
+  "type_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cusim/device.cpp" "src/cusim/CMakeFiles/cusim.dir/device.cpp.o" "gcc" "src/cusim/CMakeFiles/cusim.dir/device.cpp.o.d"
+  "/root/repo/src/cusim/engine.cpp" "src/cusim/CMakeFiles/cusim.dir/engine.cpp.o" "gcc" "src/cusim/CMakeFiles/cusim.dir/engine.cpp.o.d"
+  "/root/repo/src/cusim/error.cpp" "src/cusim/CMakeFiles/cusim.dir/error.cpp.o" "gcc" "src/cusim/CMakeFiles/cusim.dir/error.cpp.o.d"
+  "/root/repo/src/cusim/multiprocessor.cpp" "src/cusim/CMakeFiles/cusim.dir/multiprocessor.cpp.o" "gcc" "src/cusim/CMakeFiles/cusim.dir/multiprocessor.cpp.o.d"
+  "/root/repo/src/cusim/registry.cpp" "src/cusim/CMakeFiles/cusim.dir/registry.cpp.o" "gcc" "src/cusim/CMakeFiles/cusim.dir/registry.cpp.o.d"
+  "/root/repo/src/cusim/runtime_api.cpp" "src/cusim/CMakeFiles/cusim.dir/runtime_api.cpp.o" "gcc" "src/cusim/CMakeFiles/cusim.dir/runtime_api.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

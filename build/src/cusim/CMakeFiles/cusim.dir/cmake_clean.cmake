@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusim.dir/device.cpp.o"
+  "CMakeFiles/cusim.dir/device.cpp.o.d"
+  "CMakeFiles/cusim.dir/engine.cpp.o"
+  "CMakeFiles/cusim.dir/engine.cpp.o.d"
+  "CMakeFiles/cusim.dir/error.cpp.o"
+  "CMakeFiles/cusim.dir/error.cpp.o.d"
+  "CMakeFiles/cusim.dir/multiprocessor.cpp.o"
+  "CMakeFiles/cusim.dir/multiprocessor.cpp.o.d"
+  "CMakeFiles/cusim.dir/registry.cpp.o"
+  "CMakeFiles/cusim.dir/registry.cpp.o.d"
+  "CMakeFiles/cusim.dir/runtime_api.cpp.o"
+  "CMakeFiles/cusim.dir/runtime_api.cpp.o.d"
+  "libcusim.a"
+  "libcusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

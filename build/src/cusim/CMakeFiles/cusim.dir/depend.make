@@ -1,0 +1,2 @@
+# Empty dependencies file for cusim.
+# This may be replaced when dependencies are built.

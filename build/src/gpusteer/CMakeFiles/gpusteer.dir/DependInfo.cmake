@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusteer/grid_kernels.cpp" "src/gpusteer/CMakeFiles/gpusteer.dir/grid_kernels.cpp.o" "gcc" "src/gpusteer/CMakeFiles/gpusteer.dir/grid_kernels.cpp.o.d"
+  "/root/repo/src/gpusteer/kernels.cpp" "src/gpusteer/CMakeFiles/gpusteer.dir/kernels.cpp.o" "gcc" "src/gpusteer/CMakeFiles/gpusteer.dir/kernels.cpp.o.d"
+  "/root/repo/src/gpusteer/plugin.cpp" "src/gpusteer/CMakeFiles/gpusteer.dir/plugin.cpp.o" "gcc" "src/gpusteer/CMakeFiles/gpusteer.dir/plugin.cpp.o.d"
+  "/root/repo/src/gpusteer/pursuit_kernels.cpp" "src/gpusteer/CMakeFiles/gpusteer.dir/pursuit_kernels.cpp.o" "gcc" "src/gpusteer/CMakeFiles/gpusteer.dir/pursuit_kernels.cpp.o.d"
+  "/root/repo/src/gpusteer/pursuit_plugin_gpu.cpp" "src/gpusteer/CMakeFiles/gpusteer.dir/pursuit_plugin_gpu.cpp.o" "gcc" "src/gpusteer/CMakeFiles/gpusteer.dir/pursuit_plugin_gpu.cpp.o.d"
+  "/root/repo/src/gpusteer/registry.cpp" "src/gpusteer/CMakeFiles/gpusteer.dir/registry.cpp.o" "gcc" "src/gpusteer/CMakeFiles/gpusteer.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/steer/CMakeFiles/steer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cusim/CMakeFiles/cusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

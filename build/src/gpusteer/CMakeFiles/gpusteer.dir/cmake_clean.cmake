@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusteer.dir/grid_kernels.cpp.o"
+  "CMakeFiles/gpusteer.dir/grid_kernels.cpp.o.d"
+  "CMakeFiles/gpusteer.dir/kernels.cpp.o"
+  "CMakeFiles/gpusteer.dir/kernels.cpp.o.d"
+  "CMakeFiles/gpusteer.dir/plugin.cpp.o"
+  "CMakeFiles/gpusteer.dir/plugin.cpp.o.d"
+  "CMakeFiles/gpusteer.dir/pursuit_kernels.cpp.o"
+  "CMakeFiles/gpusteer.dir/pursuit_kernels.cpp.o.d"
+  "CMakeFiles/gpusteer.dir/pursuit_plugin_gpu.cpp.o"
+  "CMakeFiles/gpusteer.dir/pursuit_plugin_gpu.cpp.o.d"
+  "CMakeFiles/gpusteer.dir/registry.cpp.o"
+  "CMakeFiles/gpusteer.dir/registry.cpp.o.d"
+  "libgpusteer.a"
+  "libgpusteer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusteer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gpusteer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steer.dir/pursuit_plugin.cpp.o"
+  "CMakeFiles/steer.dir/pursuit_plugin.cpp.o.d"
+  "CMakeFiles/steer.dir/simulation.cpp.o"
+  "CMakeFiles/steer.dir/simulation.cpp.o.d"
+  "libsteer.a"
+  "libsteer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cupp_kernel_test.dir/cupp_kernel_test.cpp.o"
+  "CMakeFiles/cupp_kernel_test.dir/cupp_kernel_test.cpp.o.d"
+  "cupp_kernel_test"
+  "cupp_kernel_test.pdb"
+  "cupp_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cupp_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

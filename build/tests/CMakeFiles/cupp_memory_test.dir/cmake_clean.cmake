@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cupp_memory_test.dir/cupp_memory_test.cpp.o"
+  "CMakeFiles/cupp_memory_test.dir/cupp_memory_test.cpp.o.d"
+  "cupp_memory_test"
+  "cupp_memory_test.pdb"
+  "cupp_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cupp_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cupp_traits_test.dir/cupp_traits_test.cpp.o"
+  "CMakeFiles/cupp_traits_test.dir/cupp_traits_test.cpp.o.d"
+  "cupp_traits_test"
+  "cupp_traits_test.pdb"
+  "cupp_traits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cupp_traits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

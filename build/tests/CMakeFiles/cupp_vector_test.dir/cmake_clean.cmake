@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cupp_vector_test.dir/cupp_vector_test.cpp.o"
+  "CMakeFiles/cupp_vector_test.dir/cupp_vector_test.cpp.o.d"
+  "cupp_vector_test"
+  "cupp_vector_test.pdb"
+  "cupp_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cupp_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

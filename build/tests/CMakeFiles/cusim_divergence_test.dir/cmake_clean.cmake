@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusim_divergence_test.dir/cusim_divergence_test.cpp.o"
+  "CMakeFiles/cusim_divergence_test.dir/cusim_divergence_test.cpp.o.d"
+  "cusim_divergence_test"
+  "cusim_divergence_test.pdb"
+  "cusim_divergence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusim_divergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusim_engine_stress_test.dir/cusim_engine_stress_test.cpp.o"
+  "CMakeFiles/cusim_engine_stress_test.dir/cusim_engine_stress_test.cpp.o.d"
+  "cusim_engine_stress_test"
+  "cusim_engine_stress_test.pdb"
+  "cusim_engine_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusim_engine_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusim_memory_test.dir/cusim_memory_test.cpp.o"
+  "CMakeFiles/cusim_memory_test.dir/cusim_memory_test.cpp.o.d"
+  "cusim_memory_test"
+  "cusim_memory_test.pdb"
+  "cusim_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusim_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusim_pitched_test.dir/cusim_pitched_test.cpp.o"
+  "CMakeFiles/cusim_pitched_test.dir/cusim_pitched_test.cpp.o.d"
+  "cusim_pitched_test"
+  "cusim_pitched_test.pdb"
+  "cusim_pitched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusim_pitched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

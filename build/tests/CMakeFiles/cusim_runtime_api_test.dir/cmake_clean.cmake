@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusim_runtime_api_test.dir/cusim_runtime_api_test.cpp.o"
+  "CMakeFiles/cusim_runtime_api_test.dir/cusim_runtime_api_test.cpp.o.d"
+  "cusim_runtime_api_test"
+  "cusim_runtime_api_test.pdb"
+  "cusim_runtime_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusim_runtime_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusim_timing_test.dir/cusim_timing_test.cpp.o"
+  "CMakeFiles/cusim_timing_test.dir/cusim_timing_test.cpp.o.d"
+  "cusim_timing_test"
+  "cusim_timing_test.pdb"
+  "cusim_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusim_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

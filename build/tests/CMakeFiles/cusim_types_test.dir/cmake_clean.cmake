@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusim_types_test.dir/cusim_types_test.cpp.o"
+  "CMakeFiles/cusim_types_test.dir/cusim_types_test.cpp.o.d"
+  "cusim_types_test"
+  "cusim_types_test.pdb"
+  "cusim_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusim_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

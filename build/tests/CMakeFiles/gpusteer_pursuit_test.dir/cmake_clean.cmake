@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusteer_pursuit_test.dir/gpusteer_pursuit_test.cpp.o"
+  "CMakeFiles/gpusteer_pursuit_test.dir/gpusteer_pursuit_test.cpp.o.d"
+  "gpusteer_pursuit_test"
+  "gpusteer_pursuit_test.pdb"
+  "gpusteer_pursuit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusteer_pursuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

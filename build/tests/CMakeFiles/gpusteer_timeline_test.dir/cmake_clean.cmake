@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusteer_timeline_test.dir/gpusteer_timeline_test.cpp.o"
+  "CMakeFiles/gpusteer_timeline_test.dir/gpusteer_timeline_test.cpp.o.d"
+  "gpusteer_timeline_test"
+  "gpusteer_timeline_test.pdb"
+  "gpusteer_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusteer_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steer_behaviors_test.dir/steer_behaviors_test.cpp.o"
+  "CMakeFiles/steer_behaviors_test.dir/steer_behaviors_test.cpp.o.d"
+  "steer_behaviors_test"
+  "steer_behaviors_test.pdb"
+  "steer_behaviors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steer_behaviors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

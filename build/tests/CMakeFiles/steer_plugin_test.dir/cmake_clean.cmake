@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steer_plugin_test.dir/steer_plugin_test.cpp.o"
+  "CMakeFiles/steer_plugin_test.dir/steer_plugin_test.cpp.o.d"
+  "steer_plugin_test"
+  "steer_plugin_test.pdb"
+  "steer_plugin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steer_plugin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

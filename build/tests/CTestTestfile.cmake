@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cusim_types_test[1]_include.cmake")
+include("/root/repo/build/tests/cusim_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/cusim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/cupp_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/cupp_vector_test[1]_include.cmake")
+include("/root/repo/build/tests/cupp_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/cusim_runtime_api_test[1]_include.cmake")
+include("/root/repo/build/tests/cusim_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/cupp_traits_test[1]_include.cmake")
+include("/root/repo/build/tests/steer_core_test[1]_include.cmake")
+include("/root/repo/build/tests/steer_grid_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusteer_test[1]_include.cmake")
+include("/root/repo/build/tests/cupp_vector_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/steer_plugin_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusteer_perf_test[1]_include.cmake")
+include("/root/repo/build/tests/cusim_engine_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/steer_behaviors_test[1]_include.cmake")
+include("/root/repo/build/tests/steer_pursuit_test[1]_include.cmake")
+include("/root/repo/build/tests/cusim_pitched_test[1]_include.cmake")
+include("/root/repo/build/tests/cupp_transform_vector_test[1]_include.cmake")
+include("/root/repo/build/tests/cusim_divergence_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusteer_timeline_test[1]_include.cmake")
+include("/root/repo/build/tests/cusim_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusteer_pursuit_test[1]_include.cmake")
