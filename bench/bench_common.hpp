@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cupp/trace.hpp"
 #include "gpusteer/plugin.hpp"
 #include "steer/steer.hpp"
 
@@ -31,8 +32,16 @@ inline Rates measure(steer::PlugIn& plugin, const steer::WorldSpec& spec, int st
                      int warmup = 1) {
     plugin.open(spec);
     for (int i = 0; i < warmup; ++i) (void)plugin.step();
+    const bool tracing = cupp::trace::enabled();
     steer::StageTimes sum{};
-    for (int i = 0; i < steps; ++i) sum += plugin.step();
+    for (int i = 0; i < steps; ++i) {
+        const steer::StageTimes t = plugin.step();
+        if (tracing) {
+            cupp::trace::metrics().record(
+                std::string(plugin.name()) + ".update_seconds", t.update());
+        }
+        sum += t;
+    }
     plugin.close();
 
     Rates r;
@@ -42,6 +51,13 @@ inline Rates measure(steer::PlugIn& plugin, const steer::WorldSpec& spec, int st
     r.mean.draw = sum.draw / steps;
     r.updates_per_s = 1.0 / r.mean.update();
     r.frames_per_s = 1.0 / r.mean.total();
+    if (tracing) {
+        auto& m = cupp::trace::metrics();
+        const std::string key = std::string(plugin.name());
+        m.set_gauge(key + ".updates_per_s", r.updates_per_s);
+        m.set_gauge(key + ".frames_per_s", r.frames_per_s);
+        m.add(key + ".measured_steps", static_cast<std::uint64_t>(steps));
+    }
     return r;
 }
 
@@ -69,7 +85,11 @@ inline std::vector<std::uint32_t> agent_sweep() {
 
 inline void print_header(const char* title, const char* paper_note) {
     std::printf("\n=== %s ===\n", title);
-    std::printf("paper: %s\n\n", paper_note);
+    std::printf("paper: %s\n", paper_note);
+    if (const std::string path = cupp::trace::output_path(); !path.empty()) {
+        std::printf("trace: recording to %s (CUPP_TRACE)\n", path.c_str());
+    }
+    std::printf("\n");
 }
 
 }  // namespace bench

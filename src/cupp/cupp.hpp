@@ -16,5 +16,6 @@
 #include "cupp/kernel.hpp"
 #include "cupp/memory1d.hpp"
 #include "cupp/shared_ptr.hpp"
+#include "cupp/trace.hpp"
 #include "cupp/type_traits.hpp"
 #include "cupp/vector.hpp"

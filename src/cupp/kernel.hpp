@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <cstring>
 #include <optional>
+#include <string>
 #include <tuple>
 #include <utility>
 #include <variant>
@@ -36,6 +37,7 @@
 #include "cupp/call_traits.hpp"
 #include "cupp/device.hpp"
 #include "cupp/exception.hpp"
+#include "cupp/trace.hpp"
 #include "cupp/type_traits.hpp"
 #include "cusim/runtime_api.hpp"
 
@@ -119,6 +121,10 @@ public:
     void set_block_dim(cusim::dim3 b) { block_ = b; }
     void set_shared_bytes(std::uint32_t bytes) { shared_bytes_ = bytes; }
     void set_regs_per_thread(std::uint32_t regs) { regs_per_thread_ = regs; }
+    /// Labels this kernel in traces, reports and the launch history (the
+    /// simulator has no nvcc to read the symbol name from).
+    void set_name(std::string name) { name_ = std::move(name); }
+    [[nodiscard]] const std::string& name() const { return name_; }
     [[nodiscard]] cusim::dim3 grid_dim() const { return grid_; }
     [[nodiscard]] cusim::dim3 block_dim() const { return block_; }
 
@@ -129,6 +135,13 @@ public:
     void operator()(const device& d, CallArgs&&... call_args) {
         static_assert(sizeof...(CallArgs) == arity,
                       "wrong number of kernel arguments");
+        // Trace bookkeeping: one enclosing call span on the host lane, with
+        // child spans per argument transform, the launch, and per copy-back
+        // (the four phases of the §4.3 call protocol).
+        cusim::Device& sim = d.sim();
+        const bool tracing = trace::enabled();
+        const double call_t0 = sim.host_time();
+
         detail::check(cusim::rt::cusimSetDevice(d.ordinal()), "set device");
         detail::check(
             cusim::rt::cusimConfigureCall(grid_, block_, shared_bytes_, regs_per_thread_),
@@ -141,17 +154,42 @@ public:
         std::tuple<std::optional<std::remove_cvref_t<CallArgs>>...> copies;
         auto args = std::forward_as_tuple(call_args...);
         [&]<std::size_t... I>(std::index_sequence<I...>) {
-            (push_arg<I>(d, slots, copies, std::get<I>(args)), ...);
+            (([&] {
+                 const double t0 = sim.host_time();
+                 push_arg<I>(d, slots, copies, std::get<I>(args));
+                 if (tracing) trace_arg_span<I>(sim, "transform", t0);
+             }()),
+             ...);
         }(std::index_sequence_for<Args...>{});
 
-        detail::check(cusim::rt::cusimLaunch(handle_), "launch");
+        detail::check(cusim::rt::cusimLaunchNamed(handle_, name_.c_str()), "launch");
         stats_ = cusim::rt::cusimLastLaunchStats();
 
         // Copy-back for non-const references (§4.3.2 step 4; skipped for
         // const ones thanks to the signature analysis).
         [&]<std::size_t... I>(std::index_sequence<I...>) {
-            (finish_arg<I>(slots, std::get<I>(args)), ...);
+            (([&] {
+                 const double t0 = sim.host_time();
+                 finish_arg<I>(slots, std::get<I>(args));
+                 if (tracing && param_traits<arg_t<I>>::is_reference &&
+                     !param_traits<arg_t<I>>::is_const_reference) {
+                     trace_arg_span<I>(sim, "copy_back", t0);
+                 }
+             }()),
+             ...);
         }(std::index_sequence_for<Args...>{});
+
+        if (tracing) {
+            trace::emit_complete(sim.host_track(), "cupp::call " + name_,
+                                 sim.trace_time_us(call_t0),
+                                 (sim.host_time() - call_t0) * 1e6,
+                                 {{"kernel", name_},
+                                  {"args", arity},
+                                  {"blocks", stats_.blocks},
+                                  {"threads", stats_.threads}});
+            static const trace::counter_handle calls("cupp.kernel.calls");
+            calls.add();
+        }
     }
 
     /// Simulator statistics of the most recent call through this functor.
@@ -163,6 +201,20 @@ private:
 
     using slots_t = std::tuple<typename detail::ref_slot<Args>::type...>;
     static constexpr auto kOffsets = detail::stack_offsets<Args...>();
+
+    /// Emits one per-argument protocol span ("transform arg2 (ref)") on the
+    /// host lane of `sim`, covering [t0, now].
+    template <std::size_t I>
+    void trace_arg_span(cusim::Device& sim, const char* phase, double t0) const {
+        using P = param_traits<arg_t<I>>;
+        const char* mode = P::is_const_reference ? "const_ref"
+                           : P::is_reference    ? "ref"
+                                                : "value";
+        trace::emit_complete(sim.host_track(),
+                             trace::format("%s arg%zu (%s)", phase, I, mode),
+                             sim.trace_time_us(t0), (sim.host_time() - t0) * 1e6,
+                             {{"kernel", name_}, {"index", I}, {"mode", mode}});
+    }
 
     template <std::size_t I, typename CopyTuple, typename CallArg>
     void push_arg(const device& d, slots_t& slots, CopyTuple& copies, CallArg& host_arg) {
@@ -235,6 +287,7 @@ private:
     cusim::dim3 block_;
     std::uint32_t shared_bytes_ = 0;
     std::uint32_t regs_per_thread_ = 16;
+    std::string name_ = "kernel";
     cusim::LaunchStats stats_{};
 };
 

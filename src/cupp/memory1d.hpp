@@ -17,6 +17,7 @@
 
 #include "cupp/device.hpp"
 #include "cupp/exception.hpp"
+#include "cupp/trace.hpp"
 #include "cusim/device_ptr.hpp"
 
 namespace cupp {
@@ -89,12 +90,18 @@ public:
     // --- transfers ---
     /// Host -> device from a linear block of count() elements.
     void copy_from_host(const T* src) {
+        const bool tracing = trace::enabled();
+        const double t0 = tracing ? dev_->sim().host_time() : 0.0;
         translated([&] { dev_->sim().copy_to_device(addr_, src, count_ * sizeof(T)); });
+        if (tracing) trace_transfer("cupp::memory1d upload", t0);
     }
 
     /// Device -> host into a linear block of count() elements.
     void copy_to_host(T* dst) const {
+        const bool tracing = trace::enabled();
+        const double t0 = tracing ? dev_->sim().host_time() : 0.0;
         translated([&] { dev_->sim().copy_to_host(dst, addr_, count_ * sizeof(T)); });
+        if (tracing) trace_transfer("cupp::memory1d download", t0);
     }
 
     /// Host -> device from an iterator range (linearised, must cover
@@ -136,6 +143,14 @@ private:
         : memory1d(d, stage.empty() ? 1 : stage.size()) {
         count_ = stage.size();
         if (!stage.empty()) copy_from_host(stage.data());
+    }
+
+    /// Emits the transfer span [t0, now] on the owning device's host lane.
+    void trace_transfer(const char* name, double t0) const {
+        auto& sim = dev_->sim();
+        trace::emit_complete(sim.host_track(), name, sim.trace_time_us(t0),
+                             (sim.host_time() - t0) * 1e6,
+                             {{"elements", count_}, {"bytes", count_ * sizeof(T)}});
     }
 
     void release() noexcept {

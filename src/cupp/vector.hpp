@@ -28,6 +28,7 @@
 #include "cupp/device.hpp"
 #include "cupp/device_reference.hpp"
 #include "cupp/exception.hpp"
+#include "cupp/trace.hpp"
 #include "cusim/device_ptr.hpp"
 #include "cusim/thread_ctx.hpp"
 
@@ -41,6 +42,23 @@ template <typename T>
 struct is_cupp_vector : std::false_type {};
 template <typename T>
 struct is_cupp_vector<vector<T>> : std::true_type {};
+
+/// Process-wide lazy-copy counters: one hit/miss (or event) counter per
+/// §4.6 rule, shared by all cupp::vector instantiations. Incremented only
+/// while tracing is enabled so per-element host accesses stay free.
+struct lazy_copy_counters {
+    trace::counter_handle upload{"cupp.vector.lazy.upload"};
+    trace::counter_handle upload_avoided{"cupp.vector.lazy.upload_avoided"};
+    trace::counter_handle download{"cupp.vector.lazy.download"};
+    trace::counter_handle download_avoided{"cupp.vector.lazy.download_avoided"};
+    trace::counter_handle host_invalidated{"cupp.vector.lazy.host_invalidated"};
+    trace::counter_handle device_invalidated{"cupp.vector.lazy.device_invalidated"};
+
+    static const lazy_copy_counters& get() {
+        static const lazy_copy_counters c;
+        return c;
+    }
+};
 }  // namespace detail
 
 namespace deviceT {
@@ -252,13 +270,14 @@ public:
     }
 
     /// The kernel received this vector as a non-const reference: the device
-    /// now holds the truth, the host copy is stale.
+    /// now holds the truth, the host copy is stale (§4.6 rule 2).
     void dirty(device_reference<device_type> /*ref*/) {
         // The handle itself (pointer + size) cannot meaningfully change on
         // the device — only the pointed-to data can, and that is already in
         // our buffer.
         host_valid_ = false;
         device_valid_ = true;
+        if (trace::enabled()) detail::lazy_copy_counters::get().host_invalidated.add();
     }
 
     /// Internal hook for nested vectors: the device changed our data behind
@@ -296,7 +315,13 @@ private:
         return h;
     }
 
-    void invalidate_device() { device_valid_ = false; }
+    /// A host write makes the device copy stale (§4.6 rule 4).
+    void invalidate_device() {
+        if (device_valid_ && trace::enabled()) {
+            detail::lazy_copy_counters::get().device_invalidated.add();
+        }
+        device_valid_ = false;
+    }
 
     void reset_flags() {
         host_valid_ = true;
@@ -304,11 +329,21 @@ private:
     }
 
     void ensure_host() const {
-        if (host_valid_) return;
+        if (host_valid_) {
+            // §4.6 rule 3 hit: the host copy is current, no download needed.
+            // Only counted while a device copy exists — otherwise there was
+            // nothing to avoid.
+            if (device_valid_ && trace::enabled()) {
+                detail::lazy_copy_counters::get().download_avoided.add();
+            }
+            return;
+        }
         if (host_.empty()) {
             host_valid_ = true;
             return;
         }
+        const bool tracing = trace::enabled();
+        const double t0 = tracing ? dev_->sim().host_time() : 0.0;
         // Download the device data over the host copy. Sizes match: the
         // device cannot resize a vector.
         if constexpr (std::is_same_v<T, dev_elem>) {
@@ -328,6 +363,15 @@ private:
         }
         ++downloads_;
         host_valid_ = true;
+        if (tracing) {
+            // §4.6 rule 3 miss: the host copy was stale, a download ran.
+            detail::lazy_copy_counters::get().download.add();
+            auto& sim = dev_->sim();
+            trace::emit_complete(sim.host_track(), "cupp::vector download",
+                                 sim.trace_time_us(t0), (sim.host_time() - t0) * 1e6,
+                                 {{"elements", host_.size()},
+                                  {"bytes", host_.size() * sizeof(dev_elem)}});
+        }
     }
 
     void ensure_device(const device& d) const {
@@ -339,10 +383,17 @@ private:
             device_valid_ = true;
             return;
         }
-        if (device_valid_ && dbuf_capacity_ >= host_.size()) return;
+        if (device_valid_ && dbuf_capacity_ >= host_.size()) {
+            // §4.6 rule 1 hit: the device copy is current, the upload is
+            // skipped — repeat kernel calls stay free of H2D traffic.
+            if (trace::enabled()) detail::lazy_copy_counters::get().upload_avoided.add();
+            return;
+        }
         if (!host_valid_) {
             throw usage_error("cupp::vector has neither valid host nor device data");
         }
+        const bool tracing = trace::enabled();
+        const double t0 = tracing ? d.sim().host_time() : 0.0;
         if (dbuf_capacity_ < host_.size()) {
             release_device();
             dbuf_ = d.malloc(host_.size() * sizeof(dev_elem));
@@ -363,6 +414,16 @@ private:
         }
         ++uploads_;
         device_valid_ = true;
+        if (tracing) {
+            // §4.6 rule 1 miss: the device copy was stale (or absent), an
+            // upload ran.
+            detail::lazy_copy_counters::get().upload.add();
+            auto& sim = d.sim();
+            trace::emit_complete(sim.host_track(), "cupp::vector upload",
+                                 sim.trace_time_us(t0), (sim.host_time() - t0) * 1e6,
+                                 {{"elements", host_.size()},
+                                  {"bytes", host_.size() * sizeof(dev_elem)}});
+        }
     }
 
     void release_device() const noexcept {

@@ -111,6 +111,9 @@ struct LaunchStats {
     std::uint64_t blocks = 0;
     std::uint64_t warps = 0;
     std::uint64_t threads = 0;
+    /// Threads per block as configured — recorded at launch so reports
+    /// never have to re-derive it from threads/blocks.
+    std::uint64_t threads_per_block = 0;
 
     std::uint64_t compute_cycles = 0;       ///< sum over warps
     std::uint64_t stall_cycles = 0;         ///< sum over warps

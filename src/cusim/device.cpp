@@ -4,10 +4,12 @@
 
 #include "cusim/engine.hpp"
 #include "cusim/multiprocessor.hpp"
+#include "cusim/report.hpp"
 
 namespace cusim {
 
-LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry) {
+LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
+                           std::string_view name) {
     cfg.validate();
     // Occupancy limits are checked before running anything.
     (void)blocks_per_mp(props_.cost, cfg);
@@ -15,6 +17,7 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry) {
     LaunchStats stats;
     stats.blocks = cfg.grid.count();
     stats.threads = cfg.total_threads();
+    stats.threads_per_block = cfg.block.count();
     stats.warps = std::uint64_t{cfg.warps_per_block()} * cfg.grid.count();
 
     std::vector<BlockCost> costs;
@@ -44,11 +47,58 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry) {
     // overhead (§2.2 "a kernel invocation does not block the host").
     const double start = std::max(host_time_, device_free_at_);
     device_free_at_ = start + stats.device_seconds;
+    const double host_issue_t0 = host_time_;
     host_time_ += props_.cost.launch_overhead_s;
 
     last_launch_ = stats;
     ++launch_count_;
+    record_launch(name, stats, start, device_free_at_);
+
+    if (cupp::trace::enabled()) {
+        const std::string label =
+            name.empty() ? std::string("kernel") : std::string(name);
+        // The device lane shows the grid actually executing — with the full
+        // LaunchStats attached, this is the §6.3.1 profile per launch.
+        cupp::trace::emit_complete(
+            device_track(), label, trace_time_us(start), stats.device_seconds * 1e6,
+            {{"blocks", stats.blocks},
+             {"threads", stats.threads},
+             {"threads_per_block", stats.threads_per_block},
+             {"warps", stats.warps},
+             {"compute_cycles", stats.compute_cycles},
+             {"stall_cycles", stats.stall_cycles},
+             {"bytes_read", stats.bytes_read},
+             {"bytes_written", stats.bytes_written},
+             {"divergent_events", stats.divergent_events},
+             {"branch_evaluations", stats.branch_evaluations},
+             {"syncthreads", stats.syncthreads_count},
+             {"resident_blocks_per_mp", stats.resident_blocks_per_mp},
+             {"bound_by", to_string(bound_by(stats, props_.cost))}});
+        // The host lane shows only the (tiny) synchronous issue cost — the
+        // gap between this span's end and the device span's end is the
+        // overlap the asynchronous model buys.
+        cupp::trace::emit_complete(host_track(), "launch " + label,
+                                   trace_time_us(host_issue_t0),
+                                   props_.cost.launch_overhead_s * 1e6);
+        static const cupp::trace::counter_handle launches("cusim.kernel_launches");
+        launches.add();
+    }
     return stats;
+}
+
+void Device::record_launch(std::string_view name, const LaunchStats& stats, double start,
+                           double end) {
+    LaunchRecord rec;
+    rec.kernel_name = name.empty() ? "kernel" : std::string(name);
+    rec.stats = stats;
+    rec.start_seconds = trace_base_ + start;
+    rec.end_seconds = trace_base_ + end;
+    if (history_.size() < kLaunchHistoryCapacity) {
+        history_.push_back(std::move(rec));
+    } else {
+        history_[history_head_] = std::move(rec);
+        history_head_ = (history_head_ + 1) % kLaunchHistoryCapacity;
+    }
 }
 
 }  // namespace cusim

@@ -9,11 +9,15 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "cupp/trace.hpp"
 #include "cusim/accounting.hpp"
 #include "cusim/constant_memory.hpp"
 #include "cusim/cost_model.hpp"
@@ -24,10 +28,22 @@
 
 namespace cusim {
 
+/// One entry of the per-device launch history: the kernel's name plus its
+/// full stats and its window on the modelled device timeline.
+struct LaunchRecord {
+    std::string kernel_name;
+    LaunchStats stats{};
+    double start_seconds = 0.0;  ///< device-clock start of the grid
+    double end_seconds = 0.0;    ///< device-clock completion
+};
+
 class Device {
 public:
     explicit Device(DeviceProperties props = g80_properties())
-        : props_(std::move(props)), memory_(props_.total_global_mem) {}
+        : props_(std::move(props)), memory_(props_.total_global_mem) {
+        static std::atomic<int> next_ordinal{0};
+        trace_ordinal_ = next_ordinal.fetch_add(1, std::memory_order_relaxed);
+    }
 
     Device(const Device&) = delete;
     Device& operator=(const Device&) = delete;
@@ -65,20 +81,34 @@ public:
 
     // --- host <-> device transfers (blocking, clock-advancing) ------------
     void copy_to_device(DeviceAddr dst, const void* src, std::uint64_t bytes) {
+        const bool tracing = cupp::trace::enabled();
+        const double t0 = host_time_;
+        const double wait = std::max(0.0, device_free_at_ - host_time_);
         begin_host_access(bytes);
         memory_.write(dst, src, bytes);
         bytes_to_device_ += bytes;
+        if (tracing) trace_transfer("memcpy H2D", t0, bytes, wait, "H2D");
     }
     void copy_to_host(void* dst, DeviceAddr src, std::uint64_t bytes) {
+        const bool tracing = cupp::trace::enabled();
+        const double t0 = host_time_;
+        const double wait = std::max(0.0, device_free_at_ - host_time_);
         begin_host_access(bytes);
         memory_.read(src, dst, bytes);
         bytes_to_host_ += bytes;
+        if (tracing) trace_transfer("memcpy D2H", t0, bytes, wait, "D2H");
     }
     void copy_device_to_device(DeviceAddr dst, DeviceAddr src, std::uint64_t bytes) {
         // Device-side copy: consumes device time, not host time.
         const double secs = static_cast<double>(bytes) / props_.cost.mem_bandwidth_bytes_per_s;
-        device_free_at_ = std::max(device_free_at_, host_time_) + secs;
+        const double start = std::max(device_free_at_, host_time_);
+        device_free_at_ = start + secs;
         memory_.copy(dst, src, bytes);
+        if (cupp::trace::enabled()) {
+            cupp::trace::emit_complete(
+                device_track(), "memcpy D2D", trace_time_us(start), secs * 1e6,
+                {{"bytes", bytes}, {"kind", "D2D"}});
+        }
     }
 
     template <typename T>
@@ -109,15 +139,21 @@ public:
     /// Host upload into constant memory (blocks while a kernel is active,
     /// like any host access to device state).
     void copy_to_constant(DeviceAddr addr, const void* src, std::uint64_t bytes) {
+        const bool tracing = cupp::trace::enabled();
+        const double t0 = host_time_;
+        const double wait = std::max(0.0, device_free_at_ - host_time_);
         begin_host_access(bytes);
         constant_.write(addr, src, bytes);
         bytes_to_device_ += bytes;
+        if (tracing) trace_transfer("memcpy H2C", t0, bytes, wait, "H2C");
     }
 
     // --- execution ---------------------------------------------------------
     /// Executes a grid and advances the device timeline by the modelled
-    /// time. Asynchronous w.r.t. the host clock (§2.2).
-    LaunchStats launch(const LaunchConfig& cfg, const KernelEntry& entry);
+    /// time. Asynchronous w.r.t. the host clock (§2.2). `name` labels the
+    /// launch in the trace and the launch history.
+    LaunchStats launch(const LaunchConfig& cfg, const KernelEntry& entry,
+                       std::string_view name = {});
 
     // --- the simulated timeline --------------------------------------------
     [[nodiscard]] double host_time() const { return host_time_; }
@@ -147,8 +183,13 @@ public:
         return (stop.device_time - start.device_time) * 1e3;
     }
 
-    /// Resets the timeline (a new measurement run).
-    void reset_clock() { host_time_ = 0.0; device_free_at_ = 0.0; }
+    /// Resets the timeline (a new measurement run). The trace keeps its own
+    /// monotonic base so events from successive runs do not overlap.
+    void reset_clock() {
+        trace_base_ += std::max(host_time_, device_free_at_);
+        host_time_ = 0.0;
+        device_free_at_ = 0.0;
+    }
 
     // --- statistics ---------------------------------------------------------
     [[nodiscard]] const LaunchStats& last_launch() const { return last_launch_; }
@@ -157,7 +198,52 @@ public:
     [[nodiscard]] std::uint64_t bytes_to_host() const { return bytes_to_host_; }
     void reset_transfer_stats() { bytes_to_device_ = 0; bytes_to_host_ = 0; }
 
+    // --- launch history (ring buffer of recent launches) --------------------
+    /// How many launches the history keeps (§6.3.1: being able to look back
+    /// at more than the final launch is what makes the counters useful).
+    static constexpr std::size_t kLaunchHistoryCapacity = 64;
+
+    /// The most recent launches, oldest first (at most
+    /// kLaunchHistoryCapacity; use launches() for the all-time count).
+    [[nodiscard]] std::vector<LaunchRecord> recent_launches() const {
+        std::vector<LaunchRecord> out;
+        out.reserve(history_.size());
+        const std::size_t n = history_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(history_[(history_head_ + i) % n]);
+        }
+        return out;
+    }
+
+    // --- trace integration ---------------------------------------------------
+    /// Identifies this device's timeline lanes in the exported trace.
+    [[nodiscard]] std::string host_track() const {
+        return "dev" + std::to_string(trace_ordinal_) + ".host";
+    }
+    [[nodiscard]] std::string device_track() const {
+        return "dev" + std::to_string(trace_ordinal_) + ".device";
+    }
+    /// Maps a simulated-seconds timestamp onto the trace's monotonic
+    /// microsecond axis (reset_clock()-proof).
+    [[nodiscard]] double trace_time_us(double seconds) const {
+        return (trace_base_ + seconds) * 1e6;
+    }
+
 private:
+    void trace_transfer(const char* name, double t0, std::uint64_t bytes, double wait_s,
+                        const char* kind) {
+        cupp::trace::emit_complete(host_track(), name, trace_time_us(t0),
+                                   (host_time_ - t0) * 1e6,
+                                   {{"bytes", bytes},
+                                    {"kind", kind},
+                                    {"device_wait_us", wait_s * 1e6}});
+        static const cupp::trace::counter_handle h2d("cusim.bytes_h2d");
+        static const cupp::trace::counter_handle d2h("cusim.bytes_d2h");
+        static const cupp::trace::counter_handle n_xfers("cusim.transfers");
+        (kind[0] == 'D' ? d2h : h2d).add(bytes);
+        n_xfers.add();
+    }
+
     /// Host access to device memory blocks until no kernel is active (§2.2)
     /// and then pays the PCIe transfer cost.
     void begin_host_access(std::uint64_t bytes) {
@@ -165,6 +251,10 @@ private:
         host_time_ += props_.cost.transfer_latency_s +
                       static_cast<double>(bytes) / props_.cost.pcie_bandwidth_bytes_per_s;
     }
+
+    /// Appends to the launch-history ring buffer (device.cpp).
+    void record_launch(std::string_view name, const LaunchStats& stats, double start,
+                       double end);
 
     DeviceProperties props_;
     GlobalMemory memory_;
@@ -175,6 +265,11 @@ private:
     std::uint64_t launch_count_ = 0;
     std::uint64_t bytes_to_device_ = 0;
     std::uint64_t bytes_to_host_ = 0;
+
+    std::vector<LaunchRecord> history_;  ///< ring buffer, capacity-bounded
+    std::size_t history_head_ = 0;       ///< oldest entry once the ring is full
+    int trace_ordinal_ = 0;              ///< stable lane id in the exported trace
+    double trace_base_ = 0.0;            ///< accumulated pre-reset_clock() time
 };
 
 }  // namespace cusim

@@ -2,9 +2,9 @@
 // had ("no profiling tool is available offering this information", §6.3.1).
 #pragma once
 
-#include <cstdio>
 #include <string>
 
+#include "cupp/trace.hpp"
 #include "cusim/accounting.hpp"
 #include "cusim/cost_model.hpp"
 
@@ -38,26 +38,51 @@ enum class BoundBy { Compute, LatencyChain, Bandwidth };
 }
 
 /// One-paragraph report of a launch, e.g. for examples and harness logs.
+/// Formats through cupp::trace::format (an auto-sizing std::string builder,
+/// immune to the silent truncation of a fixed snprintf buffer) and reads
+/// the threads-per-block figure recorded at launch instead of re-deriving
+/// it from threads/blocks.
 [[nodiscard]] inline std::string describe(const LaunchStats& s, const CostModel& cm) {
-    char buf[512];
     const double div_rate =
         s.branch_evaluations > 0
             ? 100.0 * static_cast<double>(s.divergent_events) /
                   (static_cast<double>(s.branch_evaluations) / kWarpSize)
             : 0.0;
-    std::snprintf(buf, sizeof(buf),
-                  "%llu blocks x %llu threads (%u resident blocks/MP), %.3f ms, "
-                  "%s-bound; %.2f MiB read, %.2f MiB written; "
-                  "%llu divergent warp-steps (%.1f%% of warp branches); "
-                  "%llu barrier rounds",
-                  static_cast<unsigned long long>(s.blocks),
-                  static_cast<unsigned long long>(s.threads / (s.blocks ? s.blocks : 1)),
-                  s.resident_blocks_per_mp, s.device_seconds * 1e3,
-                  to_string(bound_by(s, cm)), s.bytes_read / 1048576.0,
-                  s.bytes_written / 1048576.0,
-                  static_cast<unsigned long long>(s.divergent_events), div_rate,
-                  static_cast<unsigned long long>(s.syncthreads_count));
-    return std::string(buf);
+    return cupp::trace::format(
+        "%llu blocks x %llu threads (%u resident blocks/MP), %.3f ms, "
+        "%s-bound; %.2f MiB read, %.2f MiB written; "
+        "%llu divergent warp-steps (%.1f%% of warp branches); "
+        "%llu barrier rounds",
+        static_cast<unsigned long long>(s.blocks),
+        static_cast<unsigned long long>(s.threads_per_block),
+        s.resident_blocks_per_mp, s.device_seconds * 1e3, to_string(bound_by(s, cm)),
+        s.bytes_read / 1048576.0, s.bytes_written / 1048576.0,
+        static_cast<unsigned long long>(s.divergent_events), div_rate,
+        static_cast<unsigned long long>(s.syncthreads_count));
+}
+
+/// Machine-readable flavour of describe(): the same launch profile as a
+/// JSON object (the per-launch args the trace exporter attaches to device
+/// spans use the same fields).
+[[nodiscard]] inline std::string describe_json(const LaunchStats& s, const CostModel& cm) {
+    return cupp::trace::format(
+        "{\"blocks\":%llu,\"threads\":%llu,\"threads_per_block\":%llu,"
+        "\"warps\":%llu,\"resident_blocks_per_mp\":%u,\"device_ms\":%.6f,"
+        "\"bound_by\":\"%s\",\"bytes_read\":%llu,\"bytes_written\":%llu,"
+        "\"divergent_events\":%llu,\"branch_evaluations\":%llu,"
+        "\"syncthreads\":%llu,\"compute_cycles\":%llu,\"stall_cycles\":%llu}",
+        static_cast<unsigned long long>(s.blocks),
+        static_cast<unsigned long long>(s.threads),
+        static_cast<unsigned long long>(s.threads_per_block),
+        static_cast<unsigned long long>(s.warps), s.resident_blocks_per_mp,
+        s.device_seconds * 1e3, to_string(bound_by(s, cm)),
+        static_cast<unsigned long long>(s.bytes_read),
+        static_cast<unsigned long long>(s.bytes_written),
+        static_cast<unsigned long long>(s.divergent_events),
+        static_cast<unsigned long long>(s.branch_evaluations),
+        static_cast<unsigned long long>(s.syncthreads_count),
+        static_cast<unsigned long long>(s.compute_cycles),
+        static_cast<unsigned long long>(s.stall_cycles));
 }
 
 }  // namespace cusim

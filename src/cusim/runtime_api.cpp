@@ -140,7 +140,9 @@ ErrorCode cusimSetupArgument(const void* arg, std::size_t size, std::size_t offs
     return set_error(ErrorCode::Success);
 }
 
-ErrorCode cusimLaunch(KernelHandle kernel) {
+ErrorCode cusimLaunch(KernelHandle kernel) { return cusimLaunchNamed(kernel, nullptr); }
+
+ErrorCode cusimLaunchNamed(KernelHandle kernel, const char* name) {
     if (!kernel) return set_error(ErrorCode::InvalidValue);
     if (!t_launch.configured) return set_error(ErrorCode::InvalidConfiguration);
     const auto* trampoline = static_cast<const Trampoline*>(kernel);
@@ -151,7 +153,7 @@ ErrorCode cusimLaunch(KernelHandle kernel) {
         KernelEntry entry = [trampoline, &dev, stack](ThreadCtx& ctx) {
             return (*trampoline)(ctx, dev, stack->data());
         };
-        dev.launch(t_launch.config, entry);
+        dev.launch(t_launch.config, entry, name ? std::string_view(name) : std::string_view{});
         t_launch.configured = false;
     });
 }

@@ -56,6 +56,10 @@ ErrorCode cusimConfigureCall(dim3 grid, dim3 block, std::uint32_t shared_bytes =
                              std::uint32_t regs_per_thread = 16);
 ErrorCode cusimSetupArgument(const void* arg, std::size_t size, std::size_t offset);
 ErrorCode cusimLaunch(KernelHandle kernel);
+/// cusimLaunch with a kernel name for the trace and launch history (the
+/// real runtime derives it from the symbol; the simulator has no nvcc, so
+/// callers pass it). A null/empty name behaves like cusimLaunch.
+ErrorCode cusimLaunchNamed(KernelHandle kernel, const char* name);
 
 /// Stats of the most recent successful launch on the calling thread's device.
 const LaunchStats& cusimLastLaunchStats();

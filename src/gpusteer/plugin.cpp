@@ -20,6 +20,30 @@ cusim::dim3 grid_for(std::uint32_t threads) {
     return cusim::dim3{(threads + kThreadsPerBlock - 1) / kThreadsPerBlock};
 }
 
+/// RAII span over a per-step phase (neighbor search, steering, grid
+/// rebuild, draw ...) on the plugin device's host lane of the trace.
+class ScopedPhase {
+public:
+    ScopedPhase(cusim::Device& sim, const char* name)
+        : sim_(sim), name_(name), on_(cupp::trace::enabled()),
+          t0_(on_ ? sim.host_time() : 0.0) {}
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+    ~ScopedPhase() {
+        if (on_) {
+            cupp::trace::emit_complete(sim_.host_track(), name_,
+                                       sim_.trace_time_us(t0_),
+                                       (sim_.host_time() - t0_) * 1e6);
+        }
+    }
+
+private:
+    cusim::Device& sim_;
+    const char* name_;
+    bool on_;
+    double t0_;
+};
+
 }  // namespace
 
 GpuBoidsPlugin::GpuBoidsPlugin(Version version, bool double_buffering, bool with_draw_stage)
@@ -41,6 +65,11 @@ GpuBoidsPlugin::GpuBoidsPlugin(Version version, bool double_buffering, bool with
         ns_kernel_.set_shared_bytes(kThreadsPerBlock * sizeof(Vec3));
     }
     sim_kernel_.set_shared_bytes(kThreadsPerBlock * sizeof(Vec3));
+    ns_kernel_.set_name(version == Version::V1_NeighborSearchGlobal ? "ns_global"
+                                                                    : "ns_shared");
+    sim_kernel_.set_name("sim_substage");
+    mod_kernel_.set_name("modify");
+    grid_sim_kernel_.set_name("sim_grid");
 }
 
 void GpuBoidsPlugin::open(const steer::WorldSpec& spec) {
@@ -117,18 +146,21 @@ void GpuBoidsPlugin::accumulate_stats(const cusim::LaunchStats& s) {
 }
 
 void GpuBoidsPlugin::extract_positions() {
+    ScopedPhase span(dev_.sim(), "extract_positions");
     auto& p = positions_.mutate();
     for (std::uint32_t i = 0; i < spec_.agents; ++i) p[i] = flock_[i].position;
     dev_.sim().advance_host(cpu_.seconds(kExtractCyclesPerAgent * spec_.agents));
 }
 
 void GpuBoidsPlugin::extract_forwards() {
+    ScopedPhase span(dev_.sim(), "extract_forwards");
     auto& f = forwards_.mutate();
     for (std::uint32_t i = 0; i < spec_.agents; ++i) f[i] = flock_[i].forward;
     dev_.sim().advance_host(cpu_.seconds(kExtractCyclesPerAgent * spec_.agents));
 }
 
 void GpuBoidsPlugin::host_steering(const std::vector<std::uint32_t>& thinking) {
+    ScopedPhase span(dev_.sim(), "host_steering");
     // Versions 1/2: the device found the neighbors, the host computes the
     // steering vectors from them ("continue with the old CPU simulation",
     // listing 6.1).
@@ -160,6 +192,7 @@ void GpuBoidsPlugin::host_steering(const std::vector<std::uint32_t>& thinking) {
 }
 
 void GpuBoidsPlugin::host_modification() {
+    ScopedPhase span(dev_.sim(), "host_modification");
     for (std::uint32_t i = 0; i < spec_.agents; ++i) {
         steer::apply_steering(flock_[i], steering_host_[i], spec_.dt, spec_.params);
         steer::wrap_world(flock_[i], spec_.world_radius);
@@ -170,6 +203,7 @@ void GpuBoidsPlugin::host_modification() {
 }
 
 double GpuBoidsPlugin::draw_stage(bool from_device_matrices) {
+    ScopedPhase span(dev_.sim(), "draw");
     const double t0 = dev_.sim().host_time();
     if (!from_device_matrices) {
         steer::build_draw_matrices(flock_, drawn_);
@@ -207,9 +241,12 @@ StageTimes GpuBoidsPlugin::step_host_versions() {
         const auto steerings = steerings_.snapshot();
         for (std::uint32_t i = 0; i < spec_.agents; ++i) steering_host_[i] = steerings[i];
     } else {
-        ns_kernel_.set_grid_dim(grid_for(thinking_count));
-        ns_kernel_(dev_, positions_, spec_.search_radius, result_, result_count_, map);
-        accumulate_stats(ns_kernel_.last_stats());
+        {
+            ScopedPhase span(sim, "neighbor_search");
+            ns_kernel_.set_grid_dim(grid_for(thinking_count));
+            ns_kernel_(dev_, positions_, spec_.search_radius, result_, result_count_, map);
+            accumulate_stats(ns_kernel_.last_stats());
+        }
         std::vector<std::uint32_t> thinking;
         thinking.reserve(thinking_count);
         for (std::uint32_t i = 0; i < spec_.agents; ++i) {
@@ -242,11 +279,14 @@ void GpuBoidsPlugin::launch_simulation_kernel(const ThinkMap& map, const FlockPa
         // device owns them in version 6), build the grid on the host, and
         // let the lazy vectors carry the CSR arrays across.
         auto& sim = dev_.sim();
-        const auto host_positions = positions_.snapshot();
-        grid_upload_.build(host_positions, spec_.search_radius, spec_.world_radius);
-        sim.advance_host(
-            cpu_.seconds(cpu_.cycles_per_grid_agent * spec_.agents +
-                         cpu_.cycles_per_grid_cell * grid_upload_.spec().cells()));
+        {
+            ScopedPhase span(sim, "grid_rebuild");
+            const auto host_positions = positions_.snapshot();
+            grid_upload_.build(host_positions, spec_.search_radius, spec_.world_radius);
+            sim.advance_host(
+                cpu_.seconds(cpu_.cycles_per_grid_agent * spec_.agents +
+                             cpu_.cycles_per_grid_cell * grid_upload_.spec().cells()));
+        }
         grid_sim_kernel_.set_grid_dim(grid_for(thinking_count));
         grid_sim_kernel_(dev_, positions_, forwards_, grid_upload_.cell_start(),
                          grid_upload_.entries(), grid_upload_.spec(), steerings_, fp, map);
@@ -276,7 +316,10 @@ StageTimes GpuBoidsPlugin::step_device_version() {
         // host while the device computes.
         const int prev = 1 - current_buffer_;
         const double d0 = sim.host_time();
-        drawn_ = matrices_[prev].snapshot();
+        {
+            ScopedPhase span(sim, "matrices_download");
+            drawn_ = matrices_[prev].snapshot();
+        }
         const double download = sim.host_time() - d0;
 
         launch_simulation_kernel(map, fp, thinking_count);

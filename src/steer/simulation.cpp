@@ -1,5 +1,7 @@
 #include "steer/simulation.hpp"
 
+#include "cupp/trace.hpp"
+
 namespace steer {
 
 void CpuBoidsPlugin::open(const WorldSpec& spec) {
@@ -76,6 +78,24 @@ StageTimes CpuBoidsPlugin::step() {
     mod_only.modifies = c.modifies;
     times.modification = update_stage_seconds(mod_only, cost_);
     times.draw = draw_stage_seconds(n, cost_);
+
+    // The CPU plugin has no simulated device clock, so it keeps its own
+    // modelled timeline and lays the three stages out back to back.
+    if (cupp::trace::enabled()) {
+        namespace tr = cupp::trace;
+        double t = clock_;
+        tr::emit_complete("boids-cpu", "simulation", t * 1e6, times.simulation * 1e6,
+                          {{"thinks", c.thinks}, {"pairs_examined", c.pairs_examined}});
+        t += times.simulation;
+        tr::emit_complete("boids-cpu", "modification", t * 1e6, times.modification * 1e6,
+                          {{"modifies", c.modifies}});
+        t += times.modification;
+        tr::emit_complete("boids-cpu", "draw", t * 1e6, times.draw * 1e6,
+                          {{"agents", n}});
+        static tr::counter_handle steps("steer.cpu.steps");
+        steps.add(1);
+    }
+    clock_ += times.simulation + times.modification + times.draw;
     return times;
 }
 

@@ -48,6 +48,7 @@ private:
     UpdateCounters totals_{};
     UpdateCounters last_{};
     std::uint64_t step_index_ = 0;
+    double clock_ = 0.0;  ///< accumulated modelled seconds (trace timeline)
 };
 
 }  // namespace steer

@@ -4,6 +4,10 @@
 // geometry.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
+#include "cupp/trace.hpp"
 #include "gpusteer/plugin.hpp"
 #include "steer/steer.hpp"
 
@@ -86,6 +90,52 @@ TEST(Timeline, KernelActiveWhileHostDraws) {
     // crunching the just-launched update while the host has already drawn.
     EXPECT_TRUE(sim.kernel_active());
     db.close();
+}
+
+TEST(Timeline, TraceShowsKernelSpansOverlappingHostSpans) {
+    // The trace must make the §2.2 asynchrony visible: with double
+    // buffering, device-lane kernel spans overlap host-lane spans (the
+    // host draws frame n while the device computes frame n+1).
+    namespace tr = cupp::trace;
+    tr::clear();
+    tr::enable();
+
+    WorldSpec spec;
+    spec.agents = 8192;
+    GpuBoidsPlugin db(Version::V5_FullUpdateOnDevice, true);
+    db.open(spec);
+    db.step();
+    db.step();
+    db.step();
+    auto& sim = db.device_handle().sim();
+    const std::string host_lane = sim.host_track();
+    const std::string device_lane = sim.device_track();
+    db.close();
+
+    const auto events = tr::events();
+    tr::disable();
+    tr::clear();
+
+    bool host_seen = false, device_seen = false, overlap = false;
+    for (const auto& dev_ev : events) {
+        if (dev_ev.phase != tr::Phase::Complete || dev_ev.track != device_lane) continue;
+        device_seen = true;
+        for (const auto& host_ev : events) {
+            if (host_ev.phase != tr::Phase::Complete || host_ev.track != host_lane) continue;
+            host_seen = true;
+            const double start = std::max(dev_ev.ts_us, host_ev.ts_us);
+            const double end = std::min(dev_ev.ts_us + dev_ev.dur_us,
+                                        host_ev.ts_us + host_ev.dur_us);
+            if (end > start) {
+                overlap = true;
+                break;
+            }
+        }
+        if (overlap) break;
+    }
+    EXPECT_TRUE(device_seen) << "no kernel spans on the device lane";
+    EXPECT_TRUE(host_seen) << "no spans on the host lane";
+    EXPECT_TRUE(overlap) << "device work never overlapped host work in the trace";
 }
 
 TEST(Timeline, ResetClockZeroesTheTimeline) {

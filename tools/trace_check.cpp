@@ -1,0 +1,138 @@
+// trace_check — validates a Chrome trace-event file produced by cupp::trace.
+//
+//   trace_check <trace.json> [--require-kernels] [--require-transfers]
+//               [--require-lazy-counters] [--require-device-track]
+//
+// Exit code 0 iff the file parses as JSON, has a non-empty traceEvents
+// array, and satisfies every requested structural check. Used by the CTest
+// case that runs boids_demo under CUPP_TRACE, and handy standalone when
+// eyeballing a trace before loading it into Perfetto.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cupp/detail/minijson.hpp"
+
+namespace {
+
+int fail(const char* what) {
+    std::fprintf(stderr, "trace_check: FAIL: %s\n", what);
+    return 1;
+}
+
+bool has_string(const cupp::minijson::Value& obj, const char* key) {
+    const auto* v = obj.find(key);
+    return v != nullptr && v->is_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: trace_check <trace.json> [--require-kernels] "
+                     "[--require-transfers] [--require-lazy-counters] "
+                     "[--require-device-track]\n");
+        return 2;
+    }
+    bool want_kernels = false, want_transfers = false;
+    bool want_lazy = false, want_device_track = false;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--require-kernels") == 0) want_kernels = true;
+        else if (std::strcmp(argv[i], "--require-transfers") == 0) want_transfers = true;
+        else if (std::strcmp(argv[i], "--require-lazy-counters") == 0) want_lazy = true;
+        else if (std::strcmp(argv[i], "--require-device-track") == 0) want_device_track = true;
+        else {
+            std::fprintf(stderr, "trace_check: unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) return fail("cannot open trace file");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    if (text.empty()) return fail("trace file is empty");
+
+    cupp::minijson::Value root;
+    try {
+        root = cupp::minijson::parse(text);
+    } catch (const cupp::minijson::parse_error& e) {
+        std::fprintf(stderr, "trace_check: FAIL: invalid JSON: %s\n", e.what());
+        return 1;
+    }
+    if (!root.is_object()) return fail("top level is not an object");
+    const auto* events = root.find("traceEvents");
+    if (events == nullptr || !events->is_array()) return fail("no traceEvents array");
+    if (events->array().empty()) return fail("traceEvents is empty");
+
+    std::size_t kernel_spans = 0, transfer_events = 0;
+    std::set<std::string> track_names;  // resolved via thread_name metadata
+    bool lazy_counters = false;
+    for (const auto& ev : events->array()) {
+        if (!ev.is_object()) return fail("traceEvents entry is not an object");
+        const auto* ph = ev.find("ph");
+        const auto* name = ev.find("name");
+        if (ph == nullptr || !ph->is_string()) return fail("event without ph");
+        if (name == nullptr || !name->is_string()) return fail("event without name");
+        const std::string& phase = ph->str();
+        const std::string& label = name->str();
+
+        if (phase == "M" && label == "thread_name") {
+            const auto* args = ev.find("args");
+            if (args != nullptr && args->is_object() && has_string(*args, "name")) {
+                track_names.insert(args->find("name")->str());
+            }
+            continue;
+        }
+        if (phase == "X") {
+            const auto* ts = ev.find("ts");
+            const auto* dur = ev.find("dur");
+            if (ts == nullptr || !ts->is_number()) return fail("X event without ts");
+            if (dur == nullptr || !dur->is_number()) return fail("X event without dur");
+            if (dur->number() < 0) return fail("X event with negative dur");
+            const auto* args = ev.find("args");
+            const bool has_bytes = args != nullptr && args->is_object() &&
+                                   args->find("bytes") != nullptr &&
+                                   args->find("bytes")->is_number();
+            const bool is_transfer =
+                label.rfind("memcpy ", 0) == 0 ||
+                (label.rfind("cupp::", 0) == 0 &&
+                 (label.find("upload") != std::string::npos ||
+                  label.find("download") != std::string::npos));
+            if (is_transfer) {
+                if (!has_bytes) return fail("transfer span without byte count");
+                ++transfer_events;
+            }
+            if (label.rfind("cupp::call", 0) == 0 || label.rfind("launch ", 0) == 0) {
+                ++kernel_spans;
+            }
+        }
+        if (phase == "C" && label.rfind("cupp.vector.lazy.", 0) == 0) {
+            lazy_counters = true;
+        }
+    }
+
+    bool device_track = false, host_track = false;
+    for (const auto& t : track_names) {
+        if (t.find(".device") != std::string::npos) device_track = true;
+        if (t.find(".host") != std::string::npos) host_track = true;
+    }
+
+    if (want_kernels && kernel_spans == 0) return fail("no kernel-launch spans");
+    if (want_transfers && transfer_events == 0) return fail("no transfer events with bytes");
+    if (want_lazy && !lazy_counters) return fail("no lazy-copy counter samples");
+    if (want_device_track && !(device_track && host_track)) {
+        return fail("host and device tracks not both present");
+    }
+
+    std::printf("trace_check: OK: %zu events, %zu kernel spans, %zu transfers, "
+                "%zu named tracks\n",
+                events->array().size(), kernel_spans, transfer_events,
+                track_names.size());
+    return 0;
+}
