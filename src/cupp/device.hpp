@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <set>
+#include <source_location>
 #include <string>
 
 #include "cupp/exception.hpp"
@@ -82,16 +83,22 @@ public:
     [[nodiscard]] bool supports_atomics() const { return sim().properties().supports_atomics; }
 
     // --- memory (exception-throwing CUDA-style management, §4.2) ---
-    /// Allocates `bytes` of global memory owned by this handle.
-    [[nodiscard]] cusim::DeviceAddr malloc(std::uint64_t bytes) const {
-        const auto addr = translated([&] { return sim().malloc_bytes(bytes); });
+    /// Allocates `bytes` of global memory owned by this handle. The
+    /// caller's source location and the layer label ride down to the
+    /// allocator for memcheck attribution.
+    [[nodiscard]] cusim::DeviceAddr malloc(
+        std::uint64_t bytes,
+        std::source_location loc = std::source_location::current(),
+        const char* label = "cupp::device::malloc") const {
+        const auto addr = translated([&] { return sim().malloc_bytes(bytes, loc, label); });
         allocations_.insert(addr);
         return addr;
     }
 
     /// Frees an allocation made through this handle.
-    void free(cusim::DeviceAddr addr) const {
-        translated([&] { sim().free_bytes(addr); });
+    void free(cusim::DeviceAddr addr,
+              std::source_location loc = std::source_location::current()) const {
+        translated([&] { sim().free_bytes(addr, loc); });
         allocations_.erase(addr);
     }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <iterator>
+#include <source_location>
 #include <type_traits>
 #include <vector>
 
@@ -28,14 +29,18 @@ class memory1d {
                   "global memory holds byte-wise copyable values only");
 
 public:
-    /// Allocates `count` elements (uninitialised, like cudaMalloc).
-    memory1d(const device& d, std::uint64_t count) : dev_(&d), count_(count) {
-        addr_ = d.malloc(count * sizeof(T));
+    /// Allocates `count` elements (uninitialised, like cudaMalloc). The
+    /// caller's source location labels the allocation in memcheck reports.
+    memory1d(const device& d, std::uint64_t count,
+             std::source_location loc = std::source_location::current())
+        : dev_(&d), count_(count) {
+        addr_ = d.malloc(count * sizeof(T), loc, "cupp::memory1d");
     }
 
     /// Allocates and fills from a linear host block (pointer flavour).
-    memory1d(const device& d, const T* first, const T* last)
-        : memory1d(d, static_cast<std::uint64_t>(last - first)) {
+    memory1d(const device& d, const T* first, const T* last,
+             std::source_location loc = std::source_location::current())
+        : memory1d(d, static_cast<std::uint64_t>(last - first), loc) {
         copy_from_host(first);
     }
 
@@ -43,8 +48,9 @@ public:
     /// the range is linearised in traversal order (§4.2).
     template <std::input_iterator It>
         requires(!std::is_pointer_v<It>)
-    memory1d(const device& d, It first, It last)
-        : memory1d(d, staging(first, last), d) {}
+    memory1d(const device& d, It first, It last,
+             std::source_location loc = std::source_location::current())
+        : memory1d(d, staging(first, last), loc) {}
 
     /// Deep copy: new device allocation, device-to-device data copy.
     memory1d(const memory1d& other) : memory1d(*other.dev_, other.count_) {
@@ -139,8 +145,8 @@ private:
     static std::vector<T> staging(It first, It last) {
         return std::vector<T>(first, last);
     }
-    memory1d(const device& d, const std::vector<T>& stage, const device&)
-        : memory1d(d, stage.empty() ? 1 : stage.size()) {
+    memory1d(const device& d, const std::vector<T>& stage, std::source_location loc)
+        : memory1d(d, stage.empty() ? 1 : stage.size(), loc) {
         count_ = stage.size();
         if (!stage.empty()) copy_from_host(stage.data());
     }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <source_location>
 #include <type_traits>
 
 #include "cupp/device.hpp"
@@ -25,8 +26,11 @@ public:
     shared_device_ptr() = default;
 
     /// Allocates `count` elements of global memory with shared ownership.
-    shared_device_ptr(const device& d, std::uint64_t count)
-        : state_(std::make_shared<State>(d, count)) {}
+    /// The caller's source location labels the allocation in memcheck
+    /// reports.
+    shared_device_ptr(const device& d, std::uint64_t count,
+                      std::source_location loc = std::source_location::current())
+        : state_(std::make_shared<State>(d, count, loc)) {}
 
     // --- boost::shared_ptr-style interface ---
     [[nodiscard]] long use_count() const {
@@ -64,8 +68,9 @@ public:
 
 private:
     struct State {
-        State(const device& d, std::uint64_t n) : dev(&d), count(n) {
-            addr = d.malloc(n * sizeof(T));
+        State(const device& d, std::uint64_t n, std::source_location loc)
+            : dev(&d), count(n) {
+            addr = d.malloc(n * sizeof(T), loc, "cupp::shared_device_ptr");
         }
         ~State() {
             try {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <optional>
+#include <source_location>
 #include <type_traits>
 #include <vector>
 
@@ -396,7 +397,8 @@ private:
         const double t0 = tracing ? d.sim().host_time() : 0.0;
         if (dbuf_capacity_ < host_.size()) {
             release_device();
-            dbuf_ = d.malloc(host_.size() * sizeof(dev_elem));
+            dbuf_ = d.malloc(host_.size() * sizeof(dev_elem),
+                             std::source_location::current(), "cupp::vector");
             dbuf_capacity_ = host_.size();
         }
         if constexpr (std::is_same_v<T, dev_elem>) {

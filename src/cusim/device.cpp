@@ -23,9 +23,16 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
     std::vector<BlockCost> costs;
     costs.reserve(static_cast<std::size_t>(cfg.grid.count()));
 
+    // Threaded into every ThreadCtx so device-side diagnostics (memcheck
+    // violations, out-of-range accesses) can name the kernel and check
+    // against this device's global-memory shadow.
+    const memcheck::ExecContext exec{
+        name.empty() ? std::string("kernel") : std::string(name),
+        &memory_.shadow(), trace_ordinal_};
+
     for (unsigned by = 0; by < cfg.grid.y; ++by) {
         for (unsigned bx = 0; bx < cfg.grid.x; ++bx) {
-            BlockResult br = run_block(props_.cost, cfg, entry, uint3{bx, by, 0});
+            BlockResult br = run_block(props_.cost, cfg, entry, uint3{bx, by, 0}, &exec);
             stats.syncthreads_count += br.sync_episodes;
             for (const WarpAcct& w : br.warps) {
                 stats.divergent_events += w.divergent_events();

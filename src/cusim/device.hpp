@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <source_location>
 #include <span>
 #include <string>
 #include <string_view>
@@ -43,6 +44,7 @@ public:
         : props_(std::move(props)), memory_(props_.total_global_mem) {
         static std::atomic<int> next_ordinal{0};
         trace_ordinal_ = next_ordinal.fetch_add(1, std::memory_order_relaxed);
+        memory_.shadow().set_device(trace_ordinal_);
     }
 
     Device(const Device&) = delete;
@@ -53,21 +55,34 @@ public:
     [[nodiscard]] const GlobalMemory& memory() const { return memory_; }
 
     // --- allocation -------------------------------------------------------
-    [[nodiscard]] DeviceAddr malloc_bytes(std::uint64_t bytes) {
-        return memory_.allocate(bytes);
+    // The caller's source_location rides along so memcheck can attribute
+    // every allocation (and any later violation against it) to the user
+    // line that made it, through however many framework layers it passed.
+    [[nodiscard]] DeviceAddr malloc_bytes(
+        std::uint64_t bytes,
+        std::source_location loc = std::source_location::current(),
+        const char* label = "cusim::Device::malloc_bytes") {
+        return memory_.allocate(bytes, loc, label);
     }
-    void free_bytes(DeviceAddr addr) { memory_.free(addr); }
+    void free_bytes(DeviceAddr addr,
+                    std::source_location loc = std::source_location::current()) {
+        memory_.free(addr, loc);
+    }
 
     /// Typed allocation of `count` elements.
     template <typename T>
-    [[nodiscard]] DevicePtr<T> malloc_n(std::uint64_t count) {
-        const DeviceAddr addr = memory_.allocate(count * sizeof(T));
-        return DevicePtr<T>(memory_.raw(addr), addr, count);
+    [[nodiscard]] DevicePtr<T> malloc_n(
+        std::uint64_t count,
+        std::source_location loc = std::source_location::current(),
+        const char* label = "cusim::Device::malloc_n") {
+        const DeviceAddr addr = memory_.allocate(count * sizeof(T), loc, label);
+        return DevicePtr<T>(memory_.raw(addr), addr, count, memory_.shadow().alloc_id(addr));
     }
 
     template <typename T>
-    void free(const DevicePtr<T>& p) {
-        if (!p.null()) memory_.free(p.addr());
+    void free(const DevicePtr<T>& p,
+              std::source_location loc = std::source_location::current()) {
+        if (!p.null()) memory_.free(p.addr(), loc);
     }
 
     /// Re-creates a typed view over an existing allocation (validated).
@@ -76,7 +91,7 @@ public:
         if (!memory_.range_valid(addr, count * sizeof(T))) {
             throw Error(ErrorCode::InvalidDevicePointer, "view outside any allocation");
         }
-        return DevicePtr<T>(memory_.raw(addr), addr, count);
+        return DevicePtr<T>(memory_.raw(addr), addr, count, memory_.shadow().alloc_id(addr));
     }
 
     // --- host <-> device transfers (blocking, clock-advancing) ------------

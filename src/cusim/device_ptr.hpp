@@ -28,12 +28,18 @@ public:
     DevicePtr() = default;
 
     /// Constructed by Device / higher layers from a validated allocation.
-    DevicePtr(std::byte* base, DeviceAddr addr, std::uint64_t count)
-        : base_(base), addr_(addr), count_(count) {}
+    /// `alloc_id` is the memcheck generation id of the allocation the view
+    /// was created over (0 = unknown): if that allocation is freed, any
+    /// later access through this view is flagged as a use-after-free even
+    /// when the address range has been recycled.
+    DevicePtr(std::byte* base, DeviceAddr addr, std::uint64_t count,
+              std::uint64_t alloc_id = 0)
+        : base_(base), addr_(addr), count_(count), alloc_id_(alloc_id) {}
 
     [[nodiscard]] DeviceAddr addr() const { return addr_; }
     [[nodiscard]] std::uint64_t size() const { return count_; }
     [[nodiscard]] bool null() const { return base_ == nullptr; }
+    [[nodiscard]] std::uint64_t alloc_id() const { return alloc_id_; }
 
     /// Device-side element read; charges a global-memory read. Defined in
     /// thread_ctx.hpp (needs the full ThreadCtx).
@@ -51,7 +57,8 @@ public:
         if (offset + count > count_) {
             throw Error(ErrorCode::InvalidDevicePointer, "slice out of range");
         }
-        return DevicePtr<T>(base_ + offset * sizeof(T), addr_ + offset * sizeof(T), count);
+        return DevicePtr<T>(base_ + offset * sizeof(T), addr_ + offset * sizeof(T), count,
+                            alloc_id_);
     }
 
     /// Reinterprets a byte view as a typed one (pitched-memory plumbing).
@@ -59,7 +66,7 @@ public:
     [[nodiscard]] DevicePtr<U> as() const
         requires std::is_same_v<T, std::byte>
     {
-        return DevicePtr<U>(base_, addr_, count_ / sizeof(U));
+        return DevicePtr<U>(base_, addr_, count_ / sizeof(U), alloc_id_);
     }
 
 private:
@@ -67,6 +74,7 @@ private:
     std::byte* base_ = nullptr;   ///< raw arena pointer (simulator internal)
     DeviceAddr addr_ = kNullAddr;
     std::uint64_t count_ = 0;
+    std::uint64_t alloc_id_ = 0;  ///< memcheck generation id (0 = unknown)
 };
 
 }  // namespace cusim

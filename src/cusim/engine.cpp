@@ -33,7 +33,8 @@ uint3 unlinearize_thread(unsigned tid, const dim3& bd) {
 }  // namespace
 
 BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
-                      const KernelEntry& entry, uint3 block_idx) {
+                      const KernelEntry& entry, uint3 block_idx,
+                      const memcheck::ExecContext* exec) {
     const unsigned nthreads = static_cast<unsigned>(cfg.block.count());
     const unsigned nwarps = cfg.warps_per_block();
 
@@ -51,7 +52,7 @@ BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
     for (unsigned tid = 0; tid < nthreads; ++tid) {
         ctxs.push_back(std::make_unique<ThreadCtx>(
             unlinearize_thread(tid, cfg.block), block_idx, cfg.block, cfg.grid, &cm,
-            &block_state, &result.warps[tid / kWarpSize]));
+            &block_state, &result.warps[tid / kWarpSize], exec));
         tasks.push_back(entry(*ctxs.back()));
     }
 

@@ -14,6 +14,7 @@
 
 #include "cusim/accounting.hpp"
 #include "cusim/launch.hpp"
+#include "cusim/memcheck.hpp"
 #include "cusim/types.hpp"
 
 namespace cusim {
@@ -26,8 +27,11 @@ struct BlockResult {
 
 /// Runs all threads of block `block_idx` to completion. Throws
 /// Error(LaunchFailure) wrapping any exception escaping a kernel body and on
-/// divergent barrier use.
+/// divergent barrier use. `exec` (optional) gives the threads their
+/// memcheck execution context — kernel name, global-memory shadow, device
+/// ordinal — for attributed diagnostics.
 BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
-                      const KernelEntry& entry, uint3 block_idx);
+                      const KernelEntry& entry, uint3 block_idx,
+                      const memcheck::ExecContext* exec = nullptr);
 
 }  // namespace cusim

@@ -14,6 +14,7 @@ const char* error_string(ErrorCode code) noexcept {
         case ErrorCode::LaunchFailure: return "kernel launch failure";
         case ErrorCode::NotReady: return "operation not ready";
         case ErrorCode::DeviceInUse: return "device memory busy (kernel active)";
+        case ErrorCode::MemcheckViolation: return "memcheck violation";
     }
     return "unknown error";
 }

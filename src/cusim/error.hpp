@@ -20,6 +20,7 @@ enum class ErrorCode {
     LaunchFailure,          // kernel threw / barrier misuse
     NotReady,
     DeviceInUse,            // host touched device memory owned by a live kernel
+    MemcheckViolation,      // strict-mode cusim::memcheck finding
 };
 
 /// Human-readable name of an error code (mirrors cudaGetErrorString).

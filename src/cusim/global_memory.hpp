@@ -11,9 +11,11 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <source_location>
 #include <vector>
 
 #include "cusim/error.hpp"
+#include "cusim/memcheck.hpp"
 #include "cusim/types.hpp"
 
 namespace cusim {
@@ -26,24 +28,34 @@ namespace cusim {
 /// undefined. All access from the simulator goes through checked methods.
 class GlobalMemory {
 public:
-    /// Creates an address space of `size` bytes. The arena is allocated
-    /// up front (virtual memory; pages commit on first touch).
-    explicit GlobalMemory(std::uint64_t size)
-        : size_(size), arena_(new std::byte[size]()) {
+    /// Creates an address space of `size` bytes. The size is validated
+    /// *before* the arena is allocated, so an invalid size doesn't commit
+    /// gigabytes of backing store just to throw. (Virtual memory; pages
+    /// commit on first touch.)
+    explicit GlobalMemory(std::uint64_t size) : size_(size) {
         if (size > (1ull << 32)) {
             throw Error(ErrorCode::InvalidValue,
                         "G80 global memory is a 32-bit address space");
         }
+        arena_.reset(new std::byte[size]());
         free_list_[0] = size;
     }
 
     GlobalMemory(const GlobalMemory&) = delete;
     GlobalMemory& operator=(const GlobalMemory&) = delete;
 
+    /// Teardown without free_all() means the owner never released its
+    /// allocations — report them as leaks (no-op when memcheck is off).
+    ~GlobalMemory() { shadow_.report_leaks(); }
+
     /// cudaMalloc: first-fit allocation, 256-byte aligned like CUDA. Bounds
     /// checks are against the *requested* size, so off-by-one accesses are
-    /// caught even when they land in alignment padding.
-    [[nodiscard]] DeviceAddr allocate(std::uint64_t bytes) {
+    /// caught even when they land in alignment padding. The caller's source
+    /// location and a layer label are recorded for memcheck attribution.
+    [[nodiscard]] DeviceAddr allocate(
+        std::uint64_t bytes,
+        std::source_location loc = std::source_location::current(),
+        const char* label = "cusimMalloc") {
         if (bytes == 0) bytes = 1;
         const std::uint64_t aligned = round_up(bytes, kAlignment);
         for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
@@ -54,6 +66,7 @@ public:
                 if (remaining > 0) free_list_[addr + aligned] = remaining;
                 allocations_[addr] = Allocation{bytes, aligned};
                 used_ += aligned;
+                shadow_.on_alloc(addr, bytes, loc, label);
                 return addr;
             }
         }
@@ -63,11 +76,14 @@ public:
     }
 
     /// cudaFree. Freeing kNullAddr is a no-op (like free(nullptr)); freeing
-    /// anything that was not allocated throws.
-    void free(DeviceAddr addr) {
+    /// anything that was not allocated throws (after recording a
+    /// double-free/invalid-free memcheck violation for attribution).
+    void free(DeviceAddr addr,
+              std::source_location loc = std::source_location::current()) {
         if (addr == kNullAddr) return;
         auto it = allocations_.find(addr);
         if (it == allocations_.end()) {
+            shadow_.note_bad_free(addr, loc);
             throw Error(ErrorCode::InvalidDevicePointer,
                         "free of unallocated address " + std::to_string(addr));
         }
@@ -75,12 +91,16 @@ public:
         used_ -= bytes;
         allocations_.erase(it);
         coalesce_insert(addr, bytes);
+        shadow_.on_free(addr, loc);
     }
 
     /// Releases every allocation (used when a cupp::device handle dies:
     /// "when the device handle is destroyed, all memory allocated on this
-    /// device is freed as well", §4.1).
+    /// device is freed as well", §4.1). Live allocations are reported as
+    /// leaks when memcheck is on — the RAII sweep is where C++-side leaks
+    /// become visible.
     void free_all() {
+        shadow_.on_free_all();
         allocations_.clear();
         free_list_.clear();
         free_list_[0] = size_;
@@ -116,6 +136,7 @@ public:
     void write(DeviceAddr dst, const void* src, std::uint64_t bytes) {
         check_range(dst, bytes);
         std::memcpy(raw(dst), src, bytes);
+        shadow_.on_host_write(dst, bytes);
     }
     void read(DeviceAddr src, void* dst, std::uint64_t bytes) const {
         check_range(src, bytes);
@@ -125,11 +146,17 @@ public:
         check_range(dst, bytes);
         check_range(src, bytes);
         std::memmove(raw(dst), raw(src), bytes);
+        shadow_.on_copy(dst, src, bytes);
     }
 
     [[nodiscard]] std::uint64_t size() const { return size_; }
     [[nodiscard]] std::uint64_t used() const { return used_; }
     [[nodiscard]] std::size_t allocation_count() const { return allocations_.size(); }
+
+    /// Memcheck shadow state over this address space (allocation ids,
+    /// defined bits, leak tracking).
+    [[nodiscard]] memcheck::Shadow& shadow() { return shadow_; }
+    [[nodiscard]] const memcheck::Shadow& shadow() const { return shadow_; }
 
 private:
     static constexpr std::uint64_t kAlignment = 256;
@@ -172,6 +199,7 @@ private:
     std::unique_ptr<std::byte[]> arena_;
     std::map<DeviceAddr, std::uint64_t> free_list_;   // addr -> bytes
     std::map<DeviceAddr, Allocation> allocations_;
+    mutable memcheck::Shadow shadow_;
 };
 
 }  // namespace cusim

@@ -1,0 +1,603 @@
+#include "cusim/memcheck.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+
+#include "cupp/trace.hpp"
+
+namespace cusim::memcheck {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_strict{false};
+}  // namespace detail
+
+namespace {
+
+using cupp::trace::format;
+using cupp::trace::json_quote;
+
+constexpr std::size_t kMaxStoredViolations = 4096;
+
+/// "label @ file:line" — the attribution string used everywhere a
+/// violation names its allocation site.
+std::string origin_string(const char* label, const std::source_location& loc) {
+    const char* file = loc.file_name() != nullptr ? loc.file_name() : "?";
+    return format("%s @ %s:%u", label != nullptr ? label : "?", file, loc.line());
+}
+
+std::string site_string(const std::source_location& loc) {
+    const char* file = loc.file_name() != nullptr ? loc.file_name() : "?";
+    return format("%s:%u", file, loc.line());
+}
+
+/// Process-wide violation registry. Intentionally leaked (like the trace
+/// Session) so violations recorded from static destructors — GlobalMemory
+/// teardown reporting leaks — still land before the atexit report.
+class Registry {
+public:
+    static Registry& instance() {
+        static Registry* r = new Registry();
+        return *r;
+    }
+
+    void set_report_path(std::string path) {
+        std::lock_guard<std::mutex> lock(mu_);
+        report_path_ = std::move(path);
+    }
+
+    std::string report_path() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return report_path_;
+    }
+
+    void record(Violation v) {
+        static const char* const kTrack = "memcheck";
+        if (cupp::trace::enabled()) {
+            cupp::trace::emit_instant(
+                kTrack, format("memcheck.%s", kind_name(v.kind)),
+                cupp::trace::wall_clock_us(),
+                {{"message", v.message},
+                 {"kernel", v.kernel},
+                 {"origin", v.origin}});
+        }
+        cupp::trace::metrics().add("cusim.memcheck.violations");
+        cupp::trace::metrics().add(
+            format("cusim.memcheck.%s", kind_name(v.kind)));
+
+        std::lock_guard<std::mutex> lock(mu_);
+        ++total_;
+        ++per_kind_[static_cast<std::size_t>(v.kind)];
+        const std::string key =
+            format("%d|%s|%s", static_cast<int>(v.kind), v.origin.c_str(),
+                   v.kernel.c_str());
+        if (auto it = index_.find(key); it != index_.end()) {
+            ++violations_[it->second].count;
+            return;
+        }
+        if (violations_.size() >= kMaxStoredViolations) {
+            ++dropped_;
+            return;
+        }
+        index_.emplace(key, violations_.size());
+        violations_.push_back(std::move(v));
+    }
+
+    std::vector<Violation> violations() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return violations_;
+    }
+
+    std::uint64_t total() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return total_;
+    }
+
+    std::uint64_t count(Kind kind) const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return per_kind_[static_cast<std::size_t>(kind)];
+    }
+
+    void reset() {
+        std::lock_guard<std::mutex> lock(mu_);
+        violations_.clear();
+        index_.clear();
+        per_kind_ = {};
+        total_ = 0;
+        dropped_ = 0;
+    }
+
+    std::string to_json() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::string out = "{\n  \"memcheck\": {\n";
+        out += format("    \"total_violations\": %llu,\n",
+                      static_cast<unsigned long long>(total_));
+        out += format("    \"distinct_violations\": %llu,\n",
+                      static_cast<unsigned long long>(
+                          static_cast<std::uint64_t>(violations_.size())));
+        out += format("    \"dropped\": %llu,\n",
+                      static_cast<unsigned long long>(dropped_));
+        out += "    \"by_kind\": {";
+        bool first = true;
+        for (std::size_t k = 0; k < per_kind_.size(); ++k) {
+            if (per_kind_[k] == 0) continue;
+            if (!first) out += ", ";
+            first = false;
+            out += format("\"%s\": %llu", kind_name(static_cast<Kind>(k)),
+                          static_cast<unsigned long long>(per_kind_[k]));
+        }
+        out += "},\n    \"violations\": [\n";
+        for (std::size_t i = 0; i < violations_.size(); ++i) {
+            const Violation& v = violations_[i];
+            out += "      {";
+            out += format("\"kind\": %s, ", json_quote(kind_name(v.kind)).c_str());
+            out += format("\"count\": %llu, ",
+                          static_cast<unsigned long long>(v.count));
+            out += format("\"message\": %s, ", json_quote(v.message).c_str());
+            out += format("\"kernel\": %s, ", json_quote(v.kernel).c_str());
+            out += format("\"origin\": %s, ", json_quote(v.origin).c_str());
+            out += format("\"addr\": %llu, \"bytes\": %llu, \"device\": %d",
+                          static_cast<unsigned long long>(v.addr),
+                          static_cast<unsigned long long>(v.bytes), v.device);
+            if (v.has_coords) {
+                out += format(
+                    ", \"thread\": [%u, %u, %u], \"block\": [%u, %u, %u]",
+                    v.thread.x, v.thread.y, v.thread.z, v.block.x, v.block.y,
+                    v.block.z);
+            }
+            out += "}";
+            if (i + 1 < violations_.size()) out += ",";
+            out += "\n";
+        }
+        out += "    ]\n  }\n}\n";
+        return out;
+    }
+
+    std::string to_text() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (total_ == 0) return "cusim::memcheck: no violations detected\n";
+        std::string out = format(
+            "cusim::memcheck: %llu violation(s) (%llu distinct site(s))\n",
+            static_cast<unsigned long long>(total_),
+            static_cast<unsigned long long>(
+                static_cast<std::uint64_t>(violations_.size())));
+        for (const Violation& v : violations_) {
+            out += format("  [%s] x%llu: %s\n", kind_name(v.kind),
+                          static_cast<unsigned long long>(v.count),
+                          v.message.c_str());
+        }
+        if (dropped_ != 0) {
+            out += format("  ... %llu further distinct site(s) dropped\n",
+                          static_cast<unsigned long long>(dropped_));
+        }
+        return out;
+    }
+
+private:
+    Registry() = default;
+
+    mutable std::mutex mu_;
+    std::string report_path_;
+    std::vector<Violation> violations_;
+    std::unordered_map<std::string, std::size_t> index_;
+    std::array<std::uint64_t, 7> per_kind_{};
+    std::uint64_t total_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+void atexit_report() {
+    const std::string path = Registry::instance().report_path();
+    if (!path.empty()) {
+        write_report(path);
+    }
+    const std::uint64_t total = Registry::instance().total();
+    if (total != 0) {
+        std::fputs(report_text().c_str(), stderr);
+    }
+}
+
+void register_atexit_once() {
+    static const bool registered = [] {
+        std::atexit(atexit_report);
+        return true;
+    }();
+    (void)registered;
+}
+
+/// Reads CUPP_MEMCHECK / CUPP_MEMCHECK_STRICT once at static-init. Values
+/// "1", "on", "true" enable record-only mode; "strict" enables strict
+/// mode; anything else is a report-file path. CUPP_MEMCHECK_STRICT=1 adds
+/// strict mode on top of either.
+struct EnvGate {
+    EnvGate() {
+        if (const char* env = std::getenv("CUPP_MEMCHECK");
+            env != nullptr && *env != '\0') {
+            if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+                std::strcmp(env, "true") == 0) {
+                enable();
+            } else if (std::strcmp(env, "strict") == 0) {
+                enable();
+                set_strict(true);
+            } else {
+                enable(env);
+            }
+        }
+        if (const char* env = std::getenv("CUPP_MEMCHECK_STRICT");
+            env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0) {
+            enable();
+            set_strict(true);
+        }
+    }
+};
+const EnvGate g_env_gate;
+
+}  // namespace
+
+const char* kind_name(Kind kind) {
+    switch (kind) {
+        case Kind::OutOfBounds: return "out_of_bounds";
+        case Kind::UseAfterFree: return "use_after_free";
+        case Kind::UninitializedRead: return "uninitialized_read";
+        case Kind::DoubleFree: return "double_free";
+        case Kind::InvalidFree: return "invalid_free";
+        case Kind::Leak: return "leak";
+        case Kind::SharedRace: return "shared_race";
+    }
+    return "unknown";
+}
+
+void enable() {
+    register_atexit_once();
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void enable(std::string path) {
+    Registry::instance().set_report_path(std::move(path));
+    enable();
+}
+
+void set_strict(bool strict) {
+    detail::g_strict.store(strict, std::memory_order_relaxed);
+}
+
+void disable() {
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void record(Violation v) {
+    Registry::instance().record(std::move(v));
+}
+
+std::vector<Violation> violations() { return Registry::instance().violations(); }
+
+std::uint64_t total_violations() { return Registry::instance().total(); }
+
+std::uint64_t violation_count(Kind kind) { return Registry::instance().count(kind); }
+
+void reset() { Registry::instance().reset(); }
+
+std::string report_path() { return Registry::instance().report_path(); }
+
+std::string report_json() { return Registry::instance().to_json(); }
+
+std::string report_text() { return Registry::instance().to_text(); }
+
+bool write_report(const std::string& path) {
+    const std::string target =
+        path.empty() ? Registry::instance().report_path() : path;
+    if (target.empty()) return false;
+    std::ofstream out(target, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << Registry::instance().to_json();
+    return static_cast<bool>(out);
+}
+
+// --- Shadow ----------------------------------------------------------------
+
+void Shadow::set_device(int ordinal) {
+    std::lock_guard<std::mutex> lock(mu_);
+    device_ = ordinal;
+}
+
+std::uint64_t Shadow::on_alloc(DeviceAddr base, std::uint64_t requested,
+                               std::source_location loc, const char* label) {
+    // Disabled fast path: one relaxed load and an empty-map test, so the
+    // allocator microbenchmarks see no bookkeeping cost. (Shadow calls are
+    // serialized by whatever serializes GlobalMemory itself, so the
+    // unlocked empty() probe is safe; the mutex guards the report paths.)
+    if (!enabled() && live_.empty()) return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    AllocRecord rec;
+    rec.id = next_id_++;
+    rec.requested = requested;
+    rec.loc = loc;
+    rec.label = label != nullptr ? label : "";
+    if (enabled()) {
+        // One defined bit per byte; allocations made before enable() keep
+        // an empty bitmap and count as fully defined (conservative — we
+        // never saw their writes).
+        rec.defined.assign((requested + 63) / 64, 0);
+    }
+    const std::uint64_t id = rec.id;
+    live_[base] = std::move(rec);
+    return id;
+}
+
+void Shadow::on_free(DeviceAddr base, std::source_location loc) {
+    if (!enabled() && live_.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = live_.find(base);
+    if (it == live_.end()) return;
+    FreedRecord fr;
+    fr.id = it->second.id;
+    fr.base = base;
+    fr.requested = it->second.requested;
+    fr.alloc_loc = it->second.loc;
+    fr.label = it->second.label;
+    fr.free_loc = loc;
+    freed_.push_back(fr);
+    if (freed_.size() > kFreedHistory) freed_.pop_front();
+    live_.erase(it);
+}
+
+void Shadow::note_bad_free(DeviceAddr addr, std::source_location loc) {
+    if (!enabled()) return;
+    Violation v;
+    v.addr = addr;
+    v.bytes = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        v.device = device_;
+        const FreedRecord* fr = find_freed(addr, 0);
+        if (fr != nullptr) {
+            v.kind = Kind::DoubleFree;
+            v.origin = origin_string(fr->label, fr->alloc_loc);
+            v.message = format(
+                "double free of device address 0x%llx at %s: allocation of "
+                "%llu bytes (%s) was already freed at %s",
+                static_cast<unsigned long long>(addr),
+                site_string(loc).c_str(),
+                static_cast<unsigned long long>(fr->requested),
+                v.origin.c_str(), site_string(fr->free_loc).c_str());
+        } else {
+            v.kind = Kind::InvalidFree;
+            v.message = format(
+                "invalid free of device address 0x%llx at %s: not the base "
+                "of any allocation",
+                static_cast<unsigned long long>(addr),
+                site_string(loc).c_str());
+        }
+    }
+    record(std::move(v));
+}
+
+void Shadow::on_free_all() {
+    report_leaks();
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.clear();
+    freed_.clear();
+}
+
+void Shadow::report_leaks() {
+    if (!enabled()) return;
+    std::vector<Violation> leaks;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        leaks.reserve(live_.size());
+        for (const auto& [base, rec] : live_) {
+            Violation v;
+            v.kind = Kind::Leak;
+            v.addr = base;
+            v.bytes = rec.requested;
+            v.device = device_;
+            v.origin = origin_string(rec.label, rec.loc);
+            v.message = format(
+                "leaked %llu bytes at device address 0x%llx, allocated at %s",
+                static_cast<unsigned long long>(rec.requested),
+                static_cast<unsigned long long>(base), v.origin.c_str());
+            leaks.push_back(std::move(v));
+        }
+    }
+    for (Violation& v : leaks) record(std::move(v));
+}
+
+void Shadow::on_host_write(DeviceAddr dst, std::uint64_t bytes) {
+    if (!enabled() || bytes == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    DeviceAddr base = 0;
+    const AllocRecord* rec = find_containing(dst, bytes, &base);
+    if (rec == nullptr || rec->defined.empty()) return;
+    auto& defined = const_cast<AllocRecord*>(rec)->defined;
+    const std::uint64_t off = dst - base;
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+        defined[(off + i) / 64] |= 1ull << ((off + i) % 64);
+    }
+}
+
+void Shadow::on_copy(DeviceAddr dst, DeviceAddr src, std::uint64_t bytes) {
+    if (!enabled() || bytes == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    DeviceAddr src_base = 0, dst_base = 0;
+    const AllocRecord* src_rec = find_containing(src, bytes, &src_base);
+    const AllocRecord* dst_rec = find_containing(dst, bytes, &dst_base);
+    if (dst_rec == nullptr || dst_rec->defined.empty()) return;
+    auto& dst_defined = const_cast<AllocRecord*>(dst_rec)->defined;
+    const std::uint64_t dst_off = dst - dst_base;
+    // Source bytes from an untracked (pre-enable) allocation — or from
+    // outside any allocation, which the allocator will have rejected
+    // separately — count as defined.
+    const bool src_tracked = src_rec != nullptr && !src_rec->defined.empty();
+    const std::uint64_t src_off = src_tracked ? src - src_base : 0;
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+        const bool def =
+            !src_tracked ||
+            (src_rec->defined[(src_off + i) / 64] >> ((src_off + i) % 64)) & 1;
+        const std::uint64_t bit = 1ull << ((dst_off + i) % 64);
+        if (def) {
+            dst_defined[(dst_off + i) / 64] |= bit;
+        } else {
+            dst_defined[(dst_off + i) / 64] &= ~bit;
+        }
+    }
+}
+
+std::optional<AccessIssue> Shadow::check_access(DeviceAddr addr,
+                                                std::uint64_t bytes,
+                                                std::uint64_t expected_id,
+                                                Access access) {
+    std::lock_guard<std::mutex> lock(mu_);
+    DeviceAddr base = 0;
+    const AllocRecord* rec = find_containing(addr, bytes, &base);
+    if (rec == nullptr) {
+        // Nothing live covers this range: distinguish a stale view of a
+        // freed allocation from a plain wild access. A view with no
+        // generation id and no freed match may simply predate enable()
+        // (bookkeeping is skipped while disabled) — stay silent rather
+        // than cry out-of-bounds at untracked memory.
+        const FreedRecord* fr = find_freed(addr, expected_id);
+        if (fr == nullptr && expected_id == 0) return std::nullopt;
+        if (fr != nullptr) {
+            AccessIssue issue;
+            issue.kind = Kind::UseAfterFree;
+            issue.origin = origin_string(fr->label, fr->alloc_loc);
+            issue.detail = format(
+                "allocation of %llu bytes (%s) was freed at %s",
+                static_cast<unsigned long long>(fr->requested),
+                issue.origin.c_str(), site_string(fr->free_loc).c_str());
+            return issue;
+        }
+        AccessIssue issue;
+        issue.kind = Kind::OutOfBounds;
+        issue.detail = "address is not inside any live allocation";
+        return issue;
+    }
+    if (expected_id != 0 && rec->id != expected_id) {
+        // The range is live again, but under a *different* allocation than
+        // the one this view was created over: the original was freed and
+        // the address recycled.
+        AccessIssue issue;
+        issue.kind = Kind::UseAfterFree;
+        if (const FreedRecord* fr = find_freed(addr, expected_id);
+            fr != nullptr) {
+            issue.origin = origin_string(fr->label, fr->alloc_loc);
+            issue.detail = format(
+                "allocation of %llu bytes (%s) was freed at %s; the address "
+                "now belongs to a different allocation (%s)",
+                static_cast<unsigned long long>(fr->requested),
+                issue.origin.c_str(), site_string(fr->free_loc).c_str(),
+                origin_string(rec->label, rec->loc).c_str());
+        } else {
+            issue.origin = origin_string(rec->label, rec->loc);
+            issue.detail =
+                "view refers to a freed allocation whose address was recycled";
+        }
+        return issue;
+    }
+    if (rec->defined.empty()) return std::nullopt;  // untracked allocation
+    auto& defined = const_cast<AllocRecord*>(rec)->defined;
+    const std::uint64_t off = addr - base;
+    if (access == Access::Write) {
+        for (std::uint64_t i = 0; i < bytes; ++i) {
+            defined[(off + i) / 64] |= 1ull << ((off + i) % 64);
+        }
+        return std::nullopt;
+    }
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+        if (((defined[(off + i) / 64] >> ((off + i) % 64)) & 1) == 0) {
+            AccessIssue issue;
+            issue.kind = Kind::UninitializedRead;
+            issue.origin = origin_string(rec->label, rec->loc);
+            issue.detail = format(
+                "byte %llu of the allocation (%s) was never written",
+                static_cast<unsigned long long>(off + i),
+                issue.origin.c_str());
+            return issue;
+        }
+    }
+    return std::nullopt;
+}
+
+std::uint64_t Shadow::alloc_id(DeviceAddr addr) const {
+    if (live_.empty()) return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    DeviceAddr base = 0;
+    const AllocRecord* rec = find_containing(addr, 1, &base);
+    return rec != nullptr ? rec->id : 0;
+}
+
+std::uint64_t Shadow::live_allocations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_.size();
+}
+
+std::uint64_t Shadow::live_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t total = 0;
+    for (const auto& [base, rec] : live_) total += rec.requested;
+    return total;
+}
+
+const Shadow::AllocRecord* Shadow::find_containing(DeviceAddr addr,
+                                                   std::uint64_t bytes,
+                                                   DeviceAddr* base_out) const {
+    auto it = live_.upper_bound(addr);
+    if (it == live_.begin()) return nullptr;
+    --it;
+    if (addr + bytes > it->first + it->second.requested) return nullptr;
+    *base_out = it->first;
+    return &it->second;
+}
+
+const Shadow::FreedRecord* Shadow::find_freed(DeviceAddr addr,
+                                              std::uint64_t expected_id) const {
+    // Most recent first: the latest free of a recycled base is the one the
+    // stale view refers to.
+    for (auto it = freed_.rbegin(); it != freed_.rend(); ++it) {
+        if (expected_id != 0) {
+            if (it->id == expected_id) return &*it;
+            continue;
+        }
+        if (addr >= it->base && addr < it->base + it->requested) return &*it;
+    }
+    return nullptr;
+}
+
+// --- SharedShadow ----------------------------------------------------------
+
+SharedShadow::SharedShadow(std::size_t arena_bytes) : bytes_(arena_bytes) {}
+
+std::optional<SharedShadow::Conflict> SharedShadow::note_access(
+    std::uint64_t offset, std::uint64_t bytes, unsigned tid,
+    std::uint64_t epoch, bool is_write) {
+    // Blocks run on one engine thread at a time, so no lock is needed: the
+    // interleaving the coroutine scheduler picks is the one we see.
+    const std::uint64_t tag = epoch + 1;  // 0 stays "never accessed"
+    std::optional<Conflict> conflict;
+    const std::uint64_t end =
+        offset + bytes <= bytes_.size() ? offset + bytes : bytes_.size();
+    for (std::uint64_t i = offset; i < end; ++i) {
+        ByteState& st = bytes_[i];
+        if (!conflict) {
+            if (st.write_epoch == tag && st.write_tid != tid) {
+                conflict = Conflict{i, st.write_tid, true};
+            } else if (is_write && st.read_epoch == tag && st.read_tid != tid) {
+                conflict = Conflict{i, st.read_tid, false};
+            }
+        }
+        if (is_write) {
+            st.write_epoch = tag;
+            st.write_tid = tid;
+        } else {
+            st.read_epoch = tag;
+            st.read_tid = tid;
+        }
+    }
+    return conflict;
+}
+
+}  // namespace cusim::memcheck

@@ -84,14 +84,17 @@ ErrorCode cusimGetDeviceProperties(DeviceProperties* prop, int device) {
     return guarded([&] { *prop = Registry::instance().device(device).properties(); });
 }
 
-ErrorCode cusimMalloc(DeviceAddr* dev_ptr, std::size_t count) {
+ErrorCode cusimMalloc(DeviceAddr* dev_ptr, std::size_t count, std::source_location loc) {
     if (!dev_ptr) return set_error(ErrorCode::InvalidValue);
-    return guarded(
-        [&] { *dev_ptr = Registry::instance().current_device().malloc_bytes(count); });
+    return guarded([&] {
+        *dev_ptr = Registry::instance().current_device().malloc_bytes(count, loc,
+                                                                      "cusimMalloc");
+    });
 }
 
-ErrorCode cusimFree(DeviceAddr dev_ptr) {
-    return guarded([&] { Registry::instance().current_device().free_bytes(dev_ptr); });
+ErrorCode cusimFree(DeviceAddr dev_ptr, std::source_location loc) {
+    return guarded(
+        [&] { Registry::instance().current_device().free_bytes(dev_ptr, loc); });
 }
 
 ErrorCode cusimMemcpy(void* dst, const void* src, std::size_t count, CopyKind kind) {

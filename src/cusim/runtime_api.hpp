@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <source_location>
 
 #include "cusim/device.hpp"
 #include "cusim/device_properties.hpp"
@@ -42,8 +43,12 @@ ErrorCode cusimChooseDevice(int* device, const DeviceProperties* prop);
 ErrorCode cusimGetDeviceProperties(DeviceProperties* prop, int device);
 
 // --- memory management (§3.2.3) ---
-ErrorCode cusimMalloc(DeviceAddr* dev_ptr, std::size_t count);
-ErrorCode cusimFree(DeviceAddr dev_ptr);
+// The implicit source_location captures the caller's line, giving memcheck
+// reports the real cudaMalloc/cudaFree call sites.
+ErrorCode cusimMalloc(DeviceAddr* dev_ptr, std::size_t count,
+                      std::source_location loc = std::source_location::current());
+ErrorCode cusimFree(DeviceAddr dev_ptr,
+                    std::source_location loc = std::source_location::current());
 ErrorCode cusimMemcpy(void* dst, const void* src, std::size_t count, CopyKind kind);
 /// Device-addressed variants (device "pointers" are arena offsets, so the
 /// void* flavour cannot express them; these are the checked equivalents).

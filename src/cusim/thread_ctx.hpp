@@ -9,6 +9,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <source_location>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "cusim/constant_memory.hpp"
 #include "cusim/cost_model.hpp"
 #include "cusim/device_ptr.hpp"
+#include "cusim/memcheck.hpp"
 #include "cusim/shared_array.hpp"
 #include "cusim/types.hpp"
 
@@ -26,19 +28,24 @@ namespace cusim {
 struct BlockState {
     std::vector<std::byte> shared_arena;  ///< the block's shared memory
     std::uint64_t sync_episodes = 0;      ///< completed barrier rounds
+    /// Per-byte race-detection shadow of the arena; created lazily on the
+    /// first instrumented shared access while memcheck is enabled.
+    std::unique_ptr<memcheck::SharedShadow> shared_shadow;
 };
 
 class ThreadCtx {
 public:
     ThreadCtx(uint3 thread_idx, uint3 block_idx, dim3 block_dim, dim3 grid_dim,
-              const CostModel* cm, BlockState* block, WarpAcct* warp)
+              const CostModel* cm, BlockState* block, WarpAcct* warp,
+              const memcheck::ExecContext* exec = nullptr)
         : thread_idx_(thread_idx),
           block_idx_(block_idx),
           block_dim_(block_dim),
           grid_dim_(grid_dim),
           cm_(cm),
           block_(block),
-          warp_(warp) {}
+          warp_(warp),
+          exec_(exec) {}
 
     ThreadCtx(const ThreadCtx&) = delete;
     ThreadCtx& operator=(const ThreadCtx&) = delete;
@@ -84,15 +91,40 @@ public:
     /// Charges `n` instructions of class `op` per Table 2.2.
     void charge(Op op, unsigned n = 1) { acct_.charge(*cm_, op, n); }
 
+    /// Stable identifier for a static source site: FNV-1a over the file
+    /// name, hash-combined with line and column. (The previous scheme
+    /// XOR-ed the file_name() *pointer* with shifted line/column, which
+    /// collides across sites — e.g. any two sites whose line and column
+    /// both differ by the same masked amounts.) The file-name hash is
+    /// memoized per pointer: source_location hands out string-literal
+    /// pointers, so within one TU the pointer is a perfect cache key.
+    static std::uint64_t site_key(const std::source_location& loc) {
+        struct FileHash {
+            const char* file = nullptr;
+            std::uint64_t hash = 0;
+        };
+        thread_local FileHash cache;
+        if (cache.file != loc.file_name()) {
+            std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+            for (const char* p = loc.file_name(); p != nullptr && *p != '\0'; ++p) {
+                h = (h ^ static_cast<unsigned char>(*p)) * 1099511628211ull;
+            }
+            cache.file = loc.file_name();
+            cache.hash = h;
+        }
+        const auto combine = [](std::uint64_t seed, std::uint64_t v) {
+            return seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2));
+        };
+        return combine(combine(cache.hash, loc.line()), loc.column());
+    }
+
     /// Control-flow instruction with divergence tracking. Returns `pred`, so
     /// kernels write `if (ctx.branch(d2 < r2)) { ... }`. The warp records
     /// taken/not-taken counts per static site; see accounting.hpp for the
     /// divergence estimator.
     bool branch(bool pred, std::source_location loc = std::source_location::current()) {
         acct_.charge(*cm_, Op::Branch);
-        const auto key = reinterpret_cast<std::uintptr_t>(loc.file_name()) ^
-                         (std::uint64_t{loc.line()} << 40) ^ (std::uint64_t{loc.column()} << 52);
-        warp_->note_branch(key, linear_tid() % kWarpSize, pred);
+        warp_->note_branch(site_key(loc), linear_tid() % kWarpSize, pred);
         return pred;
     }
 
@@ -132,6 +164,92 @@ public:
         return SharedArray<T>(block_->shared_arena.data() + offset, count);
     }
 
+    // --- diagnostics ---
+    /// The kernel this thread belongs to ("?" when the engine was driven
+    /// without an execution context, e.g. unit tests).
+    [[nodiscard]] const char* kernel_name() const {
+        return exec_ != nullptr ? exec_->kernel_name.c_str() : "?";
+    }
+
+    /// "thread (x,y,z) block (x,y,z) of kernel 'name'" — appended to every
+    /// device-side error so a diagnostic names the faulting thread.
+    [[nodiscard]] std::string where() const {
+        return "thread (" + std::to_string(thread_idx_.x) + "," +
+               std::to_string(thread_idx_.y) + "," + std::to_string(thread_idx_.z) +
+               ") block (" + std::to_string(block_idx_.x) + "," +
+               std::to_string(block_idx_.y) + "," + std::to_string(block_idx_.z) +
+               ") of kernel '" + kernel_name() + "'";
+    }
+
+    // --- memcheck hooks (called behind memcheck::enabled()) ---
+    /// Checks one device-side global-memory access against the shadow map;
+    /// records a violation (and throws in strict mode) on OOB,
+    /// use-after-free or uninitialized read.
+    void memcheck_global_access(DeviceAddr addr, std::uint64_t bytes,
+                                std::uint64_t alloc_id, memcheck::Access access) {
+        if (exec_ == nullptr || exec_->shadow == nullptr) return;
+        const auto issue = exec_->shadow->check_access(addr, bytes, alloc_id, access);
+        if (!issue) return;
+        memcheck::Violation v;
+        v.kind = issue->kind;
+        v.kernel = exec_->kernel_name;
+        v.origin = issue->origin;
+        v.addr = addr;
+        v.bytes = bytes;
+        v.device = exec_->device;
+        v.has_coords = true;
+        v.thread = thread_idx_;
+        v.block = block_idx_;
+        v.message = std::string("invalid global ") +
+                    (access == memcheck::Access::Read ? "read" : "write") + " of " +
+                    std::to_string(bytes) + " byte(s) at device address " +
+                    std::to_string(addr) + " by " + where() + ": " + issue->detail;
+        const std::string msg = v.message;
+        memcheck::record(std::move(v));
+        if (memcheck::strict()) {
+            throw Error(ErrorCode::MemcheckViolation, msg);
+        }
+    }
+
+    /// Race-checks one shared-memory access: conflicting same-epoch
+    /// accesses to a byte from two different threads (at least one write)
+    /// are flagged with both threads' coordinates.
+    void memcheck_shared_access(const std::byte* p, std::uint64_t bytes, bool is_write) {
+        if (exec_ == nullptr || block_ == nullptr || block_->shared_arena.empty()) return;
+        const std::byte* base = block_->shared_arena.data();
+        if (p < base || p >= base + block_->shared_arena.size()) return;
+        if (!block_->shared_shadow) {
+            block_->shared_shadow =
+                std::make_unique<memcheck::SharedShadow>(block_->shared_arena.size());
+        }
+        const auto offset = static_cast<std::uint64_t>(p - base);
+        const auto conflict = block_->shared_shadow->note_access(
+            offset, bytes, linear_tid(), block_->sync_episodes, is_write);
+        if (!conflict) return;
+        const uint3 other = delinearize(conflict->other_tid);
+        memcheck::Violation v;
+        v.kind = memcheck::Kind::SharedRace;
+        v.kernel = exec_->kernel_name;
+        v.addr = offset;
+        v.bytes = bytes;
+        v.device = exec_->device;
+        v.has_coords = true;
+        v.thread = thread_idx_;
+        v.block = block_idx_;
+        v.message = std::string("shared-memory race on byte ") +
+                    std::to_string(conflict->offset) + " of the shared arena: " +
+                    (is_write ? "write" : "read") + " by " + where() +
+                    " conflicts with a " + (conflict->other_was_write ? "write" : "read") +
+                    " by thread (" + std::to_string(other.x) + "," +
+                    std::to_string(other.y) + "," + std::to_string(other.z) +
+                    ") in the same barrier interval (no __syncthreads() between them)";
+        const std::string msg = v.message;
+        memcheck::record(std::move(v));
+        if (memcheck::strict()) {
+            throw Error(ErrorCode::MemcheckViolation, msg);
+        }
+    }
+
     // --- internals used by the engine and the memory views ---
     [[nodiscard]] bool at_barrier() const { return at_barrier_; }
     void clear_barrier() { at_barrier_ = false; }
@@ -141,6 +259,15 @@ public:
     [[nodiscard]] BlockState& block_state() { return *block_; }
 
 private:
+    /// Inverse of linear_tid() (CUDA convention: x fastest).
+    [[nodiscard]] uint3 delinearize(unsigned tid) const {
+        uint3 t;
+        t.x = tid % block_dim_.x;
+        t.y = (tid / block_dim_.x) % block_dim_.y;
+        t.z = tid / (block_dim_.x * block_dim_.y);
+        return t;
+    }
+
     template <typename T>
     friend class DevicePtr;
     template <typename T>
@@ -153,6 +280,7 @@ private:
     const CostModel* cm_;
     BlockState* block_;
     WarpAcct* warp_;
+    const memcheck::ExecContext* exec_;
     ThreadAcct acct_;
     std::uint64_t shared_cursor_ = 0;
     std::uint64_t texture_fetches_ = 0;
@@ -166,7 +294,11 @@ T DevicePtr<T>::read(ThreadCtx& ctx, std::uint64_t i) const {
     if (i >= count_) {
         throw Error(ErrorCode::InvalidDevicePointer,
                     "device read at index " + std::to_string(i) + " of " +
-                        std::to_string(count_));
+                        std::to_string(count_) + " by " + ctx.where());
+    }
+    if (memcheck::enabled()) {
+        ctx.memcheck_global_access(addr_ + i * sizeof(T), sizeof(T), alloc_id_,
+                                   memcheck::Access::Read);
     }
     ctx.acct().charge(ctx.cost_model(), Op::GlobalRead);
     ctx.acct().bytes_read += ctx.cost_model().charged_bytes(sizeof(T));
@@ -180,7 +312,11 @@ void DevicePtr<T>::write(ThreadCtx& ctx, std::uint64_t i, const T& v) const {
     if (i >= count_) {
         throw Error(ErrorCode::InvalidDevicePointer,
                     "device write at index " + std::to_string(i) + " of " +
-                        std::to_string(count_));
+                        std::to_string(count_) + " by " + ctx.where());
+    }
+    if (memcheck::enabled()) {
+        ctx.memcheck_global_access(addr_ + i * sizeof(T), sizeof(T), alloc_id_,
+                                   memcheck::Access::Write);
     }
     ctx.acct().charge(ctx.cost_model(), Op::GlobalWrite);
     ctx.acct().bytes_written += ctx.cost_model().charged_bytes(sizeof(T));
@@ -192,7 +328,11 @@ T DevicePtr<T>::tex_read(ThreadCtx& ctx, std::uint64_t i) const {
     if (i >= count_) {
         throw Error(ErrorCode::InvalidDevicePointer,
                     "texture fetch at index " + std::to_string(i) + " of " +
-                        std::to_string(count_));
+                        std::to_string(count_) + " by " + ctx.where());
+    }
+    if (memcheck::enabled()) {
+        ctx.memcheck_global_access(addr_ + i * sizeof(T), sizeof(T), alloc_id_,
+                                   memcheck::Access::Read);
     }
     if (ctx.account_texture_fetch()) {
         ctx.acct().bytes_read += ctx.cost_model().charged_bytes(sizeof(T));
@@ -207,7 +347,7 @@ T ConstantPtr<T>::read(ThreadCtx& ctx, std::uint64_t i) const {
     if (i >= count_) {
         throw Error(ErrorCode::InvalidDevicePointer,
                     "constant read at index " + std::to_string(i) + " of " +
-                        std::to_string(count_));
+                        std::to_string(count_) + " by " + ctx.where());
     }
     ctx.charge(Op::ConstantRead);
     T v;
@@ -218,7 +358,12 @@ T ConstantPtr<T>::read(ThreadCtx& ctx, std::uint64_t i) const {
 template <typename T>
 T SharedArray<T>::read(ThreadCtx& ctx, std::uint64_t i) const {
     if (i >= count_) {
-        throw Error(ErrorCode::InvalidValue, "shared read out of range");
+        throw Error(ErrorCode::InvalidValue,
+                    "shared read at index " + std::to_string(i) + " of " +
+                        std::to_string(count_) + " by " + ctx.where());
+    }
+    if (memcheck::enabled()) {
+        ctx.memcheck_shared_access(base_ + i * sizeof(T), sizeof(T), /*is_write=*/false);
     }
     ctx.acct().charge(ctx.cost_model(), Op::SharedAccess);
     T v;
@@ -229,7 +374,12 @@ T SharedArray<T>::read(ThreadCtx& ctx, std::uint64_t i) const {
 template <typename T>
 void SharedArray<T>::write(ThreadCtx& ctx, std::uint64_t i, const T& v) const {
     if (i >= count_) {
-        throw Error(ErrorCode::InvalidValue, "shared write out of range");
+        throw Error(ErrorCode::InvalidValue,
+                    "shared write at index " + std::to_string(i) + " of " +
+                        std::to_string(count_) + " by " + ctx.where());
+    }
+    if (memcheck::enabled()) {
+        ctx.memcheck_shared_access(base_ + i * sizeof(T), sizeof(T), /*is_write=*/true);
     }
     ctx.acct().charge(ctx.cost_model(), Op::SharedAccess);
     std::memcpy(base_ + i * sizeof(T), &v, sizeof(T));

@@ -1,0 +1,337 @@
+// memcheck tests: the shadow-state sanitizer must catch the bug classes the
+// seed simulator silently tolerated — use-after-free through a stale
+// DevicePtr, leaks swallowed by free_all()/teardown, reads of never-written
+// device bytes, double frees, and same-epoch shared-memory races — each
+// attributed to its allocation site and faulting thread.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cupp/trace.hpp"
+#include "cusim/cusim.hpp"
+
+namespace {
+
+using namespace cusim;
+
+/// Enables record-only checking around each test and restores the default
+/// (disabled, non-strict, no recorded violations) afterwards, so this
+/// binary behaves identically whether or not CUPP_MEMCHECK is exported.
+class MemcheckTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        memcheck::enable();
+        memcheck::set_strict(false);
+        memcheck::reset();
+    }
+    void TearDown() override {
+        memcheck::set_strict(false);
+        memcheck::disable();
+        memcheck::reset();
+    }
+};
+
+bool any_violation_mentions(memcheck::Kind kind, const std::string& needle) {
+    const auto all = memcheck::violations();
+    return std::any_of(all.begin(), all.end(), [&](const memcheck::Violation& v) {
+        return v.kind == kind && (v.message.find(needle) != std::string::npos ||
+                                  v.origin.find(needle) != std::string::npos);
+    });
+}
+
+KernelTask read_first_kernel(ThreadCtx& ctx, DevicePtr<std::uint32_t> in,
+                             DevicePtr<std::uint32_t> out) {
+    out.write(ctx, ctx.global_id(), in.read(ctx, 0));
+    co_return;
+}
+
+// --- use-after-free through a stale DevicePtr ------------------------------
+
+TEST_F(MemcheckTest, StaleDevicePtrReadIsUseAfterFree) {
+    Device dev(tiny_properties());
+    auto stale = dev.malloc_n<std::uint32_t>(64);
+    std::vector<std::uint32_t> init(64, 7);
+    dev.upload(stale, std::span<const std::uint32_t>(init));
+    auto out = dev.malloc_n<std::uint32_t>(1);
+    std::vector<std::uint32_t> zero(1, 0);
+    dev.upload(out, std::span<const std::uint32_t>(zero));
+    dev.free(stale);  // the view now dangles; the raw bytes are still readable
+
+    dev.launch(LaunchConfig{dim3{1}, dim3{1}},
+               [&](ThreadCtx& ctx) { return read_first_kernel(ctx, stale, out); },
+               "uaf_kernel");
+
+    EXPECT_GE(memcheck::violation_count(memcheck::Kind::UseAfterFree), 1u);
+    // Attribution: the allocation site (this file) and the faulting thread.
+    EXPECT_TRUE(any_violation_mentions(memcheck::Kind::UseAfterFree,
+                                       "cusim_memcheck_test"));
+    EXPECT_TRUE(any_violation_mentions(memcheck::Kind::UseAfterFree, "thread (0,0,0)"));
+    EXPECT_TRUE(any_violation_mentions(memcheck::Kind::UseAfterFree, "uaf_kernel"));
+}
+
+TEST_F(MemcheckTest, RecycledAddressStillFlagsStaleView) {
+    Device dev(tiny_properties());
+    auto stale = dev.malloc_n<std::uint32_t>(64);
+    dev.free(stale);
+    // Same size: the first-fit allocator hands back the same address, so a
+    // naive liveness check would pass. The generation id must not.
+    auto fresh = dev.malloc_n<std::uint32_t>(64);
+    ASSERT_EQ(fresh.addr(), stale.addr());
+    std::vector<std::uint32_t> init(64, 1);
+    dev.upload(fresh, std::span<const std::uint32_t>(init));
+    auto out = dev.malloc_n<std::uint32_t>(1);
+    dev.upload(out, std::span<const std::uint32_t>(init).subspan(0, 1));
+
+    dev.launch(LaunchConfig{dim3{1}, dim3{1}},
+               [&](ThreadCtx& ctx) { return read_first_kernel(ctx, stale, out); },
+               "recycled_kernel");
+
+    EXPECT_GE(memcheck::violation_count(memcheck::Kind::UseAfterFree), 1u);
+    EXPECT_TRUE(any_violation_mentions(memcheck::Kind::UseAfterFree,
+                                       "different allocation"));
+}
+
+TEST_F(MemcheckTest, StrictModeThrowsAtTheFaultingAccess) {
+    memcheck::set_strict(true);
+    Device dev(tiny_properties());
+    auto stale = dev.malloc_n<std::uint32_t>(16);
+    std::vector<std::uint32_t> init(16, 7);
+    dev.upload(stale, std::span<const std::uint32_t>(init));
+    auto out = dev.malloc_n<std::uint32_t>(1);
+    dev.upload(out, std::span<const std::uint32_t>(init).subspan(0, 1));
+    dev.free(stale);
+
+    try {
+        dev.launch(LaunchConfig{dim3{1}, dim3{1}},
+                   [&](ThreadCtx& ctx) { return read_first_kernel(ctx, stale, out); },
+                   "strict_kernel");
+        FAIL() << "expected the launch to fail under strict memcheck";
+    } catch (const Error& e) {
+        // The engine wraps the in-kernel throw as a launch failure; the
+        // memcheck diagnostic must survive inside the message.
+        EXPECT_EQ(e.code(), ErrorCode::LaunchFailure);
+        EXPECT_NE(std::string(e.what()).find("memcheck violation"), std::string::npos);
+    }
+}
+
+// --- uninitialized reads ---------------------------------------------------
+
+TEST_F(MemcheckTest, ReadOfNeverWrittenBytesIsFlagged) {
+    Device dev(tiny_properties());
+    auto uninit = dev.malloc_n<std::uint32_t>(8);  // never uploaded or written
+    auto out = dev.malloc_n<std::uint32_t>(1);
+    std::vector<std::uint32_t> zero(1, 0);
+    dev.upload(out, std::span<const std::uint32_t>(zero));
+
+    dev.launch(LaunchConfig{dim3{1}, dim3{1}},
+               [&](ThreadCtx& ctx) { return read_first_kernel(ctx, uninit, out); },
+               "uninit_kernel");
+
+    EXPECT_GE(memcheck::violation_count(memcheck::Kind::UninitializedRead), 1u);
+    EXPECT_TRUE(any_violation_mentions(memcheck::Kind::UninitializedRead,
+                                       "cusim_memcheck_test"));
+}
+
+TEST_F(MemcheckTest, DeviceWriteDefinesBytesForLaterReads) {
+    Device dev(tiny_properties());
+    auto buf = dev.malloc_n<std::uint32_t>(32);
+    auto out = dev.malloc_n<std::uint32_t>(32);
+
+    // Write-then-read in one kernel: the device write must mark the bytes
+    // defined, so the read back is clean.
+    dev.launch(LaunchConfig{dim3{1}, dim3{32}}, [&](ThreadCtx& ctx) {
+        return [](ThreadCtx& c, DevicePtr<std::uint32_t> b,
+                  DevicePtr<std::uint32_t> o) -> KernelTask {
+            b.write(c, c.global_id(), 41u);
+            o.write(c, c.global_id(), b.read(c, c.global_id()) + 1);
+            co_return;
+        }(ctx, buf, out);
+    });
+
+    EXPECT_EQ(memcheck::violation_count(memcheck::Kind::UninitializedRead), 0u);
+    std::vector<std::uint32_t> host(32);
+    dev.download(std::span<std::uint32_t>(host), out);
+    for (auto v : host) EXPECT_EQ(v, 42u);
+}
+
+// --- leaks -----------------------------------------------------------------
+
+TEST_F(MemcheckTest, FreeAllReportsLiveAllocationsAsLeaks) {
+    GlobalMemory mem(1 << 20);
+    (void)mem.allocate(1000);
+    (void)mem.allocate(2000);
+    mem.free_all();
+    EXPECT_EQ(memcheck::violation_count(memcheck::Kind::Leak), 2u);
+    EXPECT_TRUE(any_violation_mentions(memcheck::Kind::Leak, "cusim_memcheck_test"));
+    EXPECT_TRUE(any_violation_mentions(memcheck::Kind::Leak, "1000 bytes"));
+}
+
+TEST_F(MemcheckTest, TeardownReportsUnfreedAllocations) {
+    {
+        GlobalMemory mem(1 << 20);
+        (void)mem.allocate(512);
+    }  // destroyed without free()/free_all(): a leak
+    EXPECT_EQ(memcheck::violation_count(memcheck::Kind::Leak), 1u);
+}
+
+TEST_F(MemcheckTest, FreedAllocationsDoNotAppearAsLeaks) {
+    GlobalMemory mem(1 << 20);
+    const auto a = mem.allocate(1000);
+    mem.free(a);
+    mem.free_all();
+    EXPECT_EQ(memcheck::violation_count(memcheck::Kind::Leak), 0u);
+}
+
+// --- double free -----------------------------------------------------------
+
+TEST_F(MemcheckTest, DoubleFreeIsAttributedToTheFirstFree) {
+    GlobalMemory mem(1 << 20);
+    const auto a = mem.allocate(256);
+    mem.free(a);
+    EXPECT_THROW(mem.free(a), Error);  // allocator semantics are unchanged
+    EXPECT_GE(memcheck::violation_count(memcheck::Kind::DoubleFree), 1u);
+    EXPECT_TRUE(any_violation_mentions(memcheck::Kind::DoubleFree, "already freed"));
+}
+
+// --- shared-memory races ---------------------------------------------------
+
+KernelTask racy_kernel(ThreadCtx& ctx) {
+    auto s = ctx.shared_array<std::uint32_t>(4);
+    // Every thread writes slot 0 with no barrier in between: a same-epoch
+    // write/write conflict.
+    s.write(ctx, 0, ctx.linear_tid());
+    co_return;
+}
+
+TEST_F(MemcheckTest, SameEpochConflictingSharedWritesAreARace) {
+    Device dev(tiny_properties());
+    LaunchConfig cfg{dim3{1}, dim3{4}};
+    cfg.shared_bytes = 64;
+    dev.launch(cfg, [](ThreadCtx& ctx) { return racy_kernel(ctx); }, "racy_kernel");
+    EXPECT_GE(memcheck::violation_count(memcheck::Kind::SharedRace), 1u);
+    EXPECT_TRUE(any_violation_mentions(memcheck::Kind::SharedRace, "racy_kernel"));
+    EXPECT_TRUE(
+        any_violation_mentions(memcheck::Kind::SharedRace, "same barrier interval"));
+}
+
+KernelTask synced_kernel(ThreadCtx& ctx, DevicePtr<std::uint32_t> out) {
+    auto s = ctx.shared_array<std::uint32_t>(ctx.block_dim().x);
+    s.write(ctx, ctx.linear_tid(), ctx.linear_tid());
+    co_await ctx.syncthreads();
+    // Reading a neighbour's slot is fine across a barrier.
+    const unsigned other = (ctx.linear_tid() + 1) % ctx.block_dim().x;
+    out.write(ctx, ctx.global_id(), s.read(ctx, other));
+    co_return;
+}
+
+TEST_F(MemcheckTest, BarrierSeparatedSharingIsClean) {
+    Device dev(tiny_properties());
+    LaunchConfig cfg{dim3{1}, dim3{32}};
+    cfg.shared_bytes = 32 * sizeof(std::uint32_t);
+    auto out = dev.malloc_n<std::uint32_t>(32);
+    dev.launch(cfg, [&](ThreadCtx& ctx) { return synced_kernel(ctx, out); },
+               "synced_kernel");
+    EXPECT_EQ(memcheck::violation_count(memcheck::Kind::SharedRace), 0u);
+}
+
+// --- diagnostics carry thread/block coordinates and the kernel name --------
+
+KernelTask oob_kernel(ThreadCtx& ctx, DevicePtr<std::uint32_t> buf) {
+    (void)buf.read(ctx, buf.size());  // one past the end
+    co_return;
+}
+
+TEST_F(MemcheckTest, OutOfRangeErrorNamesThreadBlockAndKernel) {
+    Device dev(tiny_properties());
+    auto buf = dev.malloc_n<std::uint32_t>(4);
+    try {
+        dev.launch(LaunchConfig{dim3{1}, dim3{1}},
+                   [&](ThreadCtx& ctx) { return oob_kernel(ctx, buf); }, "oob_kernel");
+        FAIL() << "expected the out-of-range read to throw";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("thread (0,0,0)"), std::string::npos) << what;
+        EXPECT_NE(what.find("block (0,0,0)"), std::string::npos) << what;
+        EXPECT_NE(what.find("oob_kernel"), std::string::npos) << what;
+    }
+}
+
+// --- reporting surfaces ----------------------------------------------------
+
+TEST_F(MemcheckTest, ViolationsFeedTheTraceMetricsRegistry) {
+    const auto before =
+        cupp::trace::metrics().counter("cusim.memcheck.use_after_free");
+    GlobalMemory mem(1 << 20);
+    (void)mem.allocate(64);
+    mem.free_all();  // leak
+    const auto leaks = cupp::trace::metrics().counter("cusim.memcheck.leak");
+    EXPECT_GE(leaks, 1u);
+    EXPECT_GE(cupp::trace::metrics().counter("cusim.memcheck.violations"), 1u);
+    (void)before;
+}
+
+TEST_F(MemcheckTest, ReportJsonListsViolationsWithKindAndOrigin) {
+    GlobalMemory mem(1 << 20);
+    (void)mem.allocate(64);
+    mem.free_all();
+    const std::string json = memcheck::report_json();
+    EXPECT_NE(json.find("\"total_violations\""), std::string::npos);
+    EXPECT_NE(json.find("\"leak\""), std::string::npos);
+    EXPECT_NE(json.find("cusim_memcheck_test"), std::string::npos);
+    const std::string text = memcheck::report_text();
+    EXPECT_NE(text.find("[leak]"), std::string::npos);
+}
+
+TEST_F(MemcheckTest, DeduplicationAggregatesRepeatedViolations) {
+    Device dev(tiny_properties());
+    auto uninit = dev.malloc_n<std::uint32_t>(64);
+    auto out = dev.malloc_n<std::uint32_t>(64);
+    std::vector<std::uint32_t> zero(64, 0);
+    dev.upload(out, std::span<const std::uint32_t>(zero));
+    // 64 threads all read uninitialized memory: 64 occurrences, one record.
+    dev.launch(LaunchConfig{dim3{1}, dim3{64}}, [&](ThreadCtx& ctx) {
+        return read_first_kernel(ctx, uninit, out);
+    });
+    EXPECT_EQ(memcheck::violation_count(memcheck::Kind::UninitializedRead), 64u);
+    const auto all = memcheck::violations();
+    const auto distinct = std::count_if(
+        all.begin(), all.end(), [](const memcheck::Violation& v) {
+            return v.kind == memcheck::Kind::UninitializedRead;
+        });
+    EXPECT_EQ(distinct, 1);
+}
+
+// --- satellite regressions -------------------------------------------------
+
+TEST(GlobalMemoryCtor, ValidatesSizeBeforeAllocatingTheArena) {
+    // An over-large size must throw InvalidValue without first committing
+    // the arena allocation.
+    try {
+        GlobalMemory mem((1ull << 32) + 1);
+        FAIL() << "expected InvalidValue";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidValue);
+    }
+}
+
+TEST(BranchSiteKey, DistinctSitesGetDistinctKeys) {
+    const auto a = std::source_location::current();
+    const auto b = std::source_location::current();
+    const auto a2 = a;
+    EXPECT_NE(ThreadCtx::site_key(a), ThreadCtx::site_key(b));
+    EXPECT_EQ(ThreadCtx::site_key(a), ThreadCtx::site_key(a2));
+    // The pre-fix scheme shifted line into bits 40+ and column into bits
+    // 52+, so sites whose line/column differences cancelled under XOR
+    // collided. The hash combine must separate nearby sites:
+    const auto c = std::source_location::current();
+    const auto d = std::source_location::current();
+    EXPECT_NE(ThreadCtx::site_key(c), ThreadCtx::site_key(d));
+    EXPECT_NE(ThreadCtx::site_key(b), ThreadCtx::site_key(c));
+}
+
+}  // namespace

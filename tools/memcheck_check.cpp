@@ -1,0 +1,121 @@
+// memcheck_check — validates a violation report produced by cusim::memcheck.
+//
+//   memcheck_check <report.json> [--require-clean] [--expect KIND]...
+//
+// Exit code 0 iff the file parses as JSON with the expected memcheck
+// structure and satisfies every requested check:
+//   --require-clean   total_violations must be 0 (the CI gate: a program
+//                     ran under CUPP_MEMCHECK without a single finding)
+//   --expect KIND     at least one violation of `KIND` must be present
+//                     (kind names as in the report: use_after_free, leak,
+//                     uninitialized_read, shared_race, ...), with a
+//                     non-empty message — used by tests that inject bugs.
+// Used by the CTest case that runs boids_demo under CUPP_MEMCHECK, and
+// standalone when triaging a report.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cupp/detail/minijson.hpp"
+
+namespace {
+
+int fail(const char* what) {
+    std::fprintf(stderr, "memcheck_check: FAIL: %s\n", what);
+    return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: memcheck_check <report.json> [--require-clean] "
+                     "[--expect KIND]...\n");
+        return 2;
+    }
+    bool require_clean = false;
+    std::vector<std::string> expected;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--require-clean") == 0) {
+            require_clean = true;
+        } else if (std::strcmp(argv[i], "--expect") == 0 && i + 1 < argc) {
+            expected.emplace_back(argv[++i]);
+        } else {
+            std::fprintf(stderr, "memcheck_check: unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) return fail("cannot open report file");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    if (text.empty()) return fail("report file is empty");
+
+    cupp::minijson::Value root;
+    try {
+        root = cupp::minijson::parse(text);
+    } catch (const cupp::minijson::parse_error& e) {
+        std::fprintf(stderr, "memcheck_check: FAIL: invalid JSON: %s\n", e.what());
+        return 1;
+    }
+    if (!root.is_object()) return fail("top level is not an object");
+    const auto* mc = root.find("memcheck");
+    if (mc == nullptr || !mc->is_object()) return fail("no memcheck object");
+    const auto* total = mc->find("total_violations");
+    if (total == nullptr || !total->is_number()) return fail("no total_violations");
+    const auto* list = mc->find("violations");
+    if (list == nullptr || !list->is_array()) return fail("no violations array");
+
+    std::size_t counted = 0;
+    for (const auto& v : list->array()) {
+        if (!v.is_object()) return fail("violations entry is not an object");
+        const auto* kind = v.find("kind");
+        const auto* message = v.find("message");
+        const auto* count = v.find("count");
+        if (kind == nullptr || !kind->is_string()) return fail("violation without kind");
+        if (message == nullptr || !message->is_string() || message->str().empty()) {
+            return fail("violation without message");
+        }
+        if (count == nullptr || !count->is_number() || count->number() < 1) {
+            return fail("violation without occurrence count");
+        }
+        counted += static_cast<std::size_t>(count->number());
+    }
+    if (counted > static_cast<std::size_t>(total->number())) {
+        return fail("violation counts exceed total_violations");
+    }
+
+    if (require_clean && total->number() != 0) {
+        std::fprintf(stderr, "memcheck_check: FAIL: %g violation(s) reported:\n",
+                     total->number());
+        for (const auto& v : list->array()) {
+            std::fprintf(stderr, "  %s\n", v.find("message")->str().c_str());
+        }
+        return 1;
+    }
+    for (const std::string& kind : expected) {
+        bool found = false;
+        for (const auto& v : list->array()) {
+            if (v.find("kind")->str() == kind) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "memcheck_check: FAIL: expected a %s violation, none found\n",
+                         kind.c_str());
+            return 1;
+        }
+    }
+
+    std::printf("memcheck_check: OK: %g total violation(s), %zu distinct\n",
+                total->number(), list->array().size());
+    return 0;
+}
