@@ -19,6 +19,7 @@
 #include <string>
 
 #include "cupp/exception.hpp"
+#include "cupp/retry.hpp"
 #include "cusim/device.hpp"
 #include "cusim/registry.hpp"
 
@@ -90,7 +91,12 @@ public:
         std::uint64_t bytes,
         std::source_location loc = std::source_location::current(),
         const char* label = "cupp::device::malloc") const {
-        const auto addr = translated([&] { return sim().malloc_bytes(bytes, loc, label); });
+        // A spurious MemoryAllocation (cusim::faults) is transient —
+        // retried here, so every framework allocation path (vector,
+        // memory1d, shared_ptr, device_reference) is covered once.
+        const auto addr = with_retry(default_retry_policy(), &sim(), "malloc", [&] {
+            return translated([&] { return sim().malloc_bytes(bytes, loc, label); });
+        });
         allocations_.insert(addr);
         return addr;
     }
@@ -109,7 +115,19 @@ public:
     }
 
     /// Host blocks until the device is idle.
-    void synchronize() const { sim().synchronize(); }
+    void synchronize() const { translated([&] { sim().synchronize(); }); }
+
+    // --- sticky-fault recovery (cusim::faults DeviceLost) ---
+    /// True while the device is poisoned: every operation throws
+    /// device_lost_error until reset().
+    [[nodiscard]] bool lost() const { return sim().lost(); }
+
+    /// Recovers a lost device. Allocations made through this handle stay
+    /// valid (no re-malloc needed) but their *contents* are gone and their
+    /// memcheck defined-bits replayed — callers must re-upload before the
+    /// device reads the data again (cupp::vector::abandon_device_data is
+    /// the container-level hook for that).
+    void reset() const { translated([&] { sim().reset_device(); }); }
 
 private:
     void release_all() noexcept {

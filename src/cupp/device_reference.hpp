@@ -14,6 +14,7 @@
 
 #include "cupp/device.hpp"
 #include "cupp/exception.hpp"
+#include "cupp/retry.hpp"
 #include "cusim/types.hpp"
 
 namespace cupp {
@@ -27,9 +28,13 @@ public:
     /// Copies `value` to freshly allocated global memory.
     device_reference(const device& d, const T& value)
         : state_(std::make_shared<State>(d)) {
-        translated([&] {
-            state_->addr = d.sim().malloc_bytes(sizeof(T));
-            d.sim().copy_to_device(state_->addr, &value, sizeof(T));
+        // Allocation and upload retry *separately*: retrying them as one
+        // unit would leak an allocation per transient upload failure.
+        with_retry(default_retry_policy(), &d.sim(), "device_reference malloc", [&] {
+            translated([&] { state_->addr = d.sim().malloc_bytes(sizeof(T)); });
+        });
+        with_retry(default_retry_policy(), &d.sim(), "device_reference upload", [&] {
+            translated([&] { d.sim().copy_to_device(state_->addr, &value, sizeof(T)); });
         });
     }
 
@@ -37,13 +42,23 @@ public:
     /// Synchronises with the device (§4.3.2 step 4).
     [[nodiscard]] T get() const {
         T value;
-        translated([&] { state_->dev->sim().copy_to_host(&value, state_->addr, sizeof(T)); });
+        with_retry(default_retry_policy(), &state_->dev->sim(),
+                   "device_reference download", [&] {
+                       translated([&] {
+                           state_->dev->sim().copy_to_host(&value, state_->addr, sizeof(T));
+                       });
+                   });
         return value;
     }
 
     /// Overwrites the device copy from the host.
     void set(const T& value) {
-        translated([&] { state_->dev->sim().copy_to_device(state_->addr, &value, sizeof(T)); });
+        with_retry(default_retry_policy(), &state_->dev->sim(),
+                   "device_reference upload", [&] {
+                       translated([&] {
+                           state_->dev->sim().copy_to_device(state_->addr, &value, sizeof(T));
+                       });
+                   });
     }
 
     /// Address of the object in global memory — what is pushed onto the

@@ -2,7 +2,17 @@
 //
 // Thesis §4.2: "exceptions are thrown when an error occurs instead of
 // returning an error code" — the first difference between CuPP's and CUDA's
-// memory management.
+// memory management. Every CuPP exception preserves the originating
+// cusim::ErrorCode (code()), and the codes are classified into
+//
+//   * transient — spurious allocation/transfer/launch failures and
+//     not-ready conditions; retrying the same call can succeed
+//     (cupp::with_retry in retry.hpp does exactly that), and
+//   * sticky — DeviceLost: the device rejects everything until
+//     device::reset(); retrying without a reset is pointless.
+//
+// Everything else is a plain programming error and neither retries nor
+// resets will help.
 #pragma once
 
 #include <stdexcept>
@@ -12,10 +22,39 @@
 
 namespace cupp {
 
-/// Root of all CuPP errors.
+/// True for error codes where retrying the failed call can succeed.
+[[nodiscard]] constexpr bool is_transient(cusim::ErrorCode code) noexcept {
+    switch (code) {
+        case cusim::ErrorCode::MemoryAllocation:
+        case cusim::ErrorCode::LaunchFailure:
+        case cusim::ErrorCode::TransferFailure:
+        case cusim::ErrorCode::NotReady:
+            return true;
+        default:
+            return false;
+    }
+}
+
+/// True for error codes that poison the device until device::reset().
+[[nodiscard]] constexpr bool is_sticky(cusim::ErrorCode code) noexcept {
+    return code == cusim::ErrorCode::DeviceLost;
+}
+
+/// Root of all CuPP errors. Carries the originating simulator error code
+/// (cusim::ErrorCode::Success for errors raised by CuPP itself).
 class exception : public std::runtime_error {
 public:
-    explicit exception(const std::string& what) : std::runtime_error(what) {}
+    explicit exception(const std::string& what,
+                       cusim::ErrorCode code = cusim::ErrorCode::Success)
+        : std::runtime_error(what), code_(code) {}
+
+    /// The low-level error code this exception was translated from.
+    [[nodiscard]] cusim::ErrorCode code() const noexcept { return code_; }
+    /// Whether a bounded retry of the failed operation makes sense.
+    [[nodiscard]] bool transient() const noexcept { return is_transient(code_); }
+
+private:
+    cusim::ErrorCode code_;
 };
 
 /// Device-memory allocation / transfer / addressing failures.
@@ -36,20 +75,51 @@ public:
     using exception::exception;
 };
 
-/// Maps a low-level simulator error onto the CuPP hierarchy and throws it.
-[[noreturn]] inline void rethrow(const cusim::Error& e) {
-    switch (e.code()) {
+/// The device is gone (sticky): every operation fails until
+/// device::reset().
+class device_lost_error : public exception {
+public:
+    using exception::exception;
+};
+
+/// A strict-mode cusim::memcheck finding surfaced as an exception.
+class memcheck_error : public exception {
+public:
+    using exception::exception;
+};
+
+/// An asynchronous operation has not completed yet (transient).
+class not_ready_error : public exception {
+public:
+    using exception::exception;
+};
+
+/// Maps a low-level error code onto the CuPP hierarchy and throws,
+/// preserving the code. The single mapping every layer routes through —
+/// kernel launches included — so callers always catch the right type.
+[[noreturn]] inline void rethrow(cusim::ErrorCode code, const std::string& what) {
+    switch (code) {
         case cusim::ErrorCode::MemoryAllocation:
         case cusim::ErrorCode::InvalidDevicePointer:
         case cusim::ErrorCode::DeviceInUse:
-            throw memory_error(e.what());
+        case cusim::ErrorCode::TransferFailure:
+            throw memory_error(what, code);
         case cusim::ErrorCode::LaunchFailure:
         case cusim::ErrorCode::InvalidConfiguration:
-            throw kernel_error(e.what());
+            throw kernel_error(what, code);
+        case cusim::ErrorCode::DeviceLost:
+            throw device_lost_error(what, code);
+        case cusim::ErrorCode::MemcheckViolation:
+            throw memcheck_error(what, code);
+        case cusim::ErrorCode::NotReady:
+            throw not_ready_error(what, code);
         default:
-            throw usage_error(e.what());
+            throw usage_error(what, code);
     }
 }
+
+/// Maps a low-level simulator error onto the CuPP hierarchy and throws it.
+[[noreturn]] inline void rethrow(const cusim::Error& e) { rethrow(e.code(), e.what()); }
 
 /// Runs `f`, translating simulator errors into CuPP exceptions.
 template <typename F>

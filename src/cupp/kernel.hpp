@@ -37,6 +37,7 @@
 #include "cupp/call_traits.hpp"
 #include "cupp/device.hpp"
 #include "cupp/exception.hpp"
+#include "cupp/retry.hpp"
 #include "cupp/trace.hpp"
 #include "cupp/type_traits.hpp"
 #include "cusim/runtime_api.hpp"
@@ -86,7 +87,9 @@ struct ref_slot<A, true> {
 
 inline void check(cusim::ErrorCode code, const char* what) {
     if (code != cusim::ErrorCode::Success) {
-        throw kernel_error(std::string(what) + ": " + cusim::rt::cusimGetErrorString(code));
+        // Through the shared mapping, so a memory code surfaces as
+        // memory_error (not kernel_error) and the code is preserved.
+        rethrow(code, std::string(what) + ": " + cusim::rt::cusimGetErrorString(code));
     }
 }
 
@@ -125,6 +128,9 @@ public:
     /// simulator has no nvcc to read the symbol name from).
     void set_name(std::string name) { name_ = std::move(name); }
     [[nodiscard]] const std::string& name() const { return name_; }
+    /// Per-kernel override of the transient-failure retry policy
+    /// (default_retry_policy() otherwise).
+    void set_retry_policy(retry_policy policy) { retry_ = std::move(policy); }
     [[nodiscard]] cusim::dim3 grid_dim() const { return grid_; }
     [[nodiscard]] cusim::dim3 block_dim() const { return block_; }
 
@@ -162,7 +168,16 @@ public:
              ...);
         }(std::index_sequence_for<Args...>{});
 
-        detail::check(cusim::rt::cusimLaunchNamed(handle_, name_.c_str()), "launch");
+        // The launch itself is retried on transient failures: an injected
+        // LaunchFailure rejects the grid before any block runs and leaves
+        // the staged configuration + argument stack untouched, so
+        // re-issuing cusimLaunchNamed really is the same launch.
+        const std::string launch_site = "launch " + name_;
+        with_retry(retry_ ? *retry_ : default_retry_policy(), &sim,
+                   launch_site.c_str(), [&] {
+                       detail::check(cusim::rt::cusimLaunchNamed(handle_, name_.c_str()),
+                                     "launch");
+                   });
         stats_ = cusim::rt::cusimLastLaunchStats();
 
         // Copy-back for non-const references (§4.3.2 step 4; skipped for
@@ -288,6 +303,7 @@ private:
     std::uint32_t shared_bytes_ = 0;
     std::uint32_t regs_per_thread_ = 16;
     std::string name_ = "kernel";
+    std::optional<retry_policy> retry_;
     cusim::LaunchStats stats_{};
 };
 

@@ -18,6 +18,7 @@
 
 #include "cupp/device.hpp"
 #include "cupp/exception.hpp"
+#include "cupp/retry.hpp"
 #include "cupp/trace.hpp"
 #include "cusim/device_ptr.hpp"
 
@@ -54,8 +55,10 @@ public:
 
     /// Deep copy: new device allocation, device-to-device data copy.
     memory1d(const memory1d& other) : memory1d(*other.dev_, other.count_) {
-        translated([&] {
-            dev_->sim().copy_device_to_device(addr_, other.addr_, count_ * sizeof(T));
+        with_retry(default_retry_policy(), &dev_->sim(), "memory1d copy", [&] {
+            translated([&] {
+                dev_->sim().copy_device_to_device(addr_, other.addr_, count_ * sizeof(T));
+            });
         });
     }
 
@@ -98,7 +101,11 @@ public:
     void copy_from_host(const T* src) {
         const bool tracing = trace::enabled();
         const double t0 = tracing ? dev_->sim().host_time() : 0.0;
-        translated([&] { dev_->sim().copy_to_device(addr_, src, count_ * sizeof(T)); });
+        // A transient transfer failure rejects the copy before any byte
+        // moves — both buffers are untouched, so the retry is safe.
+        with_retry(default_retry_policy(), &dev_->sim(), "memory1d upload", [&] {
+            translated([&] { dev_->sim().copy_to_device(addr_, src, count_ * sizeof(T)); });
+        });
         if (tracing) trace_transfer("cupp::memory1d upload", t0);
     }
 
@@ -106,7 +113,9 @@ public:
     void copy_to_host(T* dst) const {
         const bool tracing = trace::enabled();
         const double t0 = tracing ? dev_->sim().host_time() : 0.0;
-        translated([&] { dev_->sim().copy_to_host(dst, addr_, count_ * sizeof(T)); });
+        with_retry(default_retry_policy(), &dev_->sim(), "memory1d download", [&] {
+            translated([&] { dev_->sim().copy_to_host(dst, addr_, count_ * sizeof(T)); });
+        });
         if (tracing) trace_transfer("cupp::memory1d download", t0);
     }
 

@@ -1,0 +1,109 @@
+// cupp::retry_policy / cupp::with_retry — bounded retries for transient
+// device failures.
+//
+// The exception taxonomy (exception.hpp) splits failures into transient
+// (retrying the same call can succeed) and everything else. with_retry is
+// the single retry loop the framework layers use around kernel launches
+// and host<->device transfers: re-run the operation up to
+// retry_policy::max_attempts times with exponential backoff, rethrow
+// non-transient failures immediately, and rethrow the last transient
+// failure once the attempts are spent.
+//
+// Backoff runs on the *simulated* clock (Device::advance_host) so retried
+// operations stay visible — and honest — on the modelled timeline; tests
+// inject their own sleep function to count backoffs instead. Every backoff
+// is traced as a span on the device's host lane, and cupp.retry.*
+// counters aggregate attempts / recoveries / exhaustions.
+//
+// This is only safe because cusim::faults injects failures *before* an
+// operation mutates state: a failed launch leaves the staged kernel
+// arguments intact and a failed transfer leaves both buffers untouched,
+// so re-running the same call really is the same call.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "cupp/exception.hpp"
+#include "cupp/trace.hpp"
+#include "cusim/device.hpp"
+
+namespace cupp {
+
+/// How (and whether) to retry transient failures. The default policy
+/// gives an operation 4 attempts with 100 µs / 400 µs / 1.6 ms backoffs.
+struct retry_policy {
+    int max_attempts = 4;              ///< total attempts, including the first
+    double initial_backoff_s = 100e-6; ///< wait after the first failure
+    double backoff_multiplier = 4.0;   ///< growth per subsequent failure
+    /// Test hook: when set, called with the backoff instead of advancing
+    /// the device's simulated host clock.
+    std::function<void(double)> sleep;
+
+    /// Backoff after the `failure_index`-th failure (1-based).
+    [[nodiscard]] double backoff_seconds(int failure_index) const {
+        double s = initial_backoff_s;
+        for (int i = 1; i < failure_index; ++i) s *= backoff_multiplier;
+        return s;
+    }
+};
+
+/// The process-wide policy the framework layers (kernel launches, vector
+/// and memory1d transfers) use. Mutable: tune or disable retries globally
+/// by assigning to it (max_attempts = 1 turns retrying off).
+inline retry_policy& default_retry_policy() {
+    static retry_policy p;
+    return p;
+}
+
+/// Runs `op`, retrying transient CuPP exceptions per `policy`. `sim` (may
+/// be null) supplies the simulated clock for backoff and the trace lane;
+/// `site` names the operation in traces. Non-transient exceptions — and
+/// the final transient one — propagate unchanged.
+template <typename F>
+decltype(auto) with_retry(const retry_policy& policy, cusim::Device* sim,
+                          const char* site, F&& op) {
+    static const trace::counter_handle c_attempts("cupp.retry.attempts");
+    static const trace::counter_handle c_recovered("cupp.retry.recovered");
+    static const trace::counter_handle c_exhausted("cupp.retry.exhausted");
+    int failures = 0;
+    for (;;) {
+        try {
+            if constexpr (std::is_void_v<std::invoke_result_t<F&>>) {
+                op();
+                if (failures > 0) c_recovered.add();
+                return;
+            } else {
+                decltype(auto) result = op();
+                if (failures > 0) c_recovered.add();
+                return static_cast<std::invoke_result_t<F&>>(result);
+            }
+        } catch (const exception& e) {
+            ++failures;
+            if (!e.transient() || failures >= policy.max_attempts) {
+                if (e.transient()) c_exhausted.add();
+                throw;
+            }
+            c_attempts.add();
+            const double backoff = policy.backoff_seconds(failures);
+            const double t0 = sim != nullptr ? sim->host_time() : 0.0;
+            if (policy.sleep) {
+                policy.sleep(backoff);
+            } else if (sim != nullptr) {
+                sim->advance_host(backoff);
+            }
+            if (sim != nullptr && trace::enabled()) {
+                trace::emit_complete(
+                    sim->host_track(),
+                    trace::format("cupp::retry %s (failure %d)", site, failures),
+                    sim->trace_time_us(t0), backoff * 1e6,
+                    {{"code", cusim::error_string(e.code())},
+                     {"backoff_us", backoff * 1e6}});
+            }
+        }
+    }
+}
+
+}  // namespace cupp

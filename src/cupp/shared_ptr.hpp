@@ -13,6 +13,7 @@
 #include <type_traits>
 
 #include "cupp/device.hpp"
+#include "cupp/retry.hpp"
 #include "cusim/device_ptr.hpp"
 
 namespace cupp {
@@ -56,13 +57,19 @@ public:
     }
 
     void upload(const T* src) const {
-        translated([&] {
-            state_->dev->sim().copy_to_device(state_->addr, src, state_->count * sizeof(T));
+        with_retry(default_retry_policy(), &state_->dev->sim(), "shared_ptr upload", [&] {
+            translated([&] {
+                state_->dev->sim().copy_to_device(state_->addr, src,
+                                                  state_->count * sizeof(T));
+            });
         });
     }
     void download(T* dst) const {
-        translated([&] {
-            state_->dev->sim().copy_to_host(dst, state_->addr, state_->count * sizeof(T));
+        with_retry(default_retry_policy(), &state_->dev->sim(), "shared_ptr download", [&] {
+            translated([&] {
+                state_->dev->sim().copy_to_host(dst, state_->addr,
+                                                state_->count * sizeof(T));
+            });
         });
     }
 

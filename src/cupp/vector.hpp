@@ -29,6 +29,7 @@
 #include "cupp/device.hpp"
 #include "cupp/device_reference.hpp"
 #include "cupp/exception.hpp"
+#include "cupp/retry.hpp"
 #include "cupp/trace.hpp"
 #include "cusim/device_ptr.hpp"
 #include "cusim/thread_ctx.hpp"
@@ -298,6 +299,21 @@ public:
     }
     [[nodiscard]] bool texture_fetches() const { return textured_; }
 
+    /// Device-lost recovery hook: declares the device copy dead without
+    /// touching it. After device::reset() the buffer allocation is still
+    /// live (so no free/re-malloc churn) but its contents are wiped; this
+    /// drops the cached device handle, marks the device data stale and the
+    /// host data authoritative — the next kernel call re-uploads. Callers
+    /// recovering from a lost device typically overwrite the host data
+    /// (mutate()) from a checkpoint first, since a download that never
+    /// happened can't have refreshed it.
+    void abandon_device_data() {
+        dev_ref_.reset();
+        cached_handle_ = device_type{};
+        device_valid_ = false;
+        host_valid_ = true;
+    }
+
     // --- instrumentation (used by tests and the lazy-copy ablation bench) ---
     [[nodiscard]] std::uint64_t uploads() const { return uploads_; }
     [[nodiscard]] std::uint64_t downloads() const { return downloads_; }
@@ -348,8 +364,10 @@ private:
         // Download the device data over the host copy. Sizes match: the
         // device cannot resize a vector.
         if constexpr (std::is_same_v<T, dev_elem>) {
-            translated([&] {
-                dev_->sim().copy_to_host(host_.data(), dbuf_, host_.size() * sizeof(T));
+            with_retry(default_retry_policy(), &dev_->sim(), "vector download", [&] {
+                translated([&] {
+                    dev_->sim().copy_to_host(host_.data(), dbuf_, host_.size() * sizeof(T));
+                });
             });
         } else if constexpr (detail::is_cupp_vector<T>::value) {
             // Nested vectors: the handles on the device still describe the
@@ -357,8 +375,11 @@ private:
             for (auto& inner : host_) inner.mark_host_stale();
         } else {
             std::vector<dev_elem> stage(host_.size());
-            translated([&] {
-                dev_->sim().copy_to_host(stage.data(), dbuf_, stage.size() * sizeof(dev_elem));
+            with_retry(default_retry_policy(), &dev_->sim(), "vector download", [&] {
+                translated([&] {
+                    dev_->sim().copy_to_host(stage.data(), dbuf_,
+                                             stage.size() * sizeof(dev_elem));
+                });
             });
             for (size_type i = 0; i < host_.size(); ++i) host_[i] = static_cast<T>(stage[i]);
         }
@@ -402,16 +423,20 @@ private:
             dbuf_capacity_ = host_.size();
         }
         if constexpr (std::is_same_v<T, dev_elem>) {
-            translated([&] {
-                dev_->sim().copy_to_device(dbuf_, host_.data(), host_.size() * sizeof(T));
+            with_retry(default_retry_policy(), &d.sim(), "vector upload", [&] {
+                translated([&] {
+                    dev_->sim().copy_to_device(dbuf_, host_.data(), host_.size() * sizeof(T));
+                });
             });
         } else {
             std::vector<dev_elem> stage;
             stage.reserve(host_.size());
             for (const T& v : host_) stage.push_back(transform_for_device(v, d));
-            translated([&] {
-                dev_->sim().copy_to_device(dbuf_, stage.data(),
-                                           stage.size() * sizeof(dev_elem));
+            with_retry(default_retry_policy(), &d.sim(), "vector upload", [&] {
+                translated([&] {
+                    dev_->sim().copy_to_device(dbuf_, stage.data(),
+                                               stage.size() * sizeof(dev_elem));
+                });
             });
         }
         ++uploads_;

@@ -10,6 +10,9 @@ namespace cusim {
 
 LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
                            std::string_view name) {
+    // Before validation and before any block runs: an injected launch
+    // failure (or a poisoned device) rejects the launch atomically.
+    fault_preflight(faults::Site::Launch, name);
     cfg.validate();
     // Occupancy limits are checked before running anything.
     (void)blocks_per_mp(props_.cost, cfg);
@@ -91,6 +94,30 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
         launches.add();
     }
     return stats;
+}
+
+void Device::poison() {
+    lost_ = true;
+    faults::note_device_poisoned();
+    cupp::trace::metrics().add("cusim.device_lost");
+    if (cupp::trace::enabled()) {
+        cupp::trace::emit_instant("faults", "device lost",
+                                  trace_time_us(std::max(host_time_, device_free_at_)),
+                                  {{"device", trace_ordinal_}});
+    }
+}
+
+void Device::reset_device() {
+    lost_ = false;
+    // Whatever the device was doing died with it.
+    device_free_at_ = host_time_;
+    memory_.wipe_for_recovery();
+    cupp::trace::metrics().add("cusim.device_resets");
+    if (cupp::trace::enabled()) {
+        cupp::trace::emit_instant("faults", "device reset",
+                                  trace_time_us(host_time_),
+                                  {{"device", trace_ordinal_}});
+    }
 }
 
 void Device::record_launch(std::string_view name, const LaunchStats& stats, double start,

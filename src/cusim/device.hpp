@@ -24,6 +24,7 @@
 #include "cusim/cost_model.hpp"
 #include "cusim/device_properties.hpp"
 #include "cusim/device_ptr.hpp"
+#include "cusim/faults.hpp"
 #include "cusim/global_memory.hpp"
 #include "cusim/launch.hpp"
 
@@ -62,6 +63,7 @@ public:
         std::uint64_t bytes,
         std::source_location loc = std::source_location::current(),
         const char* label = "cusim::Device::malloc_bytes") {
+        fault_preflight(faults::Site::Malloc, label);
         return memory_.allocate(bytes, loc, label);
     }
     void free_bytes(DeviceAddr addr,
@@ -75,6 +77,7 @@ public:
         std::uint64_t count,
         std::source_location loc = std::source_location::current(),
         const char* label = "cusim::Device::malloc_n") {
+        fault_preflight(faults::Site::Malloc, label);
         const DeviceAddr addr = memory_.allocate(count * sizeof(T), loc, label);
         return DevicePtr<T>(memory_.raw(addr), addr, count, memory_.shadow().alloc_id(addr));
     }
@@ -96,6 +99,7 @@ public:
 
     // --- host <-> device transfers (blocking, clock-advancing) ------------
     void copy_to_device(DeviceAddr dst, const void* src, std::uint64_t bytes) {
+        fault_preflight(faults::Site::MemcpyH2D);
         const bool tracing = cupp::trace::enabled();
         const double t0 = host_time_;
         const double wait = std::max(0.0, device_free_at_ - host_time_);
@@ -105,6 +109,7 @@ public:
         if (tracing) trace_transfer("memcpy H2D", t0, bytes, wait, "H2D");
     }
     void copy_to_host(void* dst, DeviceAddr src, std::uint64_t bytes) {
+        fault_preflight(faults::Site::MemcpyD2H);
         const bool tracing = cupp::trace::enabled();
         const double t0 = host_time_;
         const double wait = std::max(0.0, device_free_at_ - host_time_);
@@ -114,6 +119,7 @@ public:
         if (tracing) trace_transfer("memcpy D2H", t0, bytes, wait, "D2H");
     }
     void copy_device_to_device(DeviceAddr dst, DeviceAddr src, std::uint64_t bytes) {
+        fault_preflight(faults::Site::MemcpyD2D);
         // Device-side copy: consumes device time, not host time.
         const double secs = static_cast<double>(bytes) / props_.cost.mem_bandwidth_bytes_per_s;
         const double start = std::max(device_free_at_, host_time_);
@@ -154,6 +160,7 @@ public:
     /// Host upload into constant memory (blocks while a kernel is active,
     /// like any host access to device state).
     void copy_to_constant(DeviceAddr addr, const void* src, std::uint64_t bytes) {
+        fault_preflight(faults::Site::MemcpyH2D, "constant");
         const bool tracing = cupp::trace::enabled();
         const double t0 = host_time_;
         const double wait = std::max(0.0, device_free_at_ - host_time_);
@@ -180,7 +187,10 @@ public:
     void advance_host(double seconds) { host_time_ += seconds; }
 
     /// cudaThreadSynchronize: host blocks until the device is idle.
-    void synchronize() { host_time_ = std::max(host_time_, device_free_at_); }
+    void synchronize() {
+        fault_preflight(faults::Site::Sync);
+        host_time_ = std::max(host_time_, device_free_at_);
+    }
 
     // --- events (cudaEventRecord-style timing) -------------------------------
     /// A point on the device timeline.
@@ -230,6 +240,22 @@ public:
         return out;
     }
 
+    // --- fault state (cusim::faults) ----------------------------------------
+    /// True while the device is poisoned by a sticky DeviceLost fault:
+    /// every instrumented operation throws until reset_device().
+    [[nodiscard]] bool lost() const { return lost_; }
+
+    /// Marks the device lost (cusim::faults injecting DeviceLost, or tests
+    /// simulating one directly). Sticky until reset_device().
+    void poison();
+
+    /// cudaDeviceReset-style recovery: clears the lost flag and wipes the
+    /// contents of global memory. Allocations themselves survive — their
+    /// addresses stay valid and their memcheck bookkeeping is replayed
+    /// (defined-bits cleared, alloc ids preserved) — so RAII wrappers held
+    /// by the host can re-upload instead of dangling.
+    void reset_device();
+
     // --- trace integration ---------------------------------------------------
     /// Identifies this device's timeline lanes in the exported trace.
     [[nodiscard]] std::string host_track() const {
@@ -245,6 +271,12 @@ public:
     }
 
 private:
+    /// One relaxed atomic load when no faults are armed and no device was
+    /// ever poisoned — the whole cost of the instrumentation by default.
+    void fault_preflight(faults::Site site, std::string_view label = {}) {
+        if (faults::armed()) faults::preflight(site, label, this);
+    }
+
     void trace_transfer(const char* name, double t0, std::uint64_t bytes, double wait_s,
                         const char* kind) {
         cupp::trace::emit_complete(host_track(), name, trace_time_us(t0),
@@ -260,9 +292,11 @@ private:
     }
 
     /// Host access to device memory blocks until no kernel is active (§2.2)
-    /// and then pays the PCIe transfer cost.
+    /// and then pays the PCIe transfer cost. Inlines the synchronize()
+    /// wait rather than calling it so one transfer hits exactly one fault
+    /// injection site (the memcpy one), not two.
     void begin_host_access(std::uint64_t bytes) {
-        synchronize();
+        host_time_ = std::max(host_time_, device_free_at_);
         host_time_ += props_.cost.transfer_latency_s +
                       static_cast<double>(bytes) / props_.cost.pcie_bandwidth_bytes_per_s;
     }
@@ -280,6 +314,7 @@ private:
     std::uint64_t launch_count_ = 0;
     std::uint64_t bytes_to_device_ = 0;
     std::uint64_t bytes_to_host_ = 0;
+    bool lost_ = false;  ///< sticky DeviceLost state (see poison())
 
     std::vector<LaunchRecord> history_;  ///< ring buffer, capacity-bounded
     std::size_t history_head_ = 0;       ///< oldest entry once the ring is full

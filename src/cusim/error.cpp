@@ -15,6 +15,8 @@ const char* error_string(ErrorCode code) noexcept {
         case ErrorCode::NotReady: return "operation not ready";
         case ErrorCode::DeviceInUse: return "device memory busy (kernel active)";
         case ErrorCode::MemcheckViolation: return "memcheck violation";
+        case ErrorCode::TransferFailure: return "transient transfer failure";
+        case ErrorCode::DeviceLost: return "device lost";
     }
     return "unknown error";
 }

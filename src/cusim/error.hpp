@@ -21,6 +21,8 @@ enum class ErrorCode {
     NotReady,
     DeviceInUse,            // host touched device memory owned by a live kernel
     MemcheckViolation,      // strict-mode cusim::memcheck finding
+    TransferFailure,        // transient memcpy failure (retryable)
+    DeviceLost,             // sticky: the device is gone until reset_device()
 };
 
 /// Human-readable name of an error code (mirrors cudaGetErrorString).

@@ -149,6 +149,19 @@ public:
         shadow_.on_copy(dst, src, bytes);
     }
 
+    /// Device::reset_device() support: the allocation map survives (host
+    /// RAII wrappers keep valid addresses, no dangling frees later), but
+    /// the *contents* of every live allocation are wiped and the shadow's
+    /// defined-bits are replayed to "freshly allocated". Only live extents
+    /// are touched, not the whole arena — an untouched arena page stays
+    /// uncommitted virtual memory.
+    void wipe_for_recovery() {
+        for (const auto& [addr, alloc] : allocations_) {
+            std::memset(raw(addr), 0, alloc.aligned);
+        }
+        shadow_.on_device_reset();
+    }
+
     [[nodiscard]] std::uint64_t size() const { return size_; }
     [[nodiscard]] std::uint64_t used() const { return used_; }
     [[nodiscard]] std::size_t allocation_count() const { return allocations_.size(); }

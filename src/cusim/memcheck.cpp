@@ -1,5 +1,6 @@
 #include "cusim/memcheck.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -404,6 +405,17 @@ void Shadow::report_leaks() {
         }
     }
     for (Violation& v : leaks) record(std::move(v));
+}
+
+void Shadow::on_device_reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Ids and allocation records survive (the host's views stay valid);
+    // only the defined-bits are replayed, so post-reset reads of not-yet
+    // re-uploaded bytes report as uninitialized instead of leaking stale
+    // pre-reset data silently.
+    for (auto& [base, rec] : live_) {
+        std::fill(rec.defined.begin(), rec.defined.end(), 0);
+    }
 }
 
 void Shadow::on_host_write(DeviceAddr dst, std::uint64_t bytes) {

@@ -183,6 +183,12 @@ public:
     /// GlobalMemory teardown: records remaining live allocations as leaks.
     void report_leaks();
 
+    /// Device::reset_device(): live allocations survive with their ids,
+    /// but their contents were wiped — replay every tracked allocation's
+    /// defined-bits back to "freshly allocated" so stale device data can
+    /// never be read as defined after a recovery.
+    void on_device_reset();
+
     /// Host upload landed on [dst, dst+bytes): marks bytes defined.
     void on_host_write(DeviceAddr dst, std::uint64_t bytes);
     /// Device-to-device copy: propagates defined bits from src to dst.

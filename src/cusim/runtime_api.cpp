@@ -177,4 +177,8 @@ ErrorCode cusimThreadSynchronize() {
     return guarded([] { Registry::instance().current_device().synchronize(); });
 }
 
+ErrorCode cusimDeviceReset() {
+    return guarded([] { Registry::instance().current_device().reset_device(); });
+}
+
 }  // namespace cusim::rt

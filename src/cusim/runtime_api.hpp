@@ -74,6 +74,10 @@ ErrorCode cusimGetLastError();
 const char* cusimGetErrorString(ErrorCode code);
 /// cudaThreadSynchronize.
 ErrorCode cusimThreadSynchronize();
+/// cudaDeviceReset-flavoured recovery from a sticky DeviceLost fault:
+/// clears the poisoned state and wipes device memory contents while
+/// keeping allocations live (see Device::reset_device()).
+ErrorCode cusimDeviceReset();
 
 /// Size of the kernel argument stack (CUDA 1.0: 256 bytes).
 inline constexpr std::size_t kKernelStackSize = 256;

@@ -24,6 +24,13 @@ public:
         en.assign(grid_.entries().begin(), grid_.entries().end());
     }
 
+    /// Device-lost recovery: declare the CSR vectors' device copies dead
+    /// (the next build/upload refreshes them from the host).
+    void abandon_device_data() {
+        cell_start_.abandon_device_data();
+        entries_.abandon_device_data();
+    }
+
     [[nodiscard]] const steer::SpatialGrid& host_grid() const { return grid_; }
     [[nodiscard]] cupp::vector<std::uint32_t>& cell_start() { return cell_start_; }
     [[nodiscard]] cupp::vector<std::uint32_t>& entries() { return entries_; }

@@ -123,6 +123,13 @@ void GpuBoidsPlugin::open(const steer::WorldSpec& spec) {
     divergent_events_ = 0;
     branch_evaluations_ = 0;
     launches_ = 0;
+    // Device-lost recovery baseline: the initial state is the first
+    // checkpoint (steering carry-over starts at zero, like steerings_).
+    checkpoint_flock_ = flock_;
+    checkpoint_steering_ = steering_host_;
+    checkpoint_step_ = 0;
+    cpu_fallback_steps_ = 0;
+    device_resets_ = 0;
     dev_.sim().reset_clock();
 }
 
@@ -358,8 +365,175 @@ StageTimes GpuBoidsPlugin::step_device_version() {
 }
 
 StageTimes GpuBoidsPlugin::step() {
-    return VersionTraits::of(version_).modification_on_device ? step_device_version()
-                                                              : step_host_versions();
+    try {
+        return VersionTraits::of(version_).modification_on_device ? step_device_version()
+                                                                  : step_host_versions();
+    } catch (const cupp::device_lost_error&) {
+        // Transient failures were already absorbed by cupp's retry layer;
+        // a sticky DeviceLost escaping the step means the device is gone.
+        // Degrade gracefully: recover the state on the CPU, finish the
+        // step there, reset the device and resume on the GPU.
+        return recover_and_step_on_cpu();
+    }
+}
+
+void GpuBoidsPlugin::cpu_update_step(std::uint64_t step, bool count_stats) {
+    const std::uint32_t n = spec_.agents;
+    // Exactly the CpuBoidsPlugin update (§5.3): snapshot, steering for the
+    // thinking agents, modification for all. The GPU kernels compute the
+    // identical flock (that equivalence is what the tier-1 version tests
+    // pin down), so CPU-replayed steps are bit-identical to lost GPU ones.
+    std::vector<Vec3> positions(n);
+    std::vector<Vec3> forwards(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        positions[i] = flock_[i].position;
+        forwards[i] = flock_[i].forward;
+    }
+    const steer::FlockingWeights weights{spec_.weight_separation, spec_.weight_alignment,
+                                         spec_.weight_cohesion};
+    const bool use_grid = version_ == Version::V6_GridNeighborSearch;
+    steer::SpatialGrid grid;
+    if (use_grid) grid.build(positions, spec_.search_radius, spec_.world_radius);
+    steer::SearchCounters sc;
+    std::uint64_t thinks = 0;
+    std::uint64_t neighbors_total = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!steer::thinks_this_step(i, step, spec_.think_period)) continue;
+        const NeighborList neighbors =
+            use_grid ? grid.find_neighbors(i, positions, spec_.search_radius,
+                                           spec_.max_neighbors, &sc)
+                     : steer::find_neighbors(i, positions, spec_.search_radius,
+                                             spec_.max_neighbors, &sc);
+        steering_host_[i] = steer::flocking(positions[i], forwards[i], neighbors,
+                                            positions, forwards, weights);
+        ++thinks;
+        neighbors_total += neighbors.count;
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+        steer::apply_steering(flock_[i], steering_host_[i], spec_.dt, spec_.params);
+        steer::wrap_world(flock_[i], spec_.world_radius);
+    }
+    if (count_stats) {
+        // Mirror exactly what the interrupted GPU step would have added,
+        // so a recovered run's totals equal a fault-free run's.
+        totals_.thinks += thinks;
+        totals_.pairs_examined += thinks * n;
+        totals_.modifies += n;
+        if (!VersionTraits::of(version_).steering_on_device) {
+            totals_.neighbors_found += neighbors_total;
+        }
+    }
+    dev_.sim().advance_host(
+        cpu_.seconds(static_cast<double>(sc.pairs_examined) * cpu_.cycles_per_pair +
+                     static_cast<double>(neighbors_total) * cpu_.cycles_per_neighbor +
+                     static_cast<double>(thinks) * cpu_.cycles_per_think +
+                     static_cast<double>(n) * cpu_.cycles_per_modify));
+}
+
+void GpuBoidsPlugin::abandon_device_vectors() {
+    positions_.abandon_device_data();
+    forwards_.abandon_device_data();
+    speeds_.abandon_device_data();
+    steerings_.abandon_device_data();
+    result_.abandon_device_data();
+    result_count_.abandon_device_data();
+    matrices_[0].abandon_device_data();
+    matrices_[1].abandon_device_data();
+    grid_upload_.abandon_device_data();
+}
+
+void GpuBoidsPlugin::reupload_state() {
+    ScopedPhase span(dev_.sim(), "reupload_state");
+    const std::uint32_t n = spec_.agents;
+    {
+        auto& p = positions_.mutate();
+        for (std::uint32_t i = 0; i < n; ++i) p[i] = flock_[i].position;
+    }
+    {
+        auto& f = forwards_.mutate();
+        for (std::uint32_t i = 0; i < n; ++i) f[i] = flock_[i].forward;
+    }
+    {
+        auto& s = speeds_.mutate();
+        for (std::uint32_t i = 0; i < n; ++i) s[i] = flock_[i].speed;
+    }
+    {
+        auto& st = steerings_.mutate();
+        for (std::uint32_t i = 0; i < n; ++i) st[i] = steering_host_[i];
+    }
+    dev_.sim().advance_host(cpu_.seconds(3.0 * kExtractCyclesPerAgent * n));
+    // Re-prime buffers and cached global-memory handles like open() does,
+    // so the resumed GPU steps pay no mid-frame first-use upload.
+    (void)positions_.get_device_reference(dev_);
+    (void)forwards_.get_device_reference(dev_);
+    (void)speeds_.get_device_reference(dev_);
+    (void)steerings_.get_device_reference(dev_);
+    (void)result_.get_device_reference(dev_);
+    (void)result_count_.get_device_reference(dev_);
+    (void)matrices_[0].get_device_reference(dev_);
+    (void)matrices_[1].get_device_reference(dev_);
+}
+
+StageTimes GpuBoidsPlugin::recover_and_step_on_cpu() {
+    auto& sim = dev_.sim();
+    ScopedPhase span(sim, "device_lost_recovery");
+    const double t0 = sim.host_time();
+    ++device_resets_;
+    dev_.reset();
+    abandon_device_vectors();
+
+    const bool device_owns_state = VersionTraits::of(version_).modification_on_device;
+    if (device_owns_state) {
+        // Versions 5/6: the lost device held the only current flock.
+        // Rewind to the checkpoint and replay the committed steps on the
+        // CPU (their stats are already in totals_, so no re-counting).
+        flock_ = checkpoint_flock_;
+        steering_host_ = checkpoint_steering_;
+        for (std::uint64_t s = checkpoint_step_; s < step_index_; ++s) {
+            cpu_update_step(s, /*count_stats=*/false);
+        }
+    }
+    // In double-buffer mode this step presents the *previous* step's
+    // matrices (§6.3.2), which also died with the device.
+    std::vector<steer::Mat4> prev_matrices;
+    if (device_owns_state && double_buffer_) {
+        steer::build_draw_matrices(flock_, prev_matrices);
+    }
+
+    // The step the device failed: finish it on the CPU.
+    cpu_update_step(step_index_, /*count_stats=*/true);
+    ++cpu_fallback_steps_;
+    cupp::trace::metrics().add("gpusteer.cpu_fallback_steps");
+
+    if (device_owns_state) {
+        std::vector<steer::Mat4> now;
+        steer::build_draw_matrices(flock_, now);
+        // Leave this step's matrices in the buffer the GPU path would have
+        // written, so the next double-buffered step downloads the right one.
+        matrices_[current_buffer_].mutate() = now;
+        if (double_buffer_) {
+            drawn_ = std::move(prev_matrices);
+            current_buffer_ = 1 - current_buffer_;
+        } else {
+            drawn_ = std::move(now);
+        }
+        reupload_state();
+        checkpoint_flock_ = flock_;
+        checkpoint_steering_ = steering_host_;
+        checkpoint_step_ = step_index_ + 1;
+    } else {
+        // Versions 1-4: the host copy was authoritative all along; the
+        // CPU step above recomputed every thinking agent of this step, so
+        // any partially-updated steering is overwritten.
+        steer::build_draw_matrices(flock_, drawn_);
+        reupload_state();
+    }
+
+    ++step_index_;
+    StageTimes times;
+    times.draw = draw_stage(/*from_device_matrices=*/true);
+    times.simulation = sim.host_time() - t0 - times.draw;
+    return times;
 }
 
 std::vector<Agent> GpuBoidsPlugin::snapshot() const {

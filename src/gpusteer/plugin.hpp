@@ -82,7 +82,27 @@ public:
     /// The device handle (e.g. to reset the simulated clock between runs).
     [[nodiscard]] const cupp::device& device_handle() const { return dev_; }
 
+    // --- device-lost resilience ---
+    /// Steps that ran on the CPU fallback path because the device was lost
+    /// mid-step, and how often the device was reset to recover.
+    [[nodiscard]] std::uint64_t cpu_fallback_steps() const { return cpu_fallback_steps_; }
+    [[nodiscard]] std::uint64_t device_resets() const { return device_resets_; }
+
 private:
+    /// A DeviceLost fault escaped a step: reset the device, replay the run
+    /// from the last checkpoint on the CPU, execute the failed step on the
+    /// CPU too, then re-upload everything and resume on the GPU.
+    steer::StageTimes recover_and_step_on_cpu();
+    /// One full CPU update step (the CpuBoidsPlugin math, §5.3) over
+    /// flock_/steering_host_. `count_stats` mirrors exactly the counter
+    /// updates the GPU step would have made, so a recovered run's totals
+    /// equal a fault-free run's.
+    void cpu_update_step(std::uint64_t step, bool count_stats);
+    /// Declares every device-side copy dead after a reset.
+    void abandon_device_vectors();
+    /// Pushes flock_/steering_host_ back into the device vectors and
+    /// re-primes their buffers + cached handles (mirrors open()).
+    void reupload_state();
     steer::StageTimes step_host_versions();  // v1-v4
     steer::StageTimes step_device_version(); // v5/v6
     /// Launches the simulation-substage kernel(s) for this step: the
@@ -137,6 +157,17 @@ private:
     cupp::kernel<ModKernelFn> mod_kernel_;
     cupp::kernel<GridSimKernelFn> grid_sim_kernel_;
     GridUpload grid_upload_;  ///< v6: host-built grid, lazily uploaded CSR
+
+    // Device-lost recovery: host-side snapshot of the complete simulation
+    // state (agents + steering carry-over) as of the start of step
+    // checkpoint_step_. The GPU owns the truth in versions 5/6, so after a
+    // reset the state is re-derived by replaying from here on the CPU —
+    // bit-identical, because the CPU and GPU paths compute the same flock.
+    std::vector<steer::Agent> checkpoint_flock_;
+    std::vector<steer::Vec3> checkpoint_steering_;
+    std::uint64_t checkpoint_step_ = 0;
+    std::uint64_t cpu_fallback_steps_ = 0;
+    std::uint64_t device_resets_ = 0;
 
     steer::UpdateCounters totals_{};
     std::uint64_t step_index_ = 0;

@@ -250,6 +250,49 @@ TEST_F(TraceTest, ExportParsesAndRoundTrips) {
     EXPECT_EQ(once, twice);
 }
 
+// --- retry backoffs on the timeline ----------------------------------------
+
+TEST_F(TraceTest, RetryBackoffsAreSpansOnTheHostLane) {
+    // One injected transient launch failure: the retry layer must leave a
+    // visible backoff span on the device's host lane, the fault an instant
+    // on the "faults" track, and the cupp.retry.* counters must add up.
+    cusim::faults::Rule r;
+    r.site = cusim::faults::Site::Launch;
+    r.code = cusim::ErrorCode::LaunchFailure;
+    r.nth = 1;
+    cusim::faults::configure({r});
+
+    cupp::device d;
+    cupp::vector<int> v = {1, 2, 3};
+    cupp::kernel k(static_cast<MutK>(double_all), cusim::dim3{1}, cusim::dim3{32});
+    k.set_name("retried");
+    k(d, v);
+    EXPECT_EQ(v.snapshot(), (std::vector<int>{2, 4, 6}));
+
+    auto& m = tr::metrics();
+    EXPECT_EQ(m.counter("cupp.retry.attempts"), 1u);
+    EXPECT_EQ(m.counter("cupp.retry.recovered"), 1u);
+    EXPECT_EQ(m.counter("cupp.retry.exhausted"), 0u);
+    EXPECT_EQ(m.counter("cusim.faults.injections"), 1u);
+
+    bool saw_backoff = false, saw_fault = false;
+    for (const auto& ev : tr::events()) {
+        if (ev.phase == tr::Phase::Complete && ev.track == d.sim().host_track() &&
+            ev.name.find("cupp::retry launch retried") != std::string::npos) {
+            saw_backoff = true;
+            EXPECT_GT(ev.dur_us, 0.0);
+        }
+        if (ev.phase == tr::Phase::Instant && ev.track == "faults" &&
+            ev.name == "fault.launch") {
+            saw_fault = true;
+        }
+    }
+    EXPECT_TRUE(saw_backoff) << "no cupp::retry span on the host lane";
+    EXPECT_TRUE(saw_fault) << "no fault instant on the faults track";
+
+    cusim::faults::reset();
+}
+
 // --- launch-history ring buffer -------------------------------------------
 
 TEST_F(TraceTest, RecentLaunchesKeepNamesAndOrder) {

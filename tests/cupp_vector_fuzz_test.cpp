@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cupp/cupp.hpp"
+#include "cusim/cusim.hpp"
 #include "steer/lcg.hpp"
 
 namespace {
@@ -114,6 +115,135 @@ TEST_P(VectorFuzz, MatchesOracleUnderRandomOperations) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VectorFuzz,
                          ::testing::Values(1ull, 7ull, 42ull, 2009ull, 31337ull));
+
+// The same state machine under a seeded transient fault plan: allocations,
+// transfers and launches fail at random. The retry layer absorbs most of
+// it; the rare operation that exhausts its retries throws *atomically*, so
+// skipping the oracle update on a throw must keep both sides identical —
+// and the run must stay memcheck-clean throughout.
+class FaultyVectorFuzz : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+    void SetUp() override {
+        cusim::memcheck::enable();
+        cusim::memcheck::set_strict(false);
+        cusim::memcheck::reset();
+        auto rule = [](cusim::faults::Site site, cusim::ErrorCode code, double p) {
+            cusim::faults::Rule r;
+            r.site = site;
+            r.code = code;
+            r.probability = p;
+            return r;
+        };
+        cusim::faults::configure(
+            {rule(cusim::faults::Site::Malloc, cusim::ErrorCode::MemoryAllocation, 0.02),
+             rule(cusim::faults::Site::MemcpyH2D, cusim::ErrorCode::TransferFailure, 0.05),
+             rule(cusim::faults::Site::MemcpyD2H, cusim::ErrorCode::TransferFailure, 0.05),
+             rule(cusim::faults::Site::Launch, cusim::ErrorCode::LaunchFailure, 0.05)},
+            GetParam());
+    }
+    void TearDown() override {
+        cusim::faults::reset();
+        cusim::memcheck::disable();
+        cusim::memcheck::reset();
+    }
+};
+
+TEST_P(FaultyVectorFuzz, OracleAndValidityFlagsSurviveInjectedFaults) {
+    steer::Lcg rng(GetParam() * 977 + 1);
+    cupp::device d;
+    cupp::kernel add_k(static_cast<AddK>(add_one), cusim::dim3{8}, cusim::dim3{64});
+    cupp::kernel sum_k(static_cast<SumK>(sum_into), cusim::dim3{1}, cusim::dim3{32});
+
+    cupp::vector<int> v;
+    std::vector<int> oracle;
+    cupp::vector<long> out = {0};
+    int exhausted = 0;
+
+    for (int step = 0; step < 300; ++step) {
+        // Injected failures reject an operation before it moves a byte, so
+        // a throw means "nothing happened": skip the oracle update.
+        try {
+            switch (rng.next_u32() % 8) {
+                case 0: {  // push_back (host-only: never faults)
+                    const int x = static_cast<int>(rng.next_u32() % 1000);
+                    v.push_back(x);
+                    oracle.push_back(x);
+                    break;
+                }
+                case 1: {  // pop_back
+                    if (!oracle.empty()) {
+                        v.pop_back();
+                        oracle.pop_back();
+                    }
+                    break;
+                }
+                case 2: {  // proxy write (may download first)
+                    if (!oracle.empty()) {
+                        const auto i = rng.next_u32() % oracle.size();
+                        const int x = static_cast<int>(rng.next_u32() % 1000);
+                        v[i] = x;
+                        oracle[i] = x;
+                    }
+                    break;
+                }
+                case 3: {  // proxy read
+                    if (!oracle.empty()) {
+                        const auto i = rng.next_u32() % oracle.size();
+                        ASSERT_EQ(static_cast<int>(v[i]), oracle[i]) << "step " << step;
+                    }
+                    break;
+                }
+                case 4: {  // mutating kernel
+                    if (!oracle.empty() && oracle.size() <= 512) {
+                        add_k(d, v);
+                        for (auto& x : oracle) ++x;
+                    }
+                    break;
+                }
+                case 5: {  // read-only kernel
+                    if (oracle.size() <= 512) {
+                        sum_k(d, v, out);
+                        long expect = 0;
+                        for (const int x : oracle) expect += x;
+                        ASSERT_EQ(static_cast<long>(out[0]), expect) << "step " << step;
+                    }
+                    break;
+                }
+                case 6: {  // resize
+                    const auto n = rng.next_u32() % 64;
+                    v.resize(n);
+                    oracle.resize(n);
+                    break;
+                }
+                case 7: {  // copy and swap in
+                    cupp::vector<int> copy(v);
+                    v = copy;
+                    break;
+                }
+            }
+        } catch (const cupp::exception& e) {
+            ASSERT_TRUE(e.transient()) << "step " << step << ": " << e.what();
+            ++exhausted;
+        }
+        ASSERT_EQ(v.size(), oracle.size()) << "step " << step;
+        // The lazy-copy invariant must hold even right after a failure:
+        // at least one side still owns the truth.
+        ASSERT_TRUE(v.host_data_valid() || v.device_data_valid()) << "step " << step;
+    }
+
+    EXPECT_GT(cusim::faults::injections(), 0u) << "the plan never fired";
+    // Retries absorb nearly everything at these probabilities; full
+    // exhaustion (4 consecutive hits) should stay a rare event.
+    EXPECT_LE(exhausted, 20);
+
+    cusim::faults::disable();
+    EXPECT_EQ(v.snapshot(), oracle);
+    EXPECT_TRUE(cusim::memcheck::violations().empty())
+        << "fault handling must not leak or corrupt device memory";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultyVectorFuzz,
+                         ::testing::Values(11ull, 23ull, 4242ull));
 
 class AllocatorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 

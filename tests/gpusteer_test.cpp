@@ -4,6 +4,7 @@
 // divergence counters, double buffering — must hold.
 #include <gtest/gtest.h>
 
+#include "cusim/faults.hpp"
 #include "gpusteer/plugin.hpp"
 #include "steer/steer.hpp"
 
@@ -225,6 +226,117 @@ TEST(GpuPlugin, SimulatedTimeAdvancesMonotonically) {
         EXPECT_GT(now, last);
         last = now;
     }
+}
+
+// --- device-lost recovery (cusim::faults + the CPU fallback path) ----------
+
+/// Runs `plugin` for 5 steps, losing the device on the first kernel launch
+/// of step 2. The plugin must absorb the loss (reset + CPU fallback +
+/// resume) without it being observable in the final flock.
+void run_with_device_loss(GpuBoidsPlugin& plugin, const WorldSpec& spec) {
+    plugin.open(spec);
+    for (int step = 0; step < 5; ++step) {
+        if (step == 2) {
+            cusim::faults::Rule r;
+            r.site = cusim::faults::Site::Launch;
+            r.code = cusim::ErrorCode::DeviceLost;
+            r.nth = 1;
+            r.max_injections = 1;
+            cusim::faults::configure({r});
+        }
+        plugin.step();
+    }
+    cusim::faults::reset();
+}
+
+class DeviceLostRecovery : public ::testing::TestWithParam<Version> {
+protected:
+    void TearDown() override { cusim::faults::reset(); }
+};
+
+TEST_P(DeviceLostRecovery, CpuFallbackKeepsTheFlockBitIdentical) {
+    const WorldSpec spec = small_world();
+    // Version 6's oracle is the grid-enabled CPU plugin (identical candidate
+    // order); every other version bit-matches the brute-force reference.
+    const bool v6 = GetParam() == Version::V6_GridNeighborSearch;
+    steer::CpuBoidsPlugin cpu;
+    cpu.open(v6 ? spec.with_grid() : spec);
+    for (int step = 0; step < 5; ++step) cpu.step();
+
+    GpuBoidsPlugin gpu(GetParam());
+    run_with_device_loss(gpu, spec);
+
+    EXPECT_EQ(gpu.device_resets(), 1u);
+    EXPECT_EQ(gpu.cpu_fallback_steps(), 1u);
+    EXPECT_FALSE(gpu.device_handle().lost()) << "the plugin must reset the device";
+    expect_same_flock(cpu.snapshot(), gpu.snapshot(), "device-lost recovery");
+
+    // The recovered run's statistics must equal a fault-free run's: the
+    // CPU fallback mirrors exactly the counters the lost step would have
+    // added.
+    GpuBoidsPlugin clean(GetParam());
+    clean.open(spec);
+    for (int step = 0; step < 5; ++step) clean.step();
+    EXPECT_EQ(gpu.counters().thinks, clean.counters().thinks);
+    EXPECT_EQ(gpu.counters().pairs_examined, clean.counters().pairs_examined);
+    EXPECT_EQ(gpu.counters().modifies, clean.counters().modifies);
+    EXPECT_EQ(gpu.counters().neighbors_found, clean.counters().neighbors_found);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, DeviceLostRecovery,
+                         ::testing::Values(Version::V1_NeighborSearchGlobal,
+                                           Version::V2_NeighborSearchShared,
+                                           Version::V3_SimSubstageCached,
+                                           Version::V4_SimSubstageRecompute,
+                                           Version::V5_FullUpdateOnDevice,
+                                           Version::V6_GridNeighborSearch),
+                         [](const auto& info) {
+                             return "v" + std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(DeviceLostRecoveryExtra, DoubleBufferedV5RecoversTheSameFlock) {
+    const WorldSpec spec = small_world();
+    // Snapshot the plain run before the double-buffered one: device reset is
+    // device-global, so the second plugin's recovery wipes the first's
+    // device-side state (version 5 snapshots download from the device).
+    GpuBoidsPlugin plain(Version::V5_FullUpdateOnDevice, /*double_buffering=*/false);
+    run_with_device_loss(plain, spec);
+    const std::vector<Agent> plain_flock = plain.snapshot();
+
+    GpuBoidsPlugin db(Version::V5_FullUpdateOnDevice, /*double_buffering=*/true);
+    run_with_device_loss(db, spec);
+
+    EXPECT_EQ(db.device_resets(), 1u);
+    EXPECT_EQ(db.cpu_fallback_steps(), 1u);
+    // Double buffering changes which frame is *drawn*, never the flock.
+    expect_same_flock(plain_flock, db.snapshot(), "db recovery flock");
+    ASSERT_EQ(db.draw_matrices().size(), spec.agents);
+}
+
+TEST(DeviceLostRecoveryExtra, SurvivesLossesInConsecutiveSteps) {
+    const WorldSpec spec = small_world();
+    steer::CpuBoidsPlugin cpu;
+    cpu.open(spec.with_grid());  // version 6's bit-exact oracle
+    for (int step = 0; step < 6; ++step) cpu.step();
+
+    GpuBoidsPlugin gpu(Version::V6_GridNeighborSearch);
+    gpu.open(spec);
+    for (int step = 0; step < 6; ++step) {
+        if (step == 1 || step == 2) {
+            cusim::faults::Rule r;
+            r.site = cusim::faults::Site::Launch;
+            r.code = cusim::ErrorCode::DeviceLost;
+            r.nth = 1;
+            r.max_injections = 1;
+            cusim::faults::configure({r});
+        }
+        gpu.step();
+    }
+    cusim::faults::reset();
+
+    EXPECT_EQ(gpu.device_resets(), 2u);
+    EXPECT_EQ(gpu.cpu_fallback_steps(), 2u);
+    expect_same_flock(cpu.snapshot(), gpu.snapshot(), "two losses");
 }
 
 TEST(GpuPlugin, VersionTraitsMatchTable6_1) {

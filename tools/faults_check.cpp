@@ -1,0 +1,180 @@
+// faults_check — validates cusim::faults inputs and outputs.
+//
+//   faults_check --plan <plan.json>
+//   faults_check <report.json> [--min-injections N] [--expect-site SITE]
+//                              [--expect-code CODE]
+//
+// Plan mode (exit 0 iff the plan would load): parses the JSON and applies
+// the same structural rules the runtime enforces — every rule names a valid
+// site and code, probability lies in [0,1], "max" (if given) is >= 1, and
+// at least one trigger (nth / every / probability) is set.
+//
+// Report mode validates a report written via CUPP_FAULTS_REPORT:
+//   --min-injections N   total_injections must be >= N (the CI gate: the
+//                        plan actually fired, the run didn't dodge it)
+//   --expect-site SITE   at least one rule on `SITE` must have injected
+//                        (site names as in the report: malloc, memcpy_h2d,
+//                        memcpy_d2h, memcpy_d2d, launch, sync)
+//   --expect-code CODE   at least one injecting rule must carry `CODE`
+//                        (code names as in the report: memory_allocation,
+//                        transfer_failure, launch_failure, device_lost, ...)
+// Used by the CTest case that runs boids_demo under CUPP_FAULTS, and
+// standalone when triaging a fault plan or report.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cupp/detail/minijson.hpp"
+#include "cusim/faults.hpp"
+
+namespace {
+
+int fail(const char* what) {
+    std::fprintf(stderr, "faults_check: FAIL: %s\n", what);
+    return 1;
+}
+
+std::string slurp(const char* path, bool* ok) {
+    std::ifstream in(path, std::ios::binary);
+    *ok = static_cast<bool>(in);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+int check_plan(const char* path) {
+    try {
+        cusim::faults::enable_from_plan(path);
+    } catch (const cusim::Error& e) {
+        cusim::faults::reset();
+        std::fprintf(stderr, "faults_check: FAIL: %s\n", e.what());
+        return 1;
+    }
+    const std::size_t rules = cusim::faults::rules().size();
+    cusim::faults::reset();
+    std::printf("faults_check: OK: plan %s loads (%zu rule(s))\n", path, rules);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: faults_check --plan <plan.json>\n"
+                     "       faults_check <report.json> [--min-injections N] "
+                     "[--expect-site SITE] [--expect-code CODE]\n");
+        return 2;
+    }
+    if (std::strcmp(argv[1], "--plan") == 0) {
+        if (argc != 3) {
+            std::fprintf(stderr, "faults_check: --plan takes exactly one file\n");
+            return 2;
+        }
+        return check_plan(argv[2]);
+    }
+
+    double min_injections = -1.0;
+    std::vector<std::string> expect_sites;
+    std::vector<std::string> expect_codes;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--min-injections") == 0 && i + 1 < argc) {
+            min_injections = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--expect-site") == 0 && i + 1 < argc) {
+            expect_sites.emplace_back(argv[++i]);
+        } else if (std::strcmp(argv[i], "--expect-code") == 0 && i + 1 < argc) {
+            expect_codes.emplace_back(argv[++i]);
+        } else {
+            std::fprintf(stderr, "faults_check: unknown flag %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    bool ok = false;
+    const std::string text = slurp(argv[1], &ok);
+    if (!ok) return fail("cannot open report file");
+    if (text.empty()) return fail("report file is empty");
+
+    cupp::minijson::Value root;
+    try {
+        root = cupp::minijson::parse(text);
+    } catch (const cupp::minijson::parse_error& e) {
+        std::fprintf(stderr, "faults_check: FAIL: invalid JSON: %s\n", e.what());
+        return 1;
+    }
+    if (!root.is_object()) return fail("top level is not an object");
+    const auto* f = root.find("faults");
+    if (f == nullptr || !f->is_object()) return fail("no faults object");
+    const auto* total = f->find("total_injections");
+    if (total == nullptr || !total->is_number()) return fail("no total_injections");
+    const auto* rules = f->find("rules");
+    if (rules == nullptr || !rules->is_array()) return fail("no rules array");
+
+    double per_rule = 0.0;
+    for (const auto& r : rules->array()) {
+        if (!r.is_object()) return fail("rules entry is not an object");
+        const auto* site = r.find("site");
+        const auto* code = r.find("code");
+        const auto* injected = r.find("injected");
+        cusim::faults::Site parsed_site{};
+        if (site == nullptr || !site->is_string() ||
+            !cusim::faults::parse_site(site->str(), &parsed_site)) {
+            return fail("rule without a valid site");
+        }
+        cusim::ErrorCode parsed_code{};
+        if (code == nullptr || !code->is_string() ||
+            !cusim::faults::parse_code(code->str(), &parsed_code)) {
+            return fail("rule without a valid code");
+        }
+        if (injected == nullptr || !injected->is_number() || injected->number() < 0) {
+            return fail("rule without an injection count");
+        }
+        per_rule += injected->number();
+    }
+    if (per_rule != total->number()) {
+        return fail("per-rule injection counts do not sum to total_injections");
+    }
+
+    if (min_injections >= 0 && total->number() < min_injections) {
+        std::fprintf(stderr,
+                     "faults_check: FAIL: %g injection(s), expected at least %g\n",
+                     total->number(), min_injections);
+        return 1;
+    }
+    for (const std::string& site : expect_sites) {
+        bool found = false;
+        for (const auto& r : rules->array()) {
+            if (r.find("site")->str() == site && r.find("injected")->number() > 0) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "faults_check: FAIL: no injection at site %s\n", site.c_str());
+            return 1;
+        }
+    }
+    for (const std::string& code : expect_codes) {
+        bool found = false;
+        for (const auto& r : rules->array()) {
+            if (r.find("code")->str() == code && r.find("injected")->number() > 0) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr, "faults_check: FAIL: no injected %s fault\n",
+                         code.c_str());
+            return 1;
+        }
+    }
+
+    std::printf("faults_check: OK: %g injection(s) across %zu rule(s)\n",
+                total->number(), rules->array().size());
+    return 0;
+}
