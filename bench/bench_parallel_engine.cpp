@@ -1,0 +1,153 @@
+// Perf trajectory of the parallel block engine (wall-clock).
+//
+// Unlike the figure harnesses, which report *simulated* time, this binary
+// measures how fast the host pushes a multi-block grid through cusim at
+// different engine thread counts (BlockPool), verifies the LaunchStats stay
+// bit-identical to the serial run, and writes the results as JSON — the
+// repo's perf trajectory artifact (BENCH_parallel_engine.json).
+//
+// Usage: bench_parallel_engine [output.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cusim/block_pool.hpp"
+#include "cusim/device.hpp"
+#include "cusim/engine.hpp"
+#include "cusim/kernel_task.hpp"
+#include "cusim/thread_ctx.hpp"
+
+namespace {
+
+using cusim::KernelTask;
+using cusim::ThreadCtx;
+
+// Compute-heavy block: a shared-memory tile, two barrier episodes and a
+// register-resident arithmetic loop per thread — enough work per block that
+// the engine (not the launch bookkeeping) dominates.
+KernelTask crunch_kernel(ThreadCtx& ctx, cusim::DevicePtr<float> out, std::uint32_t n) {
+    auto tile = ctx.shared_array<float>(ctx.block_dim().x);
+    const std::uint32_t tid = ctx.thread_idx().x;
+    tile.write(ctx, tid, static_cast<float>(ctx.global_id()));
+    co_await ctx.syncthreads();
+    float acc = tile.read(ctx, (tid + 1) % ctx.block_dim().x);
+    for (int i = 0; i < 64; ++i) {
+        ctx.charge(cusim::Op::FMad);
+        acc = acc * 1.000001f + 0.5f;
+    }
+    co_await ctx.syncthreads();
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < n) out.write(ctx, gid, acc);
+    co_return;
+}
+
+struct Sample {
+    unsigned threads = 0;
+    double steps_per_s = 0.0;
+    double speedup = 0.0;
+    bool stats_identical = false;
+};
+
+bool same_stats(const cusim::LaunchStats& a, const cusim::LaunchStats& b) {
+    return a.blocks == b.blocks && a.threads == b.threads && a.warps == b.warps &&
+           a.compute_cycles == b.compute_cycles && a.stall_cycles == b.stall_cycles &&
+           a.bytes_read == b.bytes_read && a.bytes_written == b.bytes_written &&
+           a.divergent_events == b.divergent_events &&
+           a.branch_evaluations == b.branch_evaluations &&
+           a.syncthreads_count == b.syncthreads_count &&
+           a.device_seconds == b.device_seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* out_path = argc > 1 ? argv[1] : "BENCH_parallel_engine.json";
+
+    constexpr unsigned kGridX = 64;
+    constexpr unsigned kBlockX = 128;
+    constexpr std::uint32_t kN = kGridX * kBlockX;
+    const cusim::LaunchConfig cfg{cusim::dim3{kGridX}, cusim::dim3{kBlockX},
+                                  kBlockX * sizeof(float)};
+
+    cusim::Device dev(cusim::g80_properties());
+    const cusim::DevicePtr<float> out = dev.malloc_n<float>(kN);
+
+    const auto entry = [&](ThreadCtx& ctx) { return crunch_kernel(ctx, out, kN); };
+
+    auto run_steps = [&](int steps) {
+        cusim::LaunchStats last{};
+        for (int i = 0; i < steps; ++i) last = dev.launch(cfg, entry, "crunch");
+        return last;
+    };
+
+    // Serial reference: both the baseline rate and the stats every other
+    // thread count must reproduce bit-for-bit.
+    cusim::BlockPool::set_threads(1);
+    (void)run_steps(2);  // warmup (frame caches, shadow maps)
+    const cusim::LaunchStats serial_stats = run_steps(1);
+
+    // Enough steps that the per-step time is well above timer noise.
+    constexpr int kSteps = 20;
+    const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+    std::vector<Sample> samples;
+    double serial_rate = 0.0;
+
+    for (const unsigned t : thread_counts) {
+        cusim::BlockPool::set_threads(t);
+        (void)run_steps(2);  // warm the pool + per-worker scratch
+        const auto t0 = std::chrono::steady_clock::now();
+        const cusim::LaunchStats stats = run_steps(kSteps);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+        Sample s;
+        s.threads = t;
+        s.steps_per_s = kSteps / secs;
+        s.stats_identical = same_stats(stats, serial_stats);
+        if (t == 1) serial_rate = s.steps_per_s;
+        s.speedup = s.steps_per_s / serial_rate;
+        samples.push_back(s);
+        std::printf("threads=%u  %8.1f steps/s  speedup %.2fx  stats %s\n", t,
+                    s.steps_per_s, s.speedup,
+                    s.stats_identical ? "bit-identical" : "MISMATCH");
+    }
+    cusim::BlockPool::set_threads(0);
+
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"parallel_engine\",\n");
+    std::fprintf(f, "  \"kernel\": \"crunch (shared tile, 2 barriers, 64 FMADs/thread)\",\n");
+    std::fprintf(f, "  \"grid\": [%u, 1, 1],\n", kGridX);
+    std::fprintf(f, "  \"block\": [%u, 1, 1],\n", kBlockX);
+    std::fprintf(f, "  \"steps_per_measurement\": %d,\n", kSteps);
+    std::fprintf(f, "  \"host_hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample& s = samples[i];
+        std::fprintf(f,
+                     "    {\"sim_threads\": %u, \"steps_per_s\": %.1f, "
+                     "\"speedup_vs_serial\": %.2f, \"stats_bit_identical\": %s}%s\n",
+                     s.threads, s.steps_per_s, s.speedup,
+                     s.stats_identical ? "true" : "false",
+                     i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+
+    for (const Sample& s : samples) {
+        if (!s.stats_identical) {
+            std::fprintf(stderr, "FAIL: stats diverged at %u threads\n", s.threads);
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Runs the wall-clock engine benches serial vs. threaded and writes the
+# perf trajectory artifact BENCH_parallel_engine.json.
+#
+# Usage: bench/run_benches.sh [build-dir] [output.json]
+#
+# The figure/table harnesses (bench_fig*, bench_table*, bench_ablation*)
+# report *simulated* time and are unaffected by CUPP_SIM_THREADS; this
+# script covers the two binaries that measure the host-side engine itself.
+set -eu
+
+BUILD=${1:-build}
+OUT=${2:-BENCH_parallel_engine.json}
+
+if [ ! -x "$BUILD/bench/bench_parallel_engine" ]; then
+    echo "error: $BUILD/bench/bench_parallel_engine not built" >&2
+    echo "       (cmake -B $BUILD -S . && cmake --build $BUILD -j)" >&2
+    exit 1
+fi
+
+echo "== bench_simulator_throughput, CUPP_SIM_THREADS=1 (serial engine) =="
+CUPP_SIM_THREADS=1 "$BUILD/bench/bench_simulator_throughput" \
+    --benchmark_filter='BM_(BoidsStep|SaxpyThroughput|LaunchOverhead)' \
+    --benchmark_min_time=0.2 || exit 1
+
+echo ""
+echo "== bench_simulator_throughput, CUPP_SIM_THREADS=4 (parallel engine) =="
+CUPP_SIM_THREADS=4 "$BUILD/bench/bench_simulator_throughput" \
+    --benchmark_filter='BM_(BoidsStep|SaxpyThroughput|LaunchOverhead)' \
+    --benchmark_min_time=0.2 || exit 1
+
+echo ""
+echo "== bench_parallel_engine (thread sweep + determinism check) =="
+"$BUILD/bench/bench_parallel_engine" "$OUT"

@@ -104,7 +104,16 @@ void flush_at_exit() {
     }
 }
 
+/// Per-thread capture sink (begin_thread_capture). When set, events from
+/// this thread bypass the session and land in the sink; the owner replays
+/// them later in a deterministic order.
+thread_local std::vector<Event>* t_capture = nullptr;
+
 void push(Event&& e) {
+    if (t_capture != nullptr) {
+        t_capture->push_back(std::move(e));
+        return;
+    }
     Session& s = session();
     std::lock_guard<std::mutex> lock(s.mu);
     if (s.events.size() >= kMaxEvents) {
@@ -195,6 +204,33 @@ std::vector<Event> events() {
     Session& s = session();
     std::lock_guard<std::mutex> lock(s.mu);
     return s.events;
+}
+
+std::vector<Event>* begin_thread_capture(std::vector<Event>* sink) {
+    std::vector<Event>* previous = t_capture;
+    t_capture = sink;
+    return previous;
+}
+
+void end_thread_capture(std::vector<Event>* previous) { t_capture = previous; }
+
+void replay(std::vector<Event> events) {
+    if (!enabled() || events.empty()) return;
+    // A replaying thread may itself be captured (nested launches); honour
+    // the redirect so the events keep flowing toward the outer reducer.
+    if (t_capture != nullptr) {
+        for (Event& e : events) t_capture->push_back(std::move(e));
+        return;
+    }
+    Session& s = session();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (Event& e : events) {
+        if (s.events.size() >= kMaxEvents) {
+            ++s.dropped;
+            continue;
+        }
+        s.events.push_back(std::move(e));
+    }
 }
 
 std::string output_path() {

@@ -125,6 +125,38 @@ void emit_counter(std::string_view track, std::string_view name, double ts_us,
 /// Snapshot of everything recorded so far (tests and exporters).
 [[nodiscard]] std::vector<Event> events();
 
+// --- per-thread capture ----------------------------------------------------
+//
+// The cusim block engine runs independent thread blocks on a worker pool,
+// but the exported trace must not depend on which worker finished first.
+// A worker redirects its emit_* calls into a private buffer for the
+// duration of one block, and the launch reducer replays the buffers in
+// launch order — so the event stream is bit-identical to a serial run.
+
+/// Redirects emit_complete/emit_instant/emit_counter on the *calling
+/// thread* into `sink` instead of the global session. Nestable: returns
+/// the previous sink (restore it via the same call).
+std::vector<Event>* begin_thread_capture(std::vector<Event>* sink);
+/// Stops capturing on the calling thread, restoring `previous` (from
+/// begin_thread_capture). Pass nullptr to emit globally again.
+void end_thread_capture(std::vector<Event>* previous);
+/// Appends captured events to the global session in one locked batch,
+/// preserving their order. No-op when recording is disabled.
+void replay(std::vector<Event> events);
+
+/// RAII wrapper for begin/end_thread_capture.
+class ScopedCapture {
+public:
+    explicit ScopedCapture(std::vector<Event>* sink)
+        : previous_(begin_thread_capture(sink)) {}
+    ~ScopedCapture() { end_thread_capture(previous_); }
+    ScopedCapture(const ScopedCapture&) = delete;
+    ScopedCapture& operator=(const ScopedCapture&) = delete;
+
+private:
+    std::vector<Event>* previous_;
+};
+
 /// The configured output file ("" when recording in memory only).
 [[nodiscard]] std::string output_path();
 

@@ -1,0 +1,174 @@
+#include "cusim/block_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace cusim {
+
+namespace {
+
+/// Programmatic override of the thread count (0 = use env/default).
+std::atomic<unsigned> g_thread_override{0};
+
+unsigned env_threads() {
+    static const unsigned cached = [] {
+        if (const char* env = std::getenv("CUPP_SIM_THREADS");
+            env != nullptr && *env != '\0') {
+            const long n = std::strtol(env, nullptr, 10);
+            if (n >= 1) return static_cast<unsigned>(n);
+        }
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw != 0 ? hw : 1u;
+    }();
+    return cached;
+}
+
+}  // namespace
+
+/// One grid's worth of work. Shared between run() and the workers so a
+/// worker that drains its last index after run() has already returned
+/// never touches freed state.
+struct Job {
+    const std::function<void(std::uint64_t)>* fn = nullptr;
+    std::uint64_t count = 0;
+    std::atomic<std::uint64_t> next{0};  ///< next unclaimed index
+    std::atomic<std::uint64_t> done{0};  ///< finished indices
+};
+
+struct BlockPool::Impl {
+    std::mutex mu;                 ///< guards job/generation/workers
+    std::condition_variable wake;  ///< workers park here between grids
+    std::condition_variable idle;  ///< run() waits here for completion
+    std::shared_ptr<Job> job;      ///< the active grid (nullptr when idle)
+    std::uint64_t generation = 0;  ///< bumped per grid; wakes the workers
+    std::vector<std::thread> workers;
+    bool stopping = false;
+
+    std::mutex run_mu;  ///< serialises concurrent run() callers
+
+    void worker_loop() {
+        std::uint64_t seen_generation = 0;
+        for (;;) {
+            std::shared_ptr<Job> j;
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                wake.wait(lock, [&] {
+                    return stopping || (job != nullptr && generation != seen_generation);
+                });
+                if (stopping) return;
+                seen_generation = generation;
+                j = job;
+            }
+            drain(*j);
+        }
+    }
+
+    /// Claims and runs indices until the job is exhausted; signals idle
+    /// when the last index *finishes* (not merely gets claimed).
+    void drain(Job& j) {
+        for (;;) {
+            const std::uint64_t i = j.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= j.count) return;
+            (*j.fn)(i);
+            if (j.done.fetch_add(1, std::memory_order_acq_rel) + 1 == j.count) {
+                std::lock_guard<std::mutex> lock(mu);
+                idle.notify_all();
+            }
+        }
+    }
+
+    void ensure_workers(unsigned n) {
+        while (workers.size() < n) {
+            workers.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    void shutdown() {
+        std::vector<std::thread> joinable;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            stopping = true;
+            joinable.swap(workers);
+        }
+        wake.notify_all();
+        for (std::thread& t : joinable) t.join();
+    }
+};
+
+BlockPool::BlockPool() : impl_(new Impl) {}
+
+BlockPool::~BlockPool() {
+    impl_->shutdown();
+    delete impl_;
+}
+
+BlockPool& BlockPool::instance() {
+    // Leaked like the trace session so launches from late static
+    // destructors still work; the atexit hook joins the workers so
+    // ThreadSanitizer sees no leaked threads.
+    static BlockPool* pool = [] {
+        auto* p = new BlockPool();
+        std::atexit([] { instance().impl_->shutdown(); });
+        return p;
+    }();
+    return *pool;
+}
+
+unsigned BlockPool::configured_threads() {
+    const unsigned n = g_thread_override.load(std::memory_order_relaxed);
+    return n != 0 ? n : env_threads();
+}
+
+void BlockPool::set_threads(unsigned n) {
+    g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+unsigned BlockPool::pool_size() const {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return static_cast<unsigned>(impl_->workers.size());
+}
+
+void BlockPool::run(std::uint64_t count, unsigned threads,
+                    const std::function<void(std::uint64_t)>& fn) {
+    if (count == 0) return;
+    if (threads < 2 || count == 1) {
+        for (std::uint64_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+    // One grid at a time; a second launching host thread queues here.
+    std::lock_guard<std::mutex> run_lock(impl_->run_mu);
+
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->count = count;
+
+    const unsigned helpers =
+        static_cast<unsigned>(std::min<std::uint64_t>(threads - 1, count - 1));
+    {
+        std::lock_guard<std::mutex> lock(impl_->mu);
+        if (impl_->stopping) {
+            // Post-shutdown (atexit ran): degrade to inline execution.
+            for (std::uint64_t i = 0; i < count; ++i) fn(i);
+            return;
+        }
+        impl_->ensure_workers(helpers);
+        impl_->job = job;
+        ++impl_->generation;
+    }
+    impl_->wake.notify_all();
+
+    // The caller is participant #0.
+    impl_->drain(*job);
+
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->idle.wait(lock, [&] {
+        return job->done.load(std::memory_order_acquire) == job->count;
+    });
+    impl_->job.reset();
+}
+
+}  // namespace cusim

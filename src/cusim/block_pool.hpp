@@ -1,0 +1,74 @@
+// BlockPool — the persistent host-side worker pool behind parallel block
+// execution.
+//
+// CUDA's core contract (§2.2) is that thread blocks are independent and may
+// execute in any order; the simulator exploits exactly that independence by
+// dealing the blocks of a grid to host worker threads. The pool is
+// process-wide and persistent: workers are spawned once (lazily, on the
+// first parallel launch) and then parked on a condition variable between
+// grids, so a launch pays no thread-creation cost.
+//
+// Sizing follows the CUPP_TRACE / CUPP_MEMCHECK env convention:
+//
+//   CUPP_SIM_THREADS=<n>   number of host threads per grid
+//                          (default: hardware_concurrency(); 1 = the
+//                          serial engine path, bit-for-bit the pre-pool
+//                          behaviour)
+//
+// set_threads() overrides the env programmatically (tests, benches).
+// Device::launch consults DeviceProperties::sim_threads first, then this.
+//
+// Determinism contract: the pool only decides *where* a block runs, never
+// what it computes or how its results are reduced. Device::launch indexes
+// all per-block outputs by linear block id and reduces them in launch
+// order, so every observable — LaunchStats, BlockCost waves, memcheck and
+// faults reports, trace event order — is bit-identical for any thread
+// count (see DESIGN.md "Parallel block execution").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cusim {
+
+class BlockPool {
+public:
+    /// The process-wide pool. Created on first use; worker threads are
+    /// joined by an atexit hook so sanitizers see a clean shutdown.
+    static BlockPool& instance();
+
+    /// Threads per grid: the programmatic override if set, else
+    /// CUPP_SIM_THREADS, else hardware_concurrency() (at least 1).
+    [[nodiscard]] static unsigned configured_threads();
+
+    /// Overrides the thread count (0 = back to env/default). Takes effect
+    /// on the next launch; tests use this to sweep 1/2/8 deterministically.
+    static void set_threads(unsigned n);
+
+    /// Runs fn(i) for every i in [0, count), distributing indices across
+    /// `threads` participants (the calling thread is one of them; at most
+    /// threads-1 pool workers join in). Indices are claimed dynamically,
+    /// so completion order is arbitrary — fn must write only to
+    /// index-addressed slots and must not throw (catch into the slot).
+    /// Returns when every index has finished. Serialises concurrent
+    /// callers: one grid runs at a time.
+    void run(std::uint64_t count, unsigned threads,
+             const std::function<void(std::uint64_t)>& fn);
+
+    /// Workers currently spawned (grows on demand, capped by the largest
+    /// `threads` ever requested; introspection for tests).
+    [[nodiscard]] unsigned pool_size() const;
+
+    BlockPool(const BlockPool&) = delete;
+    BlockPool& operator=(const BlockPool&) = delete;
+
+private:
+    BlockPool();
+    ~BlockPool();
+
+    struct Impl;
+    Impl* impl_;  ///< pimpl keeps <thread>/<condition_variable> out of the header
+};
+
+}  // namespace cusim

@@ -1,12 +1,29 @@
 #include "cusim/device.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
+#include <utility>
 
+#include "cusim/block_pool.hpp"
 #include "cusim/engine.hpp"
 #include "cusim/multiprocessor.hpp"
 #include "cusim/report.hpp"
 
 namespace cusim {
+
+namespace {
+
+/// Inverse of ThreadCtx::linear_bid() (x fastest, then y, then z).
+uint3 unlinearize_block(std::uint64_t i, const dim3& g) {
+    uint3 b;
+    b.x = static_cast<unsigned>(i % g.x);
+    b.y = static_cast<unsigned>((i / g.x) % g.y);
+    b.z = static_cast<unsigned>(i / (std::uint64_t{g.x} * g.y));
+    return b;
+}
+
+}  // namespace
 
 LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
                            std::string_view name) {
@@ -23,8 +40,9 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
     stats.threads_per_block = cfg.block.count();
     stats.warps = std::uint64_t{cfg.warps_per_block()} * cfg.grid.count();
 
+    const std::uint64_t nblocks = cfg.grid.count();
     std::vector<BlockCost> costs;
-    costs.reserve(static_cast<std::size_t>(cfg.grid.count()));
+    costs.reserve(static_cast<std::size_t>(nblocks));
 
     // Threaded into every ThreadCtx so device-side diagnostics (memcheck
     // violations, out-of-range accesses) can name the kernel and check
@@ -33,19 +51,107 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
         name.empty() ? std::string("kernel") : std::string(name),
         &memory_.shadow(), trace_ordinal_};
 
-    for (unsigned by = 0; by < cfg.grid.y; ++by) {
-        for (unsigned bx = 0; bx < cfg.grid.x; ++bx) {
-            BlockResult br = run_block(props_.cost, cfg, entry, uint3{bx, by, 0}, &exec);
-            stats.syncthreads_count += br.sync_episodes;
-            for (const WarpAcct& w : br.warps) {
-                stats.divergent_events += w.divergent_events();
-                stats.branch_evaluations += w.total_branch_evaluations();
-                stats.bytes_read += w.bytes_read;
-                stats.bytes_written += w.bytes_written;
+    // Blocks are independent (§2.2), so the grid is dealt to host workers —
+    // DeviceProperties::sim_threads if set, else CUPP_SIM_THREADS /
+    // hardware_concurrency. Everything observable is reduced in launch
+    // order below, so the thread count never changes a result bit.
+    const unsigned want =
+        props_.sim_threads != 0 ? props_.sim_threads : BlockPool::configured_threads();
+    const unsigned threads =
+        static_cast<unsigned>(std::min<std::uint64_t>(want, nblocks));
+
+    auto accumulate = [&](const BlockResult& br) {
+        stats.syncthreads_count += br.sync_episodes;
+        for (const WarpAcct& w : br.warps) {
+            stats.divergent_events += w.divergent_events();
+            stats.branch_evaluations += w.total_branch_evaluations();
+            stats.bytes_read += w.bytes_read;
+            stats.bytes_written += w.bytes_written;
+        }
+        costs.push_back(BlockCost::from(br, props_.cost));
+        stats.compute_cycles += costs.back().compute_cycles;
+        stats.stall_cycles += costs.back().stall_cycles;
+    };
+
+    if (threads <= 1) {
+        // The classic serial engine: blocks run in launch order on this
+        // thread, reporting memcheck violations and trace events inline, and
+        // the first failure propagates before any later block runs. One
+        // scratch arena is reused across the whole grid.
+        BlockScratch scratch;
+        RunBlockOpts opts;
+        opts.scratch = &scratch;
+        for (std::uint64_t i = 0; i < nblocks; ++i) {
+            accumulate(
+                run_block(props_.cost, cfg, entry, unlinearize_block(i, cfg.grid),
+                          &exec, opts));
+        }
+    } else {
+        // Parallel path. Each worker runs whole blocks, writing only to its
+        // block's index-addressed slot: results, deferred memcheck
+        // violations and captured trace events all flush in launch order
+        // afterwards, so stats, reports and the trace are bit-identical to
+        // the serial path for any thread count.
+        struct BlockRun {
+            BlockResult result;
+            std::vector<memcheck::Violation> violations;
+            std::vector<cupp::trace::Event> trace_events;
+            std::exception_ptr error;
+        };
+        std::vector<BlockRun> runs(static_cast<std::size_t>(nblocks));
+        // Lowest faulting linear block index — the same block whose failure
+        // a serial run would report. Also lets workers skip blocks a serial
+        // run would never have started (their outputs are discarded; device
+        // memory contents after a failed launch are undefined, as on real
+        // hardware).
+        std::atomic<std::uint64_t> first_error{nblocks};
+        const bool tracing = cupp::trace::enabled();
+
+        BlockPool::instance().run(nblocks, threads, [&](std::uint64_t i) {
+            if (first_error.load(std::memory_order_acquire) < i) return;
+            try {
+                // Touch the frame cache before constructing the scratch:
+                // thread_locals die in reverse construction order, and the
+                // scratch's teardown recycles coroutine frames through the
+                // cache, so the cache must be constructed first.
+                detail::FrameCache::local();
+                thread_local BlockScratch scratch;
+                RunBlockOpts opts;
+                opts.scratch = &scratch;
+                opts.violation_sink = &runs[i].violations;
+                std::optional<cupp::trace::ScopedCapture> capture;
+                if (tracing) capture.emplace(&runs[i].trace_events);
+                runs[i].result = run_block(props_.cost, cfg, entry,
+                                           unlinearize_block(i, cfg.grid), &exec, opts);
+            } catch (...) {
+                runs[i].error = std::current_exception();
+                std::uint64_t expected = first_error.load(std::memory_order_relaxed);
+                while (i < expected &&
+                       !first_error.compare_exchange_weak(expected, i,
+                                                          std::memory_order_acq_rel)) {
+                }
             }
-            costs.push_back(BlockCost::from(br, props_.cost));
-            stats.compute_cycles += costs.back().compute_cycles;
-            stats.stall_cycles += costs.back().stall_cycles;
+        });
+
+        const std::uint64_t err = first_error.load(std::memory_order_acquire);
+        if (err < nblocks) {
+            // Serial semantics: everything blocks 0..err reported before the
+            // fault is flushed in order; later blocks' exceptions,
+            // violations and trace are drained unreported.
+            for (std::uint64_t i = 0; i <= err; ++i) {
+                for (memcheck::Violation& v : runs[i].violations) {
+                    memcheck::record(std::move(v));
+                }
+                if (tracing) cupp::trace::replay(std::move(runs[i].trace_events));
+            }
+            std::rethrow_exception(runs[err].error);
+        }
+        for (std::uint64_t i = 0; i < nblocks; ++i) {
+            accumulate(runs[i].result);
+            for (memcheck::Violation& v : runs[i].violations) {
+                memcheck::record(std::move(v));
+            }
+            if (tracing) cupp::trace::replay(std::move(runs[i].trace_events));
         }
     }
 

@@ -21,6 +21,12 @@ struct DeviceProperties {
     std::uint32_t shared_mem_per_block = 16 * 1024;
     std::uint32_t registers_per_block = 8192;
     bool supports_atomics = false;  ///< compute capability 1.0 has none.
+    /// Host worker threads used to execute a grid's blocks (a simulator
+    /// knob, not a property of the modelled part). 0 = resolve from the
+    /// environment: CUPP_SIM_THREADS, else hardware_concurrency(). 1 runs
+    /// the classic serial engine path. Any value produces bit-identical
+    /// observables — see BlockPool (block_pool.hpp) for the contract.
+    unsigned sim_threads = 0;
     CostModel cost;
 
     /// Number of scalar processors (12 MPs x 8 = 96 on the thesis hardware).

@@ -1,12 +1,26 @@
 #include "cusim/engine.hpp"
 
 #include <memory>
+#include <new>
 #include <string>
 
 #include "cusim/error.hpp"
 #include "cusim/thread_ctx.hpp"
 
 namespace cusim {
+
+// Declaration order matters for teardown: tasks are destroyed before ctxs
+// (members die in reverse order), so a suspended coroutine frame never
+// outlives the ThreadCtx it references.
+struct BlockScratch::State {
+    std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+    std::vector<KernelTask> tasks;
+    std::vector<bool> finished;
+    BlockState block;
+};
+
+BlockScratch::BlockScratch() : state(std::make_unique<State>()) {}
+BlockScratch::~BlockScratch() = default;
 
 namespace {
 
@@ -34,29 +48,56 @@ uint3 unlinearize_thread(unsigned tid, const dim3& bd) {
 
 BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
                       const KernelEntry& entry, uint3 block_idx,
-                      const memcheck::ExecContext* exec) {
+                      const memcheck::ExecContext* exec, const RunBlockOpts& opts) {
     const unsigned nthreads = static_cast<unsigned>(cfg.block.count());
     const unsigned nwarps = cfg.warps_per_block();
 
     BlockResult result;
     result.warps.resize(nwarps);
 
-    BlockState block_state;
+    // Per-call storage comes from the caller's scratch when provided, so a
+    // worker re-running blocks reconstructs contexts in place and keeps the
+    // shared arena's capacity instead of reallocating everything per block.
+    std::unique_ptr<BlockScratch> local;
+    if (opts.scratch == nullptr) local = std::make_unique<BlockScratch>();
+    BlockScratch::State& s =
+        *(opts.scratch != nullptr ? opts.scratch : local.get())->state;
+
+    BlockState& block_state = s.block;
     block_state.shared_arena.assign(cfg.shared_bytes, std::byte{0});
+    block_state.sync_episodes = 0;
+    block_state.shared_shadow.reset();
+    block_state.violation_sink = opts.violation_sink;
+
+    // Tear down the previous block's coroutines before their contexts are
+    // reconstructed underneath them (frames recycle through the
+    // thread-local cache in kernel_task.hpp, so this is cheap).
+    s.tasks.clear();
+    s.tasks.reserve(nthreads);
+    if (s.ctxs.size() > nthreads) s.ctxs.resize(nthreads);
 
     // Build contexts and coroutines (created suspended).
-    std::vector<std::unique_ptr<ThreadCtx>> ctxs;
-    std::vector<KernelTask> tasks;
-    ctxs.reserve(nthreads);
-    tasks.reserve(nthreads);
     for (unsigned tid = 0; tid < nthreads; ++tid) {
-        ctxs.push_back(std::make_unique<ThreadCtx>(
-            unlinearize_thread(tid, cfg.block), block_idx, cfg.block, cfg.grid, &cm,
-            &block_state, &result.warps[tid / kWarpSize], exec));
-        tasks.push_back(entry(*ctxs.back()));
+        if (tid < s.ctxs.size()) {
+            // Reuse the existing allocation: ThreadCtx is not assignable
+            // (const-ish identity members), so destroy + construct in place.
+            ThreadCtx* p = s.ctxs[tid].get();
+            p->~ThreadCtx();
+            new (p) ThreadCtx(unlinearize_thread(tid, cfg.block), block_idx, cfg.block,
+                              cfg.grid, &cm, &block_state,
+                              &result.warps[tid / kWarpSize], exec);
+        } else {
+            s.ctxs.push_back(std::make_unique<ThreadCtx>(
+                unlinearize_thread(tid, cfg.block), block_idx, cfg.block, cfg.grid, &cm,
+                &block_state, &result.warps[tid / kWarpSize], exec));
+        }
+        s.tasks.push_back(entry(*s.ctxs[tid]));
     }
 
-    std::vector<bool> finished(nthreads, false);
+    s.finished.assign(nthreads, false);
+    std::vector<std::unique_ptr<ThreadCtx>>& ctxs = s.ctxs;
+    std::vector<KernelTask>& tasks = s.tasks;
+    std::vector<bool>& finished = s.finished;
     unsigned live = nthreads;
 
     while (live > 0) {
@@ -100,6 +141,9 @@ BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
     }
 
     result.sync_episodes = block_state.sync_episodes;
+    // The sink points into the caller's frame; don't leave it dangling in
+    // reusable scratch.
+    block_state.violation_sink = nullptr;
     return result;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cusim/accounting.hpp"
@@ -25,6 +26,34 @@ struct BlockResult {
     std::uint64_t sync_episodes = 0;
 };
 
+/// Reusable per-worker storage for run_block: the thread contexts, the
+/// coroutine handles, the finished bitmap and the block's shared-memory
+/// arena. A worker keeps one of these (thread_local in Device::launch) and
+/// passes it to every block it runs, so steady-state execution allocates
+/// nothing per block — contexts are re-constructed in place and the arena
+/// keeps its capacity. Opaque; run_block owns the layout.
+struct BlockScratch {
+    BlockScratch();
+    ~BlockScratch();
+    BlockScratch(const BlockScratch&) = delete;
+    BlockScratch& operator=(const BlockScratch&) = delete;
+
+    struct State;
+    std::unique_ptr<State> state;
+};
+
+/// Optional knobs for run_block (all default to the classic behaviour).
+struct RunBlockOpts {
+    /// Reuse this worker-owned storage instead of allocating per block.
+    BlockScratch* scratch = nullptr;
+    /// When non-null, memcheck violations are buffered here in program
+    /// order instead of being reported through memcheck::record()
+    /// immediately (strict mode still throws at the faulting access). The
+    /// sink is caller-owned so buffered violations survive a mid-block
+    /// exception — the parallel launch path flushes them in launch order.
+    std::vector<memcheck::Violation>* violation_sink = nullptr;
+};
+
 /// Runs all threads of block `block_idx` to completion. Throws
 /// Error(LaunchFailure) wrapping any exception escaping a kernel body and on
 /// divergent barrier use. `exec` (optional) gives the threads their
@@ -32,6 +61,7 @@ struct BlockResult {
 /// ordinal — for attributed diagnostics.
 BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
                       const KernelEntry& entry, uint3 block_idx,
-                      const memcheck::ExecContext* exec = nullptr);
+                      const memcheck::ExecContext* exec = nullptr,
+                      const RunBlockOpts& opts = {});
 
 }  // namespace cusim

@@ -8,10 +8,71 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
+#include <vector>
 
 namespace cusim {
+
+namespace detail {
+
+/// Thread-local recycler for coroutine frames. The block engine creates and
+/// destroys one frame per device thread per block — up to 512 per block —
+/// and a worker allocates and frees its own blocks' frames, so a lock-free
+/// thread_local cache removes that churn entirely. Frames are bucketed by
+/// exact size (a program typically has a handful of distinct kernel frame
+/// sizes); anything past the bucket capacity falls through to the global
+/// allocator.
+struct FrameCache {
+    struct Bucket {
+        std::size_t size = 0;
+        std::vector<void*> frames;
+    };
+    static constexpr std::size_t kBuckets = 4;
+    /// One full block's worth (kMaxThreadsPerBlock) per size.
+    static constexpr std::size_t kMaxCachedFrames = 512;
+
+    Bucket buckets[kBuckets];
+
+    ~FrameCache() {
+        for (Bucket& b : buckets) {
+            for (void* p : b.frames) ::operator delete(p);
+        }
+    }
+
+    void* take(std::size_t size) {
+        for (Bucket& b : buckets) {
+            if (b.size == size && !b.frames.empty()) {
+                void* p = b.frames.back();
+                b.frames.pop_back();
+                return p;
+            }
+        }
+        return ::operator new(size);
+    }
+
+    void give(void* p, std::size_t size) noexcept {
+        for (Bucket& b : buckets) {
+            if (b.size == 0) b.size = size;
+            if (b.size == size) {
+                if (b.frames.size() < kMaxCachedFrames) {
+                    b.frames.push_back(p);
+                    return;
+                }
+                break;
+            }
+        }
+        ::operator delete(p);
+    }
+
+    static FrameCache& local() {
+        thread_local FrameCache cache;
+        return cache;
+    }
+};
+
+}  // namespace detail
 
 /// Move-only handle to one device thread's coroutine frame. Created
 /// suspended; the engine drives it with resume().
@@ -27,6 +88,14 @@ public:
         std::suspend_always final_suspend() noexcept { return {}; }
         void return_void() noexcept {}
         void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+        // Frame allocation goes through the thread-local recycler above.
+        static void* operator new(std::size_t size) {
+            return detail::FrameCache::local().take(size);
+        }
+        static void operator delete(void* p, std::size_t size) noexcept {
+            detail::FrameCache::local().give(p, size);
+        }
     };
 
     KernelTask() = default;

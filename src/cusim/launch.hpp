@@ -23,8 +23,10 @@ struct LaunchConfig {
     std::uint32_t regs_per_thread = 16;   ///< occupancy input (G80 default-ish)
 
     /// Validates the geometry against the software model (§2.2): <= 512
-    /// threads per block, 1-/2-dim grids of <= 2^16 blocks per dimension,
-    /// 3-dim blocks.
+    /// threads per block, grids of <= 2^16 blocks per dimension, 3-dim
+    /// blocks. Grids may use all three dimensions; the engine linearises
+    /// blocks x-fastest (then y, then z), so a 3-D grid runs every
+    /// grid.count() block — it is never silently truncated to one z-slice.
     void validate() const {
         if (block.count() == 0 || block.count() > kMaxThreadsPerBlock) {
             throw Error(ErrorCode::InvalidConfiguration,
@@ -34,11 +36,7 @@ struct LaunchConfig {
         if (grid.count() == 0) {
             throw Error(ErrorCode::InvalidConfiguration, "empty grid");
         }
-        if (grid.z != 1) {
-            throw Error(ErrorCode::InvalidConfiguration,
-                        "grids are 1- or 2-dimensional on this architecture");
-        }
-        if (grid.x > kMaxGridDim || grid.y > kMaxGridDim) {
+        if (grid.x > kMaxGridDim || grid.y > kMaxGridDim || grid.z > kMaxGridDim) {
             throw Error(ErrorCode::InvalidConfiguration,
                         "grid dimension exceeds 2^16 blocks");
         }

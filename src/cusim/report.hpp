@@ -6,7 +6,9 @@
 
 #include "cupp/trace.hpp"
 #include "cusim/accounting.hpp"
+#include "cusim/block_pool.hpp"
 #include "cusim/cost_model.hpp"
+#include "cusim/device_properties.hpp"
 
 namespace cusim {
 
@@ -83,6 +85,27 @@ enum class BoundBy { Compute, LatencyChain, Bandwidth };
         static_cast<unsigned long long>(s.syncthreads_count),
         static_cast<unsigned long long>(s.compute_cycles),
         static_cast<unsigned long long>(s.stall_cycles));
+}
+
+/// Describes a simulated part as JSON, including the engine's execution
+/// knob: `sim_threads` is the raw DeviceProperties setting (0 = auto) and
+/// `sim_threads_resolved` the thread count a launch on this part would
+/// actually use (CUPP_SIM_THREADS / hardware_concurrency when auto). The
+/// knob lives here rather than in LaunchStats on purpose — stats stay
+/// bit-identical across thread counts.
+[[nodiscard]] inline std::string describe_json(const DeviceProperties& p) {
+    const unsigned resolved =
+        p.sim_threads != 0 ? p.sim_threads : BlockPool::configured_threads();
+    return cupp::trace::format(
+        "{\"name\":%s,\"total_global_mem\":%llu,\"multiprocessors\":%u,"
+        "\"processors\":%u,\"warp_size\":%u,\"max_threads_per_block\":%u,"
+        "\"shared_mem_per_block\":%u,\"registers_per_block\":%u,"
+        "\"supports_atomics\":%s,\"sim_threads\":%u,\"sim_threads_resolved\":%u}",
+        cupp::trace::json_quote(p.name).c_str(),
+        static_cast<unsigned long long>(p.total_global_mem), p.multiprocessors,
+        p.processor_count(), p.warp_size, p.max_threads_per_block,
+        p.shared_mem_per_block, p.registers_per_block,
+        p.supports_atomics ? "true" : "false", p.sim_threads, resolved);
 }
 
 }  // namespace cusim

@@ -31,6 +31,14 @@ struct BlockState {
     /// Per-byte race-detection shadow of the arena; created lazily on the
     /// first instrumented shared access while memcheck is enabled.
     std::unique_ptr<memcheck::SharedShadow> shared_shadow;
+    /// When non-null, memcheck violations are buffered here instead of being
+    /// reported through memcheck::record() immediately. The parallel launch
+    /// path sets this so each worker collects its block's violations locally
+    /// and Device::launch flushes them in launch order — keeping the
+    /// memcheck report (dedup insertion order, counters, trace mirror)
+    /// bit-identical to a serial run. Strict mode still throws at the
+    /// faulting access either way.
+    std::vector<memcheck::Violation>* violation_sink = nullptr;
 };
 
 class ThreadCtx {
@@ -60,9 +68,10 @@ public:
     [[nodiscard]] unsigned linear_tid() const {
         return thread_idx_.x + block_dim_.x * (thread_idx_.y + block_dim_.y * thread_idx_.z);
     }
-    /// Linearised block index within the grid.
+    /// Linearised block index within the grid (x fastest, then y, then z —
+    /// the same order Device::launch deals blocks in).
     [[nodiscard]] unsigned linear_bid() const {
-        return block_idx_.x + grid_dim_.x * block_idx_.y;
+        return block_idx_.x + grid_dim_.x * (block_idx_.y + grid_dim_.y * block_idx_.z);
     }
     /// Linearised grid-global thread id — the usual blockIdx*blockDim+threadIdx.
     [[nodiscard]] std::uint64_t global_id() const {
@@ -182,6 +191,16 @@ public:
     }
 
     // --- memcheck hooks (called behind memcheck::enabled()) ---
+    /// Routes a violation to the block's deferred sink when one is set (the
+    /// parallel launch path), else straight to the registry.
+    void report_violation(memcheck::Violation v) {
+        if (block_ != nullptr && block_->violation_sink != nullptr) {
+            block_->violation_sink->push_back(std::move(v));
+        } else {
+            memcheck::record(std::move(v));
+        }
+    }
+
     /// Checks one device-side global-memory access against the shadow map;
     /// records a violation (and throws in strict mode) on OOB,
     /// use-after-free or uninitialized read.
@@ -205,7 +224,7 @@ public:
                     std::to_string(bytes) + " byte(s) at device address " +
                     std::to_string(addr) + " by " + where() + ": " + issue->detail;
         const std::string msg = v.message;
-        memcheck::record(std::move(v));
+        report_violation(std::move(v));
         if (memcheck::strict()) {
             throw Error(ErrorCode::MemcheckViolation, msg);
         }
@@ -244,7 +263,7 @@ public:
                     std::to_string(other.y) + "," + std::to_string(other.z) +
                     ") in the same barrier interval (no __syncthreads() between them)";
         const std::string msg = v.message;
-        memcheck::record(std::move(v));
+        report_violation(std::move(v));
         if (memcheck::strict()) {
             throw Error(ErrorCode::MemcheckViolation, msg);
         }

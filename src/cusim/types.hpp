@@ -2,9 +2,9 @@
 //
 // Basic index and launch-geometry types mirroring the CUDA common runtime
 // library (uint3 / dim3, thesis §3.1.3) plus the launch limits of the
-// software model (§2.2): up to 512 threads per block, blocks addressed by
-// 1- or 2-dimensional indexes (<= 2^16 per dimension), threads by 1-, 2- or
-// 3-dimensional indexes.
+// software model (§2.2): up to 512 threads per block, blocks and threads
+// addressed by up to 3-dimensional indexes (<= 2^16 blocks per grid
+// dimension).
 #pragma once
 
 #include <cstddef>

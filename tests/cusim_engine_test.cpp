@@ -217,11 +217,36 @@ TEST(Engine, LaunchGeometryValidation) {
     Device dev(tiny_properties());
     auto noop = [](ThreadCtx&) -> KernelTask { co_return; };
     EXPECT_THROW(dev.launch(LaunchConfig{dim3{1}, dim3{513}}, noop), Error);
-    EXPECT_THROW(dev.launch(LaunchConfig{dim3{1, 1, 2}, dim3{1}}, noop), Error);
     EXPECT_THROW(dev.launch(LaunchConfig{dim3{1u << 17}, dim3{1}}, noop), Error);
+    EXPECT_THROW(dev.launch(LaunchConfig{dim3{1, 1, 1u << 17}, dim3{1}}, noop), Error);
     LaunchConfig too_much_shared{dim3{1}, dim3{32}};
     too_much_shared.shared_bytes = 17 * 1024;
     EXPECT_THROW(dev.launch(too_much_shared, noop), Error);
+}
+
+// 3-D grids run every block, not just one z-slice: each block increments its
+// own linear-bid slot exactly once, covering all of grid.count().
+KernelTask count_block_kernel(ThreadCtx& ctx, DevicePtr<int> slots) {
+    if (ctx.linear_tid() == 0) {
+        slots.write(ctx, ctx.linear_bid(), slots.read(ctx, ctx.linear_bid()) + 1);
+    }
+    co_return;
+}
+
+TEST(Engine, ThreeDimensionalGridRunsEveryBlock) {
+    Device dev(tiny_properties());
+    LaunchConfig cfg{dim3{3, 2, 4}, dim3{8}};
+    auto slots = dev.malloc_n<int>(cfg.grid.count());
+    const std::vector<int> zeros(cfg.grid.count(), 0);
+    dev.upload(slots, std::span<const int>(zeros));
+    auto stats =
+        dev.launch(cfg, [&](ThreadCtx& ctx) { return count_block_kernel(ctx, slots); });
+    EXPECT_EQ(stats.blocks, 24u);
+    std::vector<int> host(cfg.grid.count());
+    dev.copy_to_host(host.data(), slots.addr(), host.size() * sizeof(int));
+    for (std::size_t i = 0; i < host.size(); ++i) {
+        EXPECT_EQ(host[i], 1) << "block slot " << i;
+    }
 }
 
 }  // namespace

@@ -1,0 +1,321 @@
+// Parallel block-engine determinism tests: the same workload run under
+// CUPP_SIM_THREADS=1/2/8 (via BlockPool::set_threads) must produce
+// bit-identical LaunchStats, device memory, memcheck reports, trace event
+// sequences and fault-injection reports — the contract documented in
+// block_pool.hpp and DESIGN.md "Parallel block execution".
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cupp/trace.hpp"
+#include "cusim/block_pool.hpp"
+#include "cusim/cusim.hpp"
+#include "cusim/faults.hpp"
+
+namespace {
+
+using namespace cusim;
+
+/// Pins the engine thread count for one scope, restoring auto after.
+struct ThreadsGuard {
+    explicit ThreadsGuard(unsigned n) { BlockPool::set_threads(n); }
+    ~ThreadsGuard() { BlockPool::set_threads(0); }
+};
+
+// A kernel touching every stat the reducer folds: global traffic, shared
+// memory, two barrier rounds, and a per-warp divergent branch. Blocks write
+// disjoint slices of `data` (as real CUDA grids do), so running them on
+// different host workers is race-free by construction.
+KernelTask stress_kernel(ThreadCtx& ctx, DevicePtr<float> data) {
+    const unsigned n = static_cast<unsigned>(ctx.block_dim().count());
+    auto tile = ctx.shared_array<float>(n);
+    const std::uint64_t gid = ctx.global_id();
+    const float v = data.read(ctx, gid);
+    tile.write(ctx, ctx.linear_tid(), v);
+    co_await ctx.syncthreads();
+    float acc = tile.read(ctx, (ctx.linear_tid() + 1) % n);
+    if (ctx.branch(ctx.linear_tid() % 2 == 0)) {
+        acc += 1.5f;
+    }
+    co_await ctx.syncthreads();
+    data.write(ctx, gid, acc + v * 0.5f);
+    co_return;
+}
+
+struct StressRun {
+    LaunchStats stats{};
+    std::vector<float> out;
+    std::string stats_json;
+};
+
+StressRun run_stress(unsigned threads) {
+    ThreadsGuard guard(threads);
+    Device dev(tiny_properties());
+    LaunchConfig cfg{dim3{4, 2, 2}, dim3{16, 2}};  // 16 blocks, 3-D grid
+    cfg.shared_bytes = 32 * sizeof(float);
+    auto data = dev.malloc_n<float>(cfg.total_threads());
+    std::vector<float> init(cfg.total_threads());
+    for (std::size_t i = 0; i < init.size(); ++i) {
+        init[i] = static_cast<float>(i % 97) * 0.25f;
+    }
+    dev.upload(data, std::span<const float>(init));
+    StressRun r;
+    r.stats = dev.launch(
+        cfg, [&](ThreadCtx& ctx) { return stress_kernel(ctx, data); }, "stress");
+    r.stats_json = describe_json(r.stats, dev.properties().cost);
+    r.out.resize(init.size());
+    dev.download(std::span<float>(r.out), data);
+    return r;
+}
+
+TEST(ParallelEngine, LaunchStatsAndMemoryAreBitIdenticalAcrossThreadCounts) {
+    const StressRun serial = run_stress(1);
+    for (unsigned threads : {2u, 8u}) {
+        const StressRun par = run_stress(threads);
+        EXPECT_EQ(par.stats_json, serial.stats_json) << threads << " threads";
+        // describe_json rounds device_ms; check the raw double bit-for-bit
+        // (the reducer folds BlockCost waves in launch order).
+        EXPECT_EQ(par.stats.device_seconds, serial.stats.device_seconds);
+        EXPECT_EQ(par.stats.compute_cycles, serial.stats.compute_cycles);
+        EXPECT_EQ(par.stats.stall_cycles, serial.stats.stall_cycles);
+        EXPECT_EQ(par.stats.divergent_events, serial.stats.divergent_events);
+        EXPECT_EQ(par.stats.branch_evaluations, serial.stats.branch_evaluations);
+        EXPECT_EQ(par.stats.syncthreads_count, serial.stats.syncthreads_count);
+        EXPECT_EQ(par.stats.bytes_read, serial.stats.bytes_read);
+        EXPECT_EQ(par.stats.bytes_written, serial.stats.bytes_written);
+        EXPECT_EQ(par.out, serial.out) << threads << " threads";
+    }
+}
+
+// Every block past the first three throws; a serial run reports block 3 —
+// the lowest faulting linear index — and so must every parallel run, with
+// later blocks' exceptions drained silently.
+KernelTask faulty_kernel(ThreadCtx& ctx) {
+    if (ctx.linear_bid() >= 3 && ctx.linear_tid() == 0) {
+        throw std::runtime_error("boom in block " + std::to_string(ctx.linear_bid()));
+    }
+    co_return;
+}
+
+TEST(ParallelEngine, LowestFaultingBlockWinsDeterministically) {
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ThreadsGuard guard(threads);
+        Device dev(tiny_properties());
+        LaunchConfig cfg{dim3{8}, dim3{4}};
+        try {
+            dev.launch(cfg, [](ThreadCtx& ctx) { return faulty_kernel(ctx); });
+            FAIL() << "launch should have thrown (" << threads << " threads)";
+        } catch (const Error& e) {
+            EXPECT_EQ(e.code(), ErrorCode::LaunchFailure);
+            EXPECT_NE(std::string(e.what()).find("boom in block 3"), std::string::npos)
+                << e.what() << " (" << threads << " threads)";
+        }
+    }
+}
+
+// Even blocks read (uninitialized) allocation A, odd blocks allocation B.
+// Serial execution inserts A's dedup record first (block 0 runs first); the
+// parallel path must flush deferred violations in block order to match.
+KernelTask uninit_kernel(ThreadCtx& ctx, DevicePtr<float> a, DevicePtr<float> b) {
+    const float v = ctx.linear_bid() % 2 == 0 ? a.read(ctx, ctx.global_id())
+                                              : b.read(ctx, ctx.global_id());
+    if (ctx.branch(v > 1e30f)) {
+        ctx.charge(Op::FAdd);
+    }
+    co_return;
+}
+
+TEST(ParallelEngine, MemcheckReportsAreIdenticalAcrossThreadCounts) {
+    memcheck::enable();
+    Device dev(tiny_properties());
+    LaunchConfig cfg{dim3{6}, dim3{8}};
+    auto a = dev.malloc_n<float>(cfg.total_threads());
+    auto b = dev.malloc_n<float>(cfg.total_threads());
+
+    auto run_and_report = [&](unsigned threads) {
+        ThreadsGuard guard(threads);
+        memcheck::reset();
+        dev.launch(cfg, [&](ThreadCtx& ctx) { return uninit_kernel(ctx, a, b); },
+                   "uninit");
+        return memcheck::report_json();
+    };
+
+    const std::string serial = run_and_report(1);
+    EXPECT_NE(serial.find("uninitialized_read"), std::string::npos) << serial;
+    for (unsigned threads : {2u, 8u}) {
+        EXPECT_EQ(run_and_report(threads), serial) << threads << " threads";
+    }
+
+    dev.free(a);
+    dev.free(b);
+    memcheck::disable();
+    memcheck::reset();
+}
+
+/// (phase, track, name, args) signature of an event — everything except the
+/// wall-clock timestamps, with the per-process device ordinal normalised so
+/// two runs on different Device instances compare equal.
+std::vector<std::string> event_signatures(const std::vector<cupp::trace::Event>& events) {
+    std::vector<std::string> sig;
+    sig.reserve(events.size());
+    for (const auto& e : events) {
+        std::string track = e.track;
+        if (track.rfind("dev", 0) == 0) {
+            std::size_t i = 3;
+            while (i < track.size() && std::isdigit(static_cast<unsigned char>(track[i]))) {
+                track.erase(i, 1);
+            }
+            track.insert(3, "#");
+        }
+        std::string s;
+        s += static_cast<char>(e.phase);
+        s += '|';
+        s += track;
+        s += '|';
+        s += e.name;
+        for (const auto& a : e.args) {
+            s += '|';
+            s += a.key;
+            s += '=';
+            s += a.json;
+        }
+        sig.push_back(std::move(s));
+    }
+    return sig;
+}
+
+TEST(ParallelEngine, TraceEventSequenceMatchesSerialRun) {
+    auto run_traced = [&](unsigned threads) {
+        ThreadsGuard guard(threads);
+        memcheck::enable();
+        cupp::trace::enable();
+        cupp::trace::clear();
+        {
+            Device dev(tiny_properties());
+            LaunchConfig cfg{dim3{6}, dim3{8}};
+            auto a = dev.malloc_n<float>(cfg.total_threads());
+            auto b = dev.malloc_n<float>(cfg.total_threads());
+            dev.launch(cfg, [&](ThreadCtx& ctx) { return uninit_kernel(ctx, a, b); },
+                       "uninit");
+            dev.free(a);
+            dev.free(b);
+        }
+        auto sig = event_signatures(cupp::trace::events());
+        cupp::trace::disable();
+        cupp::trace::clear();
+        memcheck::disable();
+        memcheck::reset();
+        return sig;
+    };
+
+    const auto serial = run_traced(1);
+    // The launch span plus one memcheck instant per violating access.
+    EXPECT_FALSE(serial.empty());
+    for (unsigned threads : {2u, 8u}) {
+        EXPECT_EQ(run_traced(threads), serial) << threads << " threads";
+    }
+}
+
+// Fault injection fires at host-side sites (preflight, before any block
+// runs), so the nth-call/every-k counters must tick identically no matter
+// how many workers execute the grids in between.
+TEST(ParallelEngine, FaultInjectionCountersAreThreadCountIndependent) {
+    auto run_faulted = [&](unsigned threads) {
+        ThreadsGuard guard(threads);
+        faults::Rule rule;
+        rule.site = faults::Site::Launch;
+        rule.code = ErrorCode::LaunchFailure;
+        rule.every = 2;
+        faults::configure({rule});
+        Device dev(tiny_properties());
+        LaunchConfig cfg{dim3{4}, dim3{8}};
+        std::string failures;
+        for (int i = 0; i < 6; ++i) {
+            try {
+                dev.launch(cfg, [](ThreadCtx& ctx) -> KernelTask {
+                    ctx.charge(Op::FAdd);
+                    co_return;
+                });
+            } catch (const Error&) {
+                failures += std::to_string(i) + ",";
+            }
+        }
+        const auto injected = faults::injections(faults::Site::Launch);
+        faults::disable();
+        faults::reset();
+        return failures + "#" + std::to_string(injected);
+    };
+
+    const std::string serial = run_faulted(1);
+    EXPECT_EQ(serial, "1,3,5,#3");
+    EXPECT_EQ(run_faulted(4), serial);
+}
+
+// Alternating geometries through one pool exercise the per-worker scratch:
+// contexts are re-constructed in place, shrunk and regrown, and coroutine
+// frames recycle through the thread-local cache.
+KernelTask iota_kernel(ThreadCtx& ctx, DevicePtr<std::uint32_t> out) {
+    out.write(ctx, ctx.global_id(), static_cast<std::uint32_t>(ctx.global_id()));
+    co_return;
+}
+
+TEST(ParallelEngine, ScratchReuseSurvivesChangingGeometry) {
+    ThreadsGuard guard(2);
+    Device dev(tiny_properties());
+    const dim3 block_shapes[] = {dim3{8}, dim3{64}, dim3{33}, dim3{64}, dim3{8, 4}};
+    for (const dim3& block : block_shapes) {
+        LaunchConfig cfg{dim3{5}, block};
+        auto out = dev.malloc_n<std::uint32_t>(cfg.total_threads());
+        dev.launch(cfg, [&](ThreadCtx& ctx) { return iota_kernel(ctx, out); });
+        std::vector<std::uint32_t> host(cfg.total_threads());
+        dev.download(std::span<std::uint32_t>(host), out);
+        for (std::uint32_t i = 0; i < host.size(); ++i) {
+            ASSERT_EQ(host[i], i) << "block " << block.x << "x" << block.y;
+        }
+        dev.free(out);
+    }
+}
+
+TEST(BlockPool, RunsEveryIndexExactlyOnce) {
+    auto& pool = BlockPool::instance();
+    std::vector<std::atomic<int>> hits(100);
+    pool.run(hits.size(), 4, [&](std::uint64_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << i;
+    }
+    // Degenerate shapes: empty, single, more threads than work.
+    pool.run(0, 4, [&](std::uint64_t) { FAIL(); });
+    std::atomic<int> one{0};
+    pool.run(1, 8, [&](std::uint64_t) { one.fetch_add(1); });
+    EXPECT_EQ(one.load(), 1);
+}
+
+TEST(BlockPool, ConfiguredThreadsHonoursOverride) {
+    {
+        ThreadsGuard guard(5);
+        EXPECT_EQ(BlockPool::configured_threads(), 5u);
+    }
+    EXPECT_GE(BlockPool::configured_threads(), 1u);
+}
+
+TEST(DeviceProperties, DescribeJsonSurfacesSimThreads) {
+    ThreadsGuard guard(5);
+    DeviceProperties p = tiny_properties();
+    const std::string auto_json = describe_json(p);
+    EXPECT_NE(auto_json.find("\"sim_threads\":0"), std::string::npos) << auto_json;
+    EXPECT_NE(auto_json.find("\"sim_threads_resolved\":5"), std::string::npos)
+        << auto_json;
+    p.sim_threads = 3;
+    const std::string pinned = describe_json(p);
+    EXPECT_NE(pinned.find("\"sim_threads\":3"), std::string::npos) << pinned;
+    EXPECT_NE(pinned.find("\"sim_threads_resolved\":3"), std::string::npos) << pinned;
+}
+
+}  // namespace

@@ -33,9 +33,10 @@ TEST(Types, LaunchConfigRejectsOversizedBlocks) {
     EXPECT_NO_THROW(max_ok.validate());
 }
 
-TEST(Types, LaunchConfigRejects3DGridsAndHugeGrids) {
-    EXPECT_THROW((LaunchConfig{dim3{2, 2, 2}, dim3{32}}).validate(), Error);
+TEST(Types, LaunchConfigAccepts3DGridsAndRejectsHugeGrids) {
+    EXPECT_NO_THROW((LaunchConfig{dim3{2, 2, 2}, dim3{32}}).validate());
     EXPECT_THROW((LaunchConfig{dim3{kMaxGridDim + 1}, dim3{32}}).validate(), Error);
+    EXPECT_THROW((LaunchConfig{dim3{1, 1, kMaxGridDim + 1}, dim3{32}}).validate(), Error);
     EXPECT_NO_THROW((LaunchConfig{dim3{kMaxGridDim, kMaxGridDim}, dim3{1}}).validate());
 }
 

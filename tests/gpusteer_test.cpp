@@ -4,6 +4,7 @@
 // divergence counters, double buffering — must hold.
 #include <gtest/gtest.h>
 
+#include "cusim/block_pool.hpp"
 #include "cusim/faults.hpp"
 #include "gpusteer/plugin.hpp"
 #include "steer/steer.hpp"
@@ -337,6 +338,25 @@ TEST(DeviceLostRecoveryExtra, SurvivesLossesInConsecutiveSteps) {
     EXPECT_EQ(gpu.device_resets(), 2u);
     EXPECT_EQ(gpu.cpu_fallback_steps(), 2u);
     expect_same_flock(cpu.snapshot(), gpu.snapshot(), "two losses");
+}
+
+// Parallel block-engine determinism (PR 4): the whole Boids pipeline — six
+// kernel versions' worth of launches per step — must produce a bit-identical
+// flock whether the simulator runs blocks on one host thread or many.
+TEST(GpuPlugin, ParallelEngineKeepsTheFlockBitIdentical) {
+    const WorldSpec spec = small_world();
+    auto run_flock = [&](unsigned threads) {
+        cusim::BlockPool::set_threads(threads);
+        GpuBoidsPlugin gpu(Version::V5_FullUpdateOnDevice);
+        gpu.open(spec);
+        for (int step = 0; step < 5; ++step) gpu.step();
+        auto flock = gpu.snapshot();
+        cusim::BlockPool::set_threads(0);
+        return flock;
+    };
+    const auto serial = run_flock(1);
+    expect_same_flock(run_flock(2), serial, "2 engine threads");
+    expect_same_flock(run_flock(8), serial, "8 engine threads");
 }
 
 TEST(GpuPlugin, VersionTraitsMatchTable6_1) {
