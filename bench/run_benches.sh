@@ -32,3 +32,7 @@ CUPP_SIM_THREADS=4 "$BUILD/bench/bench_simulator_throughput" \
 echo ""
 echo "== bench_parallel_engine (thread sweep + determinism check) =="
 "$BUILD/bench/bench_parallel_engine" "$OUT"
+
+echo ""
+echo "== bench_stream_overlap (async streams on the modelled timeline) =="
+"$BUILD/bench/bench_stream_overlap" BENCH_stream_overlap.json

@@ -17,6 +17,7 @@
 #include "cupp/memory1d.hpp"
 #include "cupp/retry.hpp"
 #include "cupp/shared_ptr.hpp"
+#include "cupp/stream.hpp"
 #include "cupp/trace.hpp"
 #include "cupp/type_traits.hpp"
 #include "cupp/vector.hpp"

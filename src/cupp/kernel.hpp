@@ -38,6 +38,7 @@
 #include "cupp/device.hpp"
 #include "cupp/exception.hpp"
 #include "cupp/retry.hpp"
+#include "cupp/stream.hpp"
 #include "cupp/trace.hpp"
 #include "cupp/type_traits.hpp"
 #include "cusim/runtime_api.hpp"
@@ -136,9 +137,35 @@ public:
 
     /// The C++-style kernel call: first parameter is the device the kernel
     /// runs on, all following parameters are passed to the kernel
-    /// (listing 4.3).
+    /// (listing 4.3). The constraint keeps a non-const `stream` lvalue from
+    /// being swallowed as a kernel argument by perfect forwarding — it must
+    /// select the stream-bound overload below.
+    void operator()(const device& d) { call_impl(d, cusim::kDefaultStream); }
+    template <typename First, typename... Rest>
+        requires(!std::is_same_v<std::remove_cvref_t<First>, stream>)
+    void operator()(const device& d, First&& first, Rest&&... rest) {
+        call_impl(d, cusim::kDefaultStream, std::forward<First>(first),
+                  std::forward<Rest>(rest)...);
+    }
+
+    /// The stream-bound call: identical protocol, but the launch is
+    /// *enqueued* on `s` and executes at the next synchronization point.
+    /// Argument transforms (uploads for by-reference containers) still
+    /// happen here, so the kernel sees the data as of this call. Note that
+    /// last_stats() only updates for synchronous calls — an enqueued
+    /// launch's stats exist only once it has executed (the device's launch
+    /// history has them after the covering synchronize). A plain `T&`
+    /// parameter holds a temporary device copy whose teardown at the end
+    /// of this call joins with the stream; container and by-value
+    /// parameters keep the call fully asynchronous.
     template <typename... CallArgs>
-    void operator()(const device& d, CallArgs&&... call_args) {
+    void operator()(const device& d, const stream& s, CallArgs&&... call_args) {
+        call_impl(d, s.id(), std::forward<CallArgs>(call_args)...);
+    }
+
+private:
+    template <typename... CallArgs>
+    void call_impl(const device& d, cusim::StreamId sid, CallArgs&&... call_args) {
         static_assert(sizeof...(CallArgs) == arity,
                       "wrong number of kernel arguments");
         // Trace bookkeeping: one enclosing call span on the host lane, with
@@ -169,16 +196,19 @@ public:
         }(std::index_sequence_for<Args...>{});
 
         // The launch itself is retried on transient failures: an injected
-        // LaunchFailure rejects the grid before any block runs and leaves
-        // the staged configuration + argument stack untouched, so
-        // re-issuing cusimLaunchNamed really is the same launch.
+        // LaunchFailure rejects the grid (or the enqueue) before any state
+        // changes and leaves the staged configuration + argument stack
+        // untouched, so re-issuing really is the same launch.
         const std::string launch_site = "launch " + name_;
         with_retry(retry_ ? *retry_ : default_retry_policy(), &sim,
                    launch_site.c_str(), [&] {
-                       detail::check(cusim::rt::cusimLaunchNamed(handle_, name_.c_str()),
-                                     "launch");
+                       detail::check(
+                           sid == cusim::kDefaultStream
+                               ? cusim::rt::cusimLaunchNamed(handle_, name_.c_str())
+                               : cusim::rt::cusimLaunchAsync(handle_, name_.c_str(), sid),
+                           "launch");
                    });
-        stats_ = cusim::rt::cusimLastLaunchStats();
+        if (sid == cusim::kDefaultStream) stats_ = cusim::rt::cusimLastLaunchStats();
 
         // Copy-back for non-const references (§4.3.2 step 4; skipped for
         // const ones thanks to the signature analysis).
@@ -200,6 +230,7 @@ public:
                                  (sim.host_time() - call_t0) * 1e6,
                                  {{"kernel", name_},
                                   {"args", arity},
+                                  {"stream", sid},
                                   {"blocks", stats_.blocks},
                                   {"threads", stats_.threads}});
             static const trace::counter_handle calls("cupp.kernel.calls");
@@ -207,6 +238,7 @@ public:
         }
     }
 
+public:
     /// Simulator statistics of the most recent call through this functor.
     [[nodiscard]] const cusim::LaunchStats& last_stats() const { return stats_; }
 

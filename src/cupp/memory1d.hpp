@@ -19,6 +19,7 @@
 #include "cupp/device.hpp"
 #include "cupp/exception.hpp"
 #include "cupp/retry.hpp"
+#include "cupp/stream.hpp"
 #include "cupp/trace.hpp"
 #include "cusim/device_ptr.hpp"
 
@@ -117,6 +118,32 @@ public:
             translated([&] { dev_->sim().copy_to_host(dst, addr_, count_ * sizeof(T)); });
         });
         if (tracing) trace_transfer("cupp::memory1d download", t0);
+    }
+
+    /// Asynchronous host -> device on a stream. The source block is
+    /// snapshotted at enqueue (pageable semantics), so `src` may be reused
+    /// immediately; the transfer itself executes at the next
+    /// synchronization point. A transient injected failure rejects the
+    /// enqueue before anything is queued, so the retry here is safe.
+    void copy_from_host_async(const T* src, const stream& s) {
+        with_retry(default_retry_policy(), &dev_->sim(), "memory1d upload async", [&] {
+            translated([&] {
+                dev_->sim().memcpy_to_device_async(addr_, src, count_ * sizeof(T),
+                                                   s.id());
+            });
+        });
+    }
+
+    /// Asynchronous device -> host on a stream. `dst` is written when the
+    /// op executes and must not be read before the covering synchronize —
+    /// memcheck (Kind::AsyncHostRace) reports reads that race the copy.
+    void copy_to_host_async(T* dst, const stream& s) const {
+        with_retry(default_retry_policy(), &dev_->sim(), "memory1d download async", [&] {
+            translated([&] {
+                dev_->sim().memcpy_to_host_async(dst, addr_, count_ * sizeof(T),
+                                                 s.id());
+            });
+        });
     }
 
     /// Host -> device from an iterator range (linearised, must cover

@@ -1,0 +1,169 @@
+// cupp::stream / cupp::event — the host-facing handles over cusim's
+// asynchronous streams (the cudaStream_t the thesis' CuPP never had to
+// expose, done CuPP-style: RAII lifetime, exceptions instead of error
+// codes, transient failures retried at the enqueue point).
+//
+// A stream is a FIFO of deferred device work. kernel::operator() gains a
+// stream-bound overload, and cupp::vector / cupp::memory1d can prefetch
+// through one; everything enqueued runs at the next synchronization point
+// in the deterministic device-wide order (see cusim/stream.hpp and
+// DESIGN.md "Streams & events").
+#pragma once
+
+#include <utility>
+
+#include "cupp/device.hpp"
+#include "cupp/exception.hpp"
+#include "cupp/retry.hpp"
+
+namespace cupp {
+
+class event;
+
+/// Move-only RAII stream handle bound to a device.
+class stream {
+public:
+    explicit stream(const device& d) : dev_(&d) {
+        // Stream creation is a (tiny) resource allocation; a transient
+        // injected failure is retryable like any malloc.
+        with_retry(default_retry_policy(), &d.sim(), "stream create", [&] {
+            translated([&] { id_ = d.sim().stream_create(); });
+        });
+    }
+    ~stream() { destroy(); }
+
+    stream(const stream&) = delete;
+    stream& operator=(const stream&) = delete;
+
+    stream(stream&& other) noexcept : dev_(other.dev_), id_(other.id_) {
+        other.dev_ = nullptr;
+        other.id_ = cusim::kDefaultStream;
+    }
+    stream& operator=(stream&& other) noexcept {
+        if (this != &other) {
+            destroy();
+            dev_ = other.dev_;
+            id_ = other.id_;
+            other.dev_ = nullptr;
+            other.id_ = cusim::kDefaultStream;
+        }
+        return *this;
+    }
+
+    [[nodiscard]] cusim::StreamId id() const { return id_; }
+    [[nodiscard]] const device& owner() const { return *dev_; }
+
+    /// True when every enqueued op has completed (never blocks).
+    [[nodiscard]] bool query() const {
+        return translated([&] { return dev_->sim().stream_query(id_); });
+    }
+
+    /// Executes pending work and blocks the host until the stream is idle.
+    void synchronize() {
+        with_retry(default_retry_policy(), &dev_->sim(), "stream sync", [&] {
+            translated([&] { dev_->sim().stream_synchronize(id_); });
+        });
+    }
+
+    /// Orders all later work on this stream behind `ev`'s current record
+    /// (defined out-of-line below, after event).
+    void wait(const event& ev);
+
+private:
+    void destroy() noexcept {
+        if (dev_ != nullptr && id_ != cusim::kDefaultStream) {
+            try {
+                dev_->sim().stream_destroy(id_);
+            } catch (...) {
+                // Destruction must not throw; a deferred kernel failure
+                // draining here is dropped, as cudaStreamDestroy would.
+            }
+        }
+        dev_ = nullptr;
+        id_ = cusim::kDefaultStream;
+    }
+
+    const device* dev_;
+    cusim::StreamId id_ = cusim::kDefaultStream;
+};
+
+/// Move-only RAII event handle bound to a device.
+class event {
+public:
+    explicit event(const device& d) : dev_(&d) {
+        with_retry(default_retry_policy(), &d.sim(), "event create", [&] {
+            translated([&] { id_ = d.sim().event_create(); });
+        });
+    }
+    ~event() { destroy(); }
+
+    event(const event&) = delete;
+    event& operator=(const event&) = delete;
+
+    event(event&& other) noexcept : dev_(other.dev_), id_(other.id_) {
+        other.dev_ = nullptr;
+        other.id_ = 0;
+    }
+    event& operator=(event&& other) noexcept {
+        if (this != &other) {
+            destroy();
+            dev_ = other.dev_;
+            id_ = other.id_;
+            other.dev_ = nullptr;
+            other.id_ = 0;
+        }
+        return *this;
+    }
+
+    [[nodiscard]] cusim::EventId id() const { return id_; }
+    [[nodiscard]] const device& owner() const { return *dev_; }
+
+    /// Marks "after everything enqueued so far" on the stream (or on the
+    /// whole device for the no-argument flavour).
+    void record(const stream& s) {
+        translated([&] { dev_->sim().event_record(id_, s.id()); });
+    }
+    void record() {
+        translated([&] { dev_->sim().event_record(id_, cusim::kDefaultStream); });
+    }
+
+    /// True when the recorded point completed (an unrecorded event counts
+    /// as complete; never blocks).
+    [[nodiscard]] bool query() const {
+        return translated([&] { return dev_->sim().event_query(id_); });
+    }
+
+    /// Blocks the host until the recorded point on the timeline.
+    void synchronize() {
+        with_retry(default_retry_policy(), &dev_->sim(), "event sync", [&] {
+            translated([&] { dev_->sim().event_synchronize(id_); });
+        });
+    }
+
+    /// Milliseconds of modelled time between two completed records.
+    [[nodiscard]] static double elapsed_ms(const event& start, const event& stop) {
+        return translated(
+            [&] { return start.dev_->sim().event_elapsed_ms(start.id_, stop.id_); });
+    }
+
+private:
+    void destroy() noexcept {
+        if (dev_ != nullptr && id_ != 0) {
+            try {
+                dev_->sim().event_destroy(id_);
+            } catch (...) {
+            }
+        }
+        dev_ = nullptr;
+        id_ = 0;
+    }
+
+    const device* dev_;
+    cusim::EventId id_ = 0;
+};
+
+inline void stream::wait(const event& ev) {
+    translated([&] { dev_->sim().stream_wait_event(id_, ev.id()); });
+}
+
+}  // namespace cupp

@@ -30,6 +30,7 @@
 #include "cupp/device_reference.hpp"
 #include "cupp/exception.hpp"
 #include "cupp/retry.hpp"
+#include "cupp/stream.hpp"
 #include "cupp/trace.hpp"
 #include "cusim/device_ptr.hpp"
 #include "cusim/thread_ctx.hpp"
@@ -124,6 +125,9 @@ public:
 
     vector& operator=(const vector& other) {
         if (this != &other) {
+            // A queued prefetch download still targets our current buffer;
+            // settle it before the assignment may reallocate that storage.
+            sync_pending();
             host_ = other.snapshot();
             invalidate_device();
         }
@@ -155,6 +159,7 @@ public:
         std::swap(textured_, other.textured_);
         std::swap(uploads_, other.uploads_);
         std::swap(downloads_, other.downloads_);
+        std::swap(pending_, other.pending_);
     }
 
     // --- size & capacity ---
@@ -277,6 +282,13 @@ public:
         // The handle itself (pointer + size) cannot meaningfully change on
         // the device — only the pointed-to data can, and that is already in
         // our buffer.
+        if (pending_ && pending_->download) {
+            // A prefetch_to_host was racing this kernel: its snapshot of the
+            // device data is now (or will be) stale. The queued copy still
+            // lands in our buffer at drain, but it must not mark the host
+            // valid — the next host read re-downloads over it.
+            pending_->discarded = true;
+        }
         host_valid_ = false;
         device_valid_ = true;
         if (trace::enabled()) detail::lazy_copy_counters::get().host_invalidated.add();
@@ -312,7 +324,90 @@ public:
         cached_handle_ = device_type{};
         device_valid_ = false;
         host_valid_ = true;
+        // Any queued prefetch died with the device (reset abandons stream
+        // queues); the transfer will never land, so forget it.
+        pending_.reset();
     }
+
+    // --- asynchronous prefetch (streams) ---
+    /// Enqueues the §4.6 rule-1 upload on a stream instead of running it
+    /// synchronously. The host data is snapshotted at enqueue, so later host
+    /// writes cannot tear the transfer; the device copy is immediately
+    /// considered valid because every device-side consumer is either on the
+    /// same stream (FIFO-ordered behind the copy) or synchronizes first.
+    /// No-op when the device copy is already current. Element types that
+    /// need a host-side transform fall back to the synchronous upload.
+    /// At most one prefetch per vector is in flight; a second call first
+    /// synchronizes the previous one.
+    void prefetch_to_device(const device& d, const stream& s) const {
+        sync_pending();
+        if constexpr (!std::is_same_v<T, dev_elem>) {
+            ensure_device(d);
+            return;
+        } else {
+            if (dev_ && &dev_->sim() != &d.sim()) {
+                throw usage_error("cupp::vector is bound to a different device");
+            }
+            dev_ = &d;
+            if (host_.empty()) {
+                device_valid_ = true;
+                return;
+            }
+            if (device_valid_ && dbuf_capacity_ >= host_.size()) {
+                if (trace::enabled()) detail::lazy_copy_counters::get().upload_avoided.add();
+                return;
+            }
+            if (!host_valid_) {
+                throw usage_error("cupp::vector has neither valid host nor device data");
+            }
+            if (dbuf_capacity_ < host_.size()) {
+                release_device();
+                dbuf_ = d.malloc(host_.size() * sizeof(dev_elem),
+                                 std::source_location::current(), "cupp::vector");
+                dbuf_capacity_ = host_.size();
+            }
+            with_retry(default_retry_policy(), &d.sim(), "vector prefetch upload", [&] {
+                translated([&] {
+                    d.sim().memcpy_to_device_async(dbuf_, host_.data(),
+                                                   host_.size() * sizeof(T), s.id());
+                });
+            });
+            ++uploads_;
+            device_valid_ = true;
+            if (trace::enabled()) detail::lazy_copy_counters::get().upload.add();
+        }
+    }
+
+    /// Enqueues the §4.6 rule-3 download on a stream. The host copy stays
+    /// *stale* until the transfer is synchronized — any host access (reads,
+    /// writes, snapshot(), iteration) synchronizes the stream first, so the
+    /// lazy rules still hold; callers that synchronize the stream themselves
+    /// pay only the enqueue cost here. No-op when the host copy is already
+    /// current.
+    void prefetch_to_host(const stream& s) const {
+        sync_pending();
+        if (host_valid_ || host_.empty() || !device_valid_) {
+            if (host_valid_ && device_valid_ && trace::enabled()) {
+                detail::lazy_copy_counters::get().download_avoided.add();
+            }
+            return;
+        }
+        if constexpr (!std::is_same_v<T, dev_elem>) {
+            ensure_host();
+        } else {
+            with_retry(default_retry_policy(), &dev_->sim(), "vector prefetch download", [&] {
+                translated([&] {
+                    dev_->sim().memcpy_to_host_async(host_.data(), dbuf_,
+                                                     host_.size() * sizeof(T), s.id());
+                });
+            });
+            pending_.emplace(PendingAsync{s.id(), true, false});
+        }
+    }
+
+    /// True while a prefetch_to_host download has been enqueued but not yet
+    /// synchronized (i.e. the host copy is not safe to read directly).
+    [[nodiscard]] bool prefetch_pending() const { return pending_.has_value(); }
 
     // --- instrumentation (used by tests and the lazy-copy ablation bench) ---
     [[nodiscard]] std::uint64_t uploads() const { return uploads_; }
@@ -343,9 +438,36 @@ private:
     void reset_flags() {
         host_valid_ = true;
         device_valid_ = false;
+        pending_.reset();
+    }
+
+    /// Completes an in-flight prefetch_to_host before the host side is
+    /// touched (§4.6 rules applied to async transfers: a stale side touched
+    /// while a copy is in flight synchronizes first). A stream that was
+    /// already destroyed has drained its queue (cudaStreamDestroy
+    /// semantics), so an unknown-stream error counts as completion.
+    void sync_pending() const {
+        if (!pending_) return;
+        const PendingAsync p = *pending_;
+        pending_.reset();
+        try {
+            with_retry(default_retry_policy(), &dev_->sim(), "vector prefetch sync", [&] {
+                translated([&] { dev_->sim().stream_synchronize(p.stream); });
+            });
+        } catch (const usage_error& e) {
+            // Stream destroyed after the enqueue: the destroy drained the
+            // queue, so the transfer completed. Anything else is real.
+            if (e.code() != cusim::ErrorCode::InvalidValue) throw;
+        }
+        if (p.download && !p.discarded) {
+            ++downloads_;
+            host_valid_ = true;
+            if (trace::enabled()) detail::lazy_copy_counters::get().download.add();
+        }
     }
 
     void ensure_host() const {
+        sync_pending();
         if (host_valid_) {
             // §4.6 rule 3 hit: the host copy is current, no download needed.
             // Only counted while a device copy exists — otherwise there was
@@ -478,6 +600,16 @@ private:
     bool textured_ = false;
     mutable std::uint64_t uploads_ = 0;
     mutable std::uint64_t downloads_ = 0;
+
+    /// An enqueued-but-unsynchronized prefetch_to_host. `discarded` is set
+    /// when a kernel dirtied the device data after the enqueue: the copy
+    /// still lands in host_ at drain but no longer proves host validity.
+    struct PendingAsync {
+        cusim::StreamId stream;
+        bool download;
+        bool discarded;
+    };
+    mutable std::optional<PendingAsync> pending_;
 };
 
 }  // namespace cupp

@@ -33,7 +33,58 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
     cfg.validate();
     // Occupancy limits are checked before running anything.
     (void)blocks_per_mp(props_.cost, cfg);
+    // Default-stream semantics: a legacy launch orders behind every
+    // explicit stream's already-enqueued work.
+    join_streams();
 
+    const LaunchStats stats = run_grid(cfg, entry, name);
+
+    // Asynchronous launch semantics: the device starts as soon as it is free
+    // and the host has issued the call; the host only pays the launch
+    // overhead (§2.2 "a kernel invocation does not block the host").
+    const double start = std::max(host_time_, device_free_at_);
+    device_free_at_ = start + stats.device_seconds;
+    const double host_issue_t0 = host_time_;
+    host_time_ += props_.cost.launch_overhead_s;
+
+    last_launch_ = stats;
+    ++launch_count_;
+    record_launch(name, stats, start, device_free_at_);
+
+    if (cupp::trace::enabled()) {
+        const std::string label =
+            name.empty() ? std::string("kernel") : std::string(name);
+        // The device lane shows the grid actually executing — with the full
+        // LaunchStats attached, this is the §6.3.1 profile per launch.
+        cupp::trace::emit_complete(
+            device_track(), label, trace_time_us(start), stats.device_seconds * 1e6,
+            {{"blocks", stats.blocks},
+             {"threads", stats.threads},
+             {"threads_per_block", stats.threads_per_block},
+             {"warps", stats.warps},
+             {"compute_cycles", stats.compute_cycles},
+             {"stall_cycles", stats.stall_cycles},
+             {"bytes_read", stats.bytes_read},
+             {"bytes_written", stats.bytes_written},
+             {"divergent_events", stats.divergent_events},
+             {"branch_evaluations", stats.branch_evaluations},
+             {"syncthreads", stats.syncthreads_count},
+             {"resident_blocks_per_mp", stats.resident_blocks_per_mp},
+             {"bound_by", to_string(bound_by(stats, props_.cost))}});
+        // The host lane shows only the (tiny) synchronous issue cost — the
+        // gap between this span's end and the device span's end is the
+        // overlap the asynchronous model buys.
+        cupp::trace::emit_complete(host_track(), "launch " + label,
+                                   trace_time_us(host_issue_t0),
+                                   props_.cost.launch_overhead_s * 1e6);
+        static const cupp::trace::counter_handle launches("cusim.kernel_launches");
+        launches.add();
+    }
+    return stats;
+}
+
+LaunchStats Device::run_grid(const LaunchConfig& cfg, const KernelEntry& entry,
+                             std::string_view name) {
     LaunchStats stats;
     stats.blocks = cfg.grid.count();
     stats.threads = cfg.total_threads();
@@ -157,48 +208,6 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
 
     stats.device_seconds =
         model_grid_seconds(props_.cost, cfg, costs, &stats.resident_blocks_per_mp);
-
-    // Asynchronous launch semantics: the device starts as soon as it is free
-    // and the host has issued the call; the host only pays the launch
-    // overhead (§2.2 "a kernel invocation does not block the host").
-    const double start = std::max(host_time_, device_free_at_);
-    device_free_at_ = start + stats.device_seconds;
-    const double host_issue_t0 = host_time_;
-    host_time_ += props_.cost.launch_overhead_s;
-
-    last_launch_ = stats;
-    ++launch_count_;
-    record_launch(name, stats, start, device_free_at_);
-
-    if (cupp::trace::enabled()) {
-        const std::string label =
-            name.empty() ? std::string("kernel") : std::string(name);
-        // The device lane shows the grid actually executing — with the full
-        // LaunchStats attached, this is the §6.3.1 profile per launch.
-        cupp::trace::emit_complete(
-            device_track(), label, trace_time_us(start), stats.device_seconds * 1e6,
-            {{"blocks", stats.blocks},
-             {"threads", stats.threads},
-             {"threads_per_block", stats.threads_per_block},
-             {"warps", stats.warps},
-             {"compute_cycles", stats.compute_cycles},
-             {"stall_cycles", stats.stall_cycles},
-             {"bytes_read", stats.bytes_read},
-             {"bytes_written", stats.bytes_written},
-             {"divergent_events", stats.divergent_events},
-             {"branch_evaluations", stats.branch_evaluations},
-             {"syncthreads", stats.syncthreads_count},
-             {"resident_blocks_per_mp", stats.resident_blocks_per_mp},
-             {"bound_by", to_string(bound_by(stats, props_.cost))}});
-        // The host lane shows only the (tiny) synchronous issue cost — the
-        // gap between this span's end and the device span's end is the
-        // overlap the asynchronous model buys.
-        cupp::trace::emit_complete(host_track(), "launch " + label,
-                                   trace_time_us(host_issue_t0),
-                                   props_.cost.launch_overhead_s * 1e6);
-        static const cupp::trace::counter_handle launches("cusim.kernel_launches");
-        launches.add();
-    }
     return stats;
 }
 
@@ -215,7 +224,10 @@ void Device::poison() {
 
 void Device::reset_device() {
     lost_ = false;
-    // Whatever the device was doing died with it.
+    // Whatever the device was doing died with it — including work still
+    // queued on explicit streams (dropped, never executed; pending event
+    // records complete at the reset point so waits can't stall).
+    if (streams_) abandon_streams();
     device_free_at_ = host_time_;
     memory_.wipe_for_recovery();
     cupp::trace::metrics().add("cusim.device_resets");

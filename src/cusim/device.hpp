@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <source_location>
 #include <span>
 #include <string>
@@ -30,6 +31,21 @@
 
 namespace cusim {
 
+namespace detail {
+struct StreamTable;  // per-device stream/event state (stream.cpp)
+struct StreamState;
+struct StreamOp;
+}  // namespace detail
+
+/// Identifies one of a Device's asynchronous work queues. Id 0 is the
+/// default stream — the legacy synchronous path every pre-stream API call
+/// uses. Explicit streams get ids 1, 2, ... from Device::stream_create().
+using StreamId = std::uint32_t;
+inline constexpr StreamId kDefaultStream = 0;
+
+/// Identifies a recorded event (Device::event_create()). 0 is never valid.
+using EventId = std::uint64_t;
+
 /// One entry of the per-device launch history: the kernel's name plus its
 /// full stats and its window on the modelled device timeline.
 struct LaunchRecord {
@@ -41,15 +57,16 @@ struct LaunchRecord {
 
 class Device {
 public:
-    explicit Device(DeviceProperties props = g80_properties())
-        : props_(std::move(props)), memory_(props_.total_global_mem) {
-        static std::atomic<int> next_ordinal{0};
-        trace_ordinal_ = next_ordinal.fetch_add(1, std::memory_order_relaxed);
-        memory_.shadow().set_device(trace_ordinal_);
-    }
+    /// Out-of-line (stream.cpp) alongside ~Device(): both need
+    /// detail::StreamTable complete for the streams_ unique_ptr.
+    explicit Device(DeviceProperties props = g80_properties());
 
     Device(const Device&) = delete;
     Device& operator=(const Device&) = delete;
+
+    /// Out-of-line (stream.cpp): detail::StreamTable is incomplete here.
+    /// Pending stream work is dropped, not executed, at destruction.
+    ~Device();
 
     [[nodiscard]] const DeviceProperties& properties() const { return props_; }
     [[nodiscard]] GlobalMemory& memory() { return memory_; }
@@ -68,6 +85,10 @@ public:
     }
     void free_bytes(DeviceAddr addr,
                     std::source_location loc = std::source_location::current()) {
+        // Pending async ops may still reference this allocation; executing
+        // them first keeps a free-after-enqueue well-defined (real CUDA
+        // defers the free until queued work using the range completes).
+        join_streams();
         memory_.free(addr, loc);
     }
 
@@ -85,7 +106,10 @@ public:
     template <typename T>
     void free(const DevicePtr<T>& p,
               std::source_location loc = std::source_location::current()) {
-        if (!p.null()) memory_.free(p.addr(), loc);
+        if (!p.null()) {
+            join_streams();
+            memory_.free(p.addr(), loc);
+        }
     }
 
     /// Re-creates a typed view over an existing allocation (validated).
@@ -100,6 +124,7 @@ public:
     // --- host <-> device transfers (blocking, clock-advancing) ------------
     void copy_to_device(DeviceAddr dst, const void* src, std::uint64_t bytes) {
         fault_preflight(faults::Site::MemcpyH2D);
+        join_streams();
         const bool tracing = cupp::trace::enabled();
         const double t0 = host_time_;
         const double wait = std::max(0.0, device_free_at_ - host_time_);
@@ -110,6 +135,7 @@ public:
     }
     void copy_to_host(void* dst, DeviceAddr src, std::uint64_t bytes) {
         fault_preflight(faults::Site::MemcpyD2H);
+        join_streams();
         const bool tracing = cupp::trace::enabled();
         const double t0 = host_time_;
         const double wait = std::max(0.0, device_free_at_ - host_time_);
@@ -120,6 +146,7 @@ public:
     }
     void copy_device_to_device(DeviceAddr dst, DeviceAddr src, std::uint64_t bytes) {
         fault_preflight(faults::Site::MemcpyD2D);
+        join_streams();
         // Device-side copy: consumes device time, not host time.
         const double secs = static_cast<double>(bytes) / props_.cost.mem_bandwidth_bytes_per_s;
         const double start = std::max(device_free_at_, host_time_);
@@ -161,6 +188,7 @@ public:
     /// like any host access to device state).
     void copy_to_constant(DeviceAddr addr, const void* src, std::uint64_t bytes) {
         fault_preflight(faults::Site::MemcpyH2D, "constant");
+        join_streams();
         const bool tracing = cupp::trace::enabled();
         const double t0 = host_time_;
         const double wait = std::max(0.0, device_free_at_ - host_time_);
@@ -186,10 +214,13 @@ public:
     /// steering library's CPU cost model feeds this).
     void advance_host(double seconds) { host_time_ += seconds; }
 
-    /// cudaThreadSynchronize: host blocks until the device is idle.
+    /// cudaThreadSynchronize: host blocks until the device is idle —
+    /// including every explicit stream (their pending work executes first).
     void synchronize() {
         fault_preflight(faults::Site::Sync);
+        join_streams();
         host_time_ = std::max(host_time_, device_free_at_);
+        prune_completed_async();
     }
 
     // --- events (cudaEventRecord-style timing) -------------------------------
@@ -208,12 +239,85 @@ public:
         return (stop.device_time - start.device_time) * 1e3;
     }
 
-    /// Resets the timeline (a new measurement run). The trace keeps its own
-    /// monotonic base so events from successive runs do not overlap.
+    /// Resets the timeline (a new measurement run). Pending stream work is
+    /// executed first — a measurement boundary mid-flight would be
+    /// meaningless. The trace keeps its own monotonic base so events from
+    /// successive runs do not overlap.
     void reset_clock() {
+        join_streams();
         trace_base_ += std::max(host_time_, device_free_at_);
         host_time_ = 0.0;
         device_free_at_ = 0.0;
+        if (streams_) reset_stream_clocks();
+    }
+
+    // --- streams & async ops (cudaStream_t-style queues, stream.cpp) --------
+    // An explicit stream is a FIFO of deferred operations. Enqueueing is a
+    // host-side action (fault preflights fire here, so injected failures
+    // are atomic and retryable); the queued ops execute at the next sync
+    // point — any *_synchronize, or any legacy default-stream operation,
+    // which joins with all streams first. Execution drains streams in
+    // ascending stream-id, each in enqueue order, waits yielding until
+    // their recorded event has executed; that order depends only on the
+    // enqueue sequence, so every observable (stats, memcheck, faults,
+    // trace) is bit-identical for any engine thread count.
+
+    /// Creates a new asynchronous stream (never id 0).
+    [[nodiscard]] StreamId stream_create();
+    /// Executes the stream's remaining work, then releases the id.
+    void stream_destroy(StreamId stream);
+    /// True when the stream has no pending ops and its modelled timeline
+    /// has been reached by the host clock. Never executes work.
+    [[nodiscard]] bool stream_query(StreamId stream) const;
+    /// Executes pending work; host blocks until the stream is idle.
+    void stream_synchronize(StreamId stream);
+    /// All work enqueued on `stream` after this call orders behind
+    /// `event`'s most recent record. Never recorded -> no-op (CUDA).
+    void stream_wait_event(StreamId stream, EventId event);
+
+    [[nodiscard]] EventId event_create();
+    void event_destroy(EventId event);
+    /// Marks "after everything enqueued so far on `stream`". On the
+    /// default stream: after all currently issued work, device-wide.
+    void event_record(EventId event, StreamId stream = kDefaultStream);
+    /// True when the last record completed (never recorded counts as
+    /// complete, as on CUDA). Never executes work.
+    [[nodiscard]] bool event_query(EventId event) const;
+    /// Host blocks until the last record's point on the timeline.
+    void event_synchronize(EventId event);
+    /// Milliseconds between two records (completes both first).
+    [[nodiscard]] double event_elapsed_ms(EventId start, EventId stop);
+
+    /// Enqueues a kernel launch. The host pays only the launch overhead;
+    /// the grid executes at the next sync point on the stream's modelled
+    /// timeline. Stream 0 falls back to the legacy launch().
+    void launch_async(const LaunchConfig& cfg, const KernelEntry& entry,
+                      std::string_view name, StreamId stream);
+    /// Async H2D: the source is snapshotted at enqueue (pageable-memory
+    /// semantics — later host writes to `src` don't affect the copy).
+    void memcpy_to_device_async(DeviceAddr dst, const void* src, std::uint64_t bytes,
+                                StreamId stream);
+    /// Async D2H: `dst` is written when the op executes; reading it before
+    /// the covering synchronize is a race (see note_host_read()).
+    void memcpy_to_host_async(void* dst, DeviceAddr src, std::uint64_t bytes,
+                              StreamId stream);
+    void memcpy_device_to_device_async(DeviceAddr dst, DeviceAddr src,
+                                       std::uint64_t bytes, StreamId stream);
+
+    /// memcheck hook: declares that host code is about to read `bytes` at
+    /// `p`. Records a Kind::AsyncHostRace violation when the range overlaps
+    /// the destination of an async D2H copy that has not yet completed
+    /// (framework containers call this before touching host-side storage;
+    /// raw-pointer users can call it directly).
+    void note_host_read(const void* p, std::uint64_t bytes);
+
+    /// Pending (enqueued, not yet executed) async ops across all streams.
+    [[nodiscard]] std::uint64_t pending_async_ops() const;
+
+    /// The stream's lane name in the exported trace ("devN.streamK").
+    [[nodiscard]] std::string stream_track(StreamId stream) const {
+        return "dev" + std::to_string(trace_ordinal_) + ".stream" +
+               std::to_string(stream);
     }
 
     // --- statistics ---------------------------------------------------------
@@ -305,6 +409,32 @@ private:
     void record_launch(std::string_view name, const LaunchStats& stats, double start,
                        double end);
 
+    /// The block-execution core shared by launch() and the stream drain:
+    /// validation must already have happened; runs the grid on the
+    /// BlockPool (or serially), reduces everything observable in launch
+    /// order, and returns the stats with device_seconds filled in. Does
+    /// not touch the timeline, history, or trace. (device.cpp)
+    LaunchStats run_grid(const LaunchConfig& cfg, const KernelEntry& entry,
+                         std::string_view name);
+
+    /// Legacy (default-stream) semantics: every pre-stream operation joins
+    /// with all explicit streams — pending ops execute and the per-stream
+    /// clocks fold into the device-wide busy horizon. A no-op until the
+    /// first stream_create(), so pre-stream behaviour is untouched.
+    void join_streams() {
+        if (streams_) join_streams_slow();
+    }
+    void join_streams_slow();        // stream.cpp
+    void reset_stream_clocks();      // stream.cpp
+    void abandon_streams();          // stream.cpp (reset_device path)
+    void prune_completed_async();    // stream.cpp: drops completed D2H ranges
+    [[nodiscard]] detail::StreamTable& stream_table();  // lazily created
+
+    /// Executes every pending stream op in the canonical order (stream.cpp).
+    void drain_streams();
+    [[nodiscard]] bool op_ready(const detail::StreamOp& op) const;
+    void execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp& op);
+
     DeviceProperties props_;
     GlobalMemory memory_;
     ConstantMemory constant_;
@@ -320,6 +450,10 @@ private:
     std::size_t history_head_ = 0;       ///< oldest entry once the ring is full
     int trace_ordinal_ = 0;              ///< stable lane id in the exported trace
     double trace_base_ = 0.0;            ///< accumulated pre-reset_clock() time
+
+    /// Stream/event state; null until the first stream or event is
+    /// created, so pre-stream code paths never pay for it.
+    std::unique_ptr<detail::StreamTable> streams_;
 };
 
 }  // namespace cusim

@@ -186,7 +186,7 @@ private:
     std::string report_path_;
     std::vector<Violation> violations_;
     std::unordered_map<std::string, std::size_t> index_;
-    std::array<std::uint64_t, 7> per_kind_{};
+    std::array<std::uint64_t, 8> per_kind_{};
     std::uint64_t total_ = 0;
     std::uint64_t dropped_ = 0;
 };
@@ -248,6 +248,7 @@ const char* kind_name(Kind kind) {
         case Kind::InvalidFree: return "invalid_free";
         case Kind::Leak: return "leak";
         case Kind::SharedRace: return "shared_race";
+        case Kind::AsyncHostRace: return "async_host_race";
     }
     return "unknown";
 }

@@ -96,6 +96,7 @@ enum class Kind {
     InvalidFree,        ///< free of an address that was never an allocation base
     Leak,               ///< allocation still live at free_all()/teardown
     SharedRace,         ///< same-epoch conflicting shared-memory accesses
+    AsyncHostRace,      ///< host read of an in-flight async D2H destination
 };
 
 /// Stable lower_snake_case name (report JSON keys, metric suffixes).

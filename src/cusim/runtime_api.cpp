@@ -161,6 +161,108 @@ ErrorCode cusimLaunchNamed(KernelHandle kernel, const char* name) {
     });
 }
 
+ErrorCode cusimStreamCreate(StreamId* stream) {
+    if (!stream) return set_error(ErrorCode::InvalidValue);
+    return guarded(
+        [&] { *stream = Registry::instance().current_device().stream_create(); });
+}
+
+ErrorCode cusimStreamDestroy(StreamId stream) {
+    return guarded([&] { Registry::instance().current_device().stream_destroy(stream); });
+}
+
+ErrorCode cusimStreamQuery(StreamId stream) {
+    bool idle = false;
+    const ErrorCode e =
+        guarded([&] { idle = Registry::instance().current_device().stream_query(stream); });
+    if (e != ErrorCode::Success) return e;
+    // NotReady is a status, not a sticky error (cudaStreamQuery semantics).
+    return idle ? ErrorCode::Success : ErrorCode::NotReady;
+}
+
+ErrorCode cusimStreamSynchronize(StreamId stream) {
+    return guarded(
+        [&] { Registry::instance().current_device().stream_synchronize(stream); });
+}
+
+ErrorCode cusimStreamWaitEvent(StreamId stream, EventId event) {
+    return guarded(
+        [&] { Registry::instance().current_device().stream_wait_event(stream, event); });
+}
+
+ErrorCode cusimEventCreate(EventId* event) {
+    if (!event) return set_error(ErrorCode::InvalidValue);
+    return guarded(
+        [&] { *event = Registry::instance().current_device().event_create(); });
+}
+
+ErrorCode cusimEventDestroy(EventId event) {
+    return guarded([&] { Registry::instance().current_device().event_destroy(event); });
+}
+
+ErrorCode cusimEventRecord(EventId event, StreamId stream) {
+    return guarded(
+        [&] { Registry::instance().current_device().event_record(event, stream); });
+}
+
+ErrorCode cusimEventQuery(EventId event) {
+    bool done = false;
+    const ErrorCode e =
+        guarded([&] { done = Registry::instance().current_device().event_query(event); });
+    if (e != ErrorCode::Success) return e;
+    return done ? ErrorCode::Success : ErrorCode::NotReady;
+}
+
+ErrorCode cusimEventSynchronize(EventId event) {
+    return guarded(
+        [&] { Registry::instance().current_device().event_synchronize(event); });
+}
+
+ErrorCode cusimEventElapsedTime(float* ms, EventId start, EventId stop) {
+    if (!ms) return set_error(ErrorCode::InvalidValue);
+    return guarded([&] {
+        *ms = static_cast<float>(
+            Registry::instance().current_device().event_elapsed_ms(start, stop));
+    });
+}
+
+ErrorCode cusimMemcpyToDeviceAsync(DeviceAddr dst, const void* src, std::size_t count,
+                                   StreamId stream) {
+    if (!src) return set_error(ErrorCode::InvalidValue);
+    return guarded([&] {
+        Registry::instance().current_device().memcpy_to_device_async(dst, src, count,
+                                                                     stream);
+    });
+}
+
+ErrorCode cusimMemcpyToHostAsync(void* dst, DeviceAddr src, std::size_t count,
+                                 StreamId stream) {
+    if (!dst) return set_error(ErrorCode::InvalidValue);
+    return guarded([&] {
+        Registry::instance().current_device().memcpy_to_host_async(dst, src, count,
+                                                                   stream);
+    });
+}
+
+ErrorCode cusimLaunchAsync(KernelHandle kernel, const char* name, StreamId stream) {
+    if (!kernel) return set_error(ErrorCode::InvalidValue);
+    if (!t_launch.configured) return set_error(ErrorCode::InvalidConfiguration);
+    const auto* trampoline = static_cast<const Trampoline*>(kernel);
+    return guarded([&] {
+        Device& dev = Registry::instance().current_device();
+        // Same staging-copy trick as cusimLaunchNamed: the enqueued closure
+        // owns its stack snapshot, so the thread-local staging area is free
+        // for the next configure/setup sequence immediately.
+        auto stack = std::make_shared<std::array<std::byte, kKernelStackSize>>(t_launch.stack);
+        KernelEntry entry = [trampoline, &dev, stack](ThreadCtx& ctx) {
+            return (*trampoline)(ctx, dev, stack->data());
+        };
+        dev.launch_async(t_launch.config, entry,
+                         name ? std::string_view(name) : std::string_view{}, stream);
+        t_launch.configured = false;
+    });
+}
+
 const LaunchStats& cusimLastLaunchStats() {
     return Registry::instance().current_device().last_launch();
 }

@@ -69,6 +69,37 @@ ErrorCode cusimLaunchNamed(KernelHandle kernel, const char* name);
 /// Stats of the most recent successful launch on the calling thread's device.
 const LaunchStats& cusimLastLaunchStats();
 
+// --- streams & events (cudaStream_t / cudaEvent_t mirrors) ---
+// Handles are plain ids on the calling thread's bound device. Enqueue-only
+// calls never run device work; queued ops execute at the next synchronize
+// (see cusim/stream.hpp for the determinism contract).
+ErrorCode cusimStreamCreate(StreamId* stream);
+ErrorCode cusimStreamDestroy(StreamId stream);
+/// Success when the stream is idle, NotReady while work is outstanding.
+ErrorCode cusimStreamQuery(StreamId stream);
+ErrorCode cusimStreamSynchronize(StreamId stream);
+ErrorCode cusimStreamWaitEvent(StreamId stream, EventId event);
+
+ErrorCode cusimEventCreate(EventId* event);
+ErrorCode cusimEventDestroy(EventId event);
+ErrorCode cusimEventRecord(EventId event, StreamId stream = kDefaultStream);
+/// Success when the last record completed, NotReady while pending.
+ErrorCode cusimEventQuery(EventId event);
+ErrorCode cusimEventSynchronize(EventId event);
+ErrorCode cusimEventElapsedTime(float* ms, EventId start, EventId stop);
+
+/// cudaMemcpyAsync flavours. The H2D source is snapshotted at enqueue
+/// (pageable semantics); the D2H destination is written when the op
+/// executes and must not be read before the covering synchronize.
+ErrorCode cusimMemcpyToDeviceAsync(DeviceAddr dst, const void* src, std::size_t count,
+                                   StreamId stream);
+ErrorCode cusimMemcpyToHostAsync(void* dst, DeviceAddr src, std::size_t count,
+                                 StreamId stream);
+
+/// The stream-bound cusimLaunchNamed: consumes the staged configure/setup
+/// state and enqueues the launch on `stream` (stream 0 launches legacy).
+ErrorCode cusimLaunchAsync(KernelHandle kernel, const char* name, StreamId stream);
+
 // --- error handling ---
 ErrorCode cusimGetLastError();
 const char* cusimGetErrorString(ErrorCode code);

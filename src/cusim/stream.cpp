@@ -1,0 +1,713 @@
+// Streams & events: the Device's deferred asynchronous work queues.
+//
+// An explicit stream is a FIFO of ops captured at enqueue time (kernel
+// closures, snapshotted H2D sources, host destinations, event marks).
+// Nothing executes until a synchronization point; then drain() runs every
+// executable op in the canonical order — streams in ascending id, each in
+// enqueue order, an op blocked on a cross-stream event wait yielding to
+// the next stream until the record it waits on has executed. The order is
+// a pure function of the enqueue sequence: LaunchStats, memcheck reports,
+// fault counters and trace output are bit-identical for any engine thread
+// count (only the *blocks inside one grid* parallelize, under run_grid's
+// existing launch-order reduction).
+//
+// Deadlock-freedom of drain(): a wait's target record is always an op
+// enqueued strictly earlier (the target seq is snapshotted when the wait
+// is enqueued). Consider the queue-front op with the smallest global seq:
+// were it a blocked wait, its target record — with an even smaller seq —
+// would still sit in some queue whose front would then have a smaller seq
+// than the minimum. Contradiction, so the minimal front is always
+// executable and every pass makes progress.
+
+#include "cusim/stream.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cusim/memcheck.hpp"
+#include "cusim/multiprocessor.hpp"
+#include "cusim/report.hpp"
+
+namespace cusim {
+
+namespace detail {
+
+/// One deferred operation. `seq` is the global enqueue index (determinism
+/// + wait targeting); `issue_host_time` pins when the host issued it so a
+/// drained op can never start before it was enqueued.
+struct StreamOp {
+    enum class Kind { Launch, CopyH2D, CopyD2H, CopyD2D, Record, Wait };
+
+    Kind kind = Kind::Launch;
+    std::uint64_t seq = 0;
+    double issue_host_time = 0.0;
+
+    // Launch
+    LaunchConfig cfg{};
+    KernelEntry entry;
+    std::string name;
+
+    // Copies
+    DeviceAddr dst = 0;
+    DeviceAddr src = 0;
+    std::uint64_t bytes = 0;
+    std::vector<std::byte> staged;  ///< H2D source snapshot (pageable semantics)
+    void* host_dst = nullptr;       ///< D2H destination
+
+    // Events
+    EventId event = 0;
+    std::uint64_t wait_target_seq = 0;  ///< record op a Wait orders behind
+    bool wait_has_target = false;       ///< false: event unrecorded -> no-op
+};
+
+struct StreamState {
+    std::deque<StreamOp> pending;
+    double free_at = 0.0;  ///< this stream's modelled busy horizon
+};
+
+struct EventState {
+    double time = 0.0;                  ///< timeline point of the last drained record
+    std::uint64_t last_record_seq = 0;  ///< newest record *enqueued* (0 = never)
+    std::uint64_t completed_seq = 0;    ///< newest record *executed*
+};
+
+/// Host range an in-flight async D2H copy will write. Reading it from the
+/// host before the covering synchronize is the race memcheck reports.
+struct PendingHostWrite {
+    const std::byte* begin = nullptr;
+    const std::byte* end = nullptr;
+    StreamId stream = 0;
+    std::uint64_t seq = 0;
+    bool drained = false;      ///< op executed (bytes materialized)
+    double complete_at = 0.0;  ///< modelled completion (valid once drained)
+};
+
+struct StreamTable {
+    // std::map: drain() walks streams in ascending id — the contract.
+    std::map<StreamId, StreamState> streams;
+    std::map<EventId, EventState> events;
+    std::vector<PendingHostWrite> host_writes;
+    StreamId next_stream = 1;
+    EventId next_event = 1;
+    std::uint64_t next_seq = 1;
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::StreamOp;
+
+const char* op_label(StreamOp::Kind k) {
+    switch (k) {
+        case StreamOp::Kind::Launch: return "launch";
+        case StreamOp::Kind::CopyH2D: return "memcpy H2D async";
+        case StreamOp::Kind::CopyD2H: return "memcpy D2H async";
+        case StreamOp::Kind::CopyD2D: return "memcpy D2D async";
+        case StreamOp::Kind::Record: return "event record";
+        case StreamOp::Kind::Wait: return "wait event";
+    }
+    return "?";
+}
+
+void count_enqueue() {
+    if (cupp::trace::enabled()) {
+        static const cupp::trace::counter_handle ops("cusim.stream.ops_enqueued");
+        ops.add();
+    }
+}
+
+}  // namespace
+
+Device::Device(DeviceProperties props)
+    : props_(std::move(props)), memory_(props_.total_global_mem) {
+    static std::atomic<int> next_ordinal{0};
+    trace_ordinal_ = next_ordinal.fetch_add(1, std::memory_order_relaxed);
+    memory_.shadow().set_device(trace_ordinal_);
+}
+
+Device::~Device() = default;
+
+detail::StreamTable& Device::stream_table() {
+    if (!streams_) streams_ = std::make_unique<detail::StreamTable>();
+    return *streams_;
+}
+
+// --- creation / destruction -------------------------------------------------
+
+StreamId Device::stream_create() {
+    // Creating a stream allocates runtime resources; the Malloc site with a
+    // recognisable label lets fault plans target it.
+    fault_preflight(faults::Site::Malloc, "stream_create");
+    detail::StreamTable& t = stream_table();
+    const StreamId id = t.next_stream++;
+    t.streams[id];  // default StreamState: idle, empty queue
+    if (cupp::trace::enabled()) {
+        static const cupp::trace::counter_handle created("cusim.stream.created");
+        created.add();
+        cupp::trace::emit_instant(host_track(), "stream create",
+                                  trace_time_us(host_time_), {{"stream", id}});
+    }
+    return id;
+}
+
+void Device::stream_destroy(StreamId stream) {
+    detail::StreamTable& t = stream_table();
+    auto it = t.streams.find(stream);
+    if (it == t.streams.end()) {
+        throw Error(ErrorCode::InvalidValue, "stream_destroy: unknown stream");
+    }
+    // cudaStreamDestroy semantics: queued work still completes. Draining is
+    // global (the canonical order is device-wide), which executes at least
+    // everything this stream needs.
+    drain_streams();
+    t.streams.erase(stream);
+}
+
+EventId Device::event_create() {
+    fault_preflight(faults::Site::Malloc, "event_create");
+    detail::StreamTable& t = stream_table();
+    const EventId id = t.next_event++;
+    t.events[id];
+    return id;
+}
+
+void Device::event_destroy(EventId event) {
+    detail::StreamTable& t = stream_table();
+    if (t.events.erase(event) == 0) {
+        throw Error(ErrorCode::InvalidValue, "event_destroy: unknown event");
+    }
+    // Pending record/wait ops referencing the id degrade to no-ops at
+    // drain; ids are never reused, so no aliasing.
+}
+
+// --- enqueue ----------------------------------------------------------------
+
+void Device::launch_async(const LaunchConfig& cfg, const KernelEntry& entry,
+                          std::string_view name, StreamId stream) {
+    if (stream == kDefaultStream) {
+        (void)launch(cfg, entry, name);
+        return;
+    }
+    // Same atomic-rejection contract as launch(): preflight and validation
+    // happen at enqueue, before anything is queued, so an injected failure
+    // leaves no half-enqueued op and a retry is clean.
+    const std::string label = "async " + (name.empty() ? std::string("kernel")
+                                                       : std::string(name));
+    fault_preflight(faults::Site::Launch, label);
+    cfg.validate();
+    (void)blocks_per_mp(props_.cost, cfg);
+
+    detail::StreamTable& t = stream_table();
+    auto it = t.streams.find(stream);
+    if (it == t.streams.end()) {
+        throw Error(ErrorCode::InvalidValue, "launch_async: unknown stream");
+    }
+    StreamOp op;
+    op.kind = StreamOp::Kind::Launch;
+    op.seq = t.next_seq++;
+    op.issue_host_time = host_time_;
+    op.cfg = cfg;
+    op.entry = entry;
+    op.name = name.empty() ? std::string("kernel") : std::string(name);
+    it->second.pending.push_back(std::move(op));
+
+    // The host pays only the issue overhead, exactly like a legacy launch.
+    const double t0 = host_time_;
+    host_time_ += props_.cost.launch_overhead_s;
+    if (cupp::trace::enabled()) {
+        cupp::trace::emit_complete(host_track(),
+                                   "launch " + it->second.pending.back().name +
+                                       " (s" + std::to_string(stream) + ")",
+                                   trace_time_us(t0),
+                                   props_.cost.launch_overhead_s * 1e6,
+                                   {{"stream", stream}});
+    }
+    count_enqueue();
+}
+
+void Device::memcpy_to_device_async(DeviceAddr dst, const void* src,
+                                    std::uint64_t bytes, StreamId stream) {
+    if (stream == kDefaultStream) {
+        copy_to_device(dst, src, bytes);
+        return;
+    }
+    fault_preflight(faults::Site::MemcpyH2D, "async");
+    if (src == nullptr) throw Error(ErrorCode::InvalidValue, "null async H2D source");
+    if (!memory_.range_valid(dst, bytes)) {
+        throw Error(ErrorCode::InvalidDevicePointer,
+                    "async H2D outside any allocation");
+    }
+    detail::StreamTable& t = stream_table();
+    auto it = t.streams.find(stream);
+    if (it == t.streams.end()) {
+        throw Error(ErrorCode::InvalidValue, "memcpy_to_device_async: unknown stream");
+    }
+    StreamOp op;
+    op.kind = StreamOp::Kind::CopyH2D;
+    op.seq = t.next_seq++;
+    op.issue_host_time = host_time_;
+    op.dst = dst;
+    op.bytes = bytes;
+    // Pageable-memory semantics: snapshot now, so host writes to `src`
+    // after this call never leak into the copy.
+    const auto* p = static_cast<const std::byte*>(src);
+    op.staged.assign(p, p + bytes);
+    it->second.pending.push_back(std::move(op));
+    if (cupp::trace::enabled()) {
+        cupp::trace::emit_instant(
+            host_track(), "enqueue H2D (s" + std::to_string(stream) + ")",
+            trace_time_us(host_time_), {{"bytes", bytes}, {"stream", stream}});
+    }
+    count_enqueue();
+}
+
+void Device::memcpy_to_host_async(void* dst, DeviceAddr src, std::uint64_t bytes,
+                                  StreamId stream) {
+    if (stream == kDefaultStream) {
+        copy_to_host(dst, src, bytes);
+        return;
+    }
+    fault_preflight(faults::Site::MemcpyD2H, "async");
+    if (dst == nullptr) throw Error(ErrorCode::InvalidValue, "null async D2H destination");
+    if (!memory_.range_valid(src, bytes)) {
+        throw Error(ErrorCode::InvalidDevicePointer,
+                    "async D2H outside any allocation");
+    }
+    detail::StreamTable& t = stream_table();
+    auto it = t.streams.find(stream);
+    if (it == t.streams.end()) {
+        throw Error(ErrorCode::InvalidValue, "memcpy_to_host_async: unknown stream");
+    }
+    StreamOp op;
+    op.kind = StreamOp::Kind::CopyD2H;
+    op.seq = t.next_seq++;
+    op.issue_host_time = host_time_;
+    op.src = src;
+    op.bytes = bytes;
+    op.host_dst = dst;
+    if (memcheck::enabled()) {
+        detail::PendingHostWrite w;
+        w.begin = static_cast<const std::byte*>(dst);
+        w.end = w.begin + bytes;
+        w.stream = stream;
+        w.seq = op.seq;
+        t.host_writes.push_back(w);
+    }
+    it->second.pending.push_back(std::move(op));
+    if (cupp::trace::enabled()) {
+        cupp::trace::emit_instant(
+            host_track(), "enqueue D2H (s" + std::to_string(stream) + ")",
+            trace_time_us(host_time_), {{"bytes", bytes}, {"stream", stream}});
+    }
+    count_enqueue();
+}
+
+void Device::memcpy_device_to_device_async(DeviceAddr dst, DeviceAddr src,
+                                           std::uint64_t bytes, StreamId stream) {
+    if (stream == kDefaultStream) {
+        copy_device_to_device(dst, src, bytes);
+        return;
+    }
+    fault_preflight(faults::Site::MemcpyD2D, "async");
+    if (!memory_.range_valid(src, bytes) || !memory_.range_valid(dst, bytes)) {
+        throw Error(ErrorCode::InvalidDevicePointer,
+                    "async D2D outside any allocation");
+    }
+    detail::StreamTable& t = stream_table();
+    auto it = t.streams.find(stream);
+    if (it == t.streams.end()) {
+        throw Error(ErrorCode::InvalidValue,
+                    "memcpy_device_to_device_async: unknown stream");
+    }
+    StreamOp op;
+    op.kind = StreamOp::Kind::CopyD2D;
+    op.seq = t.next_seq++;
+    op.issue_host_time = host_time_;
+    op.dst = dst;
+    op.src = src;
+    op.bytes = bytes;
+    it->second.pending.push_back(std::move(op));
+    count_enqueue();
+}
+
+void Device::event_record(EventId event, StreamId stream) {
+    detail::StreamTable& t = stream_table();
+    auto ev = t.events.find(event);
+    if (ev == t.events.end()) {
+        throw Error(ErrorCode::InvalidValue, "event_record: unknown event");
+    }
+    if (stream == kDefaultStream) {
+        // Legacy-stream record: after all currently issued work, device-wide.
+        join_streams();
+        const std::uint64_t seq = t.next_seq++;
+        ev->second.time = std::max(host_time_, device_free_at_);
+        ev->second.last_record_seq = seq;
+        ev->second.completed_seq = seq;
+        return;
+    }
+    auto it = t.streams.find(stream);
+    if (it == t.streams.end()) {
+        throw Error(ErrorCode::InvalidValue, "event_record: unknown stream");
+    }
+    StreamOp op;
+    op.kind = StreamOp::Kind::Record;
+    op.seq = t.next_seq++;
+    op.issue_host_time = host_time_;
+    op.event = event;
+    ev->second.last_record_seq = op.seq;
+    it->second.pending.push_back(std::move(op));
+    if (cupp::trace::enabled()) {
+        static const cupp::trace::counter_handle recs("cusim.stream.events_recorded");
+        recs.add();
+    }
+    count_enqueue();
+}
+
+void Device::stream_wait_event(StreamId stream, EventId event) {
+    detail::StreamTable& t = stream_table();
+    auto ev = t.events.find(event);
+    if (ev == t.events.end()) {
+        throw Error(ErrorCode::InvalidValue, "stream_wait_event: unknown event");
+    }
+    if (stream == kDefaultStream) {
+        // The legacy stream orders behind the event: execute everything, then
+        // push the device-wide horizon past the recorded point.
+        join_streams();
+        device_free_at_ = std::max(device_free_at_, ev->second.time);
+        return;
+    }
+    auto it = t.streams.find(stream);
+    if (it == t.streams.end()) {
+        throw Error(ErrorCode::InvalidValue, "stream_wait_event: unknown stream");
+    }
+    StreamOp op;
+    op.kind = StreamOp::Kind::Wait;
+    op.seq = t.next_seq++;
+    op.issue_host_time = host_time_;
+    op.event = event;
+    // CUDA captures the event's *current* record; a later re-record does not
+    // move this wait. An unrecorded event makes the wait a no-op.
+    op.wait_target_seq = ev->second.last_record_seq;
+    op.wait_has_target = ev->second.last_record_seq != 0;
+    it->second.pending.push_back(std::move(op));
+    if (cupp::trace::enabled()) {
+        static const cupp::trace::counter_handle waits("cusim.stream.wait_events");
+        waits.add();
+    }
+    count_enqueue();
+}
+
+// --- the drain (canonical execution order) ----------------------------------
+
+bool Device::op_ready(const detail::StreamOp& op) const {
+    if (op.kind != StreamOp::Kind::Wait || !op.wait_has_target) return true;
+    const auto ev = streams_->events.find(op.event);
+    if (ev == streams_->events.end()) return true;  // destroyed -> no-op
+    return ev->second.completed_seq >= op.wait_target_seq;
+}
+
+void Device::execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp& op) {
+    detail::StreamTable& t = *streams_;
+    const bool tracing = cupp::trace::enabled();
+    switch (op.kind) {
+        case StreamOp::Kind::Launch: {
+            const LaunchStats stats = run_grid(op.cfg, op.entry, op.name);
+            const double start = std::max(st.free_at, op.issue_host_time);
+            st.free_at = start + stats.device_seconds;
+            last_launch_ = stats;
+            ++launch_count_;
+            record_launch(op.name, stats, start, st.free_at);
+            if (tracing) {
+                cupp::trace::emit_complete(
+                    stream_track(sid), op.name, trace_time_us(start),
+                    stats.device_seconds * 1e6,
+                    {{"stream", sid},
+                     {"blocks", stats.blocks},
+                     {"threads", stats.threads},
+                     {"threads_per_block", stats.threads_per_block},
+                     {"warps", stats.warps},
+                     {"compute_cycles", stats.compute_cycles},
+                     {"stall_cycles", stats.stall_cycles},
+                     {"bytes_read", stats.bytes_read},
+                     {"bytes_written", stats.bytes_written},
+                     {"divergent_events", stats.divergent_events},
+                     {"branch_evaluations", stats.branch_evaluations},
+                     {"syncthreads", stats.syncthreads_count},
+                     {"resident_blocks_per_mp", stats.resident_blocks_per_mp},
+                     {"bound_by", to_string(bound_by(stats, props_.cost))}});
+                static const cupp::trace::counter_handle launches(
+                    "cusim.stream.kernel_launches");
+                launches.add();
+            }
+            break;
+        }
+        case StreamOp::Kind::CopyH2D: {
+            const double start = std::max(st.free_at, op.issue_host_time);
+            const double secs =
+                props_.cost.transfer_latency_s +
+                static_cast<double>(op.bytes) / props_.cost.pcie_bandwidth_bytes_per_s;
+            st.free_at = start + secs;
+            memory_.write(op.dst, op.staged.data(), op.bytes);
+            bytes_to_device_ += op.bytes;
+            if (tracing) {
+                cupp::trace::emit_complete(stream_track(sid), op_label(op.kind),
+                                           trace_time_us(start), secs * 1e6,
+                                           {{"bytes", op.bytes}, {"kind", "H2D"}});
+                static const cupp::trace::counter_handle h2d("cusim.stream.bytes_h2d");
+                h2d.add(op.bytes);
+            }
+            break;
+        }
+        case StreamOp::Kind::CopyD2H: {
+            const double start = std::max(st.free_at, op.issue_host_time);
+            const double secs =
+                props_.cost.transfer_latency_s +
+                static_cast<double>(op.bytes) / props_.cost.pcie_bandwidth_bytes_per_s;
+            st.free_at = start + secs;
+            memory_.read(op.src, op.host_dst, op.bytes);
+            bytes_to_host_ += op.bytes;
+            for (detail::PendingHostWrite& w : t.host_writes) {
+                if (w.seq == op.seq) {
+                    w.drained = true;
+                    w.complete_at = st.free_at;
+                }
+            }
+            if (tracing) {
+                cupp::trace::emit_complete(stream_track(sid), op_label(op.kind),
+                                           trace_time_us(start), secs * 1e6,
+                                           {{"bytes", op.bytes}, {"kind", "D2H"}});
+                static const cupp::trace::counter_handle d2h("cusim.stream.bytes_d2h");
+                d2h.add(op.bytes);
+            }
+            break;
+        }
+        case StreamOp::Kind::CopyD2D: {
+            const double start = std::max(st.free_at, op.issue_host_time);
+            const double secs = static_cast<double>(op.bytes) /
+                                props_.cost.mem_bandwidth_bytes_per_s;
+            st.free_at = start + secs;
+            memory_.copy(op.dst, op.src, op.bytes);
+            if (tracing) {
+                cupp::trace::emit_complete(stream_track(sid), op_label(op.kind),
+                                           trace_time_us(start), secs * 1e6,
+                                           {{"bytes", op.bytes}, {"kind", "D2D"}});
+            }
+            break;
+        }
+        case StreamOp::Kind::Record: {
+            auto ev = t.events.find(op.event);
+            if (ev != t.events.end()) {
+                // An idle stream completes the record immediately at issue
+                // time; a busy one at its current horizon. When one event is
+                // recorded on several streams, drain order may execute an
+                // *older* record (lower enqueue seq) after a newer one — the
+                // newest record must win, or a wait targeting it would spin
+                // on a regressed completed_seq.
+                const double done = std::max(st.free_at, op.issue_host_time);
+                if (op.seq >= ev->second.completed_seq) {
+                    ev->second.time = done;
+                    ev->second.completed_seq = op.seq;
+                }
+                if (tracing) {
+                    cupp::trace::emit_instant(stream_track(sid), "event record",
+                                              trace_time_us(done),
+                                              {{"event", op.event}});
+                }
+            }
+            break;
+        }
+        case StreamOp::Kind::Wait: {
+            auto ev = t.events.find(op.event);
+            if (ev != t.events.end() && op.wait_has_target) {
+                st.free_at = std::max(st.free_at, ev->second.time);
+            }
+            break;
+        }
+    }
+}
+
+void Device::drain_streams() {
+    if (!streams_) return;
+    detail::StreamTable& t = *streams_;
+    for (;;) {
+        bool progress = false;
+        bool remaining = false;
+        for (auto& [sid, st] : t.streams) {
+            while (!st.pending.empty() && op_ready(st.pending.front())) {
+                // Pop before executing: a deferred kernel failure surfaces
+                // from the synchronizing call (as on CUDA) and the faulting
+                // op is consumed, so the queue stays drainable afterwards.
+                StreamOp op = std::move(st.pending.front());
+                st.pending.pop_front();
+                execute_op(sid, st, op);
+                progress = true;
+            }
+            if (!st.pending.empty()) remaining = true;
+        }
+        if (!remaining) return;
+        if (!progress) {
+            // Unreachable (see the deadlock-freedom argument above) —
+            // surfacing a bug beats spinning forever.
+            throw Error(ErrorCode::LaunchFailure, "stream drain stalled");
+        }
+    }
+}
+
+void Device::join_streams_slow() {
+    drain_streams();
+    for (const auto& [sid, st] : streams_->streams) {
+        device_free_at_ = std::max(device_free_at_, st.free_at);
+    }
+}
+
+// --- queries & synchronization ----------------------------------------------
+
+bool Device::stream_query(StreamId stream) const {
+    if (stream == kDefaultStream) return !kernel_active();
+    if (!streams_) {
+        throw Error(ErrorCode::InvalidValue, "stream_query: unknown stream");
+    }
+    const auto it = streams_->streams.find(stream);
+    if (it == streams_->streams.end()) {
+        throw Error(ErrorCode::InvalidValue, "stream_query: unknown stream");
+    }
+    return it->second.pending.empty() && it->second.free_at <= host_time_;
+}
+
+void Device::stream_synchronize(StreamId stream) {
+    if (stream == kDefaultStream) {
+        synchronize();
+        return;
+    }
+    fault_preflight(faults::Site::Sync, "stream");
+    detail::StreamTable& t = stream_table();
+    auto it = t.streams.find(stream);
+    if (it == t.streams.end()) {
+        throw Error(ErrorCode::InvalidValue, "stream_synchronize: unknown stream");
+    }
+    drain_streams();
+    host_time_ = std::max(host_time_, it->second.free_at);
+    prune_completed_async();
+}
+
+bool Device::event_query(EventId event) const {
+    if (!streams_) {
+        throw Error(ErrorCode::InvalidValue, "event_query: unknown event");
+    }
+    const auto it = streams_->events.find(event);
+    if (it == streams_->events.end()) {
+        throw Error(ErrorCode::InvalidValue, "event_query: unknown event");
+    }
+    const detail::EventState& ev = it->second;
+    if (ev.last_record_seq == 0) return true;  // never recorded: complete (CUDA)
+    return ev.completed_seq >= ev.last_record_seq && ev.time <= host_time_;
+}
+
+void Device::event_synchronize(EventId event) {
+    fault_preflight(faults::Site::Sync, "event");
+    detail::StreamTable& t = stream_table();
+    auto it = t.events.find(event);
+    if (it == t.events.end()) {
+        throw Error(ErrorCode::InvalidValue, "event_synchronize: unknown event");
+    }
+    drain_streams();
+    host_time_ = std::max(host_time_, it->second.time);
+    prune_completed_async();
+}
+
+double Device::event_elapsed_ms(EventId start, EventId stop) {
+    detail::StreamTable& t = stream_table();
+    auto a = t.events.find(start);
+    auto b = t.events.find(stop);
+    if (a == t.events.end() || b == t.events.end()) {
+        throw Error(ErrorCode::InvalidValue, "event_elapsed_ms: unknown event");
+    }
+    drain_streams();
+    if (a->second.last_record_seq == 0 || b->second.last_record_seq == 0) {
+        throw Error(ErrorCode::InvalidValue, "event_elapsed_ms: event never recorded");
+    }
+    if (a->second.time > host_time_ || b->second.time > host_time_) {
+        throw Error(ErrorCode::NotReady,
+                    "event_elapsed_ms: events not yet complete (synchronize first)");
+    }
+    return (b->second.time - a->second.time) * 1e3;
+}
+
+std::uint64_t Device::pending_async_ops() const {
+    if (!streams_) return 0;
+    std::uint64_t n = 0;
+    for (const auto& [sid, st] : streams_->streams) n += st.pending.size();
+    return n;
+}
+
+// --- async host-race detection (memcheck) ------------------------------------
+
+void Device::note_host_read(const void* p, std::uint64_t bytes) {
+    if (!streams_ || !memcheck::enabled()) return;
+    const auto* begin = static_cast<const std::byte*>(p);
+    const auto* end = begin + bytes;
+    for (const detail::PendingHostWrite& w : streams_->host_writes) {
+        const bool in_flight = !w.drained || w.complete_at > host_time_;
+        if (!in_flight || begin >= w.end || end <= w.begin) continue;
+        memcheck::Violation v;
+        v.kind = memcheck::Kind::AsyncHostRace;
+        v.message = "host read of " + std::to_string(bytes) +
+                    " byte(s) races an in-flight async D2H copy on stream " +
+                    std::to_string(w.stream) +
+                    " (synchronize the stream before touching the destination)";
+        v.origin = "stream " + std::to_string(w.stream) + " D2H";
+        v.addr = reinterpret_cast<std::uintptr_t>(p);
+        v.bytes = bytes;
+        v.device = trace_ordinal_;
+        memcheck::record(std::move(v));
+        if (memcheck::strict()) {
+            throw Error(ErrorCode::MemcheckViolation,
+                        "async host race (strict memcheck)");
+        }
+        return;  // one report per touched range is enough
+    }
+}
+
+void Device::prune_completed_async() {
+    if (!streams_) return;
+    auto& ws = streams_->host_writes;
+    ws.erase(std::remove_if(ws.begin(), ws.end(),
+                            [&](const detail::PendingHostWrite& w) {
+                                return w.drained && w.complete_at <= host_time_;
+                            }),
+             ws.end());
+}
+
+// --- reset paths --------------------------------------------------------------
+
+void Device::reset_stream_clocks() {
+    for (auto& [sid, st] : streams_->streams) st.free_at = 0.0;
+}
+
+void Device::abandon_streams() {
+    // Queued work died with the device: drop it unexecuted. Events whose
+    // record was still queued complete at the reset point so waits and
+    // event_synchronize can't stall on an op that will never run.
+    detail::StreamTable& t = *streams_;
+    for (auto& [sid, st] : t.streams) {
+        for (const StreamOp& op : st.pending) {
+            if (op.kind != StreamOp::Kind::Record) continue;
+            auto ev = t.events.find(op.event);
+            if (ev != t.events.end() && ev->second.completed_seq < op.seq) {
+                ev->second.time = host_time_;
+                ev->second.completed_seq = op.seq;
+            }
+        }
+        st.pending.clear();
+        st.free_at = host_time_;
+    }
+    t.host_writes.clear();
+}
+
+}  // namespace cusim

@@ -1,0 +1,128 @@
+// cupp::shared_device_ptr semantics (thesis §4.2): shared ownership with
+// boost-style refcounts, automatic free of the underlying global memory at
+// the last release, aliasing on copy (the handle is shared, the device data
+// is one block), and interop with asynchronous streams (the free at the
+// last release joins queued work that still targets the block).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cupp/cupp.hpp"
+
+namespace {
+
+using cusim::KernelTask;
+using cusim::ThreadCtx;
+
+TEST(SharedPtr, RefcountLifecycle) {
+    cupp::device d;
+    cupp::shared_device_ptr<int> p;
+    EXPECT_FALSE(p);
+    EXPECT_EQ(p.use_count(), 0);
+    EXPECT_EQ(p.size(), 0u);
+
+    p = cupp::shared_device_ptr<int>(d, 16);
+    EXPECT_TRUE(p);
+    EXPECT_TRUE(p.unique());
+    EXPECT_EQ(p.size(), 16u);
+
+    cupp::shared_device_ptr<int> q = p;
+    EXPECT_EQ(p.use_count(), 2);
+    EXPECT_EQ(q.use_count(), 2);
+    EXPECT_FALSE(p.unique());
+    EXPECT_EQ(p, q);  // copies alias the same block
+
+    q.reset();
+    EXPECT_TRUE(p.unique());
+    EXPECT_FALSE(q);
+}
+
+TEST(SharedPtr, CopiesShareTheSameDeviceBlock) {
+    cupp::device d;
+    cupp::shared_device_ptr<int> p(d, 8);
+    cupp::shared_device_ptr<int> q = p;
+    EXPECT_EQ(p.addr(), q.addr());
+
+    std::vector<int> src(8);
+    std::iota(src.begin(), src.end(), 100);
+    p.upload(src.data());
+
+    // A write through one handle is visible through the other: the copy is
+    // shallow by design (unlike cupp::vector's deep dataset copy).
+    std::vector<int> dst(8, 0);
+    q.download(dst.data());
+    EXPECT_EQ(dst, src);
+}
+
+TEST(SharedPtr, LastReleaseFreesTheGlobalMemory) {
+    cupp::device d;
+    const auto used_before = d.sim().memory().used();
+    {
+        cupp::shared_device_ptr<float> p(d, 1024);
+        EXPECT_GT(d.sim().memory().used(), used_before);
+        {
+            cupp::shared_device_ptr<float> q = p;
+            cupp::shared_device_ptr<float> r = q;
+            EXPECT_EQ(p.use_count(), 3);
+        }
+        // Inner copies gone, block still owned.
+        EXPECT_TRUE(p.unique());
+        EXPECT_GT(d.sim().memory().used(), used_before);
+    }
+    EXPECT_EQ(d.sim().memory().used(), used_before);
+}
+
+TEST(SharedPtr, SwapAndSelfAssignment) {
+    cupp::device d;
+    cupp::shared_device_ptr<int> a(d, 4);
+    cupp::shared_device_ptr<int> b(d, 8);
+    const auto addr_a = a.addr();
+    const auto addr_b = b.addr();
+    a.swap(b);
+    EXPECT_EQ(a.addr(), addr_b);
+    EXPECT_EQ(b.addr(), addr_a);
+    EXPECT_EQ(a.size(), 8u);
+
+    a = *&a;  // self-assignment keeps the block alive
+    EXPECT_TRUE(a);
+    EXPECT_EQ(a.addr(), addr_b);
+    EXPECT_TRUE(a.unique());
+}
+
+KernelTask bump_kernel(ThreadCtx& ctx, cusim::DevicePtr<int> data) {
+    data.write(ctx, ctx.global_id(), data.read(ctx, ctx.global_id()) + 1);
+    co_return;
+}
+
+TEST(SharedPtr, KernelWritesThroughDevicePtrView) {
+    cupp::device d;
+    cupp::shared_device_ptr<int> p(d, 32);
+    std::vector<int> src(32, 41);
+    p.upload(src.data());
+    d.sim().launch(cusim::LaunchConfig{cusim::dim3{1}, cusim::dim3{32}},
+                   [&](ThreadCtx& ctx) { return bump_kernel(ctx, p.device_ptr()); },
+                   "bump");
+    std::vector<int> dst(32, 0);
+    p.download(dst.data());
+    for (int v : dst) EXPECT_EQ(v, 42);
+}
+
+TEST(SharedPtr, AsyncCopyIntoSharedBlockCompletesBeforeTheFree) {
+    cupp::device d;
+    std::vector<int> dst(16, 0);
+    {
+        cupp::stream s(d);
+        cupp::shared_device_ptr<int> p(d, 16);
+        std::vector<int> src(16);
+        std::iota(src.begin(), src.end(), 1);
+        p.upload(src.data());
+        // Queue a D2H against the shared block, then drop every handle
+        // before synchronizing: the State dtor's free joins the stream, so
+        // the queued copy reads the block before it is released.
+        d.sim().memcpy_to_host_async(dst.data(), p.addr(), 16 * sizeof(int), s.id());
+    }
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(dst[i], i + 1);
+}
+
+}  // namespace

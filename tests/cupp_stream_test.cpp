@@ -1,0 +1,189 @@
+// cupp-layer stream tests: the RAII stream/event handles, the stream-bound
+// kernel::operator() overload, cupp::vector prefetch integration with the
+// §4.6 lazy validity flags (a stale side touched while an async copy is in
+// flight synchronizes first), and cupp::memory1d async transfers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cupp/cupp.hpp"
+
+namespace {
+
+using cusim::KernelTask;
+using cusim::ThreadCtx;
+
+KernelTask double_elements(ThreadCtx& ctx, cupp::deviceT::vector<int>& v) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < v.size()) {
+        v.write(ctx, gid, v.read(ctx, gid) * 2);
+    }
+    co_return;
+}
+using DoubleK = KernelTask (*)(ThreadCtx&, cupp::deviceT::vector<int>&);
+
+TEST(Stream, RaiiAndBasicLifecycle) {
+    cupp::device d;
+    cupp::stream s(d);
+    EXPECT_NE(s.id(), cusim::kDefaultStream);
+    EXPECT_TRUE(s.query());
+    s.synchronize();  // idle synchronize is a no-op
+
+    cupp::event ev(d);
+    EXPECT_TRUE(ev.query());  // never recorded: complete (CUDA semantics)
+    ev.record(s);
+    s.synchronize();
+    EXPECT_TRUE(ev.query());
+
+    // Move transfers ownership; the moved-from handle dies silently.
+    cupp::stream s2(std::move(s));
+    EXPECT_TRUE(s2.query());
+}
+
+TEST(Stream, KernelStreamOverloadDefersExecution) {
+    cupp::device d;
+    cupp::stream s(d);
+    cupp::vector<int> v = {1, 2, 3, 4, 5};
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{1},
+                   cusim::dim3{32});
+
+    const std::uint64_t launches_before = d.sim().launches();
+    k(d, s, v);  // container arg: fully asynchronous
+    EXPECT_EQ(d.sim().launches(), launches_before);  // enqueued, not run
+    EXPECT_GT(d.sim().pending_async_ops(), 0u);
+    s.synchronize();
+    EXPECT_EQ(d.sim().launches(), launches_before + 1);
+    // dirty() marked the host copy stale at call time; this read downloads.
+    EXPECT_EQ(static_cast<int>(v[0]), 2);
+    EXPECT_EQ(static_cast<int>(v[4]), 10);
+}
+
+TEST(Stream, EventsTimeAKernelOnAStream) {
+    cupp::device d;
+    cupp::stream s(d);
+    cupp::vector<int> v(256, 1);
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{8},
+                   cusim::dim3{32});
+    cupp::event t0(d), t1(d);
+    t0.record(s);
+    k(d, s, v);
+    t1.record(s);
+    s.synchronize();
+    EXPECT_GT(cupp::event::elapsed_ms(t0, t1), 0.0);
+}
+
+TEST(Stream, VectorPrefetchToDeviceSkipsTheLazyUploadAtCallTime) {
+    cupp::device d;
+    cupp::stream s(d);
+    cupp::vector<int> v(128, 3);
+    v.prefetch_to_device(d, s);
+    EXPECT_EQ(v.uploads(), 1u);
+    EXPECT_TRUE(v.device_data_valid());
+
+    // The kernel call finds the device copy valid: no second upload, and the
+    // launch rides the same stream behind the queued copy (FIFO).
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{4},
+                   cusim::dim3{32});
+    k(d, s, v);
+    s.synchronize();
+    EXPECT_EQ(v.uploads(), 1u);
+    EXPECT_EQ(static_cast<int>(v[0]), 6);
+
+    // Already-valid device copy: prefetch is a counted no-op.
+    v.prefetch_to_device(d, s);
+    EXPECT_EQ(v.uploads(), 1u);
+}
+
+TEST(Stream, VectorPrefetchToHostSynchronizesOnFirstHostTouch) {
+    cupp::device d;
+    cupp::stream s(d);
+    cupp::vector<int> v(64, 5);
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{2},
+                   cusim::dim3{32});
+    k(d, s, v);  // host copy now stale
+    EXPECT_FALSE(v.host_data_valid());
+
+    v.prefetch_to_host(s);
+    EXPECT_TRUE(v.prefetch_pending());
+    EXPECT_FALSE(v.host_data_valid());  // stale until the covering sync
+    EXPECT_EQ(v.downloads(), 0u);
+
+    // First host read: the pending transfer is synchronized, not re-run.
+    EXPECT_EQ(static_cast<int>(v[0]), 10);
+    EXPECT_FALSE(v.prefetch_pending());
+    EXPECT_TRUE(v.host_data_valid());
+    EXPECT_EQ(v.downloads(), 1u);
+
+    // Redundant prefetch on a valid host copy: no-op.
+    v.prefetch_to_host(s);
+    EXPECT_FALSE(v.prefetch_pending());
+    EXPECT_EQ(v.downloads(), 1u);
+}
+
+TEST(Stream, VectorPrefetchedDownloadDiscardedWhenKernelDirtiesDevice) {
+    cupp::device d;
+    cupp::stream s(d);
+    cupp::vector<int> v(64, 1);
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{2},
+                   cusim::dim3{32});
+    k(d, s, v);          // device holds 2s
+    v.prefetch_to_host(s);  // snapshot of the 2s enqueued...
+    k(d, s, v);          // ...but a second kernel doubles again (4s)
+    // The pending download no longer proves host validity: the read below
+    // must re-download the *post-kernel* data.
+    EXPECT_EQ(static_cast<int>(v[0]), 4);
+    EXPECT_EQ(static_cast<int>(v[63]), 4);
+}
+
+TEST(Stream, VectorHostWriteWhilePrefetchInFlightSynchronizesFirst) {
+    cupp::device d;
+    cupp::stream s(d);
+    cupp::vector<int> v(32, 7);
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{1},
+                   cusim::dim3{32});
+    k(d, s, v);
+    v.prefetch_to_host(s);
+    // Host write to a stale side with a copy in flight: the proxy's
+    // ensure_host synchronizes the stream before the write lands, so the
+    // write is not clobbered by the queued transfer.
+    v[0] = 1000;
+    EXPECT_FALSE(v.prefetch_pending());
+    EXPECT_EQ(static_cast<int>(v[0]), 1000);
+    EXPECT_EQ(static_cast<int>(v[1]), 14);
+    // And the write invalidated the device side, as §4.6 rule 4 demands.
+    EXPECT_FALSE(v.device_data_valid());
+}
+
+TEST(Stream, Memory1dAsyncRoundTrip) {
+    cupp::device d;
+    cupp::stream s(d);
+    std::vector<int> src(64);
+    std::iota(src.begin(), src.end(), 0);
+    cupp::memory1d<int> mem(d, std::uint64_t{64});
+
+    mem.copy_from_host_async(src.data(), s);
+    // Pageable semantics: the source may be reused immediately.
+    std::fill(src.begin(), src.end(), -1);
+
+    std::vector<int> dst(64, 0);
+    mem.copy_to_host_async(dst.data(), s);
+    s.synchronize();
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(dst[i], i);
+}
+
+TEST(Stream, DefaultStreamInteropJoinsQueuedWork) {
+    cupp::device d;
+    cupp::stream s(d);
+    cupp::vector<int> v(32, 2);
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{1},
+                   cusim::dim3{32});
+    k(d, s, v);
+    // A synchronous (default-stream) call on the same device joins the
+    // queue first — the async kernel's writes are visible to it.
+    k(d, v);
+    EXPECT_EQ(static_cast<int>(v[0]), 8);
+    EXPECT_EQ(d.sim().pending_async_ops(), 0u);
+}
+
+}  // namespace

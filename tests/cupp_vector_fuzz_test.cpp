@@ -245,6 +245,125 @@ TEST_P(FaultyVectorFuzz, OracleAndValidityFlagsSurviveInjectedFaults) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultyVectorFuzz,
                          ::testing::Values(11ull, 23ull, 4242ull));
 
+// The lazy state machine with asynchronous streams in the mix: prefetches,
+// stream-bound kernel calls and host proxy accesses interleave against the
+// same fault plan. A transient failure can now strike mid-async-copy — at
+// the enqueue, at the covering synchronize, or at the joining legacy op —
+// and every path must stay atomic: a throw means the oracle update is
+// skipped and the host-side truth (whichever side owns it) survives.
+class AsyncVectorFuzz : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+    void SetUp() override {
+        cusim::memcheck::enable();
+        cusim::memcheck::set_strict(false);
+        cusim::memcheck::reset();
+        auto rule = [](cusim::faults::Site site, cusim::ErrorCode code, double p) {
+            cusim::faults::Rule r;
+            r.site = site;
+            r.code = code;
+            r.probability = p;
+            return r;
+        };
+        cusim::faults::configure(
+            {rule(cusim::faults::Site::Malloc, cusim::ErrorCode::MemoryAllocation, 0.02),
+             rule(cusim::faults::Site::MemcpyH2D, cusim::ErrorCode::TransferFailure, 0.05),
+             rule(cusim::faults::Site::MemcpyD2H, cusim::ErrorCode::TransferFailure, 0.05),
+             rule(cusim::faults::Site::Launch, cusim::ErrorCode::LaunchFailure, 0.05),
+             rule(cusim::faults::Site::Sync, cusim::ErrorCode::TransferFailure, 0.03)},
+            GetParam());
+    }
+    void TearDown() override {
+        cusim::faults::reset();
+        cusim::memcheck::disable();
+        cusim::memcheck::reset();
+    }
+};
+
+TEST_P(AsyncVectorFuzz, HostTruthSurvivesFaultsMidAsyncCopy) {
+    steer::Lcg rng(GetParam() * 31 + 5);
+    cupp::device d;
+    cupp::stream s(d);
+    cupp::kernel add_k(static_cast<AddK>(add_one), cusim::dim3{8}, cusim::dim3{64});
+
+    cupp::vector<int> v;
+    std::vector<int> oracle;
+    int exhausted = 0;
+
+    for (int step = 0; step < 250; ++step) {
+        try {
+            switch (rng.next_u32() % 8) {
+                case 0: {  // push_back (syncs a pending download first)
+                    const int x = static_cast<int>(rng.next_u32() % 1000);
+                    v.push_back(x);
+                    oracle.push_back(x);
+                    break;
+                }
+                case 1: {  // proxy write against a possibly in-flight copy
+                    if (!oracle.empty()) {
+                        const auto i = rng.next_u32() % oracle.size();
+                        const int x = static_cast<int>(rng.next_u32() % 1000);
+                        v[i] = x;
+                        oracle[i] = x;
+                    }
+                    break;
+                }
+                case 2: {  // proxy read against a possibly in-flight copy
+                    if (!oracle.empty()) {
+                        const auto i = rng.next_u32() % oracle.size();
+                        ASSERT_EQ(static_cast<int>(v[i]), oracle[i]) << "step " << step;
+                    }
+                    break;
+                }
+                case 3: {  // async upload
+                    if (!oracle.empty()) v.prefetch_to_device(d, s);
+                    break;
+                }
+                case 4: {  // async download (leaves the host stale until sync)
+                    if (!oracle.empty()) v.prefetch_to_host(s);
+                    break;
+                }
+                case 5: {  // stream-bound kernel call
+                    if (!oracle.empty() && oracle.size() <= 512) {
+                        add_k(d, s, v);
+                        for (auto& x : oracle) ++x;
+                    }
+                    break;
+                }
+                case 6: {  // explicit synchronize (faultable Sync site)
+                    s.synchronize();
+                    break;
+                }
+                case 7: {  // resize over whatever is in flight
+                    const auto n = rng.next_u32() % 64;
+                    v.resize(n);
+                    oracle.resize(n);
+                    break;
+                }
+            }
+        } catch (const cupp::exception& e) {
+            ASSERT_TRUE(e.transient()) << "step " << step << ": " << e.what();
+            ++exhausted;
+        }
+        ASSERT_EQ(v.size(), oracle.size()) << "step " << step;
+        // The invariant of §4.6 extended to streams: one side owns the
+        // truth, or a queued download is on its way to restoring it.
+        ASSERT_TRUE(v.host_data_valid() || v.device_data_valid() ||
+                    v.prefetch_pending())
+            << "step " << step;
+    }
+
+    EXPECT_GT(cusim::faults::injections(), 0u) << "the plan never fired";
+    EXPECT_LE(exhausted, 25);
+
+    cusim::faults::disable();
+    EXPECT_EQ(v.snapshot(), oracle);
+    EXPECT_TRUE(cusim::memcheck::violations().empty())
+        << "async fault handling must not leak or corrupt device memory";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncVectorFuzz,
+                         ::testing::Values(5ull, 77ull, 8181ull));
+
 class AllocatorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(AllocatorFuzz, NeverCorruptsLiveAllocations) {

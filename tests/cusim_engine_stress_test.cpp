@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <vector>
 
 #include "cusim/cusim.hpp"
 
@@ -11,11 +12,14 @@ namespace {
 
 using namespace cusim;
 
-KernelTask count_me(ThreadCtx& ctx, DevicePtr<std::uint32_t> counter) {
-    // Serialised execution in the engine makes this race-free; on real
-    // hardware this would need an atomic (which compute capability 1.0
-    // lacks — §3.2.1 mentions atomics as an optional capability).
-    counter.write(ctx, 0, counter.read(ctx, 0) + 1);
+KernelTask count_me(ThreadCtx& ctx, DevicePtr<std::uint32_t> counters) {
+    // One counter slot per block: threads within a block are serialised by
+    // the engine, but blocks may run on concurrent host workers, and compute
+    // capability 1.0 has no global atomics (§3.2.1 lists them as optional),
+    // so a single cross-block counter would be a data race — in the
+    // simulator and on the hardware alike.
+    const std::uint64_t bid = ctx.linear_bid();
+    counters.write(ctx, bid, counters.read(ctx, bid) + 1);
     co_return;
 }
 
@@ -25,15 +29,18 @@ class GeometrySweep
 TEST_P(GeometrySweep, EveryThreadRunsExactlyOnce) {
     const auto [gx, gy, threads] = GetParam();
     Device dev(tiny_properties());
-    auto counter = dev.malloc_n<std::uint32_t>(1);
-    const std::uint32_t zero = 0;
-    dev.copy_to_device(counter.addr(), &zero, 4);
+    const std::uint64_t nblocks = std::uint64_t{gx} * gy;
+    auto counters = dev.malloc_n<std::uint32_t>(nblocks);
+    const std::vector<std::uint32_t> zeros(nblocks, 0);
+    dev.copy_to_device(counters.addr(), zeros.data(), nblocks * 4);
 
     LaunchConfig cfg{dim3{gx, gy}, dim3{threads}};
     auto stats =
-        dev.launch(cfg, [&](ThreadCtx& ctx) { return count_me(ctx, counter); });
-    std::uint32_t total = 0;
-    dev.copy_to_host(&total, counter.addr(), 4);
+        dev.launch(cfg, [&](ThreadCtx& ctx) { return count_me(ctx, counters); });
+    std::vector<std::uint32_t> per_block(nblocks);
+    dev.copy_to_host(per_block.data(), counters.addr(), nblocks * 4);
+    const std::uint64_t total =
+        std::accumulate(per_block.begin(), per_block.end(), std::uint64_t{0});
     EXPECT_EQ(total, cfg.total_threads());
     EXPECT_EQ(stats.threads, cfg.total_threads());
 }

@@ -1,0 +1,519 @@
+// cusim stream & event semantics: deferred FIFO execution, cross-stream
+// event ordering, query/synchronize/NotReady behaviour, the runtime-API
+// mirrors, per-stream trace lanes and counters, async host-race detection,
+// and fault injection at the async entry points. The determinism contract
+// across engine thread counts lives in cusim_stream_diff_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cupp/trace.hpp"
+#include "cusim/cusim.hpp"
+#include "cusim/faults.hpp"
+#include "cusim/runtime_api.hpp"
+
+namespace {
+
+using namespace cusim;
+
+KernelTask fill_kernel(ThreadCtx& ctx, DevicePtr<int> out, int value) {
+    out.write(ctx, ctx.global_id(), value);
+    co_return;
+}
+
+KernelTask add_kernel(ThreadCtx& ctx, DevicePtr<int> data, int delta) {
+    const int v = data.read(ctx, ctx.global_id());
+    data.write(ctx, ctx.global_id(), v + delta);
+    co_return;
+}
+
+LaunchConfig small_cfg() { return LaunchConfig{dim3{2}, dim3{16}}; }
+
+// Compute-heavy: modelled duration far above the µs-scale host overhead of
+// enqueueing, so timing assertions see the kernel, not the issue cost.
+KernelTask burn_kernel(ThreadCtx& ctx, DevicePtr<int> out, int value) {
+    ctx.charge(Op::FMad, 1'000'000);
+    out.write(ctx, ctx.global_id(), value);
+    co_return;
+}
+
+TEST(Stream, CreateQueryDestroy) {
+    Device dev(tiny_properties());
+    const StreamId s = dev.stream_create();
+    EXPECT_NE(s, kDefaultStream);
+    EXPECT_TRUE(dev.stream_query(s));  // fresh stream: idle
+    dev.stream_destroy(s);
+    EXPECT_THROW((void)dev.stream_query(s), Error);
+    EXPECT_THROW(dev.stream_destroy(s), Error);
+}
+
+TEST(Stream, RaiiHandlesAreMoveOnly) {
+    Device dev(tiny_properties());
+    Stream a(dev);
+    const StreamId id = a.id();
+    Stream b(std::move(a));
+    EXPECT_EQ(b.id(), id);
+    EXPECT_TRUE(b.query());
+    Event ev(dev);
+    ev.record(b);
+    b.synchronize();
+    EXPECT_TRUE(ev.query());
+}
+
+TEST(Stream, LaunchIsDeferredUntilSynchronize) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId s = dev.stream_create();
+
+    const std::uint64_t launches_before = dev.launches();
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 7); },
+                     "fill", s);
+    // Enqueued, not executed: the launch counter and the queue say so.
+    EXPECT_EQ(dev.launches(), launches_before);
+    EXPECT_EQ(dev.pending_async_ops(), 1u);
+    EXPECT_FALSE(dev.stream_query(s));
+
+    dev.stream_synchronize(s);
+    EXPECT_EQ(dev.launches(), launches_before + 1);
+    EXPECT_EQ(dev.pending_async_ops(), 0u);
+    EXPECT_TRUE(dev.stream_query(s));
+
+    std::vector<int> host(cfg.total_threads());
+    dev.download(std::span<int>(host), buf);
+    for (int v : host) EXPECT_EQ(v, 7);
+}
+
+TEST(Stream, FifoOrderWithinOneStream) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId s = dev.stream_create();
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 10); },
+                     "fill", s);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 5); },
+                     "add", s);
+    dev.stream_synchronize(s);
+    std::vector<int> host(cfg.total_threads());
+    dev.download(std::span<int>(host), buf);
+    for (int v : host) EXPECT_EQ(v, 15);  // fill before add, FIFO
+}
+
+TEST(Stream, AsyncH2DSnapshotsTheSourceAtEnqueue) {
+    Device dev(tiny_properties());
+    auto buf = dev.malloc_n<int>(8);
+    const StreamId s = dev.stream_create();
+    std::vector<int> src(8, 42);
+    dev.memcpy_to_device_async(buf.addr(), src.data(), src.size() * sizeof(int), s);
+    // Pageable semantics: mutating the source now must not affect the copy.
+    std::fill(src.begin(), src.end(), -1);
+    dev.stream_synchronize(s);
+    std::vector<int> host(8);
+    dev.download(std::span<int>(host), buf);
+    for (int v : host) EXPECT_EQ(v, 42);
+}
+
+TEST(Stream, AsyncD2HWritesDestinationOnlyAtDrain) {
+    Device dev(tiny_properties());
+    auto buf = dev.malloc_n<int>(4);
+    const std::vector<int> init{1, 2, 3, 4};
+    dev.upload(buf, std::span<const int>(init));
+    const StreamId s = dev.stream_create();
+    std::vector<int> dst(4, 0);
+    dev.memcpy_to_host_async(dst.data(), buf.addr(), dst.size() * sizeof(int), s);
+    EXPECT_EQ(dst, std::vector<int>({0, 0, 0, 0}));  // still queued
+    dev.stream_synchronize(s);
+    EXPECT_EQ(dst, init);
+}
+
+TEST(Stream, LegacyOpJoinsAllStreams) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId s = dev.stream_create();
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 3); },
+                     "fill", s);
+    // No explicit stream sync: the legacy download must execute the queue
+    // first (default-stream semantics).
+    std::vector<int> host(cfg.total_threads());
+    dev.download(std::span<int>(host), buf);
+    for (int v : host) EXPECT_EQ(v, 3);
+    EXPECT_EQ(dev.pending_async_ops(), 0u);
+}
+
+TEST(Stream, WaitEventOrdersAcrossStreams) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    // Consumer has the *smaller* id, so the drain visits it first and must
+    // yield on the wait until the producer's record has executed.
+    const StreamId consumer = dev.stream_create();
+    const StreamId producer = dev.stream_create();
+    ASSERT_LT(consumer, producer);
+    const EventId ev = dev.event_create();
+
+    const EventId before = dev.event_create();
+    dev.event_record(before, producer);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 100); },
+                     "produce", producer);
+    dev.event_record(ev, producer);
+    dev.stream_wait_event(consumer, ev);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 11); },
+                     "consume", consumer);
+    dev.synchronize();
+
+    std::vector<int> host(cfg.total_threads());
+    dev.download(std::span<int>(host), buf);
+    for (int v : host) EXPECT_EQ(v, 111);  // produce happened before consume
+
+    // The consumer's modelled clock also ordered behind the producer's.
+    const double gap_ms = dev.event_elapsed_ms(before, ev);
+    EXPECT_GT(gap_ms, 0.0);
+}
+
+TEST(Stream, WaitOnUnrecordedEventIsANoOp) {
+    Device dev(tiny_properties());
+    const StreamId s = dev.stream_create();
+    const EventId ev = dev.event_create();
+    dev.stream_wait_event(s, ev);  // never recorded: must not stall
+    dev.stream_synchronize(s);
+    EXPECT_TRUE(dev.stream_query(s));
+}
+
+TEST(Stream, WaitCapturesTheRecordAtEnqueueTime) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId a = dev.stream_create();
+    const StreamId b = dev.stream_create();
+    const EventId ev = dev.event_create();
+    dev.event_record(ev, a);
+    dev.stream_wait_event(b, ev);
+    // Re-recording after the wait was enqueued must not move that wait.
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 1); },
+                     "late", a);
+    dev.event_record(ev, a);
+    dev.stream_synchronize(b);  // drains; would stall if the wait tracked the re-record
+    SUCCEED();
+    dev.synchronize();
+}
+
+TEST(Event, QueryAndSynchronizeSemantics) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId s = dev.stream_create();
+    const EventId ev = dev.event_create();
+    EXPECT_THROW((void)dev.event_query(999999), Error);
+
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 1); },
+                     "fill", s);
+    dev.event_record(ev, s);
+    EXPECT_FALSE(dev.event_query(ev));  // record still queued
+    dev.event_synchronize(ev);
+    EXPECT_TRUE(dev.event_query(ev));
+    // The stream's tail op was the record, so the whole stream is idle too.
+    EXPECT_TRUE(dev.stream_query(s));
+}
+
+TEST(Event, ElapsedMeasuresModelledKernelTime) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId s = dev.stream_create();
+    const EventId t0 = dev.event_create();
+    const EventId t1 = dev.event_create();
+    dev.event_record(t0, s);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return burn_kernel(ctx, buf, 2); },
+                     "burn", s);
+    dev.event_record(t1, s);
+    dev.stream_synchronize(s);
+    const double ms = dev.event_elapsed_ms(t0, t1);
+    // Elapsed covers the kernel plus only the µs-scale gap between the t0
+    // record completing and the launch being issued on the host.
+    const double kernel_ms = dev.last_launch().device_seconds * 1e3;
+    EXPECT_GT(kernel_ms, 0.0);
+    EXPECT_GE(ms, kernel_ms);
+    EXPECT_LT(ms - kernel_ms, 0.1);
+
+    const EventId never = dev.event_create();
+    EXPECT_THROW((void)dev.event_elapsed_ms(t0, never), Error);
+}
+
+TEST(Stream, IndependentStreamsOverlapOnTheModelledTimeline) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto a = dev.malloc_n<int>(cfg.total_threads());
+    auto b = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId s1 = dev.stream_create();
+    const StreamId s2 = dev.stream_create();
+    const double issue = dev.host_time();
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return burn_kernel(ctx, a, 1); },
+                     "a", s1);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return burn_kernel(ctx, b, 2); },
+                     "b", s2);
+    dev.synchronize();
+    const double makespan = dev.host_time() - issue;
+    const double per_kernel = dev.last_launch().device_seconds;
+    // Two equal kernels on independent streams: the makespan is one kernel
+    // (plus issue overhead), not two — async enqueue overlapped them.
+    EXPECT_LT(makespan, 2.0 * per_kernel);
+    EXPECT_GE(makespan, per_kernel);
+}
+
+TEST(Stream, DeferredKernelFailureSurfacesAtSynchronize) {
+    Device dev(tiny_properties());
+    const StreamId s = dev.stream_create();
+    dev.launch_async(
+        small_cfg(),
+        [](ThreadCtx& ctx) -> KernelTask {
+            if (ctx.global_id() == 0) throw std::runtime_error("deferred boom");
+            co_return;
+        },
+        "boom", s);
+    try {
+        dev.stream_synchronize(s);
+        FAIL() << "expected the deferred failure at the sync point";
+    } catch (const Error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::LaunchFailure);
+        EXPECT_NE(std::string(e.what()).find("deferred boom"), std::string::npos);
+    }
+    // The faulting op was consumed: the stream stays usable.
+    dev.stream_synchronize(s);
+    EXPECT_TRUE(dev.stream_query(s));
+}
+
+TEST(Stream, ResetDeviceAbandonsQueuedWork) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId s = dev.stream_create();
+    const EventId ev = dev.event_create();
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 9); },
+                     "doomed", s);
+    dev.event_record(ev, s);
+    dev.reset_device();
+    EXPECT_EQ(dev.pending_async_ops(), 0u);
+    // The orphaned record completed at the reset point: no stall, no NotReady.
+    dev.event_synchronize(ev);
+    EXPECT_TRUE(dev.event_query(ev));
+    dev.stream_synchronize(s);
+}
+
+TEST(Stream, UnknownIdsAreInvalidValue) {
+    Device dev(tiny_properties());
+    (void)dev.stream_create();  // materialise the table
+    const auto code = [](auto&& fn) {
+        try {
+            fn();
+        } catch (const Error& e) {
+            return e.code();
+        }
+        return ErrorCode::Success;
+    };
+    EXPECT_EQ(code([&] { dev.stream_synchronize(404); }), ErrorCode::InvalidValue);
+    EXPECT_EQ(code([&] {
+                  dev.launch_async(small_cfg(), [](ThreadCtx&) -> KernelTask { co_return; },
+                                   "x", 404);
+              }),
+              ErrorCode::InvalidValue);
+    EXPECT_EQ(code([&] { dev.event_record(404, kDefaultStream); }),
+              ErrorCode::InvalidValue);
+    EXPECT_EQ(code([&] { dev.event_synchronize(404); }), ErrorCode::InvalidValue);
+    EXPECT_EQ(code([&] { dev.stream_wait_event(404, 404); }), ErrorCode::InvalidValue);
+}
+
+// --- per-stream trace lanes & counters --------------------------------------
+
+TEST(Stream, TraceLanesAndCounters) {
+    cupp::trace::enable();
+    cupp::trace::clear();
+    cupp::trace::metrics().reset();
+    {
+        Device dev(tiny_properties());
+        const LaunchConfig cfg = small_cfg();
+        auto buf = dev.malloc_n<int>(cfg.total_threads());
+        const StreamId s = dev.stream_create();
+        std::vector<int> host(cfg.total_threads(), 5);
+        dev.memcpy_to_device_async(buf.addr(), host.data(),
+                                   host.size() * sizeof(int), s);
+        dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 1); },
+                         "bump", s);
+        dev.memcpy_to_host_async(host.data(), buf.addr(), host.size() * sizeof(int), s);
+        dev.stream_synchronize(s);
+
+        const std::string lane = dev.stream_track(s);
+        EXPECT_NE(lane.find(".stream"), std::string::npos) << lane;
+        bool kernel_on_lane = false, h2d_on_lane = false, d2h_on_lane = false;
+        for (const auto& e : cupp::trace::events()) {
+            if (e.track != lane) continue;
+            if (e.name == "bump") kernel_on_lane = true;
+            if (e.name.find("H2D") != std::string::npos) h2d_on_lane = true;
+            if (e.name.find("D2H") != std::string::npos) d2h_on_lane = true;
+        }
+        EXPECT_TRUE(kernel_on_lane);
+        EXPECT_TRUE(h2d_on_lane);
+        EXPECT_TRUE(d2h_on_lane);
+
+        auto& m = cupp::trace::metrics();
+        EXPECT_EQ(m.counter("cusim.stream.created"), 1u);
+        EXPECT_EQ(m.counter("cusim.stream.ops_enqueued"), 3u);
+        EXPECT_EQ(m.counter("cusim.stream.kernel_launches"), 1u);
+        EXPECT_EQ(m.counter("cusim.stream.bytes_h2d"), host.size() * sizeof(int));
+        EXPECT_EQ(m.counter("cusim.stream.bytes_d2h"), host.size() * sizeof(int));
+    }
+    cupp::trace::disable();
+    cupp::trace::clear();
+    cupp::trace::metrics().reset();
+}
+
+// --- async host-race detection (memcheck) ------------------------------------
+
+TEST(Stream, MemcheckReportsHostReadRacingAsyncD2H) {
+    memcheck::enable();
+    memcheck::reset();
+    {
+        Device dev(tiny_properties());
+        auto buf = dev.malloc_n<int>(8);
+        const std::vector<int> init(8, 1);
+        dev.upload(buf, std::span<const int>(init));
+        const StreamId s = dev.stream_create();
+        std::vector<int> dst(8, 0);
+        dev.memcpy_to_host_async(dst.data(), buf.addr(), dst.size() * sizeof(int), s);
+        // Reading the destination before the sync is the race.
+        dev.note_host_read(dst.data(), sizeof(int));
+        const std::string report = memcheck::report_json();
+        EXPECT_NE(report.find("async_host_race"), std::string::npos) << report;
+
+        // After the covering synchronize the range is settled: no new report.
+        dev.stream_synchronize(s);
+        memcheck::reset();
+        dev.note_host_read(dst.data(), sizeof(int));
+        const std::string clean = memcheck::report_json();
+        EXPECT_EQ(clean.find("async_host_race"), std::string::npos) << clean;
+
+        // Disjoint ranges never race.
+        dev.memcpy_to_host_async(dst.data(), buf.addr(), 4 * sizeof(int), s);
+        dev.note_host_read(dst.data() + 6, sizeof(int));
+        EXPECT_EQ(memcheck::report_json().find("async_host_race"), std::string::npos);
+        dev.stream_synchronize(s);
+    }
+    memcheck::disable();
+    memcheck::reset();
+}
+
+// --- fault injection at the async entry points --------------------------------
+
+TEST(Stream, FaultInjectionFiresAtAsyncSites) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId s = dev.stream_create();
+
+    faults::Rule rule;
+    rule.site = faults::Site::Launch;
+    rule.code = ErrorCode::LaunchFailure;
+    rule.every = 1;
+    faults::configure({rule});
+    EXPECT_THROW(dev.launch_async(cfg,
+                                  [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 1); },
+                                  "faulted", s),
+                 Error);
+    // Atomic rejection: nothing was half-enqueued.
+    EXPECT_EQ(dev.pending_async_ops(), 0u);
+    EXPECT_EQ(faults::injections(faults::Site::Launch), 1u);
+
+    rule.site = faults::Site::Sync;
+    rule.code = ErrorCode::TransferFailure;
+    faults::configure({rule});
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 2); },
+                     "queued", s);
+    EXPECT_THROW(dev.stream_synchronize(s), Error);
+    // The op survived the rejected sync; a clean retry drains it.
+    faults::disable();
+    dev.stream_synchronize(s);
+    EXPECT_EQ(dev.pending_async_ops(), 0u);
+    std::vector<int> host(cfg.total_threads());
+    dev.download(std::span<int>(host), buf);
+    for (int v : host) EXPECT_EQ(v, 2);
+    faults::reset();
+}
+
+// --- runtime-API mirrors ------------------------------------------------------
+
+KernelTask rt_fill(ThreadCtx& ctx, Device& dev, const std::byte* stack) {
+    DeviceAddr addr;
+    int value;
+    std::memcpy(&addr, stack, sizeof(addr));
+    std::memcpy(&value, stack + sizeof(addr), sizeof(value));
+    auto view = dev.view<int>(addr, ctx.grid_dim().count() * ctx.block_dim().count());
+    view.write(ctx, ctx.global_id(), value);
+    co_return;
+}
+
+TEST(RuntimeApi, StreamAndEventMirrors) {
+    using namespace cusim::rt;
+    static KernelHandle handle = register_kernel(
+        [](ThreadCtx& ctx, Device& dev, const std::byte* stack) {
+            return rt_fill(ctx, dev, stack);
+        });
+
+    ASSERT_EQ(cusimSetDevice(0), ErrorCode::Success);
+    StreamId s = 0;
+    ASSERT_EQ(cusimStreamCreate(&s), ErrorCode::Success);
+    EXPECT_NE(s, kDefaultStream);
+    EXPECT_EQ(cusimStreamQuery(s), ErrorCode::Success);
+
+    DeviceAddr buf = 0;
+    const LaunchConfig cfg = small_cfg();
+    ASSERT_EQ(cusimMalloc(&buf, cfg.total_threads() * sizeof(int)), ErrorCode::Success);
+
+    ASSERT_EQ(cusimConfigureCall(cfg.grid, cfg.block, 0, 0), ErrorCode::Success);
+    int value = 21;
+    ASSERT_EQ(cusimSetupArgument(&buf, sizeof(buf), 0), ErrorCode::Success);
+    ASSERT_EQ(cusimSetupArgument(&value, sizeof(value), sizeof(buf)), ErrorCode::Success);
+    ASSERT_EQ(cusimLaunchAsync(handle, "rt_fill", s), ErrorCode::Success);
+    EXPECT_EQ(cusimStreamQuery(s), ErrorCode::NotReady);  // queued, not run
+
+    EventId ev = 0;
+    ASSERT_EQ(cusimEventCreate(&ev), ErrorCode::Success);
+    ASSERT_EQ(cusimEventRecord(ev, s), ErrorCode::Success);
+    EXPECT_EQ(cusimEventQuery(ev), ErrorCode::NotReady);
+    ASSERT_EQ(cusimEventSynchronize(ev), ErrorCode::Success);
+    EXPECT_EQ(cusimEventQuery(ev), ErrorCode::Success);
+    EXPECT_EQ(cusimStreamQuery(s), ErrorCode::Success);
+
+    std::vector<int> host(cfg.total_threads(), 0);
+    ASSERT_EQ(cusimMemcpyToHostAsync(host.data(), buf, host.size() * sizeof(int), s),
+              ErrorCode::Success);
+    ASSERT_EQ(cusimStreamSynchronize(s), ErrorCode::Success);
+    for (int v : host) EXPECT_EQ(v, 21);
+
+    // Elapsed time between two records around an async H2D.
+    EventId e0 = 0, e1 = 0;
+    ASSERT_EQ(cusimEventCreate(&e0), ErrorCode::Success);
+    ASSERT_EQ(cusimEventCreate(&e1), ErrorCode::Success);
+    ASSERT_EQ(cusimEventRecord(e0, s), ErrorCode::Success);
+    ASSERT_EQ(cusimMemcpyToDeviceAsync(buf, host.data(), host.size() * sizeof(int), s),
+              ErrorCode::Success);
+    ASSERT_EQ(cusimEventRecord(e1, s), ErrorCode::Success);
+    ASSERT_EQ(cusimStreamSynchronize(s), ErrorCode::Success);
+    float ms = -1.0f;
+    ASSERT_EQ(cusimEventElapsedTime(&ms, e0, e1), ErrorCode::Success);
+    EXPECT_GT(ms, 0.0f);
+
+    EXPECT_EQ(cusimStreamWaitEvent(s, ev), ErrorCode::Success);
+    EXPECT_EQ(cusimEventDestroy(ev), ErrorCode::Success);
+    EXPECT_EQ(cusimEventDestroy(e0), ErrorCode::Success);
+    EXPECT_EQ(cusimEventDestroy(e1), ErrorCode::Success);
+    EXPECT_EQ(cusimFree(buf), ErrorCode::Success);
+    EXPECT_EQ(cusimStreamDestroy(s), ErrorCode::Success);
+    EXPECT_EQ(cusimStreamDestroy(s), ErrorCode::InvalidValue);
+    EXPECT_EQ(cusimGetLastError(), ErrorCode::InvalidValue);  // sticky from above
+    EXPECT_EQ(cusimGetLastError(), ErrorCode::Success);       // ...and cleared
+}
+
+}  // namespace

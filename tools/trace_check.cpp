@@ -2,6 +2,7 @@
 //
 //   trace_check <trace.json> [--require-kernels] [--require-transfers]
 //               [--require-lazy-counters] [--require-device-track]
+//               [--require-stream-lanes]
 //
 // Exit code 0 iff the file parses as JSON, has a non-empty traceEvents
 // array, and satisfies every requested structural check. Used by the CTest
@@ -35,16 +36,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: trace_check <trace.json> [--require-kernels] "
                      "[--require-transfers] [--require-lazy-counters] "
-                     "[--require-device-track]\n");
+                     "[--require-device-track] [--require-stream-lanes]\n");
         return 2;
     }
     bool want_kernels = false, want_transfers = false;
-    bool want_lazy = false, want_device_track = false;
+    bool want_lazy = false, want_device_track = false, want_stream_lanes = false;
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--require-kernels") == 0) want_kernels = true;
         else if (std::strcmp(argv[i], "--require-transfers") == 0) want_transfers = true;
         else if (std::strcmp(argv[i], "--require-lazy-counters") == 0) want_lazy = true;
         else if (std::strcmp(argv[i], "--require-device-track") == 0) want_device_track = true;
+        else if (std::strcmp(argv[i], "--require-stream-lanes") == 0) want_stream_lanes = true;
         else {
             std::fprintf(stderr, "trace_check: unknown flag %s\n", argv[i]);
             return 2;
@@ -118,9 +120,11 @@ int main(int argc, char** argv) {
     }
 
     bool device_track = false, host_track = false;
+    std::size_t stream_lanes = 0;
     for (const auto& t : track_names) {
         if (t.find(".device") != std::string::npos) device_track = true;
         if (t.find(".host") != std::string::npos) host_track = true;
+        if (t.find(".stream") != std::string::npos) ++stream_lanes;
     }
 
     if (want_kernels && kernel_spans == 0) return fail("no kernel-launch spans");
@@ -129,6 +133,7 @@ int main(int argc, char** argv) {
     if (want_device_track && !(device_track && host_track)) {
         return fail("host and device tracks not both present");
     }
+    if (want_stream_lanes && stream_lanes == 0) return fail("no per-stream trace lanes");
 
     std::printf("trace_check: OK: %zu events, %zu kernel spans, %zu transfers, "
                 "%zu named tracks\n",
