@@ -1,13 +1,18 @@
 #!/usr/bin/env sh
 # Runs the wall-clock engine benches serial vs. threaded and writes the
-# perf trajectory artifact BENCH_parallel_engine.json.
+# perf trajectory artifacts BENCH_*.json plus per-bench profiler reports
+# (BENCH_*_prof.json, via CUPP_PROF).
 #
 # Usage: bench/run_benches.sh [build-dir] [output.json]
 #
 # The figure/table harnesses (bench_fig*, bench_table*, bench_ablation*)
 # report *simulated* time and are unaffected by CUPP_SIM_THREADS; this
 # script covers the two binaries that measure the host-side engine itself.
-set -eu
+#
+# Every bench runs even if an earlier one fails; the script exits non-zero
+# if any did. Stale artifacts are removed up front so a failed bench can
+# never leave last run's JSON lying around looking fresh.
+set -u
 
 BUILD=${1:-build}
 OUT=${2:-BENCH_parallel_engine.json}
@@ -18,21 +23,35 @@ if [ ! -x "$BUILD/bench/bench_parallel_engine" ]; then
     exit 1
 fi
 
+rm -f "$OUT" BENCH_stream_overlap.json \
+    BENCH_throughput_prof.json BENCH_stream_overlap_prof.json
+
+STATUS=0
+
 echo "== bench_simulator_throughput, CUPP_SIM_THREADS=1 (serial engine) =="
 CUPP_SIM_THREADS=1 "$BUILD/bench/bench_simulator_throughput" \
     --benchmark_filter='BM_(BoidsStep|SaxpyThroughput|LaunchOverhead)' \
-    --benchmark_min_time=0.2 || exit 1
+    --benchmark_min_time=0.2 || STATUS=1
 
 echo ""
 echo "== bench_simulator_throughput, CUPP_SIM_THREADS=4 (parallel engine) =="
+CUPP_PROF=BENCH_throughput_prof.json \
 CUPP_SIM_THREADS=4 "$BUILD/bench/bench_simulator_throughput" \
     --benchmark_filter='BM_(BoidsStep|SaxpyThroughput|LaunchOverhead)' \
-    --benchmark_min_time=0.2 || exit 1
+    --benchmark_min_time=0.2 || STATUS=1
 
 echo ""
 echo "== bench_parallel_engine (thread sweep + determinism check) =="
-"$BUILD/bench/bench_parallel_engine" "$OUT"
+# No CUPP_PROF here: this bench measures the engine's disabled-path cost,
+# so it must run with profiling off.
+"$BUILD/bench/bench_parallel_engine" "$OUT" || STATUS=1
 
 echo ""
 echo "== bench_stream_overlap (async streams on the modelled timeline) =="
-"$BUILD/bench/bench_stream_overlap" BENCH_stream_overlap.json
+CUPP_PROF=BENCH_stream_overlap_prof.json \
+    "$BUILD/bench/bench_stream_overlap" BENCH_stream_overlap.json || STATUS=1
+
+if [ "$STATUS" -ne 0 ]; then
+    echo "run_benches: one or more benches FAILED" >&2
+fi
+exit "$STATUS"

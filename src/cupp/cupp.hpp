@@ -15,6 +15,7 @@
 #include "cupp/exception.hpp"
 #include "cupp/kernel.hpp"
 #include "cupp/memory1d.hpp"
+#include "cupp/prof_session.hpp"
 #include "cupp/retry.hpp"
 #include "cupp/shared_ptr.hpp"
 #include "cupp/stream.hpp"

@@ -41,6 +41,7 @@
 #include "cupp/stream.hpp"
 #include "cupp/trace.hpp"
 #include "cupp/type_traits.hpp"
+#include "cusim/prof.hpp"
 #include "cusim/runtime_api.hpp"
 
 namespace cupp {
@@ -174,6 +175,11 @@ private:
         cusim::Device& sim = d.sim();
         const bool tracing = trace::enabled();
         const double call_t0 = sim.host_time();
+        // Host-side cost of the whole call protocol (transforms + launch +
+        // copy-backs) in real wall time — the profiler's view of what the
+        // framework itself costs, next to the kernel's modelled time.
+        const bool profiling = cusim::prof::collecting();
+        const double wall0 = profiling ? trace::wall_clock_us() : 0.0;
 
         detail::check(cusim::rt::cusimSetDevice(d.ordinal()), "set device");
         detail::check(
@@ -235,6 +241,10 @@ private:
                                   {"threads", stats_.threads}});
             static const trace::counter_handle calls("cupp.kernel.calls");
             calls.add();
+        }
+        if (profiling) {
+            trace::metrics().record("cusim.prof.call_host_us",
+                                    trace::wall_clock_us() - wall0);
         }
     }
 

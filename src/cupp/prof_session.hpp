@@ -1,0 +1,49 @@
+// cupp::prof_session — RAII scoping of cusim::prof collection.
+//
+// The profiler's session runtime mirrors (cusimProfilerStart/Stop) follow
+// the C-flavoured cudaProfilerStart/Stop; this is the CuPP-style wrapper:
+//
+//     cusim::prof::enable("report.json");   // or CUPP_PROF=report.json
+//     {
+//         cupp::prof_session roi;           // collection on
+//         k(device_hdl, data);              // ...the region of interest...
+//     }                                     // collection off again
+//
+// Like the runtime mirrors, a session is a no-op unless the profiler's
+// collector is enabled — code instrumented with prof_session costs nothing
+// in un-profiled runs.
+#pragma once
+
+#include "cusim/prof.hpp"
+
+namespace cupp {
+
+/// Starts profiler collection on construction and stops it on destruction.
+/// Move-only; a moved-from session no longer stops anything.
+class prof_session {
+public:
+    prof_session() { cusim::prof::start(); }
+    ~prof_session() {
+        if (active_) cusim::prof::stop();
+    }
+
+    prof_session(const prof_session&) = delete;
+    prof_session& operator=(const prof_session&) = delete;
+
+    prof_session(prof_session&& other) noexcept : active_(other.active_) {
+        other.active_ = false;
+    }
+    prof_session& operator=(prof_session&& other) noexcept {
+        if (this != &other) {
+            if (active_) cusim::prof::stop();
+            active_ = other.active_;
+            other.active_ = false;
+        }
+        return *this;
+    }
+
+private:
+    bool active_ = true;
+};
+
+}  // namespace cupp

@@ -56,6 +56,48 @@ struct BranchSiteStats {
     }
 };
 
+/// Shared-memory bank-conflict tracking for one warp, occurrence-aligned
+/// like BranchSiteStats: the k-th shared access by one lane is lined up
+/// against the k-th access by every other lane of its half-warp (banks are
+/// resolved per half-warp on compute capability 1.x). Within one aligned
+/// step, lanes hitting the *same* 32-bit word broadcast (no conflict);
+/// lanes hitting a *different* word of an already-claimed bank each count
+/// one conflict — the hardware serialises those accesses. Conflicts are
+/// counted, not charged to cycles, so enabling the profiler never changes
+/// modelled time. Only populated while cusim::prof is collecting.
+struct SharedAcct {
+    /// Occurrences beyond this are counted but not conflict-checked.
+    static constexpr std::uint32_t kMaxTrackedOccurrences = 1u << 16;
+
+    std::uint64_t accesses = 0;   ///< every instrumented shared read/write
+    std::uint64_t conflicts = 0;  ///< serialised accesses (see above)
+
+    /// Per aligned step and half-warp: first 32-bit word claimed per bank
+    /// (+1, 0 = unclaimed).
+    struct Step {
+        std::array<std::uint32_t, kSharedMemBanks> word_plus1_lo{};
+        std::array<std::uint32_t, kSharedMemBanks> word_plus1_hi{};
+    };
+    std::vector<Step> steps;
+    std::array<std::uint32_t, kWarpSize> lane_occurrence{};
+
+    void note(unsigned lane, std::uint64_t byte_offset) {
+        ++accesses;
+        const std::uint32_t idx = lane_occurrence[lane]++;
+        if (idx >= kMaxTrackedOccurrences) return;
+        if (idx >= steps.size()) steps.resize(idx + 1);
+        const auto word = static_cast<std::uint32_t>(byte_offset / 4);
+        const unsigned bank = word % kSharedMemBanks;
+        auto& claimed = lane < kWarpSize / 2 ? steps[idx].word_plus1_lo
+                                             : steps[idx].word_plus1_hi;
+        if (claimed[bank] == 0) {
+            claimed[bank] = word + 1;
+        } else if (claimed[bank] != word + 1) {
+            ++conflicts;
+        }
+    }
+};
+
 /// Accounting state of one warp.
 struct WarpAcct {
     // Cycle costs are SIMD-folded: max over the warp's threads (the warp
@@ -65,8 +107,14 @@ struct WarpAcct {
     std::uint64_t stall_cycles = 0;    ///< memory-latency cycles (hideable), max-fold
     std::uint64_t bytes_read = 0;      ///< device-memory traffic, sum-fold
     std::uint64_t bytes_written = 0;   ///< sum-fold
+    /// Payload bytes the kernel actually asked for, before the coalescing
+    /// model padded the bus transactions (charged/useful = the coalescing
+    /// efficiency the profiler reports). Sum-fold like the charged bytes.
+    std::uint64_t useful_bytes_read = 0;
+    std::uint64_t useful_bytes_written = 0;
 
     std::vector<BranchSiteStats> branch_sites;
+    SharedAcct shared;
 
     void note_branch(std::uint64_t site_key, unsigned lane, bool pred) {
         for (auto& s : branch_sites) {
@@ -99,6 +147,8 @@ struct ThreadAcct {
     std::uint64_t stall_cycles = 0;
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
+    std::uint64_t useful_bytes_read = 0;
+    std::uint64_t useful_bytes_written = 0;
 
     void charge(const CostModel& cm, Op op, unsigned n = 1) {
         compute_cycles += std::uint64_t{cm.issue_cycles(op)} * n;
@@ -119,8 +169,16 @@ struct LaunchStats {
     std::uint64_t stall_cycles = 0;         ///< sum over warps
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
+    /// Payload bytes before coalescing padding (see WarpAcct); the
+    /// profiler's coalescing efficiency is useful / charged.
+    std::uint64_t useful_bytes_read = 0;
+    std::uint64_t useful_bytes_written = 0;
     std::uint64_t divergent_events = 0;     ///< estimated divergent warp-steps
     std::uint64_t branch_evaluations = 0;
+    /// Shared-memory accesses and bank conflicts (populated only while
+    /// cusim::prof is collecting — see SharedAcct).
+    std::uint64_t shared_accesses = 0;
+    std::uint64_t shared_bank_conflicts = 0;
     std::uint64_t syncthreads_count = 0;    ///< barrier episodes summed over blocks
 
     unsigned resident_blocks_per_mp = 0;    ///< occupancy actually achieved

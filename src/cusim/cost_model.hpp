@@ -88,6 +88,9 @@ struct CostModel {
     double core_clock_hz = 1.2e9;        ///< processor ("shader") clock.
     unsigned multiprocessors = 12;
     unsigned max_blocks_per_mp = 8;
+    /// Warp residency ceiling of one multiprocessor (768 threads / 32 on
+    /// compute capability 1.0). Achieved occupancy = resident warps / this.
+    unsigned max_warps_per_mp = 24;
     std::uint32_t shared_mem_per_mp = 16 * 1024;   ///< bytes
     std::uint32_t registers_per_mp = 8192;         ///< 32-bit registers
     double mem_bandwidth_bytes_per_s = 64.0e9;     ///< aggregate device bandwidth.

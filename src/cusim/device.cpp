@@ -27,6 +27,8 @@ uint3 unlinearize_block(std::uint64_t i, const dim3& g) {
 
 LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
                            std::string_view name) {
+    prof::ApiScope prof_scope(prof::Api::Launch, trace_ordinal_, kDefaultStream, 0,
+                              name);
     // Before validation and before any block runs: an injected launch
     // failure (or a poisoned device) rejects the launch atomically.
     fault_preflight(faults::Site::Launch, name);
@@ -37,7 +39,17 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
     // explicit stream's already-enqueued work.
     join_streams();
 
+    // Host interpreter wall time is the one profiler field that is real
+    // (and thus non-deterministic) rather than modelled; only measured
+    // while a profiling session is collecting.
+    const bool profiling = prof::collecting();
+    const double wall0 = profiling ? cupp::trace::wall_clock_us() : 0.0;
     const LaunchStats stats = run_grid(cfg, entry, name);
+    if (profiling) {
+        prof::record_launch(name, cfg, stats, device_track(), trace_ordinal_,
+                            (cupp::trace::wall_clock_us() - wall0) * 1e-6,
+                            props_.cost);
+    }
 
     // Asynchronous launch semantics: the device starts as soon as it is free
     // and the host has issued the call; the host only pays the launch
@@ -118,6 +130,10 @@ LaunchStats Device::run_grid(const LaunchConfig& cfg, const KernelEntry& entry,
             stats.branch_evaluations += w.total_branch_evaluations();
             stats.bytes_read += w.bytes_read;
             stats.bytes_written += w.bytes_written;
+            stats.useful_bytes_read += w.useful_bytes_read;
+            stats.useful_bytes_written += w.useful_bytes_written;
+            stats.shared_accesses += w.shared.accesses;
+            stats.shared_bank_conflicts += w.shared.conflicts;
         }
         costs.push_back(BlockCost::from(br, props_.cost));
         stats.compute_cycles += costs.back().compute_cycles;

@@ -28,6 +28,7 @@
 #include "cusim/faults.hpp"
 #include "cusim/global_memory.hpp"
 #include "cusim/launch.hpp"
+#include "cusim/prof.hpp"
 
 namespace cusim {
 
@@ -80,11 +81,15 @@ public:
         std::uint64_t bytes,
         std::source_location loc = std::source_location::current(),
         const char* label = "cusim::Device::malloc_bytes") {
+        // Profiler scopes open before the fault preflight throughout this
+        // class: an injected fault is observable as a failed Exit callback.
+        prof::ApiScope prof_scope(prof::Api::Malloc, trace_ordinal_, 0, bytes, label);
         fault_preflight(faults::Site::Malloc, label);
         return memory_.allocate(bytes, loc, label);
     }
     void free_bytes(DeviceAddr addr,
                     std::source_location loc = std::source_location::current()) {
+        prof::ApiScope prof_scope(prof::Api::Free, trace_ordinal_);
         // Pending async ops may still reference this allocation; executing
         // them first keeps a free-after-enqueue well-defined (real CUDA
         // defers the free until queued work using the range completes).
@@ -98,6 +103,8 @@ public:
         std::uint64_t count,
         std::source_location loc = std::source_location::current(),
         const char* label = "cusim::Device::malloc_n") {
+        prof::ApiScope prof_scope(prof::Api::Malloc, trace_ordinal_, 0,
+                                  count * sizeof(T), label);
         fault_preflight(faults::Site::Malloc, label);
         const DeviceAddr addr = memory_.allocate(count * sizeof(T), loc, label);
         return DevicePtr<T>(memory_.raw(addr), addr, count, memory_.shadow().alloc_id(addr));
@@ -107,6 +114,7 @@ public:
     void free(const DevicePtr<T>& p,
               std::source_location loc = std::source_location::current()) {
         if (!p.null()) {
+            prof::ApiScope prof_scope(prof::Api::Free, trace_ordinal_);
             join_streams();
             memory_.free(p.addr(), loc);
         }
@@ -123,6 +131,7 @@ public:
 
     // --- host <-> device transfers (blocking, clock-advancing) ------------
     void copy_to_device(DeviceAddr dst, const void* src, std::uint64_t bytes) {
+        prof::ApiScope prof_scope(prof::Api::MemcpyH2D, trace_ordinal_, 0, bytes);
         fault_preflight(faults::Site::MemcpyH2D);
         join_streams();
         const bool tracing = cupp::trace::enabled();
@@ -132,8 +141,13 @@ public:
         memory_.write(dst, src, bytes);
         bytes_to_device_ += bytes;
         if (tracing) trace_transfer("memcpy H2D", t0, bytes, wait, "H2D");
+        if (prof::collecting()) {
+            prof::record_transfer(CopyKind::HostToDevice, bytes,
+                                  host_time_ - t0 - wait, trace_ordinal_);
+        }
     }
     void copy_to_host(void* dst, DeviceAddr src, std::uint64_t bytes) {
+        prof::ApiScope prof_scope(prof::Api::MemcpyD2H, trace_ordinal_, 0, bytes);
         fault_preflight(faults::Site::MemcpyD2H);
         join_streams();
         const bool tracing = cupp::trace::enabled();
@@ -143,8 +157,13 @@ public:
         memory_.read(src, dst, bytes);
         bytes_to_host_ += bytes;
         if (tracing) trace_transfer("memcpy D2H", t0, bytes, wait, "D2H");
+        if (prof::collecting()) {
+            prof::record_transfer(CopyKind::DeviceToHost, bytes,
+                                  host_time_ - t0 - wait, trace_ordinal_);
+        }
     }
     void copy_device_to_device(DeviceAddr dst, DeviceAddr src, std::uint64_t bytes) {
+        prof::ApiScope prof_scope(prof::Api::MemcpyD2D, trace_ordinal_, 0, bytes);
         fault_preflight(faults::Site::MemcpyD2D);
         join_streams();
         // Device-side copy: consumes device time, not host time.
@@ -156,6 +175,10 @@ public:
             cupp::trace::emit_complete(
                 device_track(), "memcpy D2D", trace_time_us(start), secs * 1e6,
                 {{"bytes", bytes}, {"kind", "D2D"}});
+        }
+        if (prof::collecting()) {
+            prof::record_transfer(CopyKind::DeviceToDevice, bytes, secs,
+                                  trace_ordinal_);
         }
     }
 
@@ -187,6 +210,8 @@ public:
     /// Host upload into constant memory (blocks while a kernel is active,
     /// like any host access to device state).
     void copy_to_constant(DeviceAddr addr, const void* src, std::uint64_t bytes) {
+        prof::ApiScope prof_scope(prof::Api::MemcpyH2D, trace_ordinal_, 0, bytes,
+                                  "constant");
         fault_preflight(faults::Site::MemcpyH2D, "constant");
         join_streams();
         const bool tracing = cupp::trace::enabled();
@@ -217,6 +242,7 @@ public:
     /// cudaThreadSynchronize: host blocks until the device is idle —
     /// including every explicit stream (their pending work executes first).
     void synchronize() {
+        prof::ApiScope prof_scope(prof::Api::Sync, trace_ordinal_);
         fault_preflight(faults::Site::Sync);
         join_streams();
         host_time_ = std::max(host_time_, device_free_at_);

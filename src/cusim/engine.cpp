@@ -122,6 +122,8 @@ BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
                 if (a.stall_cycles > w.stall_cycles) w.stall_cycles = a.stall_cycles;
                 w.bytes_read += a.bytes_read;
                 w.bytes_written += a.bytes_written;
+                w.useful_bytes_read += a.useful_bytes_read;
+                w.useful_bytes_written += a.useful_bytes_written;
             } else {
                 ++at_barrier;
             }

@@ -275,6 +275,20 @@ ErrorCode cusimGetLastError() {
 
 const char* cusimGetErrorString(ErrorCode code) { return error_string(code); }
 
+ErrorCode cusimProfilerStart() {
+    return guarded([] {
+        prof::ApiScope prof_scope(prof::Api::ProfilerStart, -1);
+        prof::start();
+    });
+}
+
+ErrorCode cusimProfilerStop() {
+    return guarded([] {
+        prof::ApiScope prof_scope(prof::Api::ProfilerStop, -1);
+        prof::stop();
+    });
+}
+
 ErrorCode cusimThreadSynchronize() {
     return guarded([] { Registry::instance().current_device().synchronize(); });
 }

@@ -100,6 +100,13 @@ ErrorCode cusimMemcpyToHostAsync(void* dst, DeviceAddr src, std::size_t count,
 /// state and enqueues the launch on `stream` (stream 0 launches legacy).
 ErrorCode cusimLaunchAsync(KernelHandle kernel, const char* name, StreamId stream);
 
+// --- profiler control (cudaProfilerStart/Stop mirrors, cusim/prof.hpp) ---
+// Scope collection to a region of interest. No-ops (returning Success)
+// unless the profiler's collector is enabled — CUPP_PROF or prof::enable()
+// — exactly like cudaProfilerStart without an attached profiler.
+ErrorCode cusimProfilerStart();
+ErrorCode cusimProfilerStop();
+
 // --- error handling ---
 ErrorCode cusimGetLastError();
 const char* cusimGetErrorString(ErrorCode code);

@@ -31,6 +31,7 @@
 
 #include "cusim/memcheck.hpp"
 #include "cusim/multiprocessor.hpp"
+#include "cusim/prof.hpp"
 #include "cusim/report.hpp"
 
 namespace cusim {
@@ -141,6 +142,7 @@ detail::StreamTable& Device::stream_table() {
 // --- creation / destruction -------------------------------------------------
 
 StreamId Device::stream_create() {
+    prof::ApiScope prof_scope(prof::Api::StreamCreate, trace_ordinal_);
     // Creating a stream allocates runtime resources; the Malloc site with a
     // recognisable label lets fault plans target it.
     fault_preflight(faults::Site::Malloc, "stream_create");
@@ -157,6 +159,7 @@ StreamId Device::stream_create() {
 }
 
 void Device::stream_destroy(StreamId stream) {
+    prof::ApiScope prof_scope(prof::Api::StreamDestroy, trace_ordinal_, stream);
     detail::StreamTable& t = stream_table();
     auto it = t.streams.find(stream);
     if (it == t.streams.end()) {
@@ -170,6 +173,7 @@ void Device::stream_destroy(StreamId stream) {
 }
 
 EventId Device::event_create() {
+    prof::ApiScope prof_scope(prof::Api::EventCreate, trace_ordinal_);
     fault_preflight(faults::Site::Malloc, "event_create");
     detail::StreamTable& t = stream_table();
     const EventId id = t.next_event++;
@@ -178,6 +182,7 @@ EventId Device::event_create() {
 }
 
 void Device::event_destroy(EventId event) {
+    prof::ApiScope prof_scope(prof::Api::EventDestroy, trace_ordinal_);
     detail::StreamTable& t = stream_table();
     if (t.events.erase(event) == 0) {
         throw Error(ErrorCode::InvalidValue, "event_destroy: unknown event");
@@ -194,6 +199,7 @@ void Device::launch_async(const LaunchConfig& cfg, const KernelEntry& entry,
         (void)launch(cfg, entry, name);
         return;
     }
+    prof::ApiScope prof_scope(prof::Api::LaunchAsync, trace_ordinal_, stream, 0, name);
     // Same atomic-rejection contract as launch(): preflight and validation
     // happen at enqueue, before anything is queued, so an injected failure
     // leaves no half-enqueued op and a retry is clean.
@@ -237,6 +243,7 @@ void Device::memcpy_to_device_async(DeviceAddr dst, const void* src,
         copy_to_device(dst, src, bytes);
         return;
     }
+    prof::ApiScope prof_scope(prof::Api::MemcpyH2DAsync, trace_ordinal_, stream, bytes);
     fault_preflight(faults::Site::MemcpyH2D, "async");
     if (src == nullptr) throw Error(ErrorCode::InvalidValue, "null async H2D source");
     if (!memory_.range_valid(dst, bytes)) {
@@ -273,6 +280,7 @@ void Device::memcpy_to_host_async(void* dst, DeviceAddr src, std::uint64_t bytes
         copy_to_host(dst, src, bytes);
         return;
     }
+    prof::ApiScope prof_scope(prof::Api::MemcpyD2HAsync, trace_ordinal_, stream, bytes);
     fault_preflight(faults::Site::MemcpyD2H, "async");
     if (dst == nullptr) throw Error(ErrorCode::InvalidValue, "null async D2H destination");
     if (!memory_.range_valid(src, bytes)) {
@@ -314,6 +322,7 @@ void Device::memcpy_device_to_device_async(DeviceAddr dst, DeviceAddr src,
         copy_device_to_device(dst, src, bytes);
         return;
     }
+    prof::ApiScope prof_scope(prof::Api::MemcpyD2DAsync, trace_ordinal_, stream, bytes);
     fault_preflight(faults::Site::MemcpyD2D, "async");
     if (!memory_.range_valid(src, bytes) || !memory_.range_valid(dst, bytes)) {
         throw Error(ErrorCode::InvalidDevicePointer,
@@ -337,6 +346,7 @@ void Device::memcpy_device_to_device_async(DeviceAddr dst, DeviceAddr src,
 }
 
 void Device::event_record(EventId event, StreamId stream) {
+    prof::ApiScope prof_scope(prof::Api::EventRecord, trace_ordinal_, stream);
     detail::StreamTable& t = stream_table();
     auto ev = t.events.find(event);
     if (ev == t.events.end()) {
@@ -370,6 +380,7 @@ void Device::event_record(EventId event, StreamId stream) {
 }
 
 void Device::stream_wait_event(StreamId stream, EventId event) {
+    prof::ApiScope prof_scope(prof::Api::StreamWaitEvent, trace_ordinal_, stream);
     detail::StreamTable& t = stream_table();
     auto ev = t.events.find(event);
     if (ev == t.events.end()) {
@@ -417,7 +428,17 @@ void Device::execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp&
     const bool tracing = cupp::trace::enabled();
     switch (op.kind) {
         case StreamOp::Kind::Launch: {
+            // Same attribution as Device::launch, but to the stream's lane —
+            // per-stream clocks stay the profiler's time base.
+            const bool profiling = prof::collecting();
+            const double wall0 = profiling ? cupp::trace::wall_clock_us() : 0.0;
             const LaunchStats stats = run_grid(op.cfg, op.entry, op.name);
+            if (profiling) {
+                prof::record_launch(op.name, op.cfg, stats, stream_track(sid),
+                                    trace_ordinal_,
+                                    (cupp::trace::wall_clock_us() - wall0) * 1e-6,
+                                    props_.cost);
+            }
             const double start = std::max(st.free_at, op.issue_host_time);
             st.free_at = start + stats.device_seconds;
             last_launch_ = stats;
@@ -455,6 +476,10 @@ void Device::execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp&
             st.free_at = start + secs;
             memory_.write(op.dst, op.staged.data(), op.bytes);
             bytes_to_device_ += op.bytes;
+            if (prof::collecting()) {
+                prof::record_transfer(CopyKind::HostToDevice, op.bytes, secs,
+                                      trace_ordinal_);
+            }
             if (tracing) {
                 cupp::trace::emit_complete(stream_track(sid), op_label(op.kind),
                                            trace_time_us(start), secs * 1e6,
@@ -472,6 +497,10 @@ void Device::execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp&
             st.free_at = start + secs;
             memory_.read(op.src, op.host_dst, op.bytes);
             bytes_to_host_ += op.bytes;
+            if (prof::collecting()) {
+                prof::record_transfer(CopyKind::DeviceToHost, op.bytes, secs,
+                                      trace_ordinal_);
+            }
             for (detail::PendingHostWrite& w : t.host_writes) {
                 if (w.seq == op.seq) {
                     w.drained = true;
@@ -493,6 +522,10 @@ void Device::execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp&
                                 props_.cost.mem_bandwidth_bytes_per_s;
             st.free_at = start + secs;
             memory_.copy(op.dst, op.src, op.bytes);
+            if (prof::collecting()) {
+                prof::record_transfer(CopyKind::DeviceToDevice, op.bytes, secs,
+                                      trace_ordinal_);
+            }
             if (tracing) {
                 cupp::trace::emit_complete(stream_track(sid), op_label(op.kind),
                                            trace_time_us(start), secs * 1e6,
@@ -585,6 +618,7 @@ void Device::stream_synchronize(StreamId stream) {
         synchronize();
         return;
     }
+    prof::ApiScope prof_scope(prof::Api::StreamSynchronize, trace_ordinal_, stream);
     fault_preflight(faults::Site::Sync, "stream");
     detail::StreamTable& t = stream_table();
     auto it = t.streams.find(stream);
@@ -610,6 +644,7 @@ bool Device::event_query(EventId event) const {
 }
 
 void Device::event_synchronize(EventId event) {
+    prof::ApiScope prof_scope(prof::Api::EventSynchronize, trace_ordinal_);
     fault_preflight(faults::Site::Sync, "event");
     detail::StreamTable& t = stream_table();
     auto it = t.events.find(event);

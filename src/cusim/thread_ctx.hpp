@@ -19,6 +19,7 @@
 #include "cusim/cost_model.hpp"
 #include "cusim/device_ptr.hpp"
 #include "cusim/memcheck.hpp"
+#include "cusim/prof.hpp"
 #include "cusim/shared_array.hpp"
 #include "cusim/types.hpp"
 
@@ -142,6 +143,18 @@ public:
     /// memory). Version 3 of the Boids port pays these (§6.2.2).
     void local_spill_read(unsigned n = 1) { acct_.charge(*cm_, Op::LocalSpill, n); }
     void local_spill_write(unsigned n = 1) { acct_.charge(*cm_, Op::GlobalWrite, n); }
+
+    /// Bank-conflict tracking hook, called behind prof::collecting() with a
+    /// pointer into the block's shared arena (see SharedAcct). Accesses
+    /// through pointers outside the arena (unit tests driving SharedArray
+    /// over stack buffers) are ignored.
+    void note_shared_access(const std::byte* p) {
+        if (block_ == nullptr || block_->shared_arena.empty()) return;
+        const std::byte* base = block_->shared_arena.data();
+        if (p < base || p >= base + block_->shared_arena.size()) return;
+        warp_->shared.note(linear_tid() % kWarpSize,
+                           static_cast<std::uint64_t>(p - base));
+    }
 
     /// Accounts one texture fetch: served from the texture cache except for
     /// every `texture_miss_period`-th access, which goes to device memory.
@@ -321,6 +334,7 @@ T DevicePtr<T>::read(ThreadCtx& ctx, std::uint64_t i) const {
     }
     ctx.acct().charge(ctx.cost_model(), Op::GlobalRead);
     ctx.acct().bytes_read += ctx.cost_model().charged_bytes(sizeof(T));
+    ctx.acct().useful_bytes_read += sizeof(T);
     T v;
     std::memcpy(&v, base_ + i * sizeof(T), sizeof(T));
     return v;
@@ -339,6 +353,7 @@ void DevicePtr<T>::write(ThreadCtx& ctx, std::uint64_t i, const T& v) const {
     }
     ctx.acct().charge(ctx.cost_model(), Op::GlobalWrite);
     ctx.acct().bytes_written += ctx.cost_model().charged_bytes(sizeof(T));
+    ctx.acct().useful_bytes_written += sizeof(T);
     std::memcpy(base_ + i * sizeof(T), &v, sizeof(T));
 }
 
@@ -354,7 +369,10 @@ T DevicePtr<T>::tex_read(ThreadCtx& ctx, std::uint64_t i) const {
                                    memcheck::Access::Read);
     }
     if (ctx.account_texture_fetch()) {
+        // Only the miss moves bus bytes, so only it contributes to the
+        // useful/charged coalescing ratio.
         ctx.acct().bytes_read += ctx.cost_model().charged_bytes(sizeof(T));
+        ctx.acct().useful_bytes_read += sizeof(T);
     }
     T v;
     std::memcpy(&v, base_ + i * sizeof(T), sizeof(T));
@@ -385,6 +403,7 @@ T SharedArray<T>::read(ThreadCtx& ctx, std::uint64_t i) const {
         ctx.memcheck_shared_access(base_ + i * sizeof(T), sizeof(T), /*is_write=*/false);
     }
     ctx.acct().charge(ctx.cost_model(), Op::SharedAccess);
+    if (prof::collecting()) ctx.note_shared_access(base_ + i * sizeof(T));
     T v;
     std::memcpy(&v, base_ + i * sizeof(T), sizeof(T));
     return v;
@@ -401,6 +420,7 @@ void SharedArray<T>::write(ThreadCtx& ctx, std::uint64_t i, const T& v) const {
         ctx.memcheck_shared_access(base_ + i * sizeof(T), sizeof(T), /*is_write=*/true);
     }
     ctx.acct().charge(ctx.cost_model(), Op::SharedAccess);
+    if (prof::collecting()) ctx.note_shared_access(base_ + i * sizeof(T));
     std::memcpy(base_ + i * sizeof(T), &v, sizeof(T));
 }
 

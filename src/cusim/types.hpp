@@ -47,6 +47,9 @@ inline constexpr unsigned kWarpSize = 32;
 inline constexpr unsigned kMaxThreadsPerBlock = 512;
 inline constexpr unsigned kMaxGridDim = 1u << 16;   // 2^16 blocks per grid dimension
 inline constexpr unsigned kProcessorsPerMP = 8;
+/// Shared memory is organised in 16 banks of 32-bit words; bank conflicts
+/// are resolved per half-warp (§2.1 — compute capability 1.x).
+inline constexpr unsigned kSharedMemBanks = 16;
 
 /// A byte offset into a device's global-memory address space.
 /// The paper's hardware has a 32-bit linear address space (§3.2.3); we keep

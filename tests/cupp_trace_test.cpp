@@ -90,6 +90,34 @@ TEST_F(TraceTest, HistogramPercentiles) {
     EXPECT_NEAR(h->p99, 99.0, 1.5);
 }
 
+TEST_F(TraceTest, FlushedMetricsJsonCarriesHistogramSummaries) {
+    auto& m = tr::metrics();
+    m.record("flush.lat", 2.0);
+    m.record("flush.lat", 6.0);
+    m.record("flush.lat", 4.0);
+
+    // The standalone summary and the trace export's "metrics" object must
+    // both carry the full min/max/mean histogram summary.
+    for (const std::string& doc : {m.summary_json(), tr::export_json()}) {
+        const auto root = cupp::minijson::parse(doc);
+        const auto* metrics = root.find("histograms") != nullptr
+                                  ? &root
+                                  : root.find("metrics");
+        ASSERT_NE(metrics, nullptr);
+        const auto* hists = metrics->find("histograms");
+        ASSERT_NE(hists, nullptr);
+        const auto* h = hists->find("flush.lat");
+        ASSERT_NE(h, nullptr);
+        EXPECT_EQ(h->find("count")->number(), 3.0);
+        EXPECT_DOUBLE_EQ(h->find("min")->number(), 2.0);
+        EXPECT_DOUBLE_EQ(h->find("max")->number(), 6.0);
+        EXPECT_DOUBLE_EQ(h->find("mean")->number(), 4.0);
+        EXPECT_NE(h->find("p50"), nullptr);
+        EXPECT_NE(h->find("p90"), nullptr);
+        EXPECT_NE(h->find("p99"), nullptr);
+    }
+}
+
 TEST_F(TraceTest, ResetZeroesCountersButKeepsSlots) {
     auto& m = tr::metrics();
     const tr::counter_handle h("sticky");

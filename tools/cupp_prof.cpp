@@ -1,0 +1,248 @@
+// cupp_prof — renders a cusim::prof report (CUPP_PROF=<report.json>) as a
+// per-kernel hot-spot table, nvprof-style.
+//
+//   cupp_prof <report.json> [--top=N] [--sort=device_time|host_time|bytes]
+//             [--json]
+//
+// The default view ranks kernels by modelled device time and prints the
+// derived metrics next to each (achieved occupancy, coalescing efficiency,
+// divergence serialization, bank conflicts, roofline bound). --json
+// validates the report and echoes it unchanged, so pipelines can use this
+// tool as a schema check (exit 0 iff the report is well-formed). Any
+// malformed report — bad JSON, missing sections, wrong field types — exits
+// non-zero.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cupp/detail/minijson.hpp"
+
+namespace {
+
+int fail(const char* what) {
+    std::fprintf(stderr, "cupp_prof: FAIL: %s\n", what);
+    return 1;
+}
+
+/// One row of the table, pulled out of the validated JSON.
+struct Row {
+    std::string name;
+    std::string config;
+    double launches = 0;
+    double device_seconds = 0;
+    double host_seconds = 0;
+    double bytes = 0;
+    double occupancy = 0;
+    double coalescing = 0;
+    double divergence = 0;
+    double bank_conflicts = 0;
+    std::string bound;
+};
+
+bool num(const cupp::minijson::Value& obj, const char* key, double& out) {
+    const auto* v = obj.find(key);
+    if (v == nullptr || !v->is_number()) return false;
+    out = v->number();
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* path = nullptr;
+    std::size_t top = 10;
+    std::string sort_key = "device_time";
+    bool json_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--top=", 6) == 0) {
+            char* end = nullptr;
+            const long n = std::strtol(argv[i] + 6, &end, 10);
+            if (end == argv[i] + 6 || *end != '\0' || n < 1) {
+                std::fprintf(stderr, "cupp_prof: bad --top value %s\n", argv[i] + 6);
+                return 2;
+            }
+            top = static_cast<std::size_t>(n);
+        } else if (std::strncmp(argv[i], "--sort=", 7) == 0) {
+            sort_key = argv[i] + 7;
+            if (sort_key != "device_time" && sort_key != "host_time" &&
+                sort_key != "bytes") {
+                std::fprintf(stderr,
+                             "cupp_prof: --sort must be device_time, host_time or "
+                             "bytes (got %s)\n",
+                             sort_key.c_str());
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json_out = true;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "cupp_prof: unknown flag %s\n", argv[i]);
+            return 2;
+        } else if (path == nullptr) {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr, "cupp_prof: more than one report file\n");
+            return 2;
+        }
+    }
+    if (path == nullptr) {
+        std::fprintf(stderr,
+                     "usage: cupp_prof <report.json> [--top=N] "
+                     "[--sort=device_time|host_time|bytes] [--json]\n");
+        return 2;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return fail("cannot open report file");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    if (text.empty()) return fail("report file is empty");
+
+    cupp::minijson::Value root;
+    try {
+        root = cupp::minijson::parse(text);
+    } catch (const cupp::minijson::parse_error& e) {
+        std::fprintf(stderr, "cupp_prof: FAIL: invalid JSON: %s\n", e.what());
+        return 1;
+    }
+    if (!root.is_object()) return fail("top level is not an object");
+    const auto* prof = root.find("prof");
+    if (prof == nullptr || !prof->is_object()) return fail("no prof object");
+    const auto* model = prof->find("model");
+    if (model == nullptr || !model->is_object()) return fail("no model object");
+    const auto* kernels = prof->find("kernels");
+    if (kernels == nullptr || !kernels->is_array()) return fail("no kernels array");
+    const auto* hotspots = prof->find("hotspots");
+    if (hotspots == nullptr || !hotspots->is_array()) return fail("no hotspots array");
+    const auto* transfers = prof->find("transfers");
+    if (transfers == nullptr || !transfers->is_object()) {
+        return fail("no transfers object");
+    }
+
+    std::vector<Row> rows;
+    for (const auto& k : kernels->array()) {
+        if (!k.is_object()) return fail("kernels entry is not an object");
+        const auto* name = k.find("name");
+        if (name == nullptr || !name->is_string()) return fail("kernel without name");
+        Row r;
+        r.name = name->str();
+        // Every numeric field the table renders must be present and numeric;
+        // a report missing one is malformed, not partially printable.
+        struct Want {
+            const char* key;
+            double Row::* field;
+        };
+        const Want wants[] = {
+            {"launches", &Row::launches},
+            {"device_seconds", &Row::device_seconds},
+            {"host_seconds", &Row::host_seconds},
+            {"occupancy", &Row::occupancy},
+            {"coalescing_efficiency", &Row::coalescing},
+            {"divergence_serialization", &Row::divergence},
+            {"shared_bank_conflicts", &Row::bank_conflicts},
+        };
+        for (const Want& w : wants) {
+            if (!num(k, w.key, r.*(w.field))) {
+                std::fprintf(stderr, "cupp_prof: FAIL: kernel %s: missing %s\n",
+                             r.name.c_str(), w.key);
+                return 1;
+            }
+        }
+        double br = 0;
+        double bw = 0;
+        if (!num(k, "bytes_read", br) || !num(k, "bytes_written", bw)) {
+            return fail("kernel without byte counts");
+        }
+        r.bytes = br + bw;
+        if (const auto* b = k.find("roofline_bound"); b != nullptr && b->is_string()) {
+            r.bound = b->str();
+        }
+        const auto* grid = k.find("grid");
+        const auto* block = k.find("block");
+        if (grid != nullptr && grid->is_array() && grid->array().size() == 3 &&
+            block != nullptr && block->is_array() && block->array().size() == 3) {
+            char cfg[64];
+            std::snprintf(cfg, sizeof(cfg), "<<<%g,%g>>>",
+                          grid->array()[0].number() * grid->array()[1].number() *
+                              grid->array()[2].number(),
+                          block->array()[0].number() * block->array()[1].number() *
+                              block->array()[2].number());
+            r.config = cfg;
+        }
+        rows.push_back(std::move(r));
+    }
+    for (const auto& h : hotspots->array()) {
+        double unused = 0;
+        if (!h.is_object() || h.find("name") == nullptr ||
+            !num(h, "device_seconds", unused)) {
+            return fail("malformed hotspots entry");
+        }
+    }
+
+    if (json_out) {
+        // Validated; echo the document for downstream consumers.
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+
+    std::sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+        const auto key = [&](const Row& r) {
+            if (sort_key == "host_time") return r.host_seconds;
+            if (sort_key == "bytes") return r.bytes;
+            return r.device_seconds;
+        };
+        if (key(a) != key(b)) return key(a) > key(b);
+        return a.name < b.name;
+    });
+
+    double total_device = 0;
+    for (const Row& r : rows) total_device += r.device_seconds;
+
+    if (double ridge = 0; num(*model, "ridge_cycles_per_byte", ridge)) {
+        std::printf("cupp_prof: %zu kernel(s), %.3f ms modelled device time, "
+                    "roofline ridge %.3f cycles/byte (sorted by %s)\n",
+                    rows.size(), total_device * 1e3, ridge, sort_key.c_str());
+    }
+    std::printf(
+        "%-26s %8s %12s %12s %7s %6s %6s %6s %10s %8s\n", "kernel", "launches",
+        "device_ms", "host_ms", "time%", "occ", "coal", "div", "bankconf", "bound");
+    const std::size_t n = std::min(top, rows.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const Row& r = rows[i];
+        const std::string label =
+            r.name + (r.config.empty() ? "" : " " + r.config);
+        std::printf("%-26s %8.0f %12.4f %12.4f %6.1f%% %5.0f%% %5.0f%% %6.2f "
+                    "%10.0f %8s\n",
+                    label.c_str(), r.launches, r.device_seconds * 1e3,
+                    r.host_seconds * 1e3,
+                    total_device > 0 ? 100.0 * r.device_seconds / total_device : 0.0,
+                    r.occupancy * 100.0, r.coalescing * 100.0, r.divergence,
+                    r.bank_conflicts, r.bound.c_str());
+    }
+    if (rows.size() > n) {
+        std::printf("  ... %zu more kernel(s); raise --top to see them\n",
+                    rows.size() - n);
+    }
+
+    // Transfer footer: what moved over the bus around those kernels.
+    for (const char* kind : {"h2d", "d2h", "d2d"}) {
+        const auto* t = transfers->find(kind);
+        if (t == nullptr || !t->is_object()) continue;
+        double count = 0;
+        double bytes = 0;
+        double seconds = 0;
+        if (!num(*t, "count", count) || !num(*t, "bytes", bytes) ||
+            !num(*t, "seconds", seconds)) {
+            return fail("malformed transfers entry");
+        }
+        if (count == 0) continue;
+        std::printf("transfers %s: %.0f op(s), %.1f KiB, %.4f ms\n", kind, count,
+                    bytes / 1024.0, seconds * 1e3);
+    }
+    return 0;
+}

@@ -2,7 +2,7 @@
 //
 //   trace_check <trace.json> [--require-kernels] [--require-transfers]
 //               [--require-lazy-counters] [--require-device-track]
-//               [--require-stream-lanes]
+//               [--require-stream-lanes] [--require-counters=<prefix>]
 //
 // Exit code 0 iff the file parses as JSON, has a non-empty traceEvents
 // array, and satisfies every requested structural check. Used by the CTest
@@ -36,17 +36,26 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: trace_check <trace.json> [--require-kernels] "
                      "[--require-transfers] [--require-lazy-counters] "
-                     "[--require-device-track] [--require-stream-lanes]\n");
+                     "[--require-device-track] [--require-stream-lanes] "
+                     "[--require-counters=<prefix>]\n");
         return 2;
     }
     bool want_kernels = false, want_transfers = false;
     bool want_lazy = false, want_device_track = false, want_stream_lanes = false;
+    std::string counter_prefix;  // --require-counters=<prefix>; empty = not asked
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--require-kernels") == 0) want_kernels = true;
         else if (std::strcmp(argv[i], "--require-transfers") == 0) want_transfers = true;
         else if (std::strcmp(argv[i], "--require-lazy-counters") == 0) want_lazy = true;
         else if (std::strcmp(argv[i], "--require-device-track") == 0) want_device_track = true;
         else if (std::strcmp(argv[i], "--require-stream-lanes") == 0) want_stream_lanes = true;
+        else if (std::strncmp(argv[i], "--require-counters=", 19) == 0) {
+            counter_prefix = argv[i] + 19;
+            if (counter_prefix.empty()) {
+                std::fprintf(stderr, "trace_check: --require-counters needs a prefix\n");
+                return 2;
+            }
+        }
         else {
             std::fprintf(stderr, "trace_check: unknown flag %s\n", argv[i]);
             return 2;
@@ -72,7 +81,7 @@ int main(int argc, char** argv) {
     if (events == nullptr || !events->is_array()) return fail("no traceEvents array");
     if (events->array().empty()) return fail("traceEvents is empty");
 
-    std::size_t kernel_spans = 0, transfer_events = 0;
+    std::size_t kernel_spans = 0, transfer_events = 0, prefixed_counters = 0;
     std::set<std::string> track_names;  // resolved via thread_name metadata
     bool lazy_counters = false;
     for (const auto& ev : events->array()) {
@@ -117,6 +126,10 @@ int main(int argc, char** argv) {
         if (phase == "C" && label.rfind("cupp.vector.lazy.", 0) == 0) {
             lazy_counters = true;
         }
+        if (phase == "C" && !counter_prefix.empty() &&
+            label.rfind(counter_prefix, 0) == 0) {
+            ++prefixed_counters;
+        }
     }
 
     bool device_track = false, host_track = false;
@@ -134,6 +147,11 @@ int main(int argc, char** argv) {
         return fail("host and device tracks not both present");
     }
     if (want_stream_lanes && stream_lanes == 0) return fail("no per-stream trace lanes");
+    if (!counter_prefix.empty() && prefixed_counters == 0) {
+        std::fprintf(stderr, "trace_check: FAIL: no counter samples with prefix %s\n",
+                     counter_prefix.c_str());
+        return 1;
+    }
 
     std::printf("trace_check: OK: %zu events, %zu kernel spans, %zu transfers, "
                 "%zu named tracks\n",
