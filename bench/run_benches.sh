@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Runs the wall-clock engine benches serial vs. threaded and writes the
 # perf trajectory artifacts BENCH_*.json plus per-bench profiler reports
-# (BENCH_*_prof.json, via CUPP_PROF).
+# (BENCH_*_prof.json, via CUPP_PROF) and timeline reports
+# (BENCH_*_timeline.json, via CUPP_TIMELINE — render/diff with
+# tools/cupp_timeline).
 #
 # Usage: bench/run_benches.sh [build-dir] [output.json]
 #
@@ -24,7 +26,8 @@ if [ ! -x "$BUILD/bench/bench_parallel_engine" ]; then
 fi
 
 rm -f "$OUT" BENCH_stream_overlap.json \
-    BENCH_throughput_prof.json BENCH_stream_overlap_prof.json
+    BENCH_throughput_prof.json BENCH_stream_overlap_prof.json \
+    BENCH_throughput_timeline.json BENCH_stream_overlap_timeline.json
 
 STATUS=0
 
@@ -36,6 +39,7 @@ CUPP_SIM_THREADS=1 "$BUILD/bench/bench_simulator_throughput" \
 echo ""
 echo "== bench_simulator_throughput, CUPP_SIM_THREADS=4 (parallel engine) =="
 CUPP_PROF=BENCH_throughput_prof.json \
+CUPP_TIMELINE=BENCH_throughput_timeline.json \
 CUPP_SIM_THREADS=4 "$BUILD/bench/bench_simulator_throughput" \
     --benchmark_filter='BM_(BoidsStep|SaxpyThroughput|LaunchOverhead)' \
     --benchmark_min_time=0.2 || STATUS=1
@@ -49,6 +53,7 @@ echo "== bench_parallel_engine (thread sweep + determinism check) =="
 echo ""
 echo "== bench_stream_overlap (async streams on the modelled timeline) =="
 CUPP_PROF=BENCH_stream_overlap_prof.json \
+CUPP_TIMELINE=BENCH_stream_overlap_timeline.json \
     "$BUILD/bench/bench_stream_overlap" BENCH_stream_overlap.json || STATUS=1
 
 if [ "$STATUS" -ne 0 ]; then

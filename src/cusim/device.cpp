@@ -29,6 +29,9 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
                            std::string_view name) {
     prof::ApiScope prof_scope(prof::Api::Launch, trace_ordinal_, kDefaultStream, 0,
                               name);
+    timeline::FailScope tl_fail(trace_ordinal_, kDefaultStream,
+                                timeline::Category::Kernel, name, 0,
+                                prof_scope.correlation(), trace_base_ + host_time_);
     // Before validation and before any block runs: an injected launch
     // failure (or a poisoned device) rejects the launch atomically.
     fault_preflight(faults::Site::Launch, name);
@@ -62,6 +65,24 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
     last_launch_ = stats;
     ++launch_count_;
     record_launch(name, stats, start, device_free_at_);
+
+    if (timeline::enabled()) {
+        const std::string label =
+            name.empty() ? std::string("kernel") : std::string(name);
+        // Host-bound start: the grid began the moment the host issued it,
+        // so the binding edge is the host lane's point at `start`; when the
+        // device was still busy, the device FIFO tail already ends there.
+        const std::uint64_t anchor =
+            start == host_issue_t0
+                ? timeline::anchor_host(trace_ordinal_, trace_base_ + start)
+                : 0;
+        timeline::device_op(trace_ordinal_, timeline::Category::Kernel, label, 0,
+                            prof_scope.correlation(), trace_base_ + start,
+                            trace_base_ + device_free_at_, anchor);
+        timeline::host_op(trace_ordinal_, timeline::Category::Host,
+                          "launch " + label, 0, prof_scope.correlation(),
+                          trace_base_ + host_issue_t0, trace_base_ + host_time_);
+    }
 
     if (cupp::trace::enabled()) {
         const std::string label =

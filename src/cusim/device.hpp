@@ -29,6 +29,7 @@
 #include "cusim/global_memory.hpp"
 #include "cusim/launch.hpp"
 #include "cusim/prof.hpp"
+#include "cusim/timeline.hpp"
 
 namespace cusim {
 
@@ -132,6 +133,9 @@ public:
     // --- host <-> device transfers (blocking, clock-advancing) ------------
     void copy_to_device(DeviceAddr dst, const void* src, std::uint64_t bytes) {
         prof::ApiScope prof_scope(prof::Api::MemcpyH2D, trace_ordinal_, 0, bytes);
+        timeline::FailScope tl_fail(trace_ordinal_, 0, timeline::Category::MemcpyH2D,
+                                    "memcpy H2D", bytes, prof_scope.correlation(),
+                                    tl_abs(host_time_));
         fault_preflight(faults::Site::MemcpyH2D);
         join_streams();
         const bool tracing = cupp::trace::enabled();
@@ -145,9 +149,14 @@ public:
             prof::record_transfer(CopyKind::HostToDevice, bytes,
                                   host_time_ - t0 - wait, trace_ordinal_);
         }
+        tl_host_transfer(timeline::Category::MemcpyH2D, "memcpy H2D", bytes,
+                         prof_scope.correlation(), t0, wait);
     }
     void copy_to_host(void* dst, DeviceAddr src, std::uint64_t bytes) {
         prof::ApiScope prof_scope(prof::Api::MemcpyD2H, trace_ordinal_, 0, bytes);
+        timeline::FailScope tl_fail(trace_ordinal_, 0, timeline::Category::MemcpyD2H,
+                                    "memcpy D2H", bytes, prof_scope.correlation(),
+                                    tl_abs(host_time_));
         fault_preflight(faults::Site::MemcpyD2H);
         join_streams();
         const bool tracing = cupp::trace::enabled();
@@ -161,9 +170,14 @@ public:
             prof::record_transfer(CopyKind::DeviceToHost, bytes,
                                   host_time_ - t0 - wait, trace_ordinal_);
         }
+        tl_host_transfer(timeline::Category::MemcpyD2H, "memcpy D2H", bytes,
+                         prof_scope.correlation(), t0, wait);
     }
     void copy_device_to_device(DeviceAddr dst, DeviceAddr src, std::uint64_t bytes) {
         prof::ApiScope prof_scope(prof::Api::MemcpyD2D, trace_ordinal_, 0, bytes);
+        timeline::FailScope tl_fail(trace_ordinal_, 0, timeline::Category::MemcpyD2D,
+                                    "memcpy D2D", bytes, prof_scope.correlation(),
+                                    tl_abs(host_time_));
         fault_preflight(faults::Site::MemcpyD2D);
         join_streams();
         // Device-side copy: consumes device time, not host time.
@@ -179,6 +193,17 @@ public:
         if (prof::collecting()) {
             prof::record_transfer(CopyKind::DeviceToDevice, bytes, secs,
                                   trace_ordinal_);
+        }
+        if (timeline::enabled()) {
+            // Host-bound start: the binding edge is the host lane's point at
+            // `start` (the device FIFO tail already ends there otherwise).
+            const std::uint64_t anchor =
+                start == host_time_
+                    ? timeline::anchor_host(trace_ordinal_, tl_abs(start))
+                    : 0;
+            timeline::device_op(trace_ordinal_, timeline::Category::MemcpyD2D,
+                                "memcpy D2D", bytes, prof_scope.correlation(),
+                                tl_abs(start), tl_abs(device_free_at_), anchor);
         }
     }
 
@@ -212,6 +237,9 @@ public:
     void copy_to_constant(DeviceAddr addr, const void* src, std::uint64_t bytes) {
         prof::ApiScope prof_scope(prof::Api::MemcpyH2D, trace_ordinal_, 0, bytes,
                                   "constant");
+        timeline::FailScope tl_fail(trace_ordinal_, 0, timeline::Category::MemcpyH2D,
+                                    "memcpy H2C", bytes, prof_scope.correlation(),
+                                    tl_abs(host_time_));
         fault_preflight(faults::Site::MemcpyH2D, "constant");
         join_streams();
         const bool tracing = cupp::trace::enabled();
@@ -221,6 +249,8 @@ public:
         constant_.write(addr, src, bytes);
         bytes_to_device_ += bytes;
         if (tracing) trace_transfer("memcpy H2C", t0, bytes, wait, "H2C");
+        tl_host_transfer(timeline::Category::MemcpyH2D, "memcpy H2C", bytes,
+                         prof_scope.correlation(), t0, wait);
     }
 
     // --- execution ---------------------------------------------------------
@@ -243,10 +273,18 @@ public:
     /// including every explicit stream (their pending work executes first).
     void synchronize() {
         prof::ApiScope prof_scope(prof::Api::Sync, trace_ordinal_);
+        timeline::FailScope tl_fail(trace_ordinal_, 0, timeline::Category::Sync,
+                                    "synchronize", 0, prof_scope.correlation(),
+                                    tl_abs(host_time_));
         fault_preflight(faults::Site::Sync);
         join_streams();
         host_time_ = std::max(host_time_, device_free_at_);
         prune_completed_async();
+        if (timeline::enabled()) {
+            timeline::host_sync(trace_ordinal_, "synchronize",
+                                prof_scope.correlation(), tl_abs(host_time_),
+                                timeline::device_tail(trace_ordinal_));
+        }
     }
 
     // --- events (cudaEventRecord-style timing) -------------------------------
@@ -405,6 +443,23 @@ private:
     /// ever poisoned — the whole cost of the instrumentation by default.
     void fault_preflight(faults::Site site, std::string_view label = {}) {
         if (faults::armed()) faults::preflight(site, label, this);
+    }
+
+    /// Maps a simulated-seconds timestamp onto the timeline's absolute
+    /// monotonic axis (same base as the trace, but in seconds).
+    [[nodiscard]] double tl_abs(double t) const { return trace_base_ + t; }
+
+    /// Timeline node for a blocking host-side transfer: the transfer span
+    /// [t0+wait, now] on the host lane, bound to the device FIFO tail when
+    /// the host had to wait for an active kernel first (the wait itself
+    /// shows as a host-lane bubble).
+    void tl_host_transfer(timeline::Category cat, std::string_view name,
+                          std::uint64_t bytes, std::uint64_t corr, double t0,
+                          double wait) {
+        if (!timeline::enabled()) return;
+        timeline::host_op(trace_ordinal_, cat, name, bytes, corr,
+                          tl_abs(t0 + wait), tl_abs(host_time_),
+                          wait > 0.0 ? timeline::device_tail(trace_ordinal_) : 0);
     }
 
     void trace_transfer(const char* name, double t0, std::uint64_t bytes, double wait_s,

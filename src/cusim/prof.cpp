@@ -15,7 +15,17 @@ namespace cusim::prof {
 namespace detail {
 std::atomic<bool> g_armed{false};
 std::atomic<bool> g_collecting{false};
+std::atomic<bool> g_correlation_tracking{false};
+std::atomic<std::uint64_t> g_next_correlation{0};
 }  // namespace detail
+
+void set_correlation_tracking(bool on) {
+    detail::g_correlation_tracking.store(on, std::memory_order_relaxed);
+}
+
+void reset_correlation_ids() {
+    detail::g_next_correlation.store(0, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -426,7 +436,10 @@ void enable(std::string path) {
 
 void disable() { State::instance().disable(); }
 
-void reset() { State::instance().clear(); }
+void reset() {
+    State::instance().clear();
+    reset_correlation_ids();
+}
 
 void start() { State::instance().start(); }
 

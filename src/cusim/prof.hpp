@@ -51,6 +51,11 @@ extern std::atomic<bool> g_armed;
 /// (start()ed, not stop()ped) — gates activity recording and the
 /// engine-side shared-access tracking.
 extern std::atomic<bool> g_collecting;
+/// True while correlation ids must be allocated even when the profiler
+/// itself is idle (cusim::timeline shares the id space).
+extern std::atomic<bool> g_correlation_tracking;
+/// The shared CUPTI-style correlation-id counter (next id to hand out).
+extern std::atomic<std::uint64_t> g_next_correlation;
 }  // namespace detail
 
 /// The per-site fast-path gate: one relaxed load when nothing is armed.
@@ -63,6 +68,25 @@ extern std::atomic<bool> g_collecting;
 [[nodiscard]] inline bool collecting() {
     return detail::g_collecting.load(std::memory_order_relaxed);
 }
+
+/// True while correlation ids are needed by a consumer other than the
+/// profiler (cusim::timeline enables this for its lifetime).
+[[nodiscard]] inline bool correlation_tracking() {
+    return detail::g_correlation_tracking.load(std::memory_order_relaxed);
+}
+
+/// Allocates the next correlation id (1-based). All instrumented entry
+/// points run on the host thread, so the sequence is deterministic.
+[[nodiscard]] inline std::uint64_t new_correlation_id() {
+    return detail::g_next_correlation.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Turns correlation-id allocation on/off independently of the profiler
+/// (called by cusim::timeline enable/disable).
+void set_correlation_tracking(bool on);
+/// Restarts the correlation-id sequence at 1 (test isolation; both
+/// prof::reset() and timeline::reset() call this).
+void reset_correlation_ids();
 
 // --- the callback API ------------------------------------------------------
 
@@ -107,6 +131,9 @@ struct ApiRecord {
     std::uint64_t bytes = 0;    ///< transfer/allocation size when known
     std::string_view label;     ///< kernel or call-site label when known
     bool failed = false;        ///< Exit only: the call unwound via exception
+    /// CUPTI-style correlation id linking this call's Enter/Exit pair to
+    /// the timeline node(s) it scheduled (0 when tracking is off).
+    std::uint64_t correlation = 0;
 };
 
 using Callback = std::function<void(const ApiRecord&)>;
@@ -133,6 +160,7 @@ public:
     ApiScope(Api api, int device, std::uint32_t stream = 0, std::uint64_t bytes = 0,
              std::string_view label = {})
         : armed_(armed()) {
+        if (armed_ || correlation_tracking()) corr_ = new_correlation_id();
         if (!armed_) return;
         api_ = api;
         device_ = device;
@@ -141,15 +169,19 @@ public:
         label_ = label;
         exceptions_ = std::uncaught_exceptions();
         note_api_enter(api);
-        dispatch(ApiRecord{api, Phase::Enter, device, stream, bytes, label, false});
+        dispatch(ApiRecord{api, Phase::Enter, device, stream, bytes, label, false,
+                           corr_});
     }
     ~ApiScope() {
         if (!armed_) return;
         dispatch(ApiRecord{api_, Phase::Exit, device_, stream_, bytes_, label_,
-                           std::uncaught_exceptions() > exceptions_});
+                           std::uncaught_exceptions() > exceptions_, corr_});
     }
     ApiScope(const ApiScope&) = delete;
     ApiScope& operator=(const ApiScope&) = delete;
+
+    /// The correlation id allocated for this call (0 when nothing needs one).
+    [[nodiscard]] std::uint64_t correlation() const { return corr_; }
 
 private:
     bool armed_;
@@ -158,6 +190,7 @@ private:
     std::uint32_t stream_ = 0;
     std::uint64_t bytes_ = 0;
     std::string_view label_;
+    std::uint64_t corr_ = 0;
     int exceptions_ = 0;
 };
 

@@ -220,6 +220,9 @@ ErrorCode cusimEventSynchronize(EventId event) {
 
 ErrorCode cusimEventElapsedTime(float* ms, EventId start, EventId stop) {
     if (!ms) return set_error(ErrorCode::InvalidValue);
+    // Defined output on every failure path (never-recorded event, re-recorded
+    // but unreached record, unknown id): the caller must not read garbage.
+    *ms = 0.0f;
     return guarded([&] {
         *ms = static_cast<float>(
             Registry::instance().current_device().event_elapsed_ms(start, stop));

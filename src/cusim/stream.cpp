@@ -33,6 +33,7 @@
 #include "cusim/multiprocessor.hpp"
 #include "cusim/prof.hpp"
 #include "cusim/report.hpp"
+#include "cusim/timeline.hpp"
 
 namespace cusim {
 
@@ -64,6 +65,10 @@ struct StreamOp {
     EventId event = 0;
     std::uint64_t wait_target_seq = 0;  ///< record op a Wait orders behind
     bool wait_has_target = false;       ///< false: event unrecorded -> no-op
+
+    // Timeline (captured at enqueue, consumed at drain)
+    std::uint64_t corr = 0;       ///< correlation id of the enqueueing API call
+    std::uint64_t tl_anchor = 0;  ///< host-lane node ending at the issue point
 };
 
 struct StreamState {
@@ -200,6 +205,9 @@ void Device::launch_async(const LaunchConfig& cfg, const KernelEntry& entry,
         return;
     }
     prof::ApiScope prof_scope(prof::Api::LaunchAsync, trace_ordinal_, stream, 0, name);
+    timeline::FailScope tl_fail(trace_ordinal_, stream, timeline::Category::Kernel,
+                                name, 0, prof_scope.correlation(),
+                                tl_abs(host_time_));
     // Same atomic-rejection contract as launch(): preflight and validation
     // happen at enqueue, before anything is queued, so an injected failure
     // leaves no half-enqueued op and a retry is clean.
@@ -221,11 +229,22 @@ void Device::launch_async(const LaunchConfig& cfg, const KernelEntry& entry,
     op.cfg = cfg;
     op.entry = entry;
     op.name = name.empty() ? std::string("kernel") : std::string(name);
+    op.corr = prof_scope.correlation();
+    if (timeline::enabled()) {
+        op.tl_anchor = timeline::anchor_host(trace_ordinal_, tl_abs(host_time_));
+    }
     it->second.pending.push_back(std::move(op));
 
     // The host pays only the issue overhead, exactly like a legacy launch.
     const double t0 = host_time_;
     host_time_ += props_.cost.launch_overhead_s;
+    if (timeline::enabled()) {
+        timeline::host_op(trace_ordinal_, timeline::Category::Host,
+                          "launch " + it->second.pending.back().name + " (s" +
+                              std::to_string(stream) + ")",
+                          0, prof_scope.correlation(), tl_abs(t0),
+                          tl_abs(host_time_));
+    }
     if (cupp::trace::enabled()) {
         cupp::trace::emit_complete(host_track(),
                                    "launch " + it->second.pending.back().name +
@@ -244,6 +263,9 @@ void Device::memcpy_to_device_async(DeviceAddr dst, const void* src,
         return;
     }
     prof::ApiScope prof_scope(prof::Api::MemcpyH2DAsync, trace_ordinal_, stream, bytes);
+    timeline::FailScope tl_fail(trace_ordinal_, stream,
+                                timeline::Category::MemcpyH2D, "memcpy H2D async",
+                                bytes, prof_scope.correlation(), tl_abs(host_time_));
     fault_preflight(faults::Site::MemcpyH2D, "async");
     if (src == nullptr) throw Error(ErrorCode::InvalidValue, "null async H2D source");
     if (!memory_.range_valid(dst, bytes)) {
@@ -265,6 +287,10 @@ void Device::memcpy_to_device_async(DeviceAddr dst, const void* src,
     // after this call never leak into the copy.
     const auto* p = static_cast<const std::byte*>(src);
     op.staged.assign(p, p + bytes);
+    op.corr = prof_scope.correlation();
+    if (timeline::enabled()) {
+        op.tl_anchor = timeline::anchor_host(trace_ordinal_, tl_abs(host_time_));
+    }
     it->second.pending.push_back(std::move(op));
     if (cupp::trace::enabled()) {
         cupp::trace::emit_instant(
@@ -281,6 +307,9 @@ void Device::memcpy_to_host_async(void* dst, DeviceAddr src, std::uint64_t bytes
         return;
     }
     prof::ApiScope prof_scope(prof::Api::MemcpyD2HAsync, trace_ordinal_, stream, bytes);
+    timeline::FailScope tl_fail(trace_ordinal_, stream,
+                                timeline::Category::MemcpyD2H, "memcpy D2H async",
+                                bytes, prof_scope.correlation(), tl_abs(host_time_));
     fault_preflight(faults::Site::MemcpyD2H, "async");
     if (dst == nullptr) throw Error(ErrorCode::InvalidValue, "null async D2H destination");
     if (!memory_.range_valid(src, bytes)) {
@@ -307,6 +336,10 @@ void Device::memcpy_to_host_async(void* dst, DeviceAddr src, std::uint64_t bytes
         w.seq = op.seq;
         t.host_writes.push_back(w);
     }
+    op.corr = prof_scope.correlation();
+    if (timeline::enabled()) {
+        op.tl_anchor = timeline::anchor_host(trace_ordinal_, tl_abs(host_time_));
+    }
     it->second.pending.push_back(std::move(op));
     if (cupp::trace::enabled()) {
         cupp::trace::emit_instant(
@@ -323,6 +356,9 @@ void Device::memcpy_device_to_device_async(DeviceAddr dst, DeviceAddr src,
         return;
     }
     prof::ApiScope prof_scope(prof::Api::MemcpyD2DAsync, trace_ordinal_, stream, bytes);
+    timeline::FailScope tl_fail(trace_ordinal_, stream,
+                                timeline::Category::MemcpyD2D, "memcpy D2D async",
+                                bytes, prof_scope.correlation(), tl_abs(host_time_));
     fault_preflight(faults::Site::MemcpyD2D, "async");
     if (!memory_.range_valid(src, bytes) || !memory_.range_valid(dst, bytes)) {
         throw Error(ErrorCode::InvalidDevicePointer,
@@ -341,12 +377,19 @@ void Device::memcpy_device_to_device_async(DeviceAddr dst, DeviceAddr src,
     op.dst = dst;
     op.src = src;
     op.bytes = bytes;
+    op.corr = prof_scope.correlation();
+    if (timeline::enabled()) {
+        op.tl_anchor = timeline::anchor_host(trace_ordinal_, tl_abs(host_time_));
+    }
     it->second.pending.push_back(std::move(op));
     count_enqueue();
 }
 
 void Device::event_record(EventId event, StreamId stream) {
     prof::ApiScope prof_scope(prof::Api::EventRecord, trace_ordinal_, stream);
+    timeline::FailScope tl_fail(trace_ordinal_, stream,
+                                timeline::Category::EventRecord, "event record", 0,
+                                prof_scope.correlation(), tl_abs(host_time_));
     detail::StreamTable& t = stream_table();
     auto ev = t.events.find(event);
     if (ev == t.events.end()) {
@@ -359,6 +402,17 @@ void Device::event_record(EventId event, StreamId stream) {
         ev->second.time = std::max(host_time_, device_free_at_);
         ev->second.last_record_seq = seq;
         ev->second.completed_seq = seq;
+        if (timeline::enabled()) {
+            const double done = ev->second.time;
+            const std::uint64_t anchor =
+                host_time_ >= device_free_at_
+                    ? timeline::anchor_host(trace_ordinal_, tl_abs(done))
+                    : 0;
+            const std::uint64_t node = timeline::device_op(
+                trace_ordinal_, timeline::Category::EventRecord, "event record",
+                0, prof_scope.correlation(), tl_abs(done), tl_abs(done), anchor);
+            timeline::register_event_record(trace_ordinal_, event, node);
+        }
         return;
     }
     auto it = t.streams.find(stream);
@@ -370,6 +424,10 @@ void Device::event_record(EventId event, StreamId stream) {
     op.seq = t.next_seq++;
     op.issue_host_time = host_time_;
     op.event = event;
+    op.corr = prof_scope.correlation();
+    if (timeline::enabled()) {
+        op.tl_anchor = timeline::anchor_host(trace_ordinal_, tl_abs(host_time_));
+    }
     ev->second.last_record_seq = op.seq;
     it->second.pending.push_back(std::move(op));
     if (cupp::trace::enabled()) {
@@ -381,6 +439,9 @@ void Device::event_record(EventId event, StreamId stream) {
 
 void Device::stream_wait_event(StreamId stream, EventId event) {
     prof::ApiScope prof_scope(prof::Api::StreamWaitEvent, trace_ordinal_, stream);
+    timeline::FailScope tl_fail(trace_ordinal_, stream,
+                                timeline::Category::EventWait, "wait event", 0,
+                                prof_scope.correlation(), tl_abs(host_time_));
     detail::StreamTable& t = stream_table();
     auto ev = t.events.find(event);
     if (ev == t.events.end()) {
@@ -391,6 +452,13 @@ void Device::stream_wait_event(StreamId stream, EventId event) {
         // push the device-wide horizon past the recorded point.
         join_streams();
         device_free_at_ = std::max(device_free_at_, ev->second.time);
+        if (timeline::enabled() && ev->second.last_record_seq != 0) {
+            timeline::device_op(
+                trace_ordinal_, timeline::Category::EventWait, "wait event", 0,
+                prof_scope.correlation(), tl_abs(device_free_at_),
+                tl_abs(device_free_at_),
+                timeline::event_record_node(trace_ordinal_, event));
+        }
         return;
     }
     auto it = t.streams.find(stream);
@@ -406,6 +474,7 @@ void Device::stream_wait_event(StreamId stream, EventId event) {
     // move this wait. An unrecorded event makes the wait a no-op.
     op.wait_target_seq = ev->second.last_record_seq;
     op.wait_has_target = ev->second.last_record_seq != 0;
+    op.corr = prof_scope.correlation();
     it->second.pending.push_back(std::move(op));
     if (cupp::trace::enabled()) {
         static const cupp::trace::counter_handle waits("cusim.stream.wait_events");
@@ -444,6 +513,11 @@ void Device::execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp&
             last_launch_ = stats;
             ++launch_count_;
             record_launch(op.name, stats, start, st.free_at);
+            if (timeline::enabled()) {
+                timeline::stream_op(trace_ordinal_, sid, timeline::Category::Kernel,
+                                    op.name, 0, op.corr, tl_abs(start),
+                                    tl_abs(st.free_at), op.tl_anchor);
+            }
             if (tracing) {
                 cupp::trace::emit_complete(
                     stream_track(sid), op.name, trace_time_us(start),
@@ -480,6 +554,12 @@ void Device::execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp&
                 prof::record_transfer(CopyKind::HostToDevice, op.bytes, secs,
                                       trace_ordinal_);
             }
+            if (timeline::enabled()) {
+                timeline::stream_op(trace_ordinal_, sid,
+                                    timeline::Category::MemcpyH2D, op_label(op.kind),
+                                    op.bytes, op.corr, tl_abs(start),
+                                    tl_abs(st.free_at), op.tl_anchor);
+            }
             if (tracing) {
                 cupp::trace::emit_complete(stream_track(sid), op_label(op.kind),
                                            trace_time_us(start), secs * 1e6,
@@ -500,6 +580,12 @@ void Device::execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp&
             if (prof::collecting()) {
                 prof::record_transfer(CopyKind::DeviceToHost, op.bytes, secs,
                                       trace_ordinal_);
+            }
+            if (timeline::enabled()) {
+                timeline::stream_op(trace_ordinal_, sid,
+                                    timeline::Category::MemcpyD2H, op_label(op.kind),
+                                    op.bytes, op.corr, tl_abs(start),
+                                    tl_abs(st.free_at), op.tl_anchor);
             }
             for (detail::PendingHostWrite& w : t.host_writes) {
                 if (w.seq == op.seq) {
@@ -526,6 +612,12 @@ void Device::execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp&
                 prof::record_transfer(CopyKind::DeviceToDevice, op.bytes, secs,
                                       trace_ordinal_);
             }
+            if (timeline::enabled()) {
+                timeline::stream_op(trace_ordinal_, sid,
+                                    timeline::Category::MemcpyD2D, op_label(op.kind),
+                                    op.bytes, op.corr, tl_abs(start),
+                                    tl_abs(st.free_at), op.tl_anchor);
+            }
             if (tracing) {
                 cupp::trace::emit_complete(stream_track(sid), op_label(op.kind),
                                            trace_time_us(start), secs * 1e6,
@@ -543,9 +635,22 @@ void Device::execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp&
                 // newest record must win, or a wait targeting it would spin
                 // on a regressed completed_seq.
                 const double done = std::max(st.free_at, op.issue_host_time);
-                if (op.seq >= ev->second.completed_seq) {
+                const bool newest = op.seq >= ev->second.completed_seq;
+                if (newest) {
                     ev->second.time = done;
                     ev->second.completed_seq = op.seq;
+                }
+                if (timeline::enabled()) {
+                    const std::uint64_t node = timeline::stream_op(
+                        trace_ordinal_, sid, timeline::Category::EventRecord,
+                        "event record", 0, op.corr, tl_abs(done), tl_abs(done),
+                        op.tl_anchor);
+                    // Mirrors EventState::time: waits edge to the record
+                    // that actually defines the event's completion point.
+                    if (newest) {
+                        timeline::register_event_record(trace_ordinal_, op.event,
+                                                        node);
+                    }
                 }
                 if (tracing) {
                     cupp::trace::emit_instant(stream_track(sid), "event record",
@@ -559,6 +664,15 @@ void Device::execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp&
             auto ev = t.events.find(op.event);
             if (ev != t.events.end() && op.wait_has_target) {
                 st.free_at = std::max(st.free_at, ev->second.time);
+                if (timeline::enabled()) {
+                    // Cross-stream edge: the wait point depends on the event's
+                    // defining record (and the stream FIFO, via the tail).
+                    timeline::stream_op(
+                        trace_ordinal_, sid, timeline::Category::EventWait,
+                        "wait event", 0, op.corr, tl_abs(st.free_at),
+                        tl_abs(st.free_at),
+                        timeline::event_record_node(trace_ordinal_, op.event));
+                }
             }
             break;
         }
@@ -595,7 +709,15 @@ void Device::drain_streams() {
 void Device::join_streams_slow() {
     drain_streams();
     for (const auto& [sid, st] : streams_->streams) {
-        device_free_at_ = std::max(device_free_at_, st.free_at);
+        if (st.free_at > device_free_at_) {
+            device_free_at_ = st.free_at;
+            // The stream that pushed the device-wide horizon becomes the
+            // node later default-stream work FIFO-orders behind.
+            if (timeline::enabled()) {
+                timeline::set_device_tail(
+                    trace_ordinal_, timeline::stream_tail(trace_ordinal_, sid));
+            }
+        }
     }
 }
 
@@ -619,6 +741,9 @@ void Device::stream_synchronize(StreamId stream) {
         return;
     }
     prof::ApiScope prof_scope(prof::Api::StreamSynchronize, trace_ordinal_, stream);
+    timeline::FailScope tl_fail(trace_ordinal_, stream, timeline::Category::Sync,
+                                "stream synchronize", 0, prof_scope.correlation(),
+                                tl_abs(host_time_));
     fault_preflight(faults::Site::Sync, "stream");
     detail::StreamTable& t = stream_table();
     auto it = t.streams.find(stream);
@@ -628,6 +753,11 @@ void Device::stream_synchronize(StreamId stream) {
     drain_streams();
     host_time_ = std::max(host_time_, it->second.free_at);
     prune_completed_async();
+    if (timeline::enabled()) {
+        timeline::host_sync(trace_ordinal_, "stream synchronize",
+                            prof_scope.correlation(), tl_abs(host_time_),
+                            timeline::stream_tail(trace_ordinal_, stream));
+    }
 }
 
 bool Device::event_query(EventId event) const {
@@ -645,6 +775,9 @@ bool Device::event_query(EventId event) const {
 
 void Device::event_synchronize(EventId event) {
     prof::ApiScope prof_scope(prof::Api::EventSynchronize, trace_ordinal_);
+    timeline::FailScope tl_fail(trace_ordinal_, 0, timeline::Category::Sync,
+                                "event synchronize", 0, prof_scope.correlation(),
+                                tl_abs(host_time_));
     fault_preflight(faults::Site::Sync, "event");
     detail::StreamTable& t = stream_table();
     auto it = t.events.find(event);
@@ -654,6 +787,11 @@ void Device::event_synchronize(EventId event) {
     drain_streams();
     host_time_ = std::max(host_time_, it->second.time);
     prune_completed_async();
+    if (timeline::enabled()) {
+        timeline::host_sync(trace_ordinal_, "event synchronize",
+                            prof_scope.correlation(), tl_abs(host_time_),
+                            timeline::event_record_node(trace_ordinal_, event));
+    }
 }
 
 double Device::event_elapsed_ms(EventId start, EventId stop) {

@@ -2,10 +2,10 @@
 // launches, async copies and event waits across 1-4 streams, each DAG run
 // with the block engine pinned to 1, 2 and 8 worker threads. Every
 // observable — final device memory, LaunchStats, memcheck reports, fault
-// counters, trace event sequences — must be bit-identical to the serial
-// run: the drain order is a pure function of the enqueue sequence, and
-// only the blocks *inside* one grid parallelize (under run_grid's
-// launch-order reduction).
+// counters, trace event sequences, the normalized timeline report — must
+// be bit-identical to the serial run: the drain order is a pure function
+// of the enqueue sequence, and only the blocks *inside* one grid
+// parallelize (under run_grid's launch-order reduction).
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -19,10 +19,35 @@
 #include "cusim/block_pool.hpp"
 #include "cusim/cusim.hpp"
 #include "cusim/faults.hpp"
+#include "cusim/timeline.hpp"
 
 namespace {
 
 using namespace cusim;
+
+/// Masks the process-global device ordinal ("dev3.stream1" -> "dev#.stream1",
+/// '"device": 3' -> '"device": #'): each run constructs a fresh Device, so
+/// the ordinal is the one legitimately run-dependent token in the report.
+std::string mask_device_ordinals(std::string text) {
+    for (std::size_t pos = 0; (pos = text.find("dev", pos)) != std::string::npos;) {
+        std::size_t i = pos + 3;
+        while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+            text.erase(i, 1);
+        }
+        if (i > pos + 3) text.insert(pos + 3, "#");
+        pos += 4;
+    }
+    const std::string key = "\"device\": ";
+    for (std::size_t pos = 0; (pos = text.find(key, pos)) != std::string::npos;) {
+        std::size_t i = pos + key.size();
+        while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+            text.erase(i, 1);
+        }
+        text.insert(pos + key.size(), "#");
+        pos += key.size();
+    }
+    return text;
+}
 
 struct ThreadsGuard {
     explicit ThreadsGuard(unsigned n) { BlockPool::set_threads(n); }
@@ -72,6 +97,11 @@ RunResult run_dag(std::uint64_t seed, unsigned threads, bool with_trace) {
     ThreadsGuard guard(threads);
     memcheck::enable();
     memcheck::reset();
+    // Timeline recording runs on every DAG: the normalized report (all
+    // modelled times, no wall clocks) must be part of the bit-identical
+    // observable set. reset() also restarts the shared correlation counter.
+    timeline::reset();
+    timeline::enable();
     if (with_trace) {
         cupp::trace::enable();
         cupp::trace::clear();
@@ -215,6 +245,7 @@ RunResult run_dag(std::uint64_t seed, unsigned threads, bool with_trace) {
             out << "\n";
         }
         out << "memcheck=" << memcheck::report_json() << "\n";
+        out << "timeline=" << mask_device_ordinals(timeline::report_json());
 
         if (with_trace) {
             // Everything except wall-clock timestamps. Each run constructs a
@@ -243,6 +274,7 @@ RunResult run_dag(std::uint64_t seed, unsigned threads, bool with_trace) {
     faults::reset();
     memcheck::disable();
     memcheck::reset();
+    timeline::reset();
     if (with_trace) {
         cupp::trace::disable();
         cupp::trace::clear();

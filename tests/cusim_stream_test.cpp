@@ -243,6 +243,84 @@ TEST(Event, ElapsedMeasuresModelledKernelTime) {
     EXPECT_THROW((void)dev.event_elapsed_ms(t0, never), Error);
 }
 
+TEST(Event, ElapsedTimeOnNeverRecordedEventIsInvalidValueWithZeroOutput) {
+    using namespace cusim::rt;
+    ASSERT_EQ(cusimSetDevice(0), ErrorCode::Success);
+    EventId recorded = 0, never = 0;
+    ASSERT_EQ(cusimEventCreate(&recorded), ErrorCode::Success);
+    ASSERT_EQ(cusimEventCreate(&never), ErrorCode::Success);
+    ASSERT_EQ(cusimEventRecord(recorded, kDefaultStream), ErrorCode::Success);
+    ASSERT_EQ(cusimEventSynchronize(recorded), ErrorCode::Success);
+
+    float ms = -1.0f;  // sentinel: the call must overwrite it on failure too
+    EXPECT_EQ(cusimEventElapsedTime(&ms, recorded, never), ErrorCode::InvalidValue);
+    EXPECT_EQ(ms, 0.0f);
+    ms = -1.0f;
+    EXPECT_EQ(cusimEventElapsedTime(&ms, never, recorded), ErrorCode::InvalidValue);
+    EXPECT_EQ(ms, 0.0f);
+    ms = -1.0f;
+    EXPECT_EQ(cusimEventElapsedTime(&ms, recorded, 999999), ErrorCode::InvalidValue);
+    EXPECT_EQ(ms, 0.0f);
+    EXPECT_EQ(cusimEventElapsedTime(nullptr, recorded, recorded),
+              ErrorCode::InvalidValue);
+    (void)cusimGetLastError();  // clear the sticky error for later tests
+
+    EXPECT_EQ(cusimEventDestroy(recorded), ErrorCode::Success);
+    EXPECT_EQ(cusimEventDestroy(never), ErrorCode::Success);
+}
+
+TEST(Event, ElapsedTimeOnUnreachedReRecordIsNotReadyWithZeroOutput) {
+    using namespace cusim::rt;
+    ASSERT_EQ(cusimSetDevice(0), ErrorCode::Success);
+    Device& dev = Registry::instance().current_device();
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId s = dev.stream_create();
+
+    EventId t0 = 0, t1 = 0;
+    ASSERT_EQ(cusimEventCreate(&t0), ErrorCode::Success);
+    ASSERT_EQ(cusimEventCreate(&t1), ErrorCode::Success);
+    ASSERT_EQ(cusimEventRecord(t0, s), ErrorCode::Success);
+    ASSERT_EQ(cusimEventRecord(t1, s), ErrorCode::Success);
+    ASSERT_EQ(cusimEventSynchronize(t1), ErrorCode::Success);
+
+    // Re-record t1 behind a compute-heavy kernel: the new record's modelled
+    // completion lies beyond the host clock until the host synchronizes.
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return burn_kernel(ctx, buf, 3); },
+                     "burn", s);
+    ASSERT_EQ(cusimEventRecord(t1, s), ErrorCode::Success);
+
+    float ms = -1.0f;
+    EXPECT_EQ(cusimEventElapsedTime(&ms, t0, t1), ErrorCode::NotReady);
+    EXPECT_EQ(ms, 0.0f);  // defined output even on the NotReady path
+    (void)cusimGetLastError();
+
+    ASSERT_EQ(cusimEventSynchronize(t1), ErrorCode::Success);
+    ms = -1.0f;
+    ASSERT_EQ(cusimEventElapsedTime(&ms, t0, t1), ErrorCode::Success);
+    EXPECT_GT(ms, 0.0f);
+
+    EXPECT_EQ(cusimEventDestroy(t0), ErrorCode::Success);
+    EXPECT_EQ(cusimEventDestroy(t1), ErrorCode::Success);
+    dev.stream_destroy(s);
+}
+
+TEST(Event, WaitEventOnEmptyRecordIsADefinedNoOp) {
+    using namespace cusim::rt;
+    ASSERT_EQ(cusimSetDevice(0), ErrorCode::Success);
+    StreamId s = 0;
+    ASSERT_EQ(cusimStreamCreate(&s), ErrorCode::Success);
+    EventId ev = 0;
+    ASSERT_EQ(cusimEventCreate(&ev), ErrorCode::Success);
+    // No record has ever executed for `ev`: the wait must succeed as a no-op
+    // and must not leave the stream blocked on anything.
+    EXPECT_EQ(cusimStreamWaitEvent(s, ev), ErrorCode::Success);
+    EXPECT_EQ(cusimStreamSynchronize(s), ErrorCode::Success);
+    EXPECT_EQ(cusimStreamQuery(s), ErrorCode::Success);
+    EXPECT_EQ(cusimEventDestroy(ev), ErrorCode::Success);
+    EXPECT_EQ(cusimStreamDestroy(s), ErrorCode::Success);
+}
+
 TEST(Stream, IndependentStreamsOverlapOnTheModelledTimeline) {
     Device dev(tiny_properties());
     const LaunchConfig cfg = small_cfg();

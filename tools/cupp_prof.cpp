@@ -3,6 +3,7 @@
 //
 //   cupp_prof <report.json> [--top=N] [--sort=device_time|host_time|bytes]
 //             [--json]
+//   cupp_prof --diff <old.json> <new.json> --threshold <pct>
 //
 // The default view ranks kernels by modelled device time and prints the
 // derived metrics next to each (achieved occupancy, coalescing efficiency,
@@ -10,17 +11,22 @@
 // validates the report and echoes it unchanged, so pipelines can use this
 // tool as a schema check (exit 0 iff the report is well-formed). Any
 // malformed report — bad JSON, missing sections, wrong field types — exits
-// non-zero.
+// non-zero. --diff compares total and per-kernel modelled device time and
+// transfer time between two reports and exits non-zero when any regressed
+// by more than --threshold percent (tools/report_diff.hpp, shared with
+// cupp_timeline --diff) — checked-in BENCH_*_prof.json artifacts become
+// regression guards.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "cupp/detail/minijson.hpp"
+#include "report_diff.hpp"
 
 namespace {
 
@@ -51,13 +57,92 @@ bool num(const cupp::minijson::Value& obj, const char* key, double& out) {
     return true;
 }
 
+/// The diffable slice of one report: modelled (deterministic) times only —
+/// host wall seconds are real time and would flake any threshold.
+struct ProfSummary {
+    double total_device_seconds = 0.0;
+    double transfer_seconds = 0.0;
+    std::map<std::string, double> kernel_device_seconds;  ///< by name, summed
+};
+
+bool summarize(const char* path, const cupp::minijson::Value& root,
+               ProfSummary& s) {
+    const auto* prof = root.is_object() ? root.find("prof") : nullptr;
+    const auto* kernels =
+        prof != nullptr && prof->is_object() ? prof->find("kernels") : nullptr;
+    const auto* transfers =
+        prof != nullptr && prof->is_object() ? prof->find("transfers") : nullptr;
+    if (kernels == nullptr || !kernels->is_array() || transfers == nullptr ||
+        !transfers->is_object()) {
+        std::fprintf(stderr, "cupp_prof: FAIL: %s is not a prof report\n", path);
+        return false;
+    }
+    for (const auto& k : kernels->array()) {
+        const auto* name = k.is_object() ? k.find("name") : nullptr;
+        double secs = 0;
+        if (name == nullptr || !name->is_string() ||
+            !num(k, "device_seconds", secs)) {
+            std::fprintf(stderr, "cupp_prof: FAIL: %s: malformed kernel entry\n",
+                         path);
+            return false;
+        }
+        s.total_device_seconds += secs;
+        s.kernel_device_seconds[name->str()] += secs;
+    }
+    for (const char* kind : {"h2d", "d2h", "d2d"}) {
+        const auto* t = transfers->find(kind);
+        double secs = 0;
+        if (t == nullptr || !t->is_object() || !num(*t, "seconds", secs)) {
+            std::fprintf(stderr, "cupp_prof: FAIL: %s: malformed transfers\n",
+                         path);
+            return false;
+        }
+        s.transfer_seconds += secs;
+    }
+    return true;
+}
+
+int run_diff(const char* old_path, const char* new_path, double threshold) {
+    cupp::minijson::Value old_root;
+    cupp::minijson::Value new_root;
+    if (!cupp::tools::load_json("cupp_prof", old_path, old_root) ||
+        !cupp::tools::load_json("cupp_prof", new_path, new_root)) {
+        return 1;
+    }
+    ProfSummary a;
+    ProfSummary b;
+    if (!summarize(old_path, old_root, a) || !summarize(new_path, new_root, b)) {
+        return 1;
+    }
+    std::printf("cupp_prof: diff %s -> %s (threshold %g%%)\n", old_path,
+                new_path, threshold);
+    std::vector<cupp::tools::Metric> metrics = {
+        {"total_device_seconds", a.total_device_seconds, b.total_device_seconds},
+        {"transfer_seconds", a.transfer_seconds, b.transfer_seconds},
+    };
+    // Per-kernel times for kernels present in both reports (an added or
+    // removed kernel changes the totals, which the first metric catches).
+    for (const auto& [name, secs] : a.kernel_device_seconds) {
+        const auto it = b.kernel_device_seconds.find(name);
+        if (it != b.kernel_device_seconds.end()) {
+            metrics.push_back({"kernel " + name, secs, it->second});
+        }
+    }
+    return cupp::tools::diff_metrics("cupp_prof", metrics, threshold) > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const char* path = nullptr;
+    const char* diff_old = nullptr;
+    const char* diff_new = nullptr;
     std::size_t top = 10;
     std::string sort_key = "device_time";
     bool json_out = false;
+    bool diff_mode = false;
+    double threshold = 0.0;
+    bool have_threshold = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--top=", 6) == 0) {
             char* end = nullptr;
@@ -79,9 +164,23 @@ int main(int argc, char** argv) {
             }
         } else if (std::strcmp(argv[i], "--json") == 0) {
             json_out = true;
+        } else if (std::strcmp(argv[i], "--diff") == 0) {
+            diff_mode = true;
+        } else if (std::strcmp(argv[i], "--threshold") == 0) {
+            if (i + 1 >= argc ||
+                !cupp::tools::parse_threshold(argv[i + 1], threshold)) {
+                std::fprintf(stderr, "cupp_prof: --threshold needs a percentage\n");
+                return 2;
+            }
+            have_threshold = true;
+            ++i;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "cupp_prof: unknown flag %s\n", argv[i]);
             return 2;
+        } else if (diff_mode && diff_old == nullptr) {
+            diff_old = argv[i];
+        } else if (diff_mode && diff_new == nullptr) {
+            diff_new = argv[i];
         } else if (path == nullptr) {
             path = argv[i];
         } else {
@@ -89,10 +188,22 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
+    if (diff_mode) {
+        if (diff_old == nullptr || diff_new == nullptr || !have_threshold ||
+            path != nullptr || json_out) {
+            std::fprintf(stderr,
+                         "usage: cupp_prof --diff <old.json> <new.json> "
+                         "--threshold <pct>\n");
+            return 2;
+        }
+        return run_diff(diff_old, diff_new, threshold);
+    }
     if (path == nullptr) {
         std::fprintf(stderr,
                      "usage: cupp_prof <report.json> [--top=N] "
-                     "[--sort=device_time|host_time|bytes] [--json]\n");
+                     "[--sort=device_time|host_time|bytes] [--json]\n"
+                     "       cupp_prof --diff <old.json> <new.json> "
+                     "--threshold <pct>\n");
         return 2;
     }
 

@@ -1,0 +1,385 @@
+// cupp_timeline — renders a cusim::timeline report (CUPP_TIMELINE=<file>)
+// as a critical-path breakdown and per-lane Gantt summary, and diffs two
+// reports for makespan/critical-path regressions.
+//
+//   cupp_timeline <report.json> [--top=N] [--json]
+//   cupp_timeline --diff <old.json> <new.json> --threshold <pct>
+//
+// The default view prints the modelled makespan, overlap efficiency, the
+// critical path ranked as recorded (chronological) with per-node makespan
+// shares, per-category time totals, and one line per lane with
+// utilization and bubble (idle-gap) time. --json validates the report —
+// schema *and* the critical-path tiling invariant (first node at 0, each
+// end exactly the next start, last end exactly the makespan when the
+// recorded gap is 0) — and echoes it unchanged, so pipelines can use the
+// tool as a schema check. Any malformed report exits non-zero. --diff
+// compares makespan, critical path, serialized time and total bubble
+// seconds between two reports and exits non-zero when any regressed by
+// more than --threshold percent (tools/report_diff.hpp, shared with
+// cupp_prof --diff).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "report_diff.hpp"
+
+namespace {
+
+int fail(const char* what) {
+    std::fprintf(stderr, "cupp_timeline: FAIL: %s\n", what);
+    return 1;
+}
+
+bool num(const cupp::minijson::Value& obj, const char* key, double& out) {
+    const auto* v = obj.find(key);
+    if (v == nullptr || !v->is_number()) return false;
+    out = v->number();
+    return true;
+}
+
+bool str(const cupp::minijson::Value& obj, const char* key, std::string& out) {
+    const auto* v = obj.find(key);
+    if (v == nullptr || !v->is_string()) return false;
+    out = v->str();
+    return true;
+}
+
+/// The summary metrics both the render and the diff need.
+struct Summary {
+    double makespan = 0.0;
+    double serialized = 0.0;
+    double overlap = 0.0;
+    double critical = 0.0;
+    double gap = 0.0;
+    double bubble_total = 0.0;
+    double nodes = 0.0;
+    double failed = 0.0;
+    double edges = 0.0;
+};
+
+/// Validates the full schema; returns the "timeline" object (nullptr after
+/// printing the failure). Checks every section the renderer and the CI
+/// --json gate rely on, including the tiling invariant.
+const cupp::minijson::Value* validate(const cupp::minijson::Value& root,
+                                      Summary& s) {
+    if (!root.is_object()) return fail("top level is not an object"), nullptr;
+    const auto* tl = root.find("timeline");
+    if (tl == nullptr || !tl->is_object()) {
+        return fail("no timeline object"), nullptr;
+    }
+    double version = 0;
+    if (!num(*tl, "version", version) || version != 1) {
+        return fail("missing or unsupported version"), nullptr;
+    }
+    if (!num(*tl, "makespan_seconds", s.makespan) ||
+        !num(*tl, "serialized_seconds", s.serialized) ||
+        !num(*tl, "overlap_efficiency", s.overlap) ||
+        !num(*tl, "critical_path_seconds", s.critical) ||
+        !num(*tl, "critical_path_gap_seconds", s.gap)) {
+        return fail("missing summary field"), nullptr;
+    }
+    const auto* counts = tl->find("counts");
+    if (counts == nullptr || !counts->is_object() ||
+        !num(*counts, "nodes", s.nodes) || !num(*counts, "failed", s.failed) ||
+        !num(*counts, "edges", s.edges)) {
+        return fail("missing counts"), nullptr;
+    }
+
+    const auto* cats = tl->find("categories");
+    if (cats == nullptr || !cats->is_array()) {
+        return fail("no categories array"), nullptr;
+    }
+    for (const auto& c : cats->array()) {
+        std::string name;
+        double secs = 0;
+        double share = 0;
+        if (!c.is_object() || !str(c, "category", name) ||
+            !num(c, "seconds", secs) || !num(c, "share", share)) {
+            return fail("malformed categories entry"), nullptr;
+        }
+    }
+
+    const auto* lanes = tl->find("lanes");
+    if (lanes == nullptr || !lanes->is_array()) {
+        return fail("no lanes array"), nullptr;
+    }
+    for (const auto& l : lanes->array()) {
+        std::string lane;
+        double v = 0;
+        if (!l.is_object() || !str(l, "lane", lane) || !num(l, "nodes", v) ||
+            !num(l, "busy_seconds", v) || !num(l, "utilization", v) ||
+            !num(l, "first_start", v) || !num(l, "last_end", v)) {
+            return fail("malformed lanes entry"), nullptr;
+        }
+        double bubble = 0;
+        if (!num(l, "bubble_seconds", bubble)) {
+            return fail("lane without bubble_seconds"), nullptr;
+        }
+        s.bubble_total += bubble;
+        const auto* bubbles = l.find("bubbles");
+        if (bubbles == nullptr || !bubbles->is_array()) {
+            return fail("lane without bubbles array"), nullptr;
+        }
+        for (const auto& b : bubbles->array()) {
+            double t0 = 0;
+            double t1 = 0;
+            if (!b.is_object() || !num(b, "start", t0) || !num(b, "end", t1) ||
+                t1 < t0) {
+                return fail("malformed bubble interval"), nullptr;
+            }
+        }
+    }
+
+    const auto* path = tl->find("critical_path");
+    if (path == nullptr || !path->is_array()) {
+        return fail("no critical_path array"), nullptr;
+    }
+    double prev_end = 0.0;
+    bool first = true;
+    for (const auto& n : path->array()) {
+        std::string cat;
+        std::string name;
+        std::string lane;
+        double id = 0;
+        double start = 0;
+        double end = 0;
+        double dur = 0;
+        double share = 0;
+        if (!n.is_object() || !num(n, "id", id) || !str(n, "category", cat) ||
+            !str(n, "name", name) || !str(n, "lane", lane) ||
+            !num(n, "start", start) || !num(n, "end", end) ||
+            !num(n, "duration", dur) || !num(n, "share", share)) {
+            return fail("malformed critical_path entry"), nullptr;
+        }
+        // The tiling invariant: %.17g round-trips doubles, so the chain
+        // must be exact, not approximately contiguous.
+        if (first && start != 0.0) {
+            return fail("critical path does not start at 0"), nullptr;
+        }
+        if (!first && start != prev_end) {
+            return fail("critical path is not contiguous"), nullptr;
+        }
+        prev_end = end;
+        first = false;
+    }
+    if (!path->array().empty() && s.gap == 0.0) {
+        if (prev_end != s.makespan) {
+            return fail("critical path does not end at the makespan"), nullptr;
+        }
+        if (s.critical != s.makespan) {
+            return fail("critical_path_seconds != makespan with zero gap"),
+                   nullptr;
+        }
+    }
+
+    const auto* nodes = tl->find("nodes");
+    if (nodes == nullptr || !nodes->is_array()) {
+        return fail("no nodes array"), nullptr;
+    }
+    double max_id = 0;
+    for (const auto& n : nodes->array()) {
+        std::string cat;
+        std::string lane;
+        std::string name;
+        double id = 0;
+        double corr = 0;
+        double start = 0;
+        double end = 0;
+        if (!n.is_object() || !num(n, "id", id) || !num(n, "correlation", corr) ||
+            !str(n, "category", cat) || !str(n, "name", name) ||
+            !str(n, "lane", lane) || !num(n, "start", start) ||
+            !num(n, "end", end) || end < start) {
+            return fail("malformed nodes entry"), nullptr;
+        }
+        max_id = std::max(max_id, id);
+        const auto* deps = n.find("deps");
+        if (deps == nullptr || !deps->is_array()) {
+            return fail("node without deps array"), nullptr;
+        }
+        for (const auto& d : deps->array()) {
+            if (!d.is_number() || d.number() < 1 || d.number() >= id) {
+                return fail("dep does not reference an earlier node"), nullptr;
+            }
+        }
+    }
+    if (nodes->array().size() != static_cast<std::size_t>(s.nodes)) {
+        return fail("counts.nodes does not match the nodes array"), nullptr;
+    }
+    (void)max_id;
+    return tl;
+}
+
+int run_diff(const char* old_path, const char* new_path, double threshold) {
+    cupp::minijson::Value old_root;
+    cupp::minijson::Value new_root;
+    if (!cupp::tools::load_json("cupp_timeline", old_path, old_root) ||
+        !cupp::tools::load_json("cupp_timeline", new_path, new_root)) {
+        return 1;
+    }
+    Summary a;
+    Summary b;
+    if (validate(old_root, a) == nullptr || validate(new_root, b) == nullptr) {
+        return 1;
+    }
+    std::printf("cupp_timeline: diff %s -> %s (threshold %g%%)\n", old_path,
+                new_path, threshold);
+    const std::vector<cupp::tools::Metric> metrics = {
+        {"makespan_seconds", a.makespan, b.makespan},
+        {"critical_path_seconds", a.critical, b.critical},
+        {"serialized_seconds", a.serialized, b.serialized},
+        {"bubble_seconds_total", a.bubble_total, b.bubble_total},
+    };
+    return cupp::tools::diff_metrics("cupp_timeline", metrics, threshold) > 0 ? 1
+                                                                              : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* path = nullptr;
+    const char* diff_old = nullptr;
+    const char* diff_new = nullptr;
+    std::size_t top = 10;
+    bool json_out = false;
+    bool diff_mode = false;
+    double threshold = 0.0;
+    bool have_threshold = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--top=", 6) == 0) {
+            char* end = nullptr;
+            const long n = std::strtol(argv[i] + 6, &end, 10);
+            if (end == argv[i] + 6 || *end != '\0' || n < 1) {
+                std::fprintf(stderr, "cupp_timeline: bad --top value %s\n",
+                             argv[i] + 6);
+                return 2;
+            }
+            top = static_cast<std::size_t>(n);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json_out = true;
+        } else if (std::strcmp(argv[i], "--diff") == 0) {
+            diff_mode = true;
+        } else if (std::strcmp(argv[i], "--threshold") == 0) {
+            if (i + 1 >= argc ||
+                !cupp::tools::parse_threshold(argv[i + 1], threshold)) {
+                std::fprintf(stderr,
+                             "cupp_timeline: --threshold needs a percentage\n");
+                return 2;
+            }
+            have_threshold = true;
+            ++i;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "cupp_timeline: unknown flag %s\n", argv[i]);
+            return 2;
+        } else if (diff_mode && diff_old == nullptr) {
+            diff_old = argv[i];
+        } else if (diff_mode && diff_new == nullptr) {
+            diff_new = argv[i];
+        } else if (path == nullptr) {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr, "cupp_timeline: more than one report file\n");
+            return 2;
+        }
+    }
+    if (diff_mode) {
+        if (diff_old == nullptr || diff_new == nullptr || !have_threshold ||
+            path != nullptr || json_out) {
+            std::fprintf(stderr,
+                         "usage: cupp_timeline --diff <old.json> <new.json> "
+                         "--threshold <pct>\n");
+            return 2;
+        }
+        return run_diff(diff_old, diff_new, threshold);
+    }
+    if (path == nullptr) {
+        std::fprintf(stderr,
+                     "usage: cupp_timeline <report.json> [--top=N] [--json]\n"
+                     "       cupp_timeline --diff <old.json> <new.json> "
+                     "--threshold <pct>\n");
+        return 2;
+    }
+
+    cupp::minijson::Value root;
+    if (!cupp::tools::load_json("cupp_timeline", path, root)) return 1;
+    Summary s;
+    const auto* tl = validate(root, s);
+    if (tl == nullptr) return 1;
+
+    if (json_out) {
+        // Validated (schema + tiling invariant); echo for downstream use.
+        const std::string text = [&] {
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            return buf.str();
+        }();
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return 0;
+    }
+
+    std::printf(
+        "cupp_timeline: makespan %.4f ms, serialized %.4f ms, overlap "
+        "efficiency %.2fx, %.0f node(s), %.0f failed, %.0f edge(s)\n",
+        s.makespan * 1e3, s.serialized * 1e3, s.overlap, s.nodes, s.failed,
+        s.edges);
+
+    std::printf("\ncategories:\n");
+    for (const auto& c : tl->find("categories")->array()) {
+        std::string name;
+        double secs = 0;
+        double share = 0;
+        (void)str(c, "category", name);
+        (void)num(c, "seconds", secs);
+        (void)num(c, "share", share);
+        std::printf("  %-8s %12.4f ms %6.1f%%\n", name.c_str(), secs * 1e3,
+                    share * 100.0);
+    }
+
+    const auto& path_nodes = tl->find("critical_path")->array();
+    std::printf("\ncritical path: %zu node(s), %.4f ms (gap %.3g s)\n",
+                path_nodes.size(), s.critical * 1e3, s.gap);
+    const std::size_t n = std::min(top, path_nodes.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& nd = path_nodes[i];
+        std::string cat;
+        std::string name;
+        std::string lane;
+        double dur = 0;
+        double share = 0;
+        (void)str(nd, "category", cat);
+        (void)str(nd, "name", name);
+        (void)str(nd, "lane", lane);
+        (void)num(nd, "duration", dur);
+        (void)num(nd, "share", share);
+        std::printf("  %-8s %-26s %-14s %12.4f ms %6.1f%%\n", cat.c_str(),
+                    name.c_str(), lane.c_str(), dur * 1e3, share * 100.0);
+    }
+    if (path_nodes.size() > n) {
+        std::printf("  ... %zu more node(s); raise --top to see them\n",
+                    path_nodes.size() - n);
+    }
+
+    // Per-lane Gantt summary: busy vs. idle inside each lane's active span.
+    std::printf("\nlanes:\n");
+    for (const auto& l : tl->find("lanes")->array()) {
+        std::string lane;
+        double nodes_in_lane = 0;
+        double busy = 0;
+        double util = 0;
+        double bubble = 0;
+        (void)str(l, "lane", lane);
+        (void)num(l, "nodes", nodes_in_lane);
+        (void)num(l, "busy_seconds", busy);
+        (void)num(l, "utilization", util);
+        (void)num(l, "bubble_seconds", bubble);
+        std::printf(
+            "  %-14s %5.0f node(s) %12.4f ms busy %6.1f%% util %10.4f ms "
+            "bubble (%zu gap(s))\n",
+            lane.c_str(), nodes_in_lane, busy * 1e3, util * 100.0, bubble * 1e3,
+            l.find("bubbles")->array().size());
+    }
+    return 0;
+}

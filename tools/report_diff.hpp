@@ -1,0 +1,106 @@
+// Shared report-diff helper for the cupp_* report tools.
+//
+// cupp_prof --diff and cupp_timeline --diff both compare two JSON reports
+// of the same schema metric-by-metric and fail (exit 1) when any
+// lower-is-better metric regressed by more than --threshold percent. The
+// loading, table rendering, and regression arithmetic live here so the two
+// tools agree on what "regressed" means; each tool only decides *which*
+// metrics to compare.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cupp/detail/minijson.hpp"
+
+namespace cupp::tools {
+
+/// One compared metric. All metrics are lower-is-better (times, bubbles).
+struct Metric {
+    std::string name;
+    double old_value = 0.0;
+    double new_value = 0.0;
+};
+
+/// Reads and parses a JSON report; false (with a message on stderr) when
+/// the file is unreadable, empty, or not valid JSON.
+inline bool load_json(const char* tool, const char* path,
+                      cupp::minijson::Value& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "%s: FAIL: cannot open %s\n", tool, path);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    if (text.empty()) {
+        std::fprintf(stderr, "%s: FAIL: %s is empty\n", tool, path);
+        return false;
+    }
+    try {
+        out = cupp::minijson::parse(text);
+    } catch (const cupp::minijson::parse_error& e) {
+        std::fprintf(stderr, "%s: FAIL: %s: invalid JSON: %s\n", tool, path,
+                     e.what());
+        return false;
+    }
+    return true;
+}
+
+/// Parses the value of a "--threshold" flag (plain percentage, >= 0);
+/// false on malformed input.
+inline bool parse_threshold(const char* arg, double& out) {
+    char* end = nullptr;
+    const double v = std::strtod(arg, &end);
+    if (end == arg || *end != '\0' || !(v >= 0.0) || std::isnan(v)) return false;
+    out = v;
+    return true;
+}
+
+/// Seconds-scale absolute floor below which a delta is noise, not a
+/// regression — keeps a 0 -> 1e-15 rounding wiggle from failing a build.
+inline constexpr double kAbsoluteFloor = 1e-12;
+
+/// True when `new_value` regressed past `old_value` by more than
+/// `threshold_pct` percent (and by more than the absolute floor).
+inline bool regressed(double old_value, double new_value, double threshold_pct) {
+    if (new_value - old_value <= kAbsoluteFloor) return false;
+    return new_value > old_value * (1.0 + threshold_pct / 100.0);
+}
+
+/// Renders the comparison table and returns the number of regressions.
+/// A tool's --diff mode exits non-zero iff this returns > 0.
+inline int diff_metrics(const char* tool, const std::vector<Metric>& metrics,
+                        double threshold_pct) {
+    int regressions = 0;
+    std::printf("%-34s %16s %16s %9s\n", "metric", "old", "new", "delta");
+    for (const Metric& m : metrics) {
+        const double delta = m.new_value - m.old_value;
+        const double pct =
+            m.old_value != 0.0 ? delta / m.old_value * 100.0
+                               : (m.new_value != 0.0 ? INFINITY : 0.0);
+        const bool bad = regressed(m.old_value, m.new_value, threshold_pct);
+        if (bad) ++regressions;
+        std::printf("%-34s %16.9g %16.9g %+8.2f%%%s\n", m.name.c_str(),
+                    m.old_value, m.new_value, pct,
+                    bad ? "  REGRESSED" : "");
+    }
+    if (regressions > 0) {
+        std::fprintf(stderr,
+                     "%s: FAIL: %d metric(s) regressed by more than %g%%\n",
+                     tool, regressions, threshold_pct);
+    } else {
+        std::printf("%s: OK: no metric regressed by more than %g%%\n", tool,
+                    threshold_pct);
+    }
+    return regressions;
+}
+
+}  // namespace cupp::tools
