@@ -1,0 +1,193 @@
+// cupp::serve under sustained modelled load — the serving-path artifact.
+//
+// Drives the boids-as-a-service broker in its deterministic closed-loop
+// run() mode: 200 requests from 8 tenants arrive on a fixed modelled
+// schedule against 4 device workers, with a deterministic transient fault
+// plan (plus two sticky DeviceLost faults that trip and recover the
+// circuit breaker) armed through the faults API. Because the driver is
+// single-threaded and every quantity lives on the simulated clock, every
+// number in BENCH_serve_soak.json — throughput, p50/p99 latency, shed /
+// retried / recovered counts — is bit-identical for any CUPP_SIM_THREADS;
+// only host wall time (not reported) changes.
+//
+// Exits non-zero if any completed digest diverges from the fault-free
+// serial CPU oracle, if nothing was shed or retried (the bench must
+// actually exercise those paths), or if the breaker failed to trip and
+// recover.
+//
+// Usage: bench_serve_soak [output.json]
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "cusim/faults.hpp"
+#include "serve/boids_service.hpp"
+#include "serve/serve.hpp"
+
+namespace serve = cupp::serve;
+namespace faults = cusim::faults;
+
+namespace {
+
+constexpr int kRequests = 200;
+constexpr int kTenants = 8;
+constexpr std::uint64_t kCatalogSize = 16;
+constexpr double kArrivalSpacingS = 50e-6;  ///< modelled inter-arrival gap
+
+double percentile(std::vector<double> sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const char* out_path = argc > 1 ? argv[1] : "BENCH_serve_soak.json";
+
+    // Deterministic chaos, armed through the API so the bench needs no
+    // environment: transient faults the retry layers absorb, plus two
+    // sticky device losses for the breaker. All fault decisions happen on
+    // the single driver thread, so the injection sequence is fixed.
+    std::vector<faults::Rule> rules(4);
+    rules[0].site = faults::Site::MemcpyH2D;
+    rules[0].code = cusim::ErrorCode::TransferFailure;
+    rules[0].every = 13;
+    rules[1].site = faults::Site::Launch;
+    rules[1].code = cusim::ErrorCode::LaunchFailure;
+    rules[1].every = 11;
+    rules[2].site = faults::Site::MemcpyD2H;
+    rules[2].code = cusim::ErrorCode::TransferFailure;
+    rules[2].every = 17;
+    rules[3].site = faults::Site::Malloc;
+    rules[3].code = cusim::ErrorCode::DeviceLost;
+    rules[3].every = 301;
+    rules[3].max_injections = 2;
+    faults::configure(rules, /*seed=*/2009);
+
+    std::map<std::uint64_t, std::uint64_t> oracle;
+    for (std::uint64_t p = 0; p < kCatalogSize; ++p) {
+        oracle[p] = serve::boids_oracle_digest(serve::boids_catalog_entry(p));
+    }
+
+    serve::config cfg;
+    cfg.workers = 4;
+    cfg.queue_capacity = 16;
+    cfg.default_quota = {/*max_queued=*/4, /*max_in_flight=*/2};
+    cfg.breaker_threshold = 1;
+    cfg.retry.initial_backoff_s = 10e-6;
+    serve::server srv(cfg, serve::make_boids_handler());
+
+    std::vector<serve::request> reqs;
+    reqs.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+        serve::request r;
+        r.tenant = "tenant-" + std::to_string(i % kTenants);
+        r.arrival_s = static_cast<double>(i) * kArrivalSpacingS;
+        r.payload = static_cast<std::uint64_t>(i) % kCatalogSize;
+        if (i % 5 == 4) r.deadline_s = 1e-3;  // a tight-SLA request class
+        reqs.push_back(std::move(r));
+    }
+    const auto out = srv.run(reqs);
+    faults::disable();
+
+    std::uint64_t completed = 0, shed = 0, expired = 0;
+    double makespan_end = 0.0;
+    std::vector<double> latencies;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const auto& r = out[i];
+        switch (r.result) {
+            case serve::outcome::completed:
+                ++completed;
+                latencies.push_back(r.latency_s);
+                makespan_end =
+                    std::max(makespan_end, reqs[i].arrival_s + r.latency_s);
+                if (r.value != oracle[reqs[i].payload]) {
+                    std::fprintf(stderr, "FAIL: digest mismatch at request %zu\n", i);
+                    return 1;
+                }
+                break;
+            case serve::outcome::admission_rejected:
+                ++shed;
+                break;
+            case serve::outcome::deadline_exceeded:
+                ++expired;
+                break;
+        }
+    }
+    const auto s = srv.stats();
+    const std::uint64_t retried = s.attempts - s.completed - s.deadline_expired;
+    std::sort(latencies.begin(), latencies.end());
+    const double p50 = percentile(latencies, 0.50);
+    const double p99 = percentile(latencies, 0.99);
+    const double sustained =
+        makespan_end > 0.0 ? static_cast<double>(completed) / makespan_end : 0.0;
+
+    std::printf("serve soak (modelled): %llu completed, %llu shed, %llu expired\n",
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(expired));
+    std::printf("sustained %.1f req/s, latency p50 %.3f ms, p99 %.3f ms\n", sustained,
+                p50 * 1e3, p99 * 1e3);
+    std::printf("retried %llu, sticky %llu, breaker trips/recoveries %llu/%llu\n",
+                static_cast<unsigned long long>(retried),
+                static_cast<unsigned long long>(s.sticky_failures),
+                static_cast<unsigned long long>(s.breaker_trips),
+                static_cast<unsigned long long>(s.breaker_recoveries));
+
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"serve_soak\",\n");
+    std::fprintf(f,
+                 "  \"workload\": \"%d boids requests, %d tenants, %.0f req/s "
+                 "offered, 4 workers\",\n",
+                 kRequests, kTenants, 1.0 / kArrivalSpacingS);
+    std::fprintf(f, "  \"timeline\": \"simulated G80, virtual-time closed loop; "
+                    "identical for any CUPP_SIM_THREADS\",\n");
+    std::fprintf(f, "  \"faults\": \"transient h2d/13 launch/11 d2h/17, "
+                    "device_lost malloc/301 x2, seed 2009\",\n");
+    std::fprintf(f, "  \"outcomes\": {\"completed\": %llu, \"shed\": %llu, "
+                    "\"deadline_expired\": %llu},\n",
+                 static_cast<unsigned long long>(completed),
+                 static_cast<unsigned long long>(shed),
+                 static_cast<unsigned long long>(expired));
+    std::fprintf(f, "  \"sustained_req_per_s\": %.6f,\n", sustained);
+    std::fprintf(f, "  \"latency_ms\": {\"p50\": %.6f, \"p99\": %.6f},\n", p50 * 1e3,
+                 p99 * 1e3);
+    std::fprintf(f,
+                 "  \"resilience\": {\"attempts\": %llu, \"retried\": %llu, "
+                 "\"transient_escapes\": %llu, \"sticky_failures\": %llu, "
+                 "\"breaker_trips\": %llu, \"breaker_recoveries\": %llu, "
+                 "\"device_resets\": %llu}\n",
+                 static_cast<unsigned long long>(s.attempts),
+                 static_cast<unsigned long long>(retried),
+                 static_cast<unsigned long long>(s.transient_escapes),
+                 static_cast<unsigned long long>(s.sticky_failures),
+                 static_cast<unsigned long long>(s.breaker_trips),
+                 static_cast<unsigned long long>(s.breaker_recoveries),
+                 static_cast<unsigned long long>(s.device_resets));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path);
+
+    if (completed == 0) {
+        std::fprintf(stderr, "FAIL: nothing completed\n");
+        return 1;
+    }
+    if (shed == 0 || expired == 0) {
+        std::fprintf(stderr, "FAIL: the offered load never exercised shedding "
+                             "or deadline expiry\n");
+        return 1;
+    }
+    if (s.breaker_trips == 0 || s.breaker_recoveries == 0) {
+        std::fprintf(stderr, "FAIL: the breaker never tripped and recovered\n");
+        return 1;
+    }
+    return 0;
+}

@@ -25,8 +25,9 @@ if [ ! -x "$BUILD/bench/bench_parallel_engine" ]; then
     exit 1
 fi
 
-rm -f "$OUT" BENCH_stream_overlap.json \
+rm -f "$OUT" BENCH_stream_overlap.json BENCH_serve_soak.json \
     BENCH_throughput_prof.json BENCH_stream_overlap_prof.json \
+    BENCH_serve_soak_prof.json \
     BENCH_throughput_timeline.json BENCH_stream_overlap_timeline.json
 
 STATUS=0
@@ -55,6 +56,11 @@ echo "== bench_stream_overlap (async streams on the modelled timeline) =="
 CUPP_PROF=BENCH_stream_overlap_prof.json \
 CUPP_TIMELINE=BENCH_stream_overlap_timeline.json \
     "$BUILD/bench/bench_stream_overlap" BENCH_stream_overlap.json || STATUS=1
+
+echo ""
+echo "== bench_serve_soak (cupp::serve closed loop on the modelled clock) =="
+CUPP_PROF=BENCH_serve_soak_prof.json \
+    "$BUILD/bench/bench_serve_soak" BENCH_serve_soak.json || STATUS=1
 
 if [ "$STATUS" -ne 0 ]; then
     echo "run_benches: one or more benches FAILED" >&2

@@ -94,6 +94,28 @@ public:
     using exception::exception;
 };
 
+/// cupp::serve admission control shed this request (queue bound or tenant
+/// quota). Non-transient by design: blindly re-submitting would amplify
+/// the very overload that caused the rejection — back off at the client.
+class admission_rejected_error : public exception {
+public:
+    explicit admission_rejected_error(const std::string& what)
+        : exception(what, cusim::ErrorCode::AdmissionRejected) {}
+    admission_rejected_error(const std::string& what, cusim::ErrorCode code)
+        : exception(what, code) {}
+};
+
+/// A request's time budget expired (cupp::serve deadlines, or a
+/// retry_policy whose total-backoff cap ran out). Non-transient: the
+/// operation may well succeed if re-issued, but *this* request is over.
+class deadline_exceeded_error : public exception {
+public:
+    explicit deadline_exceeded_error(const std::string& what)
+        : exception(what, cusim::ErrorCode::DeadlineExceeded) {}
+    deadline_exceeded_error(const std::string& what, cusim::ErrorCode code)
+        : exception(what, code) {}
+};
+
 /// Maps a low-level error code onto the CuPP hierarchy and throws,
 /// preserving the code. The single mapping every layer routes through —
 /// kernel launches included — so callers always catch the right type.
@@ -113,6 +135,10 @@ public:
             throw memcheck_error(what, code);
         case cusim::ErrorCode::NotReady:
             throw not_ready_error(what, code);
+        case cusim::ErrorCode::AdmissionRejected:
+            throw admission_rejected_error(what, code);
+        case cusim::ErrorCode::DeadlineExceeded:
+            throw deadline_exceeded_error(what, code);
         default:
             throw usage_error(what, code);
     }

@@ -9,6 +9,19 @@
 // non-transient failures immediately, and rethrow the last transient
 // failure once the attempts are spent.
 //
+// Two policy knobs make retries safe under *many concurrent requests*
+// (cupp::serve):
+//
+//  * max_total_backoff_s caps the cumulative backoff one with_retry call
+//    may spend. When the next backoff would overrun the cap the loop stops
+//    immediately and throws deadline_exceeded_error — a request's time
+//    budget can never be silently eaten by exponential backoff.
+//  * jitter (with jitter_seed) deterministically de-synchronises
+//    concurrent retriers: each backoff is scaled by a pseudo-random factor
+//    in [1-jitter, 1+jitter] derived *only* from (jitter_seed,
+//    failure_index), so the exact sequence is reproducible in tests while
+//    two requests with different seeds never back off in lock-step.
+//
 // Backoff runs on the *simulated* clock (Device::advance_host) so retried
 // operations stay visible — and honest — on the modelled timeline; tests
 // inject their own sleep function to count backoffs instead. Every backoff
@@ -22,6 +35,8 @@
 #pragma once
 
 #include <functional>
+#include <limits>
+#include <mutex>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -33,42 +48,129 @@
 namespace cupp {
 
 /// How (and whether) to retry transient failures. The default policy
-/// gives an operation 4 attempts with 100 µs / 400 µs / 1.6 ms backoffs.
+/// gives an operation 4 attempts with 100 µs / 400 µs / 1.6 ms backoffs,
+/// no jitter and no total-backoff cap.
 struct retry_policy {
     int max_attempts = 4;              ///< total attempts, including the first
     double initial_backoff_s = 100e-6; ///< wait after the first failure
     double backoff_multiplier = 4.0;   ///< growth per subsequent failure
+    /// Cumulative backoff budget for one with_retry call. When the next
+    /// backoff would exceed it, with_retry stops retrying and throws
+    /// deadline_exceeded_error instead of sleeping — the deadline cap
+    /// cupp::serve threads a request budget through.
+    double max_total_backoff_s = std::numeric_limits<double>::infinity();
+    /// Deterministic jitter: each backoff is scaled by a factor in
+    /// [1-jitter, 1+jitter] derived from (jitter_seed, failure_index).
+    /// 0 disables jitter; values are clamped to [0, 1].
+    double jitter = 0.0;
+    std::uint64_t jitter_seed = 0;
     /// Test hook: when set, called with the backoff instead of advancing
     /// the device's simulated host clock.
     std::function<void(double)> sleep;
 
-    /// Backoff after the `failure_index`-th failure (1-based).
+    /// Backoff after the `failure_index`-th failure (1-based), jitter
+    /// applied. Pure in (policy fields, failure_index): concurrent callers
+    /// and repeated runs see the identical sequence.
     [[nodiscard]] double backoff_seconds(int failure_index) const {
         double s = initial_backoff_s;
         for (int i = 1; i < failure_index; ++i) s *= backoff_multiplier;
+        const double j = jitter < 0.0 ? 0.0 : (jitter > 1.0 ? 1.0 : jitter);
+        if (j > 0.0) {
+            // splitmix64 over (seed, index): a stateless hash, so the
+            // factor for failure k never depends on how many backoffs ran
+            // before it (with_retry calls stay independent).
+            std::uint64_t z = jitter_seed + 0x9e3779b97f4a7c15ull *
+                                                static_cast<std::uint64_t>(failure_index);
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            z ^= z >> 31;
+            // uniform in [-1, 1) from the top 53 bits
+            const double u =
+                static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0) * 2.0 - 1.0;
+            s *= 1.0 + j * u;
+        }
         return s;
     }
 };
 
-/// The process-wide policy the framework layers (kernel launches, vector
-/// and memory1d transfers) use. Mutable: tune or disable retries globally
-/// by assigning to it (max_attempts = 1 turns retrying off).
-inline retry_policy& default_retry_policy() {
-    static retry_policy p;
-    return p;
+namespace detail {
+/// The process-wide default policy plus its lock. Request threads read the
+/// policy concurrently while tests (or operators) swap it, so every read
+/// takes a snapshot under the lock — handing out a mutable reference, as
+/// this used to, was a data race (caught by the TSan regression test).
+struct default_policy_state {
+    std::mutex mu;
+    retry_policy policy;
+
+    static default_policy_state& instance() {
+        static default_policy_state s;
+        return s;
+    }
+};
+
+/// Per-thread override installed by scoped_retry_policy (cupp::serve uses
+/// it to thread a request's remaining budget through every framework-level
+/// with_retry on the worker thread — vector uploads, kernel launches,
+/// stream syncs — without changing their signatures).
+inline const retry_policy*& thread_retry_override() {
+    thread_local const retry_policy* override_ = nullptr;
+    return override_;
 }
+}  // namespace detail
+
+/// Snapshot of the policy the framework layers (kernel launches, vector
+/// and memory1d transfers) use: the calling thread's scoped override when
+/// one is installed, else a copy of the process-wide default taken under
+/// its lock. Always a value — concurrent set_default_retry_policy() can
+/// never mutate a policy mid-retry-loop.
+[[nodiscard]] inline retry_policy default_retry_policy() {
+    if (const retry_policy* o = detail::thread_retry_override()) return *o;
+    auto& s = detail::default_policy_state::instance();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.policy;
+}
+
+/// Replaces the process-wide default policy (max_attempts = 1 turns
+/// retrying off). Safe to call while other threads are issuing retried
+/// operations: they see either the old or the new policy, never a torn mix.
+inline void set_default_retry_policy(retry_policy p) {
+    auto& s = detail::default_policy_state::instance();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.policy = std::move(p);
+}
+
+/// RAII thread-local policy override: while alive, default_retry_policy()
+/// on *this thread* returns `p` instead of the process default. Nestable.
+class scoped_retry_policy {
+public:
+    explicit scoped_retry_policy(retry_policy p)
+        : policy_(std::move(p)), previous_(detail::thread_retry_override()) {
+        detail::thread_retry_override() = &policy_;
+    }
+    ~scoped_retry_policy() { detail::thread_retry_override() = previous_; }
+    scoped_retry_policy(const scoped_retry_policy&) = delete;
+    scoped_retry_policy& operator=(const scoped_retry_policy&) = delete;
+
+private:
+    retry_policy policy_;
+    const retry_policy* previous_;
+};
 
 /// Runs `op`, retrying transient CuPP exceptions per `policy`. `sim` (may
 /// be null) supplies the simulated clock for backoff and the trace lane;
 /// `site` names the operation in traces. Non-transient exceptions — and
-/// the final transient one — propagate unchanged.
+/// the final transient one — propagate unchanged; a backoff that would
+/// overrun policy.max_total_backoff_s raises deadline_exceeded_error
+/// *before* sleeping, so the caller's budget is never overshot.
 template <typename F>
 decltype(auto) with_retry(const retry_policy& policy, cusim::Device* sim,
                           const char* site, F&& op) {
     static const trace::counter_handle c_attempts("cupp.retry.attempts");
     static const trace::counter_handle c_recovered("cupp.retry.recovered");
     static const trace::counter_handle c_exhausted("cupp.retry.exhausted");
+    static const trace::counter_handle c_deadline("cupp.retry.deadline_capped");
     int failures = 0;
+    double backoff_spent = 0.0;
     for (;;) {
         try {
             if constexpr (std::is_void_v<std::invoke_result_t<F&>>) {
@@ -86,8 +188,17 @@ decltype(auto) with_retry(const retry_policy& policy, cusim::Device* sim,
                 if (e.transient()) c_exhausted.add();
                 throw;
             }
-            c_attempts.add();
             const double backoff = policy.backoff_seconds(failures);
+            if (backoff_spent + backoff > policy.max_total_backoff_s) {
+                c_deadline.add();
+                throw deadline_exceeded_error(trace::format(
+                    "%s: backoff budget exhausted after %d failure(s) "
+                    "(%.0f us spent, next backoff %.0f us, cap %.0f us); last error: %s",
+                    site, failures, backoff_spent * 1e6, backoff * 1e6,
+                    policy.max_total_backoff_s * 1e6, e.what()));
+            }
+            backoff_spent += backoff;
+            c_attempts.add();
             const double t0 = sim != nullptr ? sim->host_time() : 0.0;
             if (policy.sleep) {
                 policy.sleep(backoff);

@@ -262,6 +262,10 @@ public:
 
     // --- the simulated timeline --------------------------------------------
     [[nodiscard]] double host_time() const { return host_time_; }
+    /// Modelled host time on the monotonic (reset_clock()-proof) axis the
+    /// trace uses. cupp::serve measures request budgets against this clock
+    /// because plugin workloads may reset_clock() per run.
+    [[nodiscard]] double absolute_host_time() const { return tl_abs(host_time_); }
     [[nodiscard]] double device_free_at() const { return device_free_at_; }
     [[nodiscard]] bool kernel_active() const { return device_free_at_ > host_time_; }
 

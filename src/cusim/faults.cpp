@@ -344,12 +344,17 @@ const char* code_name(ErrorCode code) {
         case ErrorCode::MemcheckViolation: return "memcheck_violation";
         case ErrorCode::TransferFailure: return "transfer_failure";
         case ErrorCode::DeviceLost: return "device_lost";
+        case ErrorCode::AdmissionRejected: return "admission_rejected";
+        case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
     }
     return "unknown";
 }
 
 bool parse_code(std::string_view name, ErrorCode* out) {
-    // Success is not a valid injection target, so start past it.
+    // Success is not a valid injection target, so start past it. The codes
+    // after DeviceLost (AdmissionRejected, DeadlineExceeded) are produced
+    // by the cupp::serve layer above the device and are deliberately not
+    // injectable here.
     for (int c = 1; c <= static_cast<int>(ErrorCode::DeviceLost); ++c) {
         if (name == code_name(static_cast<ErrorCode>(c))) {
             *out = static_cast<ErrorCode>(c);

@@ -1,0 +1,157 @@
+#include "serve/boids_service.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cupp/cupp.hpp"
+#include "gpusteer/plugin.hpp"
+#include "steer/simulation.hpp"
+#include "steer/world.hpp"
+
+namespace cupp::serve {
+
+namespace {
+
+/// splitmix64 — the same stateless mixer retry_policy jitter uses; here it
+/// decorrelates catalog fields derived from one payload.
+std::uint64_t mix(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+cusim::KernelTask scale_speeds(cusim::ThreadCtx& ctx,
+                               cupp::deviceT::vector<float>& v) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < v.size()) {
+        v.write(ctx, gid, v.read(ctx, gid) * 2.0f);
+    }
+    co_return;
+}
+using ScaleK = cusim::KernelTask (*)(cusim::ThreadCtx&,
+                                     cupp::deviceT::vector<float>&);
+
+steer::WorldSpec spec_for(const boids_request& r) {
+    steer::WorldSpec spec;
+    spec.agents = r.agents;
+    spec.think_period = r.think_period;
+    spec.seed = r.seed;
+    return spec;
+}
+
+/// Final-flock speeds through `nstreams` streams: prefetch out, scale on
+/// the stream, prefetch back, verify against host math. Throws usage_error
+/// on any mismatch — that would be corruption, not a fault.
+void stream_postprocess(worker_context& ctx, const std::vector<steer::Agent>& flock,
+                        unsigned nstreams) {
+    cupp::device d(ctx.ordinal());
+    std::vector<cupp::stream> streams;
+    std::vector<cupp::vector<float>> chunks;
+    const std::size_t per = (flock.size() + nstreams - 1) / nstreams;
+    for (unsigned s = 0; s < nstreams; ++s) {
+        streams.emplace_back(d);
+        const std::size_t lo = std::min(flock.size(), s * per);
+        const std::size_t hi = std::min(flock.size(), lo + per);
+        cupp::vector<float> v;
+        v.reserve(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) v.push_back(flock[i].speed);
+        chunks.push_back(std::move(v));
+    }
+
+    cupp::kernel k(static_cast<ScaleK>(scale_speeds), cusim::dim3{1}, cusim::dim3{128});
+    k.set_name("serve scale_speeds");
+    for (unsigned s = 0; s < nstreams; ++s) {
+        const std::size_t n = chunks[s].size();
+        if (n == 0) continue;
+        ctx.check_deadline();
+        k.set_grid_dim(cusim::dim3{static_cast<unsigned>((n + 127) / 128)});
+        chunks[s].prefetch_to_device(d, streams[s]);
+        k(d, streams[s], chunks[s]);
+        chunks[s].prefetch_to_host(streams[s]);
+    }
+    d.synchronize();  // joins every stream's queued work
+
+    for (unsigned s = 0; s < nstreams; ++s) {
+        const std::size_t lo = std::min(flock.size(), s * per);
+        for (std::size_t i = 0; i < chunks[s].size(); ++i) {
+            if (chunks[s][i] != flock[lo + i].speed * 2.0f) {
+                throw usage_error(trace::format(
+                    "serve postprocess corruption: stream %u element %zu", s, i));
+            }
+        }
+    }
+}
+
+}  // namespace
+
+boids_request boids_catalog_entry(std::uint64_t payload) {
+    boids_request r;
+    r.agents = 128u * (1u + static_cast<std::uint32_t>(mix(payload) % 2));  // 128 / 256
+    r.steps = 2u + static_cast<std::uint32_t>(mix(payload ^ 0xb01d5ull) % 3);  // 2..4
+    r.think_period = 1u + static_cast<std::uint32_t>(mix(payload ^ 0x7417cull) % 2);
+    r.seed = 2009ull + payload * 7919ull;
+    r.postprocess_streams = (payload % 5ull == 0ull) ? 2u : 0u;
+    return r;
+}
+
+std::uint64_t flock_digest(const std::vector<steer::Agent>& flock) {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    auto mix_in = [&h](float f) {
+        std::uint32_t bits = 0;
+        std::memcpy(&bits, &f, sizeof bits);
+        for (int shift = 0; shift < 32; shift += 8) {
+            h ^= (bits >> shift) & 0xffu;
+            h *= 1099511628211ull;  // FNV prime
+        }
+    };
+    for (const steer::Agent& a : flock) {
+        mix_in(a.position.x);
+        mix_in(a.position.y);
+        mix_in(a.position.z);
+        mix_in(a.forward.x);
+        mix_in(a.forward.y);
+        mix_in(a.forward.z);
+        mix_in(a.speed);
+    }
+    return h;
+}
+
+std::uint64_t boids_oracle_digest(const boids_request& r) {
+    steer::CpuBoidsPlugin cpu;
+    cpu.open(spec_for(r));
+    for (std::uint32_t i = 0; i < r.steps; ++i) cpu.step();
+    const std::uint64_t digest = flock_digest(cpu.snapshot());
+    cpu.close();
+    return digest;
+}
+
+handler_fn make_boids_handler() {
+    return [](worker_context& ctx, const request& req) -> std::uint64_t {
+        const boids_request br = boids_catalog_entry(req.payload);
+        gpusteer::GpuBoidsPlugin gpu(gpusteer::Version::V5_FullUpdateOnDevice,
+                                     /*double_buffering=*/true,
+                                     /*with_draw_stage=*/false);
+        ctx.check_deadline();
+        gpu.open(spec_for(br));
+        for (std::uint32_t i = 0; i < br.steps; ++i) {
+            ctx.check_deadline();
+            gpu.step();
+        }
+        const std::vector<steer::Agent> flock = gpu.snapshot();
+        const std::uint64_t digest = flock_digest(flock);
+        // The plugin absorbs mid-step DeviceLost itself (checkpoint +
+        // CPU replay + reset); surface those recoveries in the serve
+        // metric family so the soak report shows them.
+        if (gpu.device_resets() > 0) {
+            trace::metrics().add("cupp.serve.handler_recoveries", gpu.device_resets());
+        }
+        if (br.postprocess_streams > 0) {
+            stream_postprocess(ctx, flock, br.postprocess_streams);
+        }
+        gpu.close();
+        return digest;
+    };
+}
+
+}  // namespace cupp::serve

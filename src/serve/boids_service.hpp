@@ -1,0 +1,53 @@
+// Boids-as-a-service: the cupp::serve handler that turns the thesis
+// workload (GpuBoidsPlugin, chapter 6) into a servable request.
+//
+// A request's payload indexes a deterministic catalog of small flock
+// scenarios (boids_catalog_entry). The handler runs the scenario on the
+// worker's device — V5, double-buffered, no draw stage — polling
+// worker_context::check_deadline() between steps, and returns an FNV-1a
+// digest of the final flock. Because the GPU and CPU plugins compute
+// bit-identical flocks (the boids_demo contract), the digest of a
+// *fault-free serial CPU run* (boids_oracle_digest) is the oracle: any
+// cross-tenant corruption, botched recovery or torn transfer under chaos
+// shows up as a digest mismatch.
+//
+// Scenarios with postprocess_streams > 0 additionally partition the final
+// speeds across that many asynchronous streams (prefetch → stream-bound
+// scale kernel → prefetch back) and verify the result against host math —
+// exercising the PR-5 stream path under multi-tenant pressure. A mismatch
+// throws usage_error: corruption is a bug, never retried.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/serve.hpp"
+#include "steer/agent.hpp"
+
+namespace cupp::serve {
+
+/// One catalog scenario. Agent counts are multiples of 128
+/// (kThreadsPerBlock) as the V5 kernels require.
+struct boids_request {
+    std::uint32_t agents = 256;
+    std::uint32_t steps = 4;
+    std::uint32_t think_period = 1;
+    std::uint64_t seed = 2009;
+    unsigned postprocess_streams = 0;  ///< 0 = no stream epilogue
+};
+
+/// Deterministic payload -> scenario mapping (pure in `payload`).
+[[nodiscard]] boids_request boids_catalog_entry(std::uint64_t payload);
+
+/// FNV-1a over the raw bytes of every agent's position / forward / speed.
+[[nodiscard]] std::uint64_t flock_digest(const std::vector<steer::Agent>& flock);
+
+/// The expected digest: a serial, fault-free CpuBoidsPlugin run of the
+/// same scenario. Deterministic and device-free.
+[[nodiscard]] std::uint64_t boids_oracle_digest(const boids_request& r);
+
+/// Handler executing boids_catalog_entry(request.payload) on the worker's
+/// device; returns flock_digest of the result.
+[[nodiscard]] handler_fn make_boids_handler();
+
+}  // namespace cupp::serve

@@ -1,0 +1,235 @@
+// cupp::serve — a multi-tenant request broker over the simulated devices.
+//
+// The ROADMAP's "heavy traffic" item made concrete: thousands of
+// concurrent simulation requests (boids-as-a-service, boids_service.hpp)
+// multiplexed onto N devices, with every failure mode a first-class,
+// tested behavior instead of an accident:
+//
+//  * Admission control — a bounded queue with per-tenant quotas
+//    (max queued, max in flight). Overload is shed *at submit time* with
+//    admission_rejected_error / outcome::admission_rejected; nothing ever
+//    queues unboundedly.
+//  * Deadlines — each request carries a modelled-time budget. The budget
+//    is threaded through every framework retry on the worker thread
+//    (scoped_retry_policy → retry_policy::max_total_backoff_s), so
+//    exponential backoff can never overrun it; handlers poll
+//    worker_context::check_deadline() between steps. Expiry surfaces as
+//    outcome::deadline_exceeded with the device left healthy.
+//  * Graceful degradation — a per-device circuit breaker. K consecutive
+//    sticky failures trip it (closed → open); the worker then drains its
+//    in-flight work, runs device::reset() recovery, and half-opens: the
+//    next request is a probe whose success closes the breaker and whose
+//    failure re-opens it. All transitions are cupp.serve.* counters and
+//    trace instants.
+//
+// Two execution modes share the same admission/deadline/breaker core:
+//
+//  * start()/submit() — real worker threads, one per device; the chaos
+//    soak harness (examples/boids_serve_soak.cpp) drives this mode with
+//    ≥64 concurrent tenants under a CUPP_FAULTS plan.
+//  * run() — a single-threaded, virtual-time closed loop: requests carry
+//    modelled arrival times, workers are modelled lanes bound to real
+//    devices, and queueing/latency/shedding are computed on the virtual
+//    clock. Every number it produces is bit-identical for any
+//    CUPP_SIM_THREADS — the serve bench artifact comes from here.
+//
+// A request's outcome is always one of {completed, admission_rejected,
+// deadline_exceeded}: device faults (transient or sticky) are retried,
+// recovered or converted to a deadline expiry, never leaked to tenants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cupp/retry.hpp"
+
+namespace cusim {
+class Device;
+}
+
+namespace cupp::serve {
+
+// --- requests and responses ------------------------------------------------
+
+/// Per-tenant admission limits.
+struct tenant_quota {
+    std::uint32_t max_queued = 8;     ///< waiting in the admission queue
+    std::uint32_t max_in_flight = 2;  ///< dispatched to a worker, not yet done
+};
+
+struct request {
+    std::string tenant;
+    /// Modelled-seconds budget. In run() mode it covers queue wait +
+    /// execution; in concurrent mode it covers execution (queue pressure
+    /// is bounded by admission control there). Infinity = no deadline.
+    double deadline_s = std::numeric_limits<double>::infinity();
+    /// Modelled arrival time (run() closed-loop mode only).
+    double arrival_s = 0.0;
+    /// Opaque handler payload (e.g. an index into a request catalog).
+    std::uint64_t payload = 0;
+};
+
+enum class outcome {
+    completed,
+    admission_rejected,
+    deadline_exceeded,
+};
+[[nodiscard]] const char* outcome_name(outcome o);
+
+struct response {
+    outcome result = outcome::completed;
+    std::uint64_t value = 0;   ///< handler return value (e.g. flock digest)
+    std::string detail;        ///< rejection / expiry reason
+    double latency_s = 0.0;    ///< run(): completion - arrival; else service_s
+    double service_s = 0.0;    ///< modelled execution time on the device
+    int attempts = 0;          ///< handler executions (re-runs after faults)
+    int worker = -1;           ///< worker index, -1 when never dispatched
+    std::uint64_t id = 0;      ///< submission order
+};
+
+// --- configuration ---------------------------------------------------------
+
+struct config {
+    int workers = 2;                  ///< device workers (threads / lanes)
+    /// Device ordinal per worker; empty = 0..workers-1 (the server
+    /// registers missing ordinals with the Registry at construction).
+    std::vector<int> device_ordinals;
+    std::uint32_t queue_capacity = 64;  ///< global queued-request bound
+    tenant_quota default_quota{};
+    std::map<std::string, tenant_quota, std::less<>> tenant_quotas;
+    /// Applied when request.deadline_s is infinite.
+    double default_deadline_s = std::numeric_limits<double>::infinity();
+    int breaker_threshold = 3;       ///< consecutive sticky failures to trip
+    int breaker_probe_successes = 1; ///< half-open probes needed to close
+    /// Handler re-executions per request (each sticky/escaped-transient
+    /// failure consumes one). Exhaustion maps to deadline_exceeded.
+    int max_attempts = 8;
+    /// Base policy for framework retries *and* the serve-level backoff
+    /// between handler re-executions. Per request it is budget-capped
+    /// (max_total_backoff_s = remaining budget) and seeded (jitter_seed =
+    /// request id) before being installed as the thread's scoped policy.
+    retry_policy retry{};
+};
+
+// --- handler interface -----------------------------------------------------
+
+class server;
+namespace detail {
+struct worker_state;
+}
+
+/// What a handler sees while executing one request: the worker's device
+/// and the request's remaining budget.
+class worker_context {
+public:
+    [[nodiscard]] cusim::Device& sim() const;
+    [[nodiscard]] int ordinal() const;
+    [[nodiscard]] int worker_index() const;
+    /// Remaining modelled budget (infinity when the request has none).
+    [[nodiscard]] double remaining_budget_s() const;
+    /// Throws deadline_exceeded_error once the budget is spent. Handlers
+    /// call this between steps so expiry is prompt and never interrupts a
+    /// mutation (the faults-before-mutation invariant stays intact).
+    void check_deadline() const;
+
+private:
+    friend class server;
+    worker_context(detail::worker_state& w, double start_abs_s, double budget_s)
+        : w_(&w), start_abs_s_(start_abs_s), budget_s_(budget_s) {}
+    detail::worker_state* w_;
+    double start_abs_s_;
+    double budget_s_;
+};
+
+/// Executes one admitted request on the worker's device and returns its
+/// value (a result digest, typically). Throwing a transient or sticky
+/// cupp::exception triggers re-execution / breaker handling; throwing
+/// deadline_exceeded_error finishes the request as deadline_exceeded.
+using handler_fn = std::function<std::uint64_t(worker_context&, const request&)>;
+
+// --- the server ------------------------------------------------------------
+
+/// Aggregate counters, mirrored into cupp::trace as cupp.serve.*.
+struct stats_snapshot {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_tenant_queued = 0;
+    std::uint64_t rejected_tenant_in_flight = 0;
+    std::uint64_t rejected_shutdown = 0;
+    std::uint64_t deadline_expired = 0;        ///< during execution
+    std::uint64_t deadline_expired_queued = 0; ///< expired while waiting (run())
+    std::uint64_t attempts = 0;
+    std::uint64_t sticky_failures = 0;
+    std::uint64_t transient_escapes = 0;
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t breaker_probes = 0;
+    std::uint64_t breaker_recoveries = 0;
+    std::uint64_t device_resets = 0;
+
+    [[nodiscard]] std::uint64_t rejected() const {
+        return rejected_queue_full + rejected_tenant_queued +
+               rejected_tenant_in_flight + rejected_shutdown;
+    }
+};
+
+class server {
+public:
+    server(config cfg, handler_fn handler);
+    ~server();
+
+    server(const server&) = delete;
+    server& operator=(const server&) = delete;
+
+    [[nodiscard]] const config& options() const { return cfg_; }
+
+    // --- concurrent mode ---
+    /// Spawns one worker thread per configured device.
+    void start();
+    /// Admission control runs at submit time: the returned future is
+    /// already satisfied (admission_rejected) when the request is shed.
+    /// Requires start(); throws usage_error otherwise.
+    [[nodiscard]] std::future<response> submit(request r);
+    response submit_and_wait(request r);
+    /// Stops admission (further submits are shed as "shutting down"),
+    /// drains every queued request, and joins the workers. Idempotent.
+    void stop();
+    [[nodiscard]] bool running() const;
+
+    // --- deterministic closed-loop mode ---
+    /// Processes `reqs` on a virtual modelled clock: arrivals at
+    /// request::arrival_s, workers as modelled lanes over real devices,
+    /// responses indexed like `reqs`. Single-threaded and bit-identical
+    /// across engine thread counts. Must not be mixed with start().
+    [[nodiscard]] std::vector<response> run(std::vector<request> reqs);
+
+    [[nodiscard]] stats_snapshot stats() const;
+
+    /// True when every worker device is healthy right now — not lost and
+    /// able to synchronize — without resetting anything. The post-soak
+    /// health gate.
+    [[nodiscard]] bool devices_healthy() const;
+
+private:
+    struct impl;
+    friend class worker_context;
+
+    response execute(detail::worker_state& w, const request& r, std::uint64_t id,
+                     double waited_s);
+    void breaker_on_sticky(detail::worker_state& w);
+    void breaker_on_success(detail::worker_state& w);
+    void breaker_recover(detail::worker_state& w);
+
+    config cfg_;
+    handler_fn handler_;
+    std::unique_ptr<impl> impl_;
+};
+
+}  // namespace cupp::serve

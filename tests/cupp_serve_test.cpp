@@ -1,0 +1,420 @@
+// cupp::serve tests: admission control (global bound + per-tenant
+// quotas), deadline expiry (queued, mid-retry, and mid-handler) with the
+// device left healthy, the per-device circuit breaker (trip, half-open
+// probe, recovery, re-trip), shutdown draining, deterministic run() mode,
+// and the boids-as-a-service digest-vs-oracle contract under injected
+// faults.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "cupp/cupp.hpp"
+#include "cusim/cusim.hpp"
+#include "serve/boids_service.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+namespace serve = cupp::serve;
+namespace faults = cusim::faults;
+namespace tr = cupp::trace;
+using cusim::ErrorCode;
+
+class ServeTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        faults::reset();
+        tr::metrics().reset();
+        tr::clear();
+    }
+    void TearDown() override {
+        faults::reset();
+        tr::disable();
+        tr::clear();
+        tr::metrics().reset();
+    }
+};
+
+/// A handler that models `service_s` of device work and echoes the payload.
+serve::handler_fn sync_handler(double service_s) {
+    return [service_s](serve::worker_context& ctx, const serve::request& r) {
+        ctx.sim().advance_host(service_s);
+        ctx.check_deadline();
+        return r.payload;
+    };
+}
+
+serve::request req(std::string tenant, double arrival_s = 0.0,
+                   std::uint64_t payload = 0) {
+    serve::request r;
+    r.tenant = std::move(tenant);
+    r.arrival_s = arrival_s;
+    r.payload = payload;
+    return r;
+}
+
+cusim::KernelTask add_kernel(cusim::ThreadCtx& ctx, const int& a, const int& b,
+                             int& out) {
+    if (ctx.global_id() == 0) out = a + b;
+    co_return;
+}
+using AddK = cusim::KernelTask (*)(cusim::ThreadCtx&, const int&, const int&, int&);
+
+// --- admission control ------------------------------------------------------
+
+TEST_F(ServeTest, QuotasShedExactlyTheOverload) {
+    serve::config cfg;
+    cfg.workers = 1;
+    cfg.queue_capacity = 2;
+    cfg.default_quota = {/*max_queued=*/1, /*max_in_flight=*/1};
+    serve::server srv(cfg, sync_handler(10e-3));
+
+    // Five simultaneous arrivals against one worker: tenant a dispatches
+    // one and queues one; a's third exceeds its queue quota; b fills the
+    // global queue; c finds it full.
+    std::vector<serve::request> reqs{req("a"), req("a"), req("a"), req("b"),
+                                     req("c")};
+    const auto out = srv.run(std::move(reqs));
+
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ(out[0].result, serve::outcome::completed);
+    EXPECT_EQ(out[1].result, serve::outcome::completed);
+    EXPECT_EQ(out[2].result, serve::outcome::admission_rejected);
+    EXPECT_EQ(out[2].detail, "tenant queue quota exceeded");
+    EXPECT_EQ(out[3].result, serve::outcome::completed);
+    EXPECT_EQ(out[4].result, serve::outcome::admission_rejected);
+    EXPECT_EQ(out[4].detail, "global queue full");
+    EXPECT_EQ(out[2].worker, -1) << "shed requests never touch a device";
+
+    const auto s = srv.stats();
+    EXPECT_EQ(s.submitted, 5u);
+    EXPECT_EQ(s.admitted, 3u);
+    EXPECT_EQ(s.completed, 3u);
+    EXPECT_EQ(s.rejected_tenant_queued, 1u);
+    EXPECT_EQ(s.rejected_queue_full, 1u);
+    EXPECT_EQ(s.rejected(), 2u);
+    EXPECT_EQ(tr::metrics().counter("cupp.serve.rejected.queue_full"), 1u);
+}
+
+TEST_F(ServeTest, InFlightQuotaSerialisesATenantAcrossFreeWorkers) {
+    serve::config cfg;
+    cfg.workers = 2;
+    cfg.tenant_quotas["a"] = {/*max_queued=*/4, /*max_in_flight=*/1};
+    serve::server srv(cfg, sync_handler(10e-3));
+
+    const auto out = srv.run({req("a"), req("a"), req("b")});
+
+    ASSERT_EQ(out.size(), 3u);
+    for (const auto& r : out) EXPECT_EQ(r.result, serve::outcome::completed);
+    EXPECT_EQ(out[0].worker, 0);
+    EXPECT_EQ(out[2].worker, 1) << "b takes the second worker immediately";
+    // a's second request had to wait for a's first despite the free worker.
+    EXPECT_EQ(out[1].worker, 0);
+    EXPECT_DOUBLE_EQ(out[0].latency_s, 10e-3);
+    EXPECT_DOUBLE_EQ(out[2].latency_s, 10e-3);
+    EXPECT_DOUBLE_EQ(out[1].latency_s, 20e-3) << "queue wait + service";
+}
+
+TEST_F(ServeTest, ZeroInFlightQuotaIsRejectedNotDeadlocked) {
+    serve::config cfg;
+    cfg.workers = 1;
+    cfg.tenant_quotas["mute"] = {/*max_queued=*/4, /*max_in_flight=*/0};
+    serve::server srv(cfg, sync_handler(1e-3));
+
+    const auto out = srv.run({req("mute")});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].result, serve::outcome::admission_rejected);
+    EXPECT_EQ(out[0].detail, "tenant in-flight quota is zero");
+    EXPECT_EQ(srv.stats().rejected_tenant_in_flight, 1u);
+}
+
+// --- deadlines --------------------------------------------------------------
+
+TEST_F(ServeTest, DeadlineExpiresInQueueWithoutDispatch) {
+    serve::config cfg;
+    cfg.workers = 1;
+    serve::server srv(cfg, sync_handler(10e-3));
+
+    auto late = req("b");
+    late.deadline_s = 5e-3;  // expires while the 10 ms request runs
+    const auto out = srv.run({req("a"), late});
+
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].result, serve::outcome::completed);
+    EXPECT_EQ(out[1].result, serve::outcome::deadline_exceeded);
+    EXPECT_EQ(out[1].worker, -1) << "expired in queue, never dispatched";
+    EXPECT_DOUBLE_EQ(out[1].latency_s, 5e-3);
+    EXPECT_EQ(srv.stats().deadline_expired_queued, 1u);
+    EXPECT_EQ(srv.stats().deadline_expired, 0u);
+}
+
+TEST_F(ServeTest, DeadlineCapsRetryBackoffMidFlight) {
+    serve::config cfg;
+    cfg.workers = 1;
+    cfg.retry.initial_backoff_s = 2e-3;
+    cfg.retry.backoff_multiplier = 2.0;
+    serve::server srv(cfg, [](serve::worker_context& ctx, const serve::request&) {
+        // A framework-level retry loop that can never succeed: the
+        // request's remaining budget (5 ms) is threaded into the scoped
+        // policy, so with_retry sleeps 2 ms, then refuses the 4 ms backoff
+        // and raises deadline_exceeded_error instead of overrunning.
+        return cupp::with_retry(
+            cupp::default_retry_policy(), &ctx.sim(), "flaky op",
+            [&]() -> std::uint64_t {
+                throw cupp::kernel_error("injected", ErrorCode::LaunchFailure);
+            });
+    });
+
+    auto r = req("t");
+    r.deadline_s = 5e-3;
+    const auto out = srv.run({r});
+
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].result, serve::outcome::deadline_exceeded);
+    EXPECT_EQ(out[0].attempts, 1);
+    EXPECT_LE(out[0].service_s, 5e-3) << "backoff never overruns the budget";
+    EXPECT_GE(tr::metrics().counter("cupp.retry.deadline_capped"), 1u);
+    EXPECT_EQ(srv.stats().deadline_expired, 1u);
+    EXPECT_TRUE(srv.devices_healthy());
+}
+
+TEST_F(ServeTest, HandlerDeadlinePollExpiresLongRequests) {
+    serve::config cfg;
+    cfg.workers = 1;
+    cfg.default_deadline_s = 3e-3;  // config-level default, no per-request one
+    serve::server srv(cfg, [](serve::worker_context& ctx, const serve::request&) {
+        for (int step = 0; step < 100; ++step) {
+            ctx.check_deadline();
+            ctx.sim().advance_host(1e-3);
+        }
+        return std::uint64_t{1};
+    });
+
+    const auto out = srv.run({req("t")});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].result, serve::outcome::deadline_exceeded);
+    // The poll fires on the first check after the budget is spent.
+    EXPECT_LE(out[0].service_s, 5e-3);
+    EXPECT_TRUE(srv.devices_healthy());
+}
+
+// --- transient re-execution and the circuit breaker -------------------------
+
+TEST_F(ServeTest, TransientEscapesReExecuteUntilSuccess) {
+    auto calls = std::make_shared<int>(0);
+    serve::config cfg;
+    cfg.workers = 1;
+    cfg.retry.initial_backoff_s = 1e-3;
+    serve::server srv(cfg, [calls](serve::worker_context&, const serve::request&) {
+        if (++*calls <= 2) {
+            throw cupp::memory_error("exhausted retries", ErrorCode::TransferFailure);
+        }
+        return std::uint64_t{99};
+    });
+
+    const auto out = srv.run({req("t")});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].result, serve::outcome::completed);
+    EXPECT_EQ(out[0].value, 99u);
+    EXPECT_EQ(out[0].attempts, 3);
+    EXPECT_EQ(srv.stats().transient_escapes, 2u);
+    EXPECT_EQ(srv.stats().sticky_failures, 0u);
+}
+
+TEST_F(ServeTest, AttemptBudgetExhaustionBecomesDeadlineExceeded) {
+    serve::config cfg;
+    cfg.workers = 1;
+    cfg.max_attempts = 3;
+    cfg.retry.initial_backoff_s = 1e-6;
+    serve::server srv(cfg, [](serve::worker_context&, const serve::request&) -> std::uint64_t {
+        throw cupp::memory_error("always failing", ErrorCode::TransferFailure);
+    });
+
+    const auto out = srv.run({req("t")});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].result, serve::outcome::deadline_exceeded);
+    EXPECT_EQ(out[0].attempts, 3);
+    EXPECT_NE(out[0].detail.find("attempt budget"), std::string::npos);
+}
+
+TEST_F(ServeTest, BreakerTripsResetsAndRecoversThroughAProbe) {
+    // Two injected DeviceLost faults at the launch site: the first two
+    // attempts each lose the device (reset before the next attempt), the
+    // second one trips the K=2 breaker, and the third attempt — a
+    // half-open probe — succeeds and closes it again.
+    faults::Rule rule;
+    rule.site = faults::Site::Launch;
+    rule.code = ErrorCode::DeviceLost;
+    rule.every = 1;
+    rule.max_injections = 2;
+    faults::configure({rule});
+
+    serve::config cfg;
+    cfg.workers = 1;
+    cfg.breaker_threshold = 2;
+    cfg.retry.initial_backoff_s = 1e-6;
+    serve::server srv(cfg, [](serve::worker_context& ctx, const serve::request&) {
+        cupp::device d(ctx.ordinal());
+        int out = 0;
+        cupp::kernel k(static_cast<AddK>(add_kernel), cusim::dim3{1}, cusim::dim3{32});
+        k(d, 20, 22, out);
+        return static_cast<std::uint64_t>(out);
+    });
+
+    const auto out = srv.run({req("t")});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].result, serve::outcome::completed);
+    EXPECT_EQ(out[0].value, 42u);
+    EXPECT_EQ(out[0].attempts, 3);
+
+    const auto s = srv.stats();
+    EXPECT_EQ(s.sticky_failures, 2u);
+    EXPECT_EQ(s.breaker_trips, 1u);
+    EXPECT_EQ(s.breaker_probes, 1u);
+    EXPECT_EQ(s.breaker_recoveries, 1u);
+    EXPECT_EQ(s.device_resets, 2u);
+    EXPECT_TRUE(srv.devices_healthy());
+    EXPECT_EQ(tr::metrics().counter("cupp.serve.breaker.trips"), 1u);
+}
+
+TEST_F(ServeTest, FailedProbeReopensTheBreaker) {
+    auto failures = std::make_shared<int>(3);
+    serve::config cfg;
+    cfg.workers = 1;
+    cfg.breaker_threshold = 1;  // trip on the first sticky failure
+    cfg.retry.initial_backoff_s = 1e-6;
+    serve::server srv(cfg, [failures](serve::worker_context&, const serve::request&) {
+        if (--*failures >= 0) {
+            throw cupp::device_lost_error("synthetic", ErrorCode::DeviceLost);
+        }
+        return std::uint64_t{7};
+    });
+
+    const auto out = srv.run({req("t")});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].result, serve::outcome::completed);
+    EXPECT_EQ(out[0].attempts, 4);
+
+    const auto s = srv.stats();
+    // Failure 1 trips (threshold 1); failures 2 and 3 are failed probes,
+    // each re-opening; attempt 4 is the probe that finally closes it.
+    EXPECT_EQ(s.sticky_failures, 3u);
+    EXPECT_EQ(s.breaker_trips, 3u);
+    EXPECT_EQ(s.breaker_probes, 3u);
+    EXPECT_EQ(s.breaker_recoveries, 1u);
+}
+
+// --- concurrent mode --------------------------------------------------------
+
+TEST_F(ServeTest, ConcurrentSubmitCompletesAndStopDrains) {
+    serve::config cfg;
+    cfg.workers = 2;
+    cfg.queue_capacity = 64;
+    cfg.default_quota = {/*max_queued=*/16, /*max_in_flight=*/2};
+    serve::server srv(cfg, sync_handler(1e-3));
+
+    srv.start();
+    EXPECT_TRUE(srv.running());
+    std::vector<std::future<serve::response>> futures;
+    for (int i = 0; i < 16; ++i) {
+        futures.push_back(srv.submit(req(i % 2 ? "a" : "b", 0.0,
+                                         static_cast<std::uint64_t>(i))));
+    }
+    srv.stop();  // must drain every admitted request before joining
+    EXPECT_FALSE(srv.running());
+
+    std::uint64_t completed = 0;
+    for (auto& f : futures) {
+        const auto r = f.get();
+        ASSERT_TRUE(r.result == serve::outcome::completed ||
+                    r.result == serve::outcome::admission_rejected)
+            << "outcome: " << serve::outcome_name(r.result);
+        if (r.result == serve::outcome::completed) ++completed;
+    }
+    const auto s = srv.stats();
+    EXPECT_EQ(s.completed, completed);
+    EXPECT_EQ(s.submitted, 16u);
+    EXPECT_EQ(s.completed + s.rejected(), 16u);
+    EXPECT_TRUE(srv.devices_healthy());
+
+    EXPECT_THROW((void)srv.submit(req("late")), cupp::usage_error)
+        << "submit after stop is a usage error";
+}
+
+// --- deterministic run() mode and the boids service -------------------------
+
+TEST_F(ServeTest, RunModeIsBitIdenticalAcrossServers) {
+    auto make_requests = [] {
+        std::vector<serve::request> reqs;
+        for (int i = 0; i < 12; ++i) {
+            auto r = req(i % 3 == 0 ? "a" : (i % 3 == 1 ? "b" : "c"),
+                         /*arrival_s=*/i * 1e-3, static_cast<std::uint64_t>(i));
+            if (i % 4 == 3) r.deadline_s = 2e-3;
+            reqs.push_back(std::move(r));
+        }
+        return reqs;
+    };
+    serve::config cfg;
+    cfg.workers = 2;
+
+    serve::server first(cfg, sync_handler(3e-3));
+    const auto a = first.run(make_requests());
+    serve::server second(cfg, sync_handler(3e-3));
+    const auto b = second.run(make_requests());
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].result, b[i].result) << i;
+        EXPECT_EQ(a[i].value, b[i].value) << i;
+        EXPECT_EQ(a[i].worker, b[i].worker) << i;
+        EXPECT_EQ(a[i].attempts, b[i].attempts) << i;
+        // service_s is a delta of the devices' absolute modelled clock,
+        // which keeps growing across servers sharing the registry — the
+        // low bits of the subtraction differ with the clock's magnitude.
+        // Within one process run (the bench artifact case) times are
+        // bit-identical; across servers they agree to rounding error.
+        EXPECT_NEAR(a[i].latency_s, b[i].latency_s, 1e-9) << i;
+        EXPECT_NEAR(a[i].service_s, b[i].service_s, 1e-9) << i;
+    }
+}
+
+TEST_F(ServeTest, BoidsServiceDigestsMatchTheSerialOracleUnderFaults) {
+    // Transient injection at two transfer sites: the handler's plugin run
+    // retries through them, and every completed digest must still equal
+    // the fault-free serial CPU oracle — the zero-corruption contract.
+    faults::Rule h2d;
+    h2d.site = faults::Site::MemcpyH2D;
+    h2d.code = ErrorCode::TransferFailure;
+    h2d.every = 9;
+    faults::Rule launch;
+    launch.site = faults::Site::Launch;
+    launch.code = ErrorCode::LaunchFailure;
+    launch.every = 7;
+    faults::configure({h2d, launch}, /*seed=*/11);
+
+    serve::config cfg;
+    cfg.workers = 2;
+    cfg.retry.initial_backoff_s = 1e-6;
+    serve::server srv(cfg, serve::make_boids_handler());
+
+    std::vector<serve::request> reqs;
+    for (int i = 0; i < 6; ++i) {
+        reqs.push_back(req(i % 2 ? "a" : "b", i * 1e-3, static_cast<std::uint64_t>(i)));
+    }
+    const auto out = srv.run(std::move(reqs));
+    faults::disable();
+
+    ASSERT_EQ(out.size(), 6u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        ASSERT_EQ(out[i].result, serve::outcome::completed) << out[i].detail;
+        const auto expected =
+            serve::boids_oracle_digest(serve::boids_catalog_entry(i));
+        EXPECT_EQ(out[i].value, expected) << "digest mismatch for payload " << i;
+    }
+    EXPECT_TRUE(srv.devices_healthy());
+}
+
+}  // namespace

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <thread>
 #include <span>
 #include <string>
 #include <vector>
@@ -616,6 +619,217 @@ TEST_F(FaultsTest, MalformedPlansAreRejectedWithInvalidValue) {
         EXPECT_EQ(e.code(), ErrorCode::InvalidValue);
     }
     EXPECT_FALSE(faults::armed()) << "no rejected plan may leave injection armed";
+}
+
+// --- retry_policy: deterministic jitter and the total-backoff cap ----------
+
+TEST_F(FaultsTest, JitteredBackoffSequenceIsDeterministicAndPinned) {
+    cupp::retry_policy policy;
+    policy.initial_backoff_s = 1e-3;
+    policy.backoff_multiplier = 2.0;
+    policy.jitter = 0.25;
+    policy.jitter_seed = 42;
+
+    // The sequence is pure in (policy fields, failure_index): a second
+    // policy with identical fields reproduces it bit-for-bit.
+    cupp::retry_policy twin = policy;
+    for (int k = 1; k <= 6; ++k) {
+        const double b = policy.backoff_seconds(k);
+        EXPECT_EQ(b, twin.backoff_seconds(k)) << "failure " << k;
+        // Jitter stays inside [1-j, 1+j] around the exponential base.
+        const double base = 1e-3 * std::pow(2.0, k - 1);
+        EXPECT_GE(b, base * 0.75) << "failure " << k;
+        EXPECT_LE(b, base * 1.25) << "failure " << k;
+        EXPECT_NE(b, base) << "jitter must actually perturb failure " << k;
+    }
+
+    // A different seed yields a different sequence (de-synchronised
+    // retriers), and jitter = 0 collapses to the exact exponential curve.
+    cupp::retry_policy other = policy;
+    other.jitter_seed = 43;
+    EXPECT_NE(other.backoff_seconds(1), policy.backoff_seconds(1));
+    cupp::retry_policy plain = policy;
+    plain.jitter = 0.0;
+    EXPECT_DOUBLE_EQ(plain.backoff_seconds(1), 1e-3);
+    EXPECT_DOUBLE_EQ(plain.backoff_seconds(2), 2e-3);
+    EXPECT_DOUBLE_EQ(plain.backoff_seconds(3), 4e-3);
+}
+
+TEST_F(FaultsTest, WithRetrySleepsExactlyTheJitteredSchedule) {
+    auto r = make_rule(faults::Site::Launch, ErrorCode::LaunchFailure);
+    r.every = 1;  // never recovers
+    faults::configure({r});
+
+    std::vector<double> slept;
+    cupp::retry_policy policy;
+    policy.max_attempts = 4;
+    policy.initial_backoff_s = 1e-3;
+    policy.backoff_multiplier = 2.0;
+    policy.jitter = 0.5;
+    policy.jitter_seed = 7;
+    policy.sleep = [&](double s) { slept.push_back(s); };
+
+    cupp::device d;
+    int out = 0;
+    cupp::kernel k(static_cast<AddK>(add_kernel), dim3{1}, dim3{32});
+    k.set_retry_policy(policy);
+    EXPECT_THROW(k(d, 1, 2, out), cupp::kernel_error);
+
+    // 4 attempts => 3 backoffs, each exactly backoff_seconds(k).
+    ASSERT_EQ(slept.size(), 3u);
+    for (int k2 = 1; k2 <= 3; ++k2) {
+        EXPECT_EQ(slept[static_cast<std::size_t>(k2 - 1)], policy.backoff_seconds(k2))
+            << "backoff " << k2;
+    }
+}
+
+TEST_F(FaultsTest, TotalBackoffCapRaisesDeadlineExceededBeforeSleeping) {
+    auto r = make_rule(faults::Site::Launch, ErrorCode::LaunchFailure);
+    r.every = 1;
+    faults::configure({r});
+
+    std::vector<double> slept;
+    cupp::retry_policy policy;
+    policy.max_attempts = 10;
+    policy.initial_backoff_s = 1e-3;
+    policy.backoff_multiplier = 2.0;
+    policy.max_total_backoff_s = 4e-3;  // 1 ms + 2 ms fit; + 4 ms would not
+    policy.sleep = [&](double s) { slept.push_back(s); };
+
+    cupp::device d;
+    int out = 0;
+    cupp::kernel k(static_cast<AddK>(add_kernel), dim3{1}, dim3{32});
+    k.set_retry_policy(policy);
+    try {
+        k(d, 1, 2, out);
+        FAIL() << "expected the backoff cap to fire";
+    } catch (const cupp::deadline_exceeded_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::DeadlineExceeded);
+        EXPECT_FALSE(e.transient()) << "this request is over; do not blind-retry";
+    }
+    // The third backoff (4 ms) was never slept: the cap throws first.
+    ASSERT_EQ(slept.size(), 2u);
+    EXPECT_DOUBLE_EQ(slept[0], 1e-3);
+    EXPECT_DOUBLE_EQ(slept[1], 2e-3);
+    EXPECT_EQ(faults::site_calls(faults::Site::Launch), 3u);
+    EXPECT_GE(tr::metrics().counter("cupp.retry.deadline_capped"), 1u);
+}
+
+// --- the default policy: snapshots, overrides, and the old race ------------
+
+TEST_F(FaultsTest, DefaultRetryPolicyIsASnapshotWithScopedOverrides) {
+    const cupp::retry_policy saved = cupp::default_retry_policy();
+
+    cupp::retry_policy custom;
+    custom.max_attempts = 7;
+    custom.initial_backoff_s = 5e-4;
+    cupp::set_default_retry_policy(custom);
+    EXPECT_EQ(cupp::default_retry_policy().max_attempts, 7);
+
+    // A snapshot taken before a set_default call must not change under the
+    // caller's feet (the old mutable-reference API allowed exactly that).
+    const cupp::retry_policy snap = cupp::default_retry_policy();
+    cupp::retry_policy changed = custom;
+    changed.max_attempts = 2;
+    cupp::set_default_retry_policy(changed);
+    EXPECT_EQ(snap.max_attempts, 7) << "snapshots must be immutable copies";
+
+    {
+        cupp::retry_policy inner;
+        inner.max_attempts = 11;
+        cupp::scoped_retry_policy scope(inner);
+        EXPECT_EQ(cupp::default_retry_policy().max_attempts, 11);
+        {
+            cupp::retry_policy innermost;
+            innermost.max_attempts = 13;
+            cupp::scoped_retry_policy nested(innermost);
+            EXPECT_EQ(cupp::default_retry_policy().max_attempts, 13);
+        }
+        EXPECT_EQ(cupp::default_retry_policy().max_attempts, 11) << "nesting restores";
+    }
+    EXPECT_EQ(cupp::default_retry_policy().max_attempts, 2);
+
+    cupp::set_default_retry_policy(saved);
+}
+
+TEST_F(FaultsTest, DefaultRetryPolicyConcurrentReadersAndWritersRaceFree) {
+    // TSan regression for the old API, which handed out a mutable
+    // reference to an unguarded global: concurrent default_retry_policy()
+    // readers raced every set. Now both sides lock, and readers get a
+    // consistent value copy — the correlated fields below would tear
+    // otherwise. Runs in the -DCUPP_TSAN=ON set (label: tsan).
+    const cupp::retry_policy saved = cupp::default_retry_policy();
+    {
+        // Seed a policy that satisfies the writers' invariant before any
+        // reader starts checking it.
+        cupp::retry_policy p;
+        p.max_attempts = 1;
+        p.initial_backoff_s = 1e-3;
+        cupp::set_default_retry_policy(p);
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const cupp::retry_policy p = cupp::default_retry_policy();
+                // Writers always keep initial_backoff_s == max_attempts
+                // * 1e-3; a torn read breaks the invariant.
+                if (p.initial_backoff_s != static_cast<double>(p.max_attempts) * 1e-3) {
+                    torn.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 1; i <= 500; ++i) {
+                cupp::retry_policy p;
+                p.max_attempts = (t * 500 + i) % 16 + 1;
+                p.initial_backoff_s = static_cast<double>(p.max_attempts) * 1e-3;
+                cupp::set_default_retry_policy(p);
+            }
+        });
+    }
+    for (std::size_t i = 2; i < threads.size(); ++i) threads[i].join();
+    stop.store(true, std::memory_order_relaxed);
+    threads[0].join();
+    threads[1].join();
+    EXPECT_EQ(torn.load(), 0) << "default_retry_policy returned a torn snapshot";
+
+    cupp::set_default_retry_policy(saved);
+}
+
+// --- service-layer error codes through the taxonomy ------------------------
+
+TEST_F(FaultsTest, ServiceCodesSurviveRethrowWithoutCollapsing) {
+    try {
+        cupp::rethrow(ErrorCode::AdmissionRejected, "quota");
+        FAIL() << "rethrow must throw";
+    } catch (const cupp::admission_rejected_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::AdmissionRejected);
+        EXPECT_FALSE(e.transient());
+        EXPECT_FALSE(cupp::is_sticky(e.code()));
+    }
+    try {
+        cupp::rethrow(ErrorCode::DeadlineExceeded, "late");
+        FAIL() << "rethrow must throw";
+    } catch (const cupp::deadline_exceeded_error& e) {
+        EXPECT_EQ(e.code(), ErrorCode::DeadlineExceeded);
+        EXPECT_FALSE(e.transient());
+        EXPECT_FALSE(cupp::is_sticky(e.code()));
+    }
+    EXPECT_STREQ(cusim::error_string(ErrorCode::AdmissionRejected),
+                 "admission rejected (load shed)");
+    EXPECT_STREQ(cusim::error_string(ErrorCode::DeadlineExceeded), "deadline exceeded");
+
+    // Service outcomes are raised above the device: the fault planner must
+    // refuse to inject them at device call sites.
+    ErrorCode out{};
+    EXPECT_FALSE(faults::parse_code("admission_rejected", &out));
+    EXPECT_FALSE(faults::parse_code("deadline_exceeded", &out));
 }
 
 TEST_F(FaultsTest, SeedPlanIsTransientOnly) {

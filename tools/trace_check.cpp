@@ -110,11 +110,15 @@ int main(int argc, char** argv) {
             const bool has_bytes = args != nullptr && args->is_object() &&
                                    args->find("bytes") != nullptr &&
                                    args->find("bytes")->is_number();
+            // Retry backoff spans name the retried site ("cupp::retry
+            // vector upload (failure 1)") but move no data themselves —
+            // they are not transfers and carry no byte count.
             const bool is_transfer =
-                label.rfind("memcpy ", 0) == 0 ||
-                (label.rfind("cupp::", 0) == 0 &&
-                 (label.find("upload") != std::string::npos ||
-                  label.find("download") != std::string::npos));
+                label.rfind("cupp::retry", 0) != 0 &&
+                (label.rfind("memcpy ", 0) == 0 ||
+                 (label.rfind("cupp::", 0) == 0 &&
+                  (label.find("upload") != std::string::npos ||
+                   label.find("download") != std::string::npos)));
             if (is_transfer) {
                 if (!has_bytes) return fail("transfer span without byte count");
                 ++transfer_events;
