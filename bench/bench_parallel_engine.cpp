@@ -1,41 +1,65 @@
-// Perf trajectory of the parallel block engine (wall-clock).
+// Perf trajectory of the block engines (wall-clock).
 //
 // Unlike the figure harnesses, which report *simulated* time, this binary
-// measures how fast the host pushes a multi-block grid through cusim at
-// different engine thread counts (BlockPool), verifies the LaunchStats stay
-// bit-identical to the serial run, and writes the results as JSON — the
-// repo's perf trajectory artifact (BENCH_parallel_engine.json).
+// measures how fast the host pushes multi-block grids through cusim — for
+// both execution engines (the classic coroutine-per-thread interpreter and
+// the warp-vectorized one) across BlockPool thread counts — verifies every
+// cell's LaunchStats stay bit-identical to the serial thread-engine run,
+// and writes the results as JSON — the repo's perf trajectory artifact
+// (BENCH_parallel_engine.json).
 //
-// Usage: bench_parallel_engine [output.json]
+// Three kernel variants stress different engine paths:
+//   crunch    — shared tile, two barrier episodes, 64 FMADs/thread: the
+//               balanced workload the artifact has always tracked;
+//   diverge   — 24 data-dependent branch rounds per thread (collatz-style),
+//               asymmetric cost per side: the active-mask/reconvergence
+//               machinery under heavy divergence;
+//   nobarrier — 96 FMADs and a write, no __syncthreads: pure per-resume
+//               interpreter overhead, where warp batching helps most.
+//
+// Usage: bench_parallel_engine [output.json] [--prof <prefix>]
+//   --prof additionally runs a fixed profiled sequence under each engine
+//   and writes <prefix>.thread.json / <prefix>.warp.json — cupp_prof --diff
+//   must report identical modelled device time across them (host wall
+//   seconds are real time and are excluded from the diffable slice).
+#include <bit>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cusim/block_pool.hpp"
-#include "cusim/device.hpp"
-#include "cusim/engine.hpp"
-#include "cusim/kernel_task.hpp"
-#include "cusim/thread_ctx.hpp"
+#include "cusim/cusim.hpp"
 
 namespace {
 
+using cusim::DevicePtr;
+using cusim::KernelSpec;
 using cusim::KernelTask;
+using cusim::kWarpSize;
+using cusim::Op;
 using cusim::ThreadCtx;
+using cusim::WarpCtx;
 
-// Compute-heavy block: a shared-memory tile, two barrier episodes and a
-// register-resident arithmetic loop per thread — enough work per block that
-// the engine (not the launch bookkeeping) dominates.
-KernelTask crunch_kernel(ThreadCtx& ctx, cusim::DevicePtr<float> out, std::uint32_t n) {
+constexpr unsigned kGridX = 64;
+constexpr unsigned kBlockX = 128;
+constexpr std::uint32_t kN = kGridX * kBlockX;
+
+// --- crunch: shared tile, 2 barriers, 64 FMADs/thread ----------------------
+
+KernelTask crunch_thread(ThreadCtx& ctx, DevicePtr<float> out, std::uint32_t n) {
     auto tile = ctx.shared_array<float>(ctx.block_dim().x);
     const std::uint32_t tid = ctx.thread_idx().x;
     tile.write(ctx, tid, static_cast<float>(ctx.global_id()));
     co_await ctx.syncthreads();
     float acc = tile.read(ctx, (tid + 1) % ctx.block_dim().x);
     for (int i = 0; i < 64; ++i) {
-        ctx.charge(cusim::Op::FMad);
+        ctx.charge(Op::FMad);
         acc = acc * 1.000001f + 0.5f;
     }
     co_await ctx.syncthreads();
@@ -44,77 +68,302 @@ KernelTask crunch_kernel(ThreadCtx& ctx, cusim::DevicePtr<float> out, std::uint3
     co_return;
 }
 
+KernelTask crunch_warp(WarpCtx& w, DevicePtr<float> out, std::uint32_t n) {
+    auto tile = w.shared_array<float>(w.block_dim().x);
+    // Lane loops run all kWarpSize slots with a compile-time bound so the
+    // host compiler can vectorize them; the accessors' active mask decides
+    // which lanes actually commit, so a tail warp's dead slots just compute
+    // values nobody reads — the same lockstep discipline a real warp has.
+    std::uint64_t idx[kWarpSize];
+    float acc[kWarpSize];
+    for (unsigned l = 0; l < kWarpSize; ++l) {
+        idx[l] = w.lane_tid(l);
+        acc[l] = static_cast<float>(w.global_id(l));
+    }
+    w.write(tile, idx, acc);
+    co_await w.syncthreads();
+    for (unsigned l = 0; l < kWarpSize; ++l) {
+        idx[l] = (w.lane_tid(l) + 1) % w.block_dim().x;
+    }
+    w.read(tile, idx, acc);
+    w.charge(Op::FMad, 64);  // == 64 per-iteration charges, batched
+    for (int i = 0; i < 64; ++i) {
+        for (unsigned l = 0; l < kWarpSize; ++l) {
+            acc[l] = acc[l] * 1.000001f + 0.5f;
+        }
+    }
+    co_await w.syncthreads();
+    std::uint32_t in_range = 0;
+    for (unsigned l = 0; l < kWarpSize; ++l) {
+        idx[l] = w.global_id(l);
+        in_range |= (idx[l] < n ? 1u : 0u) << l;
+    }
+    w.push_active(in_range);
+    w.write(out, idx, acc);
+    w.pop_active();
+    co_return;
+}
+
+// --- diverge: 24 data-dependent branch rounds ------------------------------
+
+KernelTask diverge_thread(ThreadCtx& ctx, DevicePtr<std::uint32_t> data,
+                          std::uint32_t salt) {
+    const std::uint64_t gid = ctx.global_id();
+    std::uint32_t v = data.read(ctx, gid) ^ salt;
+    for (int i = 0; i < 24; ++i) {
+        if (ctx.branch((v & 1u) != 0)) {
+            ctx.charge(Op::FMad);  // the taken side costs extra
+            v = v * 3 + 1;
+        } else {
+            v >>= 1;
+        }
+    }
+    data.write(ctx, gid, v + static_cast<std::uint32_t>(gid));
+    co_return;
+}
+
+KernelTask diverge_warp(WarpCtx& w, DevicePtr<std::uint32_t> data,
+                        std::uint32_t salt) {
+    std::uint64_t idx[kWarpSize];
+    std::uint32_t v[kWarpSize] = {};  // read() fills active lanes only
+    for (unsigned l = 0; l < kWarpSize; ++l) idx[l] = w.global_id(l);
+    w.read(data, idx, v);
+    for (unsigned l = 0; l < kWarpSize; ++l) v[l] ^= salt;
+    for (int i = 0; i < 24; ++i) {
+        std::uint32_t odd = 0;
+        for (unsigned l = 0; l < kWarpSize; ++l) odd |= (v[l] & 1u) << l;
+        w.push_active(w.ballot(odd));
+        w.charge(Op::FMad);  // the taken side costs extra
+        const std::uint32_t taken = w.active();
+        w.else_active();
+        const std::uint32_t rest = w.active();
+        w.pop_active();
+        // Both sides computed for every lane, commit selected by mask — how
+        // the hardware executes a divergent warp, and a branchless select
+        // the compiler turns into vector blends.
+        for (unsigned l = 0; l < kWarpSize; ++l) {
+            const std::uint32_t grown = v[l] * 3 + 1;
+            const std::uint32_t halved = v[l] >> 1;
+            v[l] = ((taken >> l) & 1u) != 0 ? grown
+                 : ((rest >> l) & 1u) != 0  ? halved
+                                            : v[l];
+        }
+    }
+    for (unsigned l = 0; l < kWarpSize; ++l) {
+        v[l] += static_cast<std::uint32_t>(idx[l]);
+    }
+    w.write(data, idx, v);
+    co_return;
+}
+
+// --- nobarrier: 96 FMADs + one write, no __syncthreads ---------------------
+
+KernelTask nobarrier_thread(ThreadCtx& ctx, DevicePtr<float> out, std::uint32_t n) {
+    float acc = static_cast<float>(ctx.global_id() & 0xffu);
+    for (int i = 0; i < 96; ++i) {
+        ctx.charge(Op::FMad);
+        acc = acc * 1.0000005f + 0.25f;
+    }
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < n) out.write(ctx, gid, acc);
+    co_return;
+}
+
+KernelTask nobarrier_warp(WarpCtx& w, DevicePtr<float> out, std::uint32_t n) {
+    std::uint64_t idx[kWarpSize];
+    float acc[kWarpSize];
+    for (unsigned l = 0; l < kWarpSize; ++l) {
+        idx[l] = w.global_id(l);
+        acc[l] = static_cast<float>(idx[l] & 0xffu);
+    }
+    w.charge(Op::FMad, 96);
+    for (int i = 0; i < 96; ++i) {
+        for (unsigned l = 0; l < kWarpSize; ++l) {
+            acc[l] = acc[l] * 1.0000005f + 0.25f;
+        }
+    }
+    std::uint32_t in_range = 0;
+    for (unsigned l = 0; l < kWarpSize; ++l) {
+        in_range |= (idx[l] < n ? 1u : 0u) << l;
+    }
+    w.push_active(in_range);
+    w.write(out, idx, acc);
+    w.pop_active();
+    co_return;
+}
+
+// --- harness ----------------------------------------------------------------
+
 struct Sample {
+    const char* engine = "";
     unsigned threads = 0;
     double steps_per_s = 0.0;
-    double speedup = 0.0;
+    double speedup = 0.0;  ///< vs the thread engine at 1 thread, same variant
     bool stats_identical = false;
+};
+
+struct Variant {
+    const char* name = "";
+    const char* note = "";
+    std::vector<Sample> samples;
 };
 
 bool same_stats(const cusim::LaunchStats& a, const cusim::LaunchStats& b) {
     return a.blocks == b.blocks && a.threads == b.threads && a.warps == b.warps &&
            a.compute_cycles == b.compute_cycles && a.stall_cycles == b.stall_cycles &&
            a.bytes_read == b.bytes_read && a.bytes_written == b.bytes_written &&
+           a.useful_bytes_read == b.useful_bytes_read &&
+           a.useful_bytes_written == b.useful_bytes_written &&
            a.divergent_events == b.divergent_events &&
            a.branch_evaluations == b.branch_evaluations &&
            a.syncthreads_count == b.syncthreads_count &&
            a.device_seconds == b.device_seconds;
 }
 
+constexpr int kWarmupSteps = 2;
+constexpr int kSteps = 20;
+
+/// Runs warmup + kSteps of `spec` after `reset()`, so every cell of the
+/// (engine, threads) matrix sees the identical launch sequence and the
+/// final step's stats are comparable bit-for-bit.
+template <typename Reset>
+Sample measure(cusim::Device& dev, const cusim::LaunchConfig& cfg,
+               const KernelSpec& spec, const char* name, Reset&& reset,
+               cusim::EngineMode mode, unsigned threads,
+               const cusim::LaunchStats* reference, cusim::LaunchStats* out_stats) {
+    reset();
+    cusim::set_engine_mode(mode);
+    cusim::BlockPool::set_threads(threads);
+    for (int i = 0; i < kWarmupSteps; ++i) (void)dev.launch(cfg, spec, name);
+    cusim::LaunchStats stats{};
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSteps; ++i) stats = dev.launch(cfg, spec, name);
+    const auto t1 = std::chrono::steady_clock::now();
+    cusim::BlockPool::set_threads(0);
+    cusim::clear_engine_mode();
+
+    Sample s;
+    s.engine = mode == cusim::EngineMode::Warp ? "warp" : "thread";
+    s.threads = threads;
+    s.steps_per_s = kSteps / std::chrono::duration<double>(t1 - t0).count();
+    s.stats_identical = reference == nullptr || same_stats(stats, *reference);
+    if (out_stats != nullptr) *out_stats = stats;
+    return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    const char* out_path = argc > 1 ? argv[1] : "BENCH_parallel_engine.json";
-
-    constexpr unsigned kGridX = 64;
-    constexpr unsigned kBlockX = 128;
-    constexpr std::uint32_t kN = kGridX * kBlockX;
-    const cusim::LaunchConfig cfg{cusim::dim3{kGridX}, cusim::dim3{kBlockX},
-                                  kBlockX * sizeof(float)};
+    const char* out_path = "BENCH_parallel_engine.json";
+    std::string prof_prefix;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--prof") == 0 && i + 1 < argc) {
+            prof_prefix = argv[++i];
+        } else {
+            out_path = argv[i];
+        }
+    }
 
     cusim::Device dev(cusim::g80_properties());
-    const cusim::DevicePtr<float> out = dev.malloc_n<float>(kN);
+    const DevicePtr<float> fout = dev.malloc_n<float>(kN);
+    const DevicePtr<std::uint32_t> ubuf = dev.malloc_n<std::uint32_t>(kN);
+    std::vector<std::uint32_t> useed(kN);
+    for (std::uint32_t i = 0; i < kN; ++i) useed[i] = i * 2654435761u + 12345u;
 
-    const auto entry = [&](ThreadCtx& ctx) { return crunch_kernel(ctx, out, kN); };
+    const cusim::LaunchConfig shared_cfg{cusim::dim3{kGridX}, cusim::dim3{kBlockX},
+                                         kBlockX * sizeof(float)};
+    const cusim::LaunchConfig plain_cfg{cusim::dim3{kGridX}, cusim::dim3{kBlockX}};
 
-    auto run_steps = [&](int steps) {
-        cusim::LaunchStats last{};
-        for (int i = 0; i < steps; ++i) last = dev.launch(cfg, entry, "crunch");
-        return last;
+    const KernelSpec crunch([&](ThreadCtx& ctx) { return crunch_thread(ctx, fout, kN); },
+                            [&](WarpCtx& w) { return crunch_warp(w, fout, kN); });
+    const KernelSpec diverge(
+        [&](ThreadCtx& ctx) { return diverge_thread(ctx, ubuf, 0x9e3779b9u); },
+        [&](WarpCtx& w) { return diverge_warp(w, ubuf, 0x9e3779b9u); });
+    const KernelSpec nobarrier(
+        [&](ThreadCtx& ctx) { return nobarrier_thread(ctx, fout, kN); },
+        [&](WarpCtx& w) { return nobarrier_warp(w, fout, kN); });
+
+    const auto no_reset = [] {};
+    const auto reseed = [&] {
+        dev.upload(ubuf, std::span<const std::uint32_t>(useed));
     };
 
-    // Serial reference: both the baseline rate and the stats every other
-    // thread count must reproduce bit-for-bit.
-    cusim::BlockPool::set_threads(1);
-    (void)run_steps(2);  // warmup (frame caches, shadow maps)
-    const cusim::LaunchStats serial_stats = run_steps(1);
+    struct Case {
+        const char* name;
+        const char* note;
+        const cusim::LaunchConfig* cfg;
+        const KernelSpec* spec;
+        const std::function<void()> reset;
+    };
+    const std::vector<Case> cases = {
+        {"crunch", "shared tile, 2 barriers, 64 FMADs/thread", &shared_cfg, &crunch,
+         no_reset},
+        {"diverge", "24 data-dependent branch rounds, asymmetric sides", &plain_cfg,
+         &diverge, reseed},
+        {"nobarrier", "96 FMADs + 1 write, no __syncthreads", &plain_cfg, &nobarrier,
+         no_reset},
+    };
 
-    // Enough steps that the per-step time is well above timer noise.
-    constexpr int kSteps = 20;
     const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
-    std::vector<Sample> samples;
-    double serial_rate = 0.0;
+    std::vector<Variant> variants;
+    bool all_identical = true;
 
-    for (const unsigned t : thread_counts) {
-        cusim::BlockPool::set_threads(t);
-        (void)run_steps(2);  // warm the pool + per-worker scratch
-        const auto t0 = std::chrono::steady_clock::now();
-        const cusim::LaunchStats stats = run_steps(kSteps);
-        const auto t1 = std::chrono::steady_clock::now();
-        const double secs = std::chrono::duration<double>(t1 - t0).count();
+    for (const Case& c : cases) {
+        Variant var;
+        var.name = c.name;
+        var.note = c.note;
 
-        Sample s;
-        s.threads = t;
-        s.steps_per_s = kSteps / secs;
-        s.stats_identical = same_stats(stats, serial_stats);
-        if (t == 1) serial_rate = s.steps_per_s;
-        s.speedup = s.steps_per_s / serial_rate;
-        samples.push_back(s);
-        std::printf("threads=%u  %8.1f steps/s  speedup %.2fx  stats %s\n", t,
-                    s.steps_per_s, s.speedup,
-                    s.stats_identical ? "bit-identical" : "MISMATCH");
+        // Serial thread-engine reference: the oracle every other cell of
+        // this variant's matrix must reproduce bit-for-bit.
+        cusim::LaunchStats reference{};
+        (void)measure(dev, *c.cfg, *c.spec, c.name, c.reset,
+                      cusim::EngineMode::Thread, 1, nullptr, &reference);
+
+        double base_rate = 0.0;
+        for (const cusim::EngineMode mode :
+             {cusim::EngineMode::Thread, cusim::EngineMode::Warp}) {
+            for (const unsigned t : thread_counts) {
+                Sample s = measure(dev, *c.cfg, *c.spec, c.name, c.reset, mode, t,
+                                   &reference, nullptr);
+                if (mode == cusim::EngineMode::Thread && t == 1) {
+                    base_rate = s.steps_per_s;
+                }
+                s.speedup = s.steps_per_s / base_rate;
+                all_identical = all_identical && s.stats_identical;
+                var.samples.push_back(s);
+                std::printf("%-9s %-6s threads=%u  %9.1f steps/s  speedup %5.2fx  stats %s\n",
+                            c.name, s.engine, t, s.steps_per_s, s.speedup,
+                            s.stats_identical ? "bit-identical" : "MISMATCH");
+            }
+        }
+        variants.push_back(std::move(var));
     }
-    cusim::BlockPool::set_threads(0);
+
+    // Optional profiled pass: a fixed serial crunch sequence under each
+    // engine. The reports' modelled device times must diff clean; host wall
+    // seconds are real time and excluded from cupp_prof's diffable slice.
+    if (!prof_prefix.empty()) {
+        for (const cusim::EngineMode mode :
+             {cusim::EngineMode::Thread, cusim::EngineMode::Warp}) {
+            const std::string path =
+                prof_prefix +
+                (mode == cusim::EngineMode::Warp ? ".warp.json" : ".thread.json");
+            cusim::set_engine_mode(mode);
+            cusim::BlockPool::set_threads(1);
+            cusim::prof::reset();
+            cusim::prof::enable(path);
+            for (int i = 0; i < 5; ++i) (void)dev.launch(shared_cfg, crunch, "crunch");
+            cusim::prof::disable();
+            if (!cusim::prof::write_report(path)) {
+                std::fprintf(stderr, "cannot write %s\n", path.c_str());
+                return 1;
+            }
+            cusim::prof::reset();
+            cusim::BlockPool::set_threads(0);
+            cusim::clear_engine_mode();
+            std::printf("wrote %s\n", path.c_str());
+        }
+    }
 
     std::FILE* f = std::fopen(out_path, "w");
     if (f == nullptr) {
@@ -123,31 +372,36 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"parallel_engine\",\n");
-    std::fprintf(f, "  \"kernel\": \"crunch (shared tile, 2 barriers, 64 FMADs/thread)\",\n");
     std::fprintf(f, "  \"grid\": [%u, 1, 1],\n", kGridX);
     std::fprintf(f, "  \"block\": [%u, 1, 1],\n", kBlockX);
     std::fprintf(f, "  \"steps_per_measurement\": %d,\n", kSteps);
     std::fprintf(f, "  \"host_hardware_concurrency\": %u,\n",
                  std::thread::hardware_concurrency());
-    std::fprintf(f, "  \"results\": [\n");
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        const Sample& s = samples[i];
-        std::fprintf(f,
-                     "    {\"sim_threads\": %u, \"steps_per_s\": %.1f, "
-                     "\"speedup_vs_serial\": %.2f, \"stats_bit_identical\": %s}%s\n",
-                     s.threads, s.steps_per_s, s.speedup,
-                     s.stats_identical ? "true" : "false",
-                     i + 1 < samples.size() ? "," : "");
+    std::fprintf(f, "  \"speedup_baseline\": \"thread engine at 1 sim thread, per variant\",\n");
+    std::fprintf(f, "  \"variants\": [\n");
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        const Variant& var = variants[vi];
+        std::fprintf(f, "    {\"kernel\": \"%s\", \"note\": \"%s\", \"results\": [\n",
+                     var.name, var.note);
+        for (std::size_t i = 0; i < var.samples.size(); ++i) {
+            const Sample& s = var.samples[i];
+            std::fprintf(f,
+                         "      {\"engine\": \"%s\", \"sim_threads\": %u, "
+                         "\"steps_per_s\": %.1f, \"speedup_vs_serial_thread\": %.2f, "
+                         "\"stats_bit_identical\": %s}%s\n",
+                         s.engine, s.threads, s.steps_per_s, s.speedup,
+                         s.stats_identical ? "true" : "false",
+                         i + 1 < var.samples.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]}%s\n", vi + 1 < variants.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path);
 
-    for (const Sample& s : samples) {
-        if (!s.stats_identical) {
-            std::fprintf(stderr, "FAIL: stats diverged at %u threads\n", s.threads);
-            return 1;
-        }
+    if (!all_identical) {
+        std::fprintf(stderr, "FAIL: stats diverged from the serial thread engine\n");
+        return 1;
     }
     return 0;
 }

@@ -28,6 +28,7 @@ fi
 rm -f "$OUT" BENCH_stream_overlap.json BENCH_serve_soak.json \
     BENCH_throughput_prof.json BENCH_stream_overlap_prof.json \
     BENCH_serve_soak_prof.json \
+    BENCH_parallel_engine_prof.thread.json BENCH_parallel_engine_prof.warp.json \
     BENCH_throughput_timeline.json BENCH_stream_overlap_timeline.json
 
 STATUS=0
@@ -46,10 +47,14 @@ CUPP_SIM_THREADS=4 "$BUILD/bench/bench_simulator_throughput" \
     --benchmark_min_time=0.2 || STATUS=1
 
 echo ""
-echo "== bench_parallel_engine (thread sweep + determinism check) =="
-# No CUPP_PROF here: this bench measures the engine's disabled-path cost,
-# so it must run with profiling off.
-"$BUILD/bench/bench_parallel_engine" "$OUT" || STATUS=1
+echo "== bench_parallel_engine (engine x thread sweep + determinism check) =="
+# No CUPP_PROF in the environment: the timed sweep measures the engine's
+# disabled-path cost. The --prof pass afterwards records a fixed profiled
+# sequence under each engine (BENCH_parallel_engine_prof.{thread,warp}.json)
+# programmatically, outside the timed loop — cupp_prof --diff across the
+# pair must show identical modelled device time.
+"$BUILD/bench/bench_parallel_engine" "$OUT" --prof BENCH_parallel_engine_prof \
+    || STATUS=1
 
 echo ""
 echo "== bench_stream_overlap (async streams on the modelled timeline) =="

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -50,6 +51,31 @@ struct BranchSiteStats {
             pred_log.resize(idx + 1, pred);
             diverged.resize(idx + 1, false);
         } else if (pred_log[idx] != pred && !diverged[idx]) {
+            diverged[idx] = true;
+            ++divergent;
+        }
+    }
+
+    /// Batched equivalent of calling note(l, (preds >> l) & 1) for every set
+    /// lane of `mask` in ascending lane order, valid only when all those
+    /// lanes sit at the same occurrence `idx` (the caller checks). One
+    /// popcount replaces up to 32 vector<bool> round trips.
+    void note_lanes(std::uint32_t mask, std::uint32_t preds, std::uint32_t idx) {
+        const auto n = static_cast<unsigned>(std::popcount(mask));
+        evaluations += n;
+        taken += static_cast<unsigned>(std::popcount(preds & mask));
+        for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+            ++lane_occurrence[std::countr_zero(m)];
+        }
+        if (idx >= kMaxTrackedOccurrences) return;
+        const bool pred0 = ((preds >> std::countr_zero(mask)) & 1u) != 0;
+        if (idx >= pred_log.size()) {
+            pred_log.resize(idx + 1, pred0);
+            diverged.resize(idx + 1, false);
+        }
+        const bool ref = pred_log[idx];
+        const std::uint32_t agree = ref ? (preds & mask) : (~preds & mask);
+        if (agree != mask && !diverged[idx]) {
             diverged[idx] = true;
             ++divergent;
         }
@@ -125,6 +151,50 @@ struct WarpAcct {
         }
         branch_sites.emplace_back(site_key);
         branch_sites.back().note(lane, pred);
+    }
+
+    /// Warp-batched branch note: one site lookup for the whole warp instead
+    /// of one per lane. Equivalent to note_branch(key, l, (preds >> l) & 1)
+    /// for each set lane of `mask` in ascending order; when the lanes'
+    /// occurrence counters have drifted apart (divergent control flow around
+    /// the site itself), falls back to exactly those per-lane calls.
+    void note_branch_lanes(std::uint64_t site_key, std::uint32_t mask,
+                           std::uint32_t preds) {
+        if (mask == 0) return;
+        BranchSiteStats* site = nullptr;
+        for (auto& s : branch_sites) {
+            if (s.site_key == site_key) {
+                site = &s;
+                break;
+            }
+        }
+        if (site == nullptr) {
+            branch_sites.emplace_back(site_key);
+            site = &branch_sites.back();
+        }
+        const auto l0 = static_cast<unsigned>(std::countr_zero(mask));
+        const std::uint32_t idx = site->lane_occurrence[l0];
+        bool aligned = true;
+        if (mask == ~std::uint32_t{0}) {
+            for (unsigned l = 0; l < kWarpSize; ++l) {
+                aligned &= site->lane_occurrence[l] == idx;
+            }
+        } else {
+            for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+                if (site->lane_occurrence[std::countr_zero(m)] != idx) {
+                    aligned = false;
+                    break;
+                }
+            }
+        }
+        if (aligned) {
+            site->note_lanes(mask, preds, idx);
+            return;
+        }
+        for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+            const auto l = static_cast<unsigned>(std::countr_zero(m));
+            site->note(l, ((preds >> l) & 1u) != 0);
+        }
     }
 
     /// Divergent warp-steps over the whole kernel.

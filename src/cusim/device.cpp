@@ -27,6 +27,11 @@ uint3 unlinearize_block(std::uint64_t i, const dim3& g) {
 
 LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
                            std::string_view name) {
+    return launch(cfg, KernelSpec(entry), name);
+}
+
+LaunchStats Device::launch(const LaunchConfig& cfg, KernelSpec spec,
+                           std::string_view name) {
     prof::ApiScope prof_scope(prof::Api::Launch, trace_ordinal_, kDefaultStream, 0,
                               name);
     timeline::FailScope tl_fail(trace_ordinal_, kDefaultStream,
@@ -47,7 +52,7 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
     // while a profiling session is collecting.
     const bool profiling = prof::collecting();
     const double wall0 = profiling ? cupp::trace::wall_clock_us() : 0.0;
-    const LaunchStats stats = run_grid(cfg, entry, name);
+    const LaunchStats stats = run_grid(cfg, spec, name);
     if (profiling) {
         prof::record_launch(name, cfg, stats, device_track(), trace_ordinal_,
                             (cupp::trace::wall_clock_us() - wall0) * 1e-6,
@@ -116,7 +121,7 @@ LaunchStats Device::launch(const LaunchConfig& cfg, const KernelEntry& entry,
     return stats;
 }
 
-LaunchStats Device::run_grid(const LaunchConfig& cfg, const KernelEntry& entry,
+LaunchStats Device::run_grid(const LaunchConfig& cfg, const KernelSpec& spec,
                              std::string_view name) {
     LaunchStats stats;
     stats.blocks = cfg.grid.count();
@@ -171,7 +176,7 @@ LaunchStats Device::run_grid(const LaunchConfig& cfg, const KernelEntry& entry,
         opts.scratch = &scratch;
         for (std::uint64_t i = 0; i < nblocks; ++i) {
             accumulate(
-                run_block(props_.cost, cfg, entry, unlinearize_block(i, cfg.grid),
+                run_block(props_.cost, cfg, spec, unlinearize_block(i, cfg.grid),
                           &exec, opts));
         }
     } else {
@@ -209,7 +214,7 @@ LaunchStats Device::run_grid(const LaunchConfig& cfg, const KernelEntry& entry,
                 opts.violation_sink = &runs[i].violations;
                 std::optional<cupp::trace::ScopedCapture> capture;
                 if (tracing) capture.emplace(&runs[i].trace_events);
-                runs[i].result = run_block(props_.cost, cfg, entry,
+                runs[i].result = run_block(props_.cost, cfg, spec,
                                            unlinearize_block(i, cfg.grid), &exec, opts);
             } catch (...) {
                 runs[i].error = std::current_exception();

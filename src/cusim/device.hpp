@@ -259,6 +259,11 @@ public:
     /// launch in the trace and the launch history.
     LaunchStats launch(const LaunchConfig& cfg, const KernelEntry& entry,
                        std::string_view name = {});
+    /// Dual-form launch: runs the warp form under the warp engine (see
+    /// EngineMode in engine.hpp), the thread form otherwise. A spec with no
+    /// warp form behaves exactly like the KernelEntry overload.
+    LaunchStats launch(const LaunchConfig& cfg, KernelSpec spec,
+                       std::string_view name = {});
 
     // --- the simulated timeline --------------------------------------------
     [[nodiscard]] double host_time() const { return host_time_; }
@@ -360,6 +365,9 @@ public:
     /// the grid executes at the next sync point on the stream's modelled
     /// timeline. Stream 0 falls back to the legacy launch().
     void launch_async(const LaunchConfig& cfg, const KernelEntry& entry,
+                      std::string_view name, StreamId stream);
+    /// Dual-form async launch (see the launch() overload above).
+    void launch_async(const LaunchConfig& cfg, KernelSpec spec,
                       std::string_view name, StreamId stream);
     /// Async H2D: the source is snapshotted at enqueue (pageable-memory
     /// semantics — later host writes to `src` don't affect the copy).
@@ -499,7 +507,7 @@ private:
     /// BlockPool (or serially), reduces everything observable in launch
     /// order, and returns the stats with device_seconds filled in. Does
     /// not touch the timeline, history, or trace. (device.cpp)
-    LaunchStats run_grid(const LaunchConfig& cfg, const KernelEntry& entry,
+    LaunchStats run_grid(const LaunchConfig& cfg, const KernelSpec& spec,
                          std::string_view name);
 
     /// Legacy (default-stream) semantics: every pre-stream operation joins

@@ -18,6 +18,7 @@
 namespace cusim {
 
 class ThreadCtx;
+class WarpCtx;
 
 template <typename T>
 class DevicePtr {
@@ -71,6 +72,7 @@ public:
 
 private:
     friend class ThreadCtx;
+    friend class WarpCtx;
     std::byte* base_ = nullptr;   ///< raw arena pointer (simulator internal)
     DeviceAddr addr_ = kNullAddr;
     std::uint64_t count_ = 0;

@@ -1,21 +1,45 @@
 #include "cusim/engine.hpp"
 
+#include <atomic>
+#include <bit>
+#include <cstdlib>
 #include <memory>
 #include <new>
 #include <string>
+#include <string_view>
 
+#include "cupp/trace.hpp"
 #include "cusim/error.hpp"
 #include "cusim/thread_ctx.hpp"
+#include "cusim/warp_ctx.hpp"
 
 namespace cusim {
 
+namespace detail {
+
+void FrameCache::flush_metrics() {
+    ops_since_flush = 0;
+    if (hits == 0 && misses == 0 && evicts == 0) return;
+    auto& m = cupp::trace::metrics();
+    if (hits > 0) m.add("cusim.framecache.hit", hits);
+    if (misses > 0) m.add("cusim.framecache.miss", misses);
+    if (evicts > 0) m.add("cusim.framecache.evict", evicts);
+    hits = misses = evicts = 0;
+}
+
+}  // namespace detail
+
 // Declaration order matters for teardown: tasks are destroyed before ctxs
 // (members die in reverse order), so a suspended coroutine frame never
-// outlives the ThreadCtx it references.
+// outlives the ThreadCtx it references. Same for the warp engine's wtasks
+// relative to wctxs.
 struct BlockScratch::State {
     std::vector<std::unique_ptr<ThreadCtx>> ctxs;
     std::vector<KernelTask> tasks;
     std::vector<bool> finished;
+    std::vector<std::unique_ptr<WarpCtx>> wctxs;
+    std::vector<KernelTask> wtasks;
+    std::vector<bool> wfinished;
     BlockState block;
 };
 
@@ -44,7 +68,30 @@ uint3 unlinearize_thread(unsigned tid, const dim3& bd) {
     }
 }
 
+// -1 = no override (read the environment), else the EngineMode value.
+std::atomic<int> g_engine_override{-1};
+
+EngineMode engine_mode_from_env() {
+    const char* v = std::getenv("CUPP_SIM_ENGINE");
+    if (v != nullptr && std::string_view(v) == "thread") return EngineMode::Thread;
+    return EngineMode::Warp;
+}
+
 }  // namespace
+
+EngineMode engine_mode() {
+    const int o = g_engine_override.load(std::memory_order_relaxed);
+    if (o >= 0) return static_cast<EngineMode>(o);
+    // The environment is process-wide and stable during a run; cache it.
+    static const EngineMode env_mode = engine_mode_from_env();
+    return env_mode;
+}
+
+void set_engine_mode(EngineMode mode) {
+    g_engine_override.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void clear_engine_mode() { g_engine_override.store(-1, std::memory_order_relaxed); }
 
 BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
                       const KernelEntry& entry, uint3 block_idx,
@@ -147,6 +194,118 @@ BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
     // reusable scratch.
     block_state.violation_sink = nullptr;
     return result;
+}
+
+namespace {
+
+/// The warp-vectorized block loop: one coroutine per warp, resumed once per
+/// epoch. Lane bookkeeping is popcount arithmetic over the warps' live and
+/// at-barrier masks, arranged so the divergent-barrier diagnostic carries
+/// the exact thread counts (and message) the per-thread loop produces.
+BlockResult run_block_warp(const CostModel& cm, const LaunchConfig& cfg,
+                           const WarpKernelEntry& entry, uint3 block_idx,
+                           const memcheck::ExecContext* exec, const RunBlockOpts& opts) {
+    const unsigned nthreads = static_cast<unsigned>(cfg.block.count());
+    const unsigned nwarps = cfg.warps_per_block();
+
+    BlockResult result;
+    result.warps.resize(nwarps);
+
+    std::unique_ptr<BlockScratch> local;
+    if (opts.scratch == nullptr) local = std::make_unique<BlockScratch>();
+    BlockScratch::State& s =
+        *(opts.scratch != nullptr ? opts.scratch : local.get())->state;
+
+    BlockState& block_state = s.block;
+    block_state.shared_arena.assign(cfg.shared_bytes, std::byte{0});
+    block_state.sync_episodes = 0;
+    block_state.shared_shadow.reset();
+    block_state.violation_sink = opts.violation_sink;
+
+    // Tear down the previous block's warp coroutines before their contexts
+    // are reconstructed underneath them.
+    s.wtasks.clear();
+    s.wtasks.reserve(nwarps);
+    if (s.wctxs.size() > nwarps) s.wctxs.resize(nwarps);
+
+    for (unsigned w = 0; w < nwarps; ++w) {
+        const unsigned base = w * kWarpSize;
+        const unsigned nlanes =
+            nthreads - base < kWarpSize ? nthreads - base : kWarpSize;
+        if (w < s.wctxs.size()) {
+            WarpCtx* p = s.wctxs[w].get();
+            p->~WarpCtx();
+            new (p) WarpCtx(base, nlanes, block_idx, cfg.block, cfg.grid, &cm,
+                            &block_state, &result.warps[w], exec);
+        } else {
+            s.wctxs.push_back(std::make_unique<WarpCtx>(
+                base, nlanes, block_idx, cfg.block, cfg.grid, &cm, &block_state,
+                &result.warps[w], exec));
+        }
+        s.wtasks.push_back(entry(*s.wctxs[w]));
+    }
+
+    s.wfinished.assign(nwarps, false);
+    std::vector<std::unique_ptr<WarpCtx>>& wctxs = s.wctxs;
+    std::vector<KernelTask>& wtasks = s.wtasks;
+    std::vector<bool>& wfinished = s.wfinished;
+    unsigned live = nthreads;  // lanes not yet finished, across all warps
+
+    while (live > 0) {
+        unsigned at_barrier = 0;
+        unsigned finished_this_epoch = 0;
+        for (unsigned w = 0; w < nwarps; ++w) {
+            if (wfinished[w]) continue;
+            WarpCtx& wc = *wctxs[w];
+            const auto lanes_before =
+                static_cast<unsigned>(std::popcount(wc.live()));
+            wtasks[w].resume();
+            if (auto ep = wtasks[w].exception()) rethrow_as_launch_failure(ep);
+            if (wtasks[w].done() || wc.live() == 0) {
+                // The warp retired: either the body ran to completion or
+                // every lane exited via exit_lanes(). All lanes that were
+                // still live when this epoch started finish here.
+                wfinished[w] = true;
+                wc.fold_into_warp_acct();
+                finished_this_epoch += lanes_before;
+                live -= lanes_before;
+            } else {
+                // Suspended at a barrier. Lanes that exited mid-epoch via
+                // exit_lanes() finished without arriving at it.
+                const auto lanes_now =
+                    static_cast<unsigned>(std::popcount(wc.live()));
+                finished_this_epoch += lanes_before - lanes_now;
+                live -= lanes_before - lanes_now;
+                at_barrier += static_cast<unsigned>(std::popcount(wc.at_barrier_mask()));
+            }
+        }
+        if (at_barrier > 0 && (finished_this_epoch > 0 || at_barrier != live)) {
+            // Same diagnosis — and byte-identical message — as the
+            // per-thread loop above: X lanes arrived, Y were obliged to.
+            throw Error(ErrorCode::LaunchFailure,
+                        "__syncthreads() reached by " + std::to_string(at_barrier) +
+                            " of " + std::to_string(live + finished_this_epoch) +
+                            " threads (divergent barrier)");
+        }
+        if (live == 0) break;
+        for (auto& wc : wctxs) wc->clear_barrier();
+        ++block_state.sync_episodes;
+    }
+
+    result.sync_episodes = block_state.sync_episodes;
+    block_state.violation_sink = nullptr;
+    return result;
+}
+
+}  // namespace
+
+BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
+                      const KernelSpec& spec, uint3 block_idx,
+                      const memcheck::ExecContext* exec, const RunBlockOpts& opts) {
+    if (spec.warp && engine_mode() == EngineMode::Warp) {
+        return run_block_warp(cm, cfg, spec.warp, block_idx, exec, opts);
+    }
+    return run_block(cm, cfg, spec.thread, block_idx, exec, opts);
 }
 
 }  // namespace cusim

@@ -20,6 +20,21 @@
 
 namespace cusim {
 
+/// Which interpreter executes a block when a kernel provides both forms of
+/// a KernelSpec. Selected by CUPP_SIM_ENGINE=warp|thread (default: warp;
+/// anything else falls back to warp) with a programmatic override for
+/// differential tests. Kernels that only have a per-thread form run the
+/// classic coroutine-per-thread engine in either mode — the thread path is
+/// retained verbatim as the differential oracle.
+enum class EngineMode { Thread, Warp };
+
+/// The effective engine mode: the override when set, else CUPP_SIM_ENGINE.
+[[nodiscard]] EngineMode engine_mode();
+/// Overrides the environment selection (differential tests/benches).
+void set_engine_mode(EngineMode mode);
+/// Drops the override; engine_mode() reads the environment again.
+void clear_engine_mode();
+
 /// Everything the timing model needs to know about one executed block.
 struct BlockResult {
     std::vector<WarpAcct> warps;
@@ -61,6 +76,16 @@ struct RunBlockOpts {
 /// ordinal — for attributed diagnostics.
 BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
                       const KernelEntry& entry, uint3 block_idx,
+                      const memcheck::ExecContext* exec = nullptr,
+                      const RunBlockOpts& opts = {});
+
+/// Dual-form dispatch: runs the warp-vectorized interpreter (one coroutine
+/// per warp, lane-batched state, active-mask divergence — see warp_ctx.hpp)
+/// when the spec carries a warp form and engine_mode() is Warp; otherwise
+/// the classic per-thread engine above. Both produce bit-identical
+/// observables for charge-equal kernel forms.
+BlockResult run_block(const CostModel& cm, const LaunchConfig& cfg,
+                      const KernelSpec& spec, uint3 block_idx,
                       const memcheck::ExecContext* exec = nullptr,
                       const RunBlockOpts& opts = {});
 

@@ -9,6 +9,7 @@
 
 #include <coroutine>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <utility>
 #include <vector>
@@ -22,49 +23,89 @@ namespace detail {
 /// and a worker allocates and frees its own blocks' frames, so a lock-free
 /// thread_local cache removes that churn entirely. Frames are bucketed by
 /// exact size (a program typically has a handful of distinct kernel frame
-/// sizes); anything past the bucket capacity falls through to the global
-/// allocator.
+/// sizes).
+///
+/// When a program cycles through more frame sizes than there are buckets,
+/// the least-recently-used bucket is retargeted to the new size (its cached
+/// frames are freed and counted as evictions) instead of the old behaviour
+/// of silently sending every extra size to the global allocator forever.
+/// Hit/miss/evict counts accumulate locally — the allocator path must stay
+/// atomics-free — and are folded into cupp::trace::metrics() as
+/// `cusim.framecache.{hit,miss,evict}` every 1024 take()s and at thread
+/// exit.
 struct FrameCache {
     struct Bucket {
         std::size_t size = 0;
+        std::uint64_t last_used = 0;
         std::vector<void*> frames;
     };
     static constexpr std::size_t kBuckets = 4;
     /// One full block's worth (kMaxThreadsPerBlock) per size.
     static constexpr std::size_t kMaxCachedFrames = 512;
+    static constexpr std::uint64_t kFlushEvery = 1024;
 
     Bucket buckets[kBuckets];
+    std::uint64_t tick = 0;    ///< LRU clock; bumped on every bucket touch
+    std::uint64_t hits = 0;    ///< take() served from a bucket (unflushed)
+    std::uint64_t misses = 0;  ///< take() fell through to operator new (unflushed)
+    std::uint64_t evicts = 0;  ///< frames freed by bucket retargeting (unflushed)
+    std::uint64_t ops_since_flush = 0;
 
     ~FrameCache() {
         for (Bucket& b : buckets) {
             for (void* p : b.frames) ::operator delete(p);
         }
+        try {
+            flush_metrics();
+        } catch (...) {
+            // Metrics flushing must never terminate a thread at exit.
+        }
     }
 
     void* take(std::size_t size) {
+        if (++ops_since_flush >= kFlushEvery) flush_metrics();
         for (Bucket& b : buckets) {
             if (b.size == size && !b.frames.empty()) {
+                b.last_used = ++tick;
+                ++hits;
                 void* p = b.frames.back();
                 b.frames.pop_back();
                 return p;
             }
         }
+        ++misses;
         return ::operator new(size);
     }
 
     void give(void* p, std::size_t size) noexcept {
+        Bucket* lru = nullptr;
         for (Bucket& b : buckets) {
-            if (b.size == 0) b.size = size;
             if (b.size == size) {
+                b.last_used = ++tick;
                 if (b.frames.size() < kMaxCachedFrames) {
                     b.frames.push_back(p);
                     return;
                 }
-                break;
+                ::operator delete(p);  // bucket full: not an eviction, a cap
+                return;
             }
+            if (lru == nullptr || b.last_used < lru->last_used) lru = &b;
         }
-        ::operator delete(p);
+        // No bucket holds this size: retarget the least-recently-used one
+        // (empty buckets have last_used 0 and are claimed first). Freeing
+        // its cached frames is the eviction the counters report.
+        evicts += lru->frames.size();
+        for (void* q : lru->frames) ::operator delete(q);
+        lru->frames.clear();
+        lru->size = size;
+        lru->last_used = ++tick;
+        lru->frames.push_back(p);
     }
+
+    /// Adds the unflushed counter deltas to the process-wide metrics
+    /// registry. Defined in engine.cpp so this hot header does not pull in
+    /// cupp/trace.hpp.
+    void flush_metrics();
 
     static FrameCache& local() {
         thread_local FrameCache cache;

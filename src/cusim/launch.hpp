@@ -53,4 +53,28 @@ struct LaunchConfig {
 /// user's typed arguments into this.
 using KernelEntry = std::function<KernelTask(ThreadCtx&)>;
 
+class WarpCtx;
+
+/// Type-erased warp-native kernel entry: the warp-vectorized engine calls it
+/// once per *warp* — one coroutine frame and one resume per 32 lanes — with
+/// the warp's lane-batched context (warp_ctx.hpp).
+using WarpKernelEntry = std::function<KernelTask(WarpCtx&)>;
+
+/// A kernel in up to two executable forms. `thread` is mandatory and is the
+/// differential oracle: the classic one-coroutine-per-thread interpretation.
+/// `warp`, when provided, is the same kernel written against WarpCtx; the
+/// engine runs it when CUPP_SIM_ENGINE selects the warp engine. The two
+/// forms must charge identically (same ops per lane in the same per-lane
+/// occurrence order) — the differential harness holds them to bit-identical
+/// LaunchStats/memcheck/trace/timeline.
+struct KernelSpec {
+    KernelEntry thread;
+    WarpKernelEntry warp;
+
+    KernelSpec() = default;
+    KernelSpec(KernelEntry t) : thread(std::move(t)) {}  // NOLINT(google-explicit-constructor)
+    KernelSpec(KernelEntry t, WarpKernelEntry w)
+        : thread(std::move(t)), warp(std::move(w)) {}
+};
+
 }  // namespace cusim

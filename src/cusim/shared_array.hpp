@@ -17,6 +17,7 @@
 namespace cusim {
 
 class ThreadCtx;
+class WarpCtx;
 
 template <typename T>
 class SharedArray {
@@ -35,6 +36,7 @@ public:
 
 private:
     friend class ThreadCtx;
+    friend class WarpCtx;
     std::byte* base_ = nullptr;
     std::uint64_t count_ = 0;
 };

@@ -51,7 +51,7 @@ struct StreamOp {
 
     // Launch
     LaunchConfig cfg{};
-    KernelEntry entry;
+    KernelSpec entry;  ///< dual-form kernel; run_grid picks the engine at drain
     std::string name;
 
     // Copies
@@ -200,8 +200,13 @@ void Device::event_destroy(EventId event) {
 
 void Device::launch_async(const LaunchConfig& cfg, const KernelEntry& entry,
                           std::string_view name, StreamId stream) {
+    launch_async(cfg, KernelSpec(entry), name, stream);
+}
+
+void Device::launch_async(const LaunchConfig& cfg, KernelSpec spec,
+                          std::string_view name, StreamId stream) {
     if (stream == kDefaultStream) {
-        (void)launch(cfg, entry, name);
+        (void)launch(cfg, std::move(spec), name);
         return;
     }
     prof::ApiScope prof_scope(prof::Api::LaunchAsync, trace_ordinal_, stream, 0, name);
@@ -227,7 +232,7 @@ void Device::launch_async(const LaunchConfig& cfg, const KernelEntry& entry,
     op.seq = t.next_seq++;
     op.issue_host_time = host_time_;
     op.cfg = cfg;
-    op.entry = entry;
+    op.entry = std::move(spec);
     op.name = name.empty() ? std::string("kernel") : std::string(name);
     op.corr = prof_scope.correlation();
     if (timeline::enabled()) {

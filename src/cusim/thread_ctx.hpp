@@ -44,9 +44,14 @@ struct BlockState {
 
 class ThreadCtx {
 public:
+    /// `acct` (optional) points the thread's accounting at caller-owned
+    /// storage instead of the inline member — the warp-vectorized engine
+    /// passes one slot of its contiguous per-lane array so charges made
+    /// through a lane's ThreadCtx facade and through the warp-level batch
+    /// paths land in the same place.
     ThreadCtx(uint3 thread_idx, uint3 block_idx, dim3 block_dim, dim3 grid_dim,
               const CostModel* cm, BlockState* block, WarpAcct* warp,
-              const memcheck::ExecContext* exec = nullptr)
+              const memcheck::ExecContext* exec = nullptr, ThreadAcct* acct = nullptr)
         : thread_idx_(thread_idx),
           block_idx_(block_idx),
           block_dim_(block_dim),
@@ -54,7 +59,8 @@ public:
           cm_(cm),
           block_(block),
           warp_(warp),
-          exec_(exec) {}
+          exec_(exec),
+          acct_(acct != nullptr ? acct : &own_acct_) {}
 
     ThreadCtx(const ThreadCtx&) = delete;
     ThreadCtx& operator=(const ThreadCtx&) = delete;
@@ -93,13 +99,13 @@ public:
     /// block reaches the barrier. Costs 4 cycles + waiting time (Table 2.2);
     /// the waiting time is implicit in the max-fold over the warp.
     [[nodiscard]] SyncAwaitable syncthreads() {
-        acct_.charge(*cm_, Op::SyncThreads);
+        acct_->charge(*cm_, Op::SyncThreads);
         return SyncAwaitable{this};
     }
 
     // --- accounting hooks ---
     /// Charges `n` instructions of class `op` per Table 2.2.
-    void charge(Op op, unsigned n = 1) { acct_.charge(*cm_, op, n); }
+    void charge(Op op, unsigned n = 1) { acct_->charge(*cm_, op, n); }
 
     /// Stable identifier for a static source site: FNV-1a over the file
     /// name, hash-combined with line and column. (The previous scheme
@@ -133,7 +139,7 @@ public:
     /// taken/not-taken counts per static site; see accounting.hpp for the
     /// divergence estimator.
     bool branch(bool pred, std::source_location loc = std::source_location::current()) {
-        acct_.charge(*cm_, Op::Branch);
+        acct_->charge(*cm_, Op::Branch);
         warp_->note_branch(site_key(loc), linear_tid() % kWarpSize, pred);
         return pred;
     }
@@ -141,8 +147,8 @@ public:
     /// Models a thread-local variable that the compiler spilled to device
     /// memory (§2.2, Table 2.1: local memory is registers *or* device
     /// memory). Version 3 of the Boids port pays these (§6.2.2).
-    void local_spill_read(unsigned n = 1) { acct_.charge(*cm_, Op::LocalSpill, n); }
-    void local_spill_write(unsigned n = 1) { acct_.charge(*cm_, Op::GlobalWrite, n); }
+    void local_spill_read(unsigned n = 1) { acct_->charge(*cm_, Op::LocalSpill, n); }
+    void local_spill_write(unsigned n = 1) { acct_->charge(*cm_, Op::GlobalWrite, n); }
 
     /// Bank-conflict tracking hook, called behind prof::collecting() with a
     /// pointer into the block's shared arena (see SharedAcct). Accesses
@@ -161,10 +167,10 @@ public:
     /// Returns whether this fetch missed (the caller charges the traffic).
     bool account_texture_fetch() {
         if (texture_fetches_++ % cm_->texture_miss_period == 0) {
-            acct_.charge(*cm_, Op::GlobalRead);
+            acct_->charge(*cm_, Op::GlobalRead);
             return true;
         }
-        acct_.charge(*cm_, Op::TextureHit);
+        acct_->charge(*cm_, Op::TextureHit);
         return false;
     }
 
@@ -285,7 +291,7 @@ public:
     // --- internals used by the engine and the memory views ---
     [[nodiscard]] bool at_barrier() const { return at_barrier_; }
     void clear_barrier() { at_barrier_ = false; }
-    [[nodiscard]] ThreadAcct& acct() { return acct_; }
+    [[nodiscard]] ThreadAcct& acct() { return *acct_; }
     [[nodiscard]] WarpAcct& warp() { return *warp_; }
     [[nodiscard]] const CostModel& cost_model() const { return *cm_; }
     [[nodiscard]] BlockState& block_state() { return *block_; }
@@ -313,7 +319,10 @@ private:
     BlockState* block_;
     WarpAcct* warp_;
     const memcheck::ExecContext* exec_;
-    ThreadAcct acct_;
+    ThreadAcct own_acct_;
+    /// Where charges land: &own_acct_, or caller-owned lane storage (see the
+    /// constructor). Never null.
+    ThreadAcct* acct_;
     std::uint64_t shared_cursor_ = 0;
     std::uint64_t texture_fetches_ = 0;
     bool at_barrier_ = false;

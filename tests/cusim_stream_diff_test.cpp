@@ -8,6 +8,7 @@
 // parallelize (under run_grid's launch-order reduction).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cctype>
 #include <cstdint>
 #include <span>
@@ -54,6 +55,11 @@ struct ThreadsGuard {
     ~ThreadsGuard() { BlockPool::set_threads(0); }
 };
 
+struct EngineGuard {
+    explicit EngineGuard(EngineMode m) { set_engine_mode(m); }
+    ~EngineGuard() { clear_engine_mode(); }
+};
+
 /// Deterministic 64-bit mixer (splitmix64): the DAG shape, op parameters
 /// and kernel payloads all derive from it, so a (seed, op-index) pair
 /// fully determines the workload on every run and thread count.
@@ -84,6 +90,34 @@ KernelTask mix_kernel(ThreadCtx& ctx, DevicePtr<std::uint32_t> data,
     co_return;
 }
 
+/// Warp-native twin of mix_kernel: identical charges per lane in identical
+/// per-lane order, so every digest below must be bit-identical whichever
+/// engine interprets it. memcheck is always on in this harness, which keeps
+/// the warp engine on its lane-facade (exact-diagnostics) path throughout.
+KernelTask mix_kernel_warp(WarpCtx& w, DevicePtr<std::uint32_t> data,
+                           std::uint32_t salt) {
+    std::uint64_t idx[kWarpSize];
+    std::uint32_t acc[kWarpSize];
+    for (unsigned l = 0; l < w.lanes(); ++l) idx[l] = w.global_id(l);
+    w.read(data, idx, acc);
+    std::uint32_t even = 0;
+    for (unsigned l = 0; l < w.lanes(); ++l) {
+        acc[l] = acc[l] * 2654435761u + salt;
+        if ((idx[l] & 1) == 0) even |= 1u << l;
+    }
+    w.push_active(w.ballot(even));
+    for (std::uint32_t m = w.active(); m != 0; m &= m - 1) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        acc[l] ^= acc[l] >> 7;
+    }
+    w.pop_active();
+    for (unsigned l = 0; l < w.lanes(); ++l) {
+        acc[l] += static_cast<std::uint32_t>(idx[l]);
+    }
+    w.write(data, idx, acc);
+    co_return;
+}
+
 /// Everything observable about one DAG execution, serialised for an exact
 /// string comparison (memory bytes, launch stats, memcheck, faults, and a
 /// trace signature for a subset of seeds).
@@ -93,8 +127,10 @@ struct RunResult {
 
 constexpr std::uint32_t kElems = 64;  // per-buffer elements (2 blocks of 32)
 
-RunResult run_dag(std::uint64_t seed, unsigned threads, bool with_trace) {
+RunResult run_dag(std::uint64_t seed, unsigned threads, bool with_trace,
+                  EngineMode engine = EngineMode::Thread) {
     ThreadsGuard guard(threads);
+    EngineGuard engine_guard(engine);
     memcheck::enable();
     memcheck::reset();
     // Timeline recording runs on every DAG: the normalized report (all
@@ -163,9 +199,13 @@ RunResult run_dag(std::uint64_t seed, unsigned threads, bool with_trace) {
                         const auto salt = static_cast<std::uint32_t>(rng.next());
                         dev.launch_async(
                             cfg,
-                            [&, buf, salt](ThreadCtx& ctx) {
-                                return mix_kernel(ctx, buffers[buf], salt);
-                            },
+                            KernelSpec(
+                                [&, buf, salt](ThreadCtx& ctx) {
+                                    return mix_kernel(ctx, buffers[buf], salt);
+                                },
+                                [&, buf, salt](WarpCtx& w) {
+                                    return mix_kernel_warp(w, buffers[buf], salt);
+                                }),
                             "mix", s);
                         break;
                     }
@@ -294,6 +334,15 @@ TEST(StreamDiff, FiftyRandomDagsAreBitIdenticalAcrossThreadCounts) {
             const RunResult par = run_dag(seed, threads, with_trace);
             ASSERT_EQ(par.digest, serial.digest)
                 << "seed " << seed << ", " << threads << " threads";
+        }
+        // The warp-vectorized engine against the serial per-thread oracle:
+        // one coroutine per warp must leave every observable bit-identical,
+        // at any worker count.
+        for (unsigned threads : {1u, 2u, 8u}) {
+            const RunResult warp =
+                run_dag(seed, threads, with_trace, EngineMode::Warp);
+            ASSERT_EQ(warp.digest, serial.digest)
+                << "seed " << seed << ", " << threads << " threads, warp engine";
         }
     }
 }

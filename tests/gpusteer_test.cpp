@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "cusim/block_pool.hpp"
+#include "cusim/engine.hpp"
 #include "cusim/faults.hpp"
 #include "gpusteer/plugin.hpp"
 #include "steer/steer.hpp"
@@ -357,6 +358,29 @@ TEST(GpuPlugin, ParallelEngineKeepsTheFlockBitIdentical) {
     const auto serial = run_flock(1);
     expect_same_flock(run_flock(2), serial, "2 engine threads");
     expect_same_flock(run_flock(8), serial, "8 engine threads");
+}
+
+// The engine selection must be flock-invariant too: gpusteer's kernels are
+// per-thread (no warp form), so under CUPP_SIM_ENGINE=warp they run the
+// identical classic interpreter — pinning that down here keeps the
+// dual-form dispatch honest about its fallback path.
+TEST(GpuPlugin, WarpEngineModeKeepsTheFlockBitIdentical) {
+    const WorldSpec spec = small_world();
+    auto run_flock = [&](cusim::EngineMode mode, unsigned threads) {
+        cusim::set_engine_mode(mode);
+        cusim::BlockPool::set_threads(threads);
+        GpuBoidsPlugin gpu(Version::V5_FullUpdateOnDevice);
+        gpu.open(spec);
+        for (int step = 0; step < 5; ++step) gpu.step();
+        auto flock = gpu.snapshot();
+        cusim::BlockPool::set_threads(0);
+        cusim::clear_engine_mode();
+        return flock;
+    };
+    const auto serial = run_flock(cusim::EngineMode::Thread, 1);
+    expect_same_flock(run_flock(cusim::EngineMode::Warp, 1), serial, "warp serial");
+    expect_same_flock(run_flock(cusim::EngineMode::Warp, 8), serial,
+                      "warp + 8 engine threads");
 }
 
 TEST(GpuPlugin, VersionTraitsMatchTable6_1) {
