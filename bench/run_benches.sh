@@ -26,10 +26,12 @@ if [ ! -x "$BUILD/bench/bench_parallel_engine" ]; then
 fi
 
 rm -f "$OUT" BENCH_stream_overlap.json BENCH_serve_soak.json \
+    BENCH_graph_replay.json \
     BENCH_throughput_prof.json BENCH_stream_overlap_prof.json \
     BENCH_serve_soak_prof.json \
     BENCH_parallel_engine_prof.thread.json BENCH_parallel_engine_prof.warp.json \
-    BENCH_throughput_timeline.json BENCH_stream_overlap_timeline.json
+    BENCH_throughput_timeline.json BENCH_stream_overlap_timeline.json \
+    BENCH_graph_replay_timeline.eager.json BENCH_graph_replay_timeline.replay.json
 
 STATUS=0
 
@@ -61,6 +63,18 @@ echo "== bench_stream_overlap (async streams on the modelled timeline) =="
 CUPP_PROF=BENCH_stream_overlap_prof.json \
 CUPP_TIMELINE=BENCH_stream_overlap_timeline.json \
     "$BUILD/bench/bench_stream_overlap" BENCH_stream_overlap.json || STATUS=1
+
+echo ""
+echo "== bench_graph_replay (captured replay vs eager re-enqueue) =="
+# --timeline writes an eager/replay report pair; the device-side schedule
+# (makespan + critical path) must diff clean at 0% — replay compresses
+# host enqueue cost without touching what the device executes, so only
+# the host lane's serialized/bubble totals may move.
+"$BUILD/bench/bench_graph_replay" BENCH_graph_replay.json \
+    --timeline BENCH_graph_replay_timeline || STATUS=1
+"$BUILD/tools/cupp_timeline" --diff BENCH_graph_replay_timeline.eager.json \
+    BENCH_graph_replay_timeline.replay.json --threshold 0 --device-only \
+    || STATUS=1
 
 echo ""
 echo "== bench_serve_soak (cupp::serve closed loop on the modelled clock) =="

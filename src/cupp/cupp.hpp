@@ -13,6 +13,8 @@
 #include "cupp/device.hpp"
 #include "cupp/device_reference.hpp"
 #include "cupp/exception.hpp"
+#include "cupp/future.hpp"
+#include "cupp/graph.hpp"
 #include "cupp/kernel.hpp"
 #include "cupp/memory1d.hpp"
 #include "cupp/prof_session.hpp"

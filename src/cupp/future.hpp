@@ -1,0 +1,348 @@
+// cupp::future — asynchronous results with continuations, HPX-style
+// (Diehl et al., PAPERS.md), built on cupp::stream / cupp::event.
+//
+// An async producer (kernel::async, vector::prefetch_*_async) enqueues
+// its work on a stream and returns a future completed by an event
+// recorded right behind it. Continuations attach with .then(): because a
+// stream is a FIFO, a continuation can enqueue more work onto the same
+// stream *immediately* — stream order alone guarantees it runs after the
+// antecedent, with no host synchronization anywhere in the chain.
+// when_all() joins futures across streams with event waits (again no
+// host sync: the join is a device-side edge).
+//
+// Error model: an antecedent's exception skips every downstream
+// continuation and re-surfaces from get() on whichever future the caller
+// finally consumes — exactly the propagation rule std::future users
+// expect, with the transient/sticky taxonomy (exception.hpp) preserved.
+// get()/wait() block via event::synchronize(), which runs under
+// with_retry(default_retry_policy()) — so a scoped_retry_policy on the
+// calling thread governs how transient sync failures are retried.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "cupp/device.hpp"
+#include "cupp/exception.hpp"
+#include "cupp/retry.hpp"
+#include "cupp/stream.hpp"
+
+namespace cupp {
+
+template <typename T>
+class future;
+
+namespace detail {
+
+/// Shared core of a future: the stream the work was enqueued on (owned or
+/// borrowed), the completion event recorded behind it, the error slot,
+/// and the antecedent cores kept alive so owned streams outlive chains.
+struct future_core {
+    const device* dev = nullptr;
+    std::shared_ptr<stream> owned;     ///< set when the future owns its stream
+    const stream* external = nullptr;  ///< set when bound to a caller's stream
+    std::shared_ptr<event> done;       ///< completion marker (null on error)
+    std::exception_ptr error;
+    std::vector<std::shared_ptr<future_core>> hold;  ///< antecedent lifetimes
+
+    [[nodiscard]] const stream& str() const { return external ? *external : *owned; }
+};
+
+template <typename T>
+struct is_future : std::false_type {};
+template <typename T>
+struct is_future<future<T>> : std::true_type {};
+
+template <typename T>
+struct future_value;
+template <typename T>
+struct future_value<future<T>> {
+    using type = T;
+};
+
+/// The one friend of future<T>: builds cores and wraps them (keeps the
+/// future constructors private without a web of cross-friendships).
+struct future_factory {
+    static std::shared_ptr<future_core> error_core(
+        const std::shared_ptr<future_core>& prev, std::exception_ptr e) {
+        auto c = std::make_shared<future_core>();
+        if (prev) {
+            c->dev = prev->dev;
+            c->owned = prev->owned;
+            c->external = prev->external;
+            c->hold.push_back(prev);
+        }
+        c->error = std::move(e);
+        return c;
+    }
+
+    /// Core completed by a fresh event recorded behind everything the
+    /// continuation just enqueued on the antecedent's stream.
+    static std::shared_ptr<future_core> done_core(
+        const std::shared_ptr<future_core>& prev) {
+        auto c = std::make_shared<future_core>();
+        c->dev = prev->dev;
+        c->owned = prev->owned;
+        c->external = prev->external;
+        c->hold.push_back(prev);
+        c->done = std::make_shared<event>(*c->dev);
+        c->done->record(c->str());
+        return c;
+    }
+
+    template <typename T>
+    static future<T> wrap(std::shared_ptr<future_core> c, std::shared_ptr<T> v) {
+        future<T> f(std::move(c));
+        f.value_ = std::move(v);
+        return f;
+    }
+    static future<void> wrap_void(std::shared_ptr<future_core> c);
+};
+
+/// Runs `body` now — stream FIFO order makes deferred execution
+/// unnecessary — and packages the result. The antecedent's error
+/// short-circuits (body never runs); a throwing body becomes the new
+/// future's error; a body returning a future is passed through unwrapped.
+template <typename Body>
+auto chain(const std::shared_ptr<future_core>& prev, Body&& body) {
+    if (!prev) throw usage_error("future: then() on an empty future");
+    using R = std::remove_cvref_t<std::invoke_result_t<Body&&>>;
+    if constexpr (is_future<R>::value) {
+        using U = typename future_value<R>::type;
+        if (prev->error) {
+            if constexpr (std::is_void_v<U>) {
+                return future_factory::wrap_void(
+                    future_factory::error_core(prev, prev->error));
+            } else {
+                return future_factory::wrap<U>(
+                    future_factory::error_core(prev, prev->error), nullptr);
+            }
+        }
+        return std::forward<Body>(body)();
+    } else if constexpr (std::is_void_v<R>) {
+        if (prev->error) {
+            return future_factory::wrap_void(
+                future_factory::error_core(prev, prev->error));
+        }
+        try {
+            std::forward<Body>(body)();
+            return future_factory::wrap_void(future_factory::done_core(prev));
+        } catch (...) {
+            return future_factory::wrap_void(
+                future_factory::error_core(prev, std::current_exception()));
+        }
+    } else {
+        if (prev->error) {
+            return future_factory::wrap<R>(
+                future_factory::error_core(prev, prev->error), nullptr);
+        }
+        try {
+            auto v = std::make_shared<R>(std::forward<Body>(body)());
+            return future_factory::wrap<R>(future_factory::done_core(prev),
+                                           std::move(v));
+        } catch (...) {
+            return future_factory::wrap<R>(
+                future_factory::error_core(prev, std::current_exception()), nullptr);
+        }
+    }
+}
+
+/// Builds a future<void> around an enqueue action: runs it, records the
+/// completion event, and captures any exception as the future's error.
+/// `enqueue` receives the bound stream.
+template <typename Enqueue>
+future<void> make_async(const device& d, const stream* ext,
+                        std::shared_ptr<stream> owned, Enqueue&& enqueue);
+
+}  // namespace detail
+
+/// Common state/queries shared by future<T> and future<void>. A
+/// default-constructed future is *ready and empty* (get() is a no-op /
+/// returns nothing), which lets producers hand back no-op futures cheaply.
+class future_base {
+public:
+    future_base() = default;
+
+    /// False only for a default-constructed (empty) future.
+    [[nodiscard]] bool valid() const { return core_ != nullptr; }
+    /// True when the future completed with an exception.
+    [[nodiscard]] bool has_error() const { return core_ && core_->error != nullptr; }
+    /// True when the work completed (errors count as ready; never blocks).
+    [[nodiscard]] bool is_ready() const {
+        if (!core_ || core_->error) return true;
+        return core_->done ? core_->done->query() : true;
+    }
+    /// Blocks until the work completed. Unlike get(), does not rethrow.
+    void wait() const {
+        if (core_ && !core_->error && core_->done) core_->done->synchronize();
+    }
+    /// The stream the future's work is ordered on (valid futures only).
+    [[nodiscard]] const stream& bound_stream() const { return core_->str(); }
+    [[nodiscard]] const device& owner() const { return *core_->dev; }
+
+protected:
+    explicit future_base(std::shared_ptr<detail::future_core> core)
+        : core_(std::move(core)) {}
+
+    /// Shared get() front half: rethrow a captured error, else block until
+    /// the completion event. Runs under the calling thread's retry policy
+    /// (event::synchronize uses with_retry(default_retry_policy())).
+    void sync_or_rethrow() const {
+        if (!core_) return;
+        if (core_->error) std::rethrow_exception(core_->error);
+        if (core_->done) core_->done->synchronize();
+    }
+
+    std::shared_ptr<detail::future_core> core_;
+
+    friend struct detail::future_factory;
+    template <typename... Fs>
+    friend future<void> when_all(const Fs&... fs);
+};
+
+/// A value arriving asynchronously. The value itself is produced by the
+/// continuation chain on the host; the *completion* (everything enqueued
+/// before and during the chain) is a device-side event.
+template <typename T>
+class future : public future_base {
+public:
+    future() = default;
+
+    /// Blocks until complete, rethrows a captured error, returns the value.
+    [[nodiscard]] T get() const {
+        sync_or_rethrow();
+        if (!value_) throw usage_error("future: get() on an empty future");
+        return *value_;
+    }
+
+    /// Attaches a continuation. `f` is invoked immediately with the value
+    /// — as (value) or (value, device, stream) — and may enqueue more
+    /// work on bound_stream(); stream FIFO order sequences it after this
+    /// future's work. Skipped (error propagated) when this future failed.
+    template <typename F>
+    auto then(F&& f) const {
+        auto core = core_;
+        auto value = value_;
+        return detail::chain(core, [&]() -> decltype(auto) {
+            if constexpr (std::is_invocable_v<F&&, T&, const device&, const stream&>) {
+                return std::forward<F>(f)(*value, *core->dev, core->str());
+            } else {
+                return std::forward<F>(f)(*value);
+            }
+        });
+    }
+
+private:
+    friend struct detail::future_factory;
+    explicit future(std::shared_ptr<detail::future_core> core)
+        : future_base(std::move(core)) {}
+
+    std::shared_ptr<T> value_;
+};
+
+/// Completion without a value (async launches, prefetches).
+template <>
+class future<void> : public future_base {
+public:
+    future() = default;
+
+    /// Blocks until complete; rethrows a captured error.
+    void get() const { sync_or_rethrow(); }
+
+    /// Attaches a continuation, invoked immediately as () or
+    /// (device, stream); see future<T>::then for ordering and errors.
+    template <typename F>
+    auto then(F&& f) const {
+        auto core = core_;
+        return detail::chain(core, [&]() -> decltype(auto) {
+            if constexpr (std::is_invocable_v<F&&, const device&, const stream&>) {
+                return std::forward<F>(f)(*core->dev, core->str());
+            } else {
+                return std::forward<F>(f)();
+            }
+        });
+    }
+
+private:
+    friend struct detail::future_factory;
+    explicit future(std::shared_ptr<detail::future_core> core)
+        : future_base(std::move(core)) {}
+};
+
+namespace detail {
+
+inline future<void> future_factory::wrap_void(std::shared_ptr<future_core> c) {
+    return future<void>(std::move(c));
+}
+
+template <typename Enqueue>
+future<void> make_async(const device& d, const stream* ext,
+                        std::shared_ptr<stream> owned, Enqueue&& enqueue) {
+    auto c = std::make_shared<future_core>();
+    c->dev = &d;
+    c->owned = std::move(owned);
+    c->external = ext;
+    try {
+        std::forward<Enqueue>(enqueue)(c->str());
+        c->done = std::make_shared<event>(d);
+        c->done->record(c->str());
+    } catch (...) {
+        c->error = std::current_exception();
+        c->done.reset();
+    }
+    return future_factory::wrap_void(std::move(c));
+}
+
+}  // namespace detail
+
+/// Joins futures (same device, any streams) into one future<void> bound
+/// to the first future's stream: that stream waits on every other
+/// future's completion event — device-side edges, no host sync. The first
+/// captured error (in argument order) propagates.
+template <typename... Fs>
+future<void> when_all(const Fs&... fs) {
+    static_assert(sizeof...(Fs) > 0, "when_all needs at least one future");
+    std::vector<std::shared_ptr<detail::future_core>> cores{fs.core_...};
+    for (const auto& c : cores) {
+        if (!c) throw usage_error("when_all: empty future");
+        if (c->dev != cores.front()->dev) {
+            throw usage_error("when_all: futures from different devices");
+        }
+    }
+    for (const auto& c : cores) {
+        if (c->error) {
+            return detail::future_factory::wrap_void(
+                detail::future_factory::error_core(c, c->error));
+        }
+    }
+    auto out = std::make_shared<detail::future_core>();
+    const auto& first = cores.front();
+    out->dev = first->dev;
+    out->owned = first->owned;
+    out->external = first->external;
+    out->hold = std::move(cores);
+    try {
+        for (std::size_t i = 1; i < out->hold.size(); ++i) {
+            if (out->hold[i]->done) {
+                // Device-side join: the target stream orders behind the
+                // other future's completion record.
+                translated([&] {
+                    out->dev->sim().stream_wait_event(out->str().id(),
+                                                      out->hold[i]->done->id());
+                });
+            }
+        }
+        out->done = std::make_shared<event>(*out->dev);
+        out->done->record(out->str());
+    } catch (...) {
+        out->error = std::current_exception();
+        out->done.reset();
+    }
+    return detail::future_factory::wrap_void(std::move(out));
+}
+
+}  // namespace cupp

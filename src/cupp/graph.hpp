@@ -1,0 +1,100 @@
+// cupp::graph — CuPP-flavoured capture/replay over cusim::graph.
+//
+// graph::capture(s, body) records everything `body` enqueues on stream
+// `s` (and, under CaptureMode::Origin, on streams joined via event edges)
+// into an immutable graph; instantiate() validates it once; the resulting
+// graph_exec replays the whole DAG per launch() for a single
+// launch-overhead charge. Transient injected failures at instantiate and
+// launch retry under the calling thread's retry policy, like any other
+// CuPP operation. See DESIGN.md §5g.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "cupp/device.hpp"
+#include "cupp/exception.hpp"
+#include "cupp/retry.hpp"
+#include "cupp/stream.hpp"
+#include "cusim/graph.hpp"
+
+namespace cupp {
+
+/// A validated, launchable captured DAG (copyable; instantiations share
+/// the immutable IR).
+class graph_exec {
+public:
+    graph_exec() = default;
+
+    [[nodiscard]] bool valid() const { return dev_ != nullptr; }
+    [[nodiscard]] std::size_t node_count() const { return exec_.node_count(); }
+
+    /// Replays the whole DAG: one launch-overhead charge, per-op
+    /// validation skipped (it ran at instantiate). All-or-nothing under
+    /// fault injection, so the with_retry here is safe.
+    void launch() const {
+        if (dev_ == nullptr) throw usage_error("graph_exec: launch() on empty exec");
+        with_retry(default_retry_policy(), &dev_->sim(), "graph launch", [&] {
+            translated([&] { dev_->sim().graph_launch(exec_); });
+        });
+    }
+
+private:
+    friend class graph;
+    graph_exec(const device& d, cusim::GraphExec exec)
+        : dev_(&d), exec_(std::move(exec)) {}
+
+    const device* dev_ = nullptr;
+    cusim::GraphExec exec_;
+};
+
+/// An immutable captured stream DAG.
+class graph {
+public:
+    graph() = default;
+
+    /// Captures everything `body` enqueues on `s` into a graph. The
+    /// capture is ended (and its state cleared) even when `body` throws —
+    /// the original exception propagates.
+    template <typename F>
+    [[nodiscard]] static graph capture(
+        const stream& s, F&& body,
+        cusim::CaptureMode mode = cusim::CaptureMode::Origin) {
+        const device& d = s.owner();
+        translated([&] { d.sim().stream_begin_capture(s.id(), mode); });
+        try {
+            std::forward<F>(body)();
+        } catch (...) {
+            try {
+                (void)d.sim().stream_end_capture(s.id());
+            } catch (...) {
+                // The original exception is the interesting one.
+            }
+            throw;
+        }
+        graph g;
+        g.dev_ = &d;
+        g.graph_ = translated([&] { return d.sim().stream_end_capture(s.id()); });
+        return g;
+    }
+
+    [[nodiscard]] bool valid() const { return dev_ != nullptr; }
+    [[nodiscard]] std::size_t node_count() const { return graph_.node_count(); }
+
+    /// Validates every node once and returns a launchable exec. Transient
+    /// injected failures retry (instantiation is atomic).
+    [[nodiscard]] graph_exec instantiate() const {
+        if (dev_ == nullptr) throw usage_error("graph: instantiate() on empty graph");
+        cusim::GraphExec e =
+            with_retry(default_retry_policy(), &dev_->sim(), "graph instantiate", [&] {
+                return translated([&] { return dev_->sim().graph_instantiate(graph_); });
+            });
+        return graph_exec(*dev_, std::move(e));
+    }
+
+private:
+    const device* dev_ = nullptr;
+    cusim::Graph graph_;
+};
+
+}  // namespace cupp

@@ -37,6 +37,7 @@
 #include "cupp/call_traits.hpp"
 #include "cupp/device.hpp"
 #include "cupp/exception.hpp"
+#include "cupp/future.hpp"
 #include "cupp/retry.hpp"
 #include "cupp/stream.hpp"
 #include "cupp/trace.hpp"
@@ -164,7 +165,49 @@ public:
         call_impl(d, s.id(), std::forward<CallArgs>(call_args)...);
     }
 
+    /// Asynchronous call returning a future: the launch is enqueued on a
+    /// fresh future-owned stream (kept alive by the continuation chain)
+    /// and the future completes when the kernel has executed. Argument
+    /// transforms still run here, synchronously, exactly like the
+    /// stream-bound operator() — the future covers the *launch*.
+    future<void> async(const device& d) {
+        return with_owned_stream(d, [&](const stream& s) { call_impl(d, s.id()); });
+    }
+    template <typename First, typename... Rest>
+        requires(!std::is_same_v<std::remove_cvref_t<First>, stream>)
+    future<void> async(const device& d, First&& first, Rest&&... rest) {
+        return with_owned_stream(d, [&](const stream& s) {
+            call_impl(d, s.id(), std::forward<First>(first),
+                      std::forward<Rest>(rest)...);
+        });
+    }
+
+    /// Asynchronous call bound to a caller-owned stream. The caller keeps
+    /// `s` alive for as long as the returned future (or any continuation
+    /// chained from it) is in use.
+    template <typename... CallArgs>
+    future<void> async(const device& d, const stream& s, CallArgs&&... call_args) {
+        return detail::make_async(d, &s, nullptr, [&](const stream& bound) {
+            call_impl(d, bound.id(), std::forward<CallArgs>(call_args)...);
+        });
+    }
+
 private:
+    /// Owned-stream async flavour: even the stream *creation* failure is
+    /// captured into the returned future (no async entry point throws).
+    template <typename Enqueue>
+    future<void> with_owned_stream(const device& d, Enqueue&& enqueue) {
+        std::shared_ptr<stream> owned;
+        try {
+            owned = std::make_shared<stream>(d);
+        } catch (...) {
+            return detail::future_factory::wrap_void(detail::future_factory::error_core(
+                nullptr, std::current_exception()));
+        }
+        return detail::make_async(d, nullptr, std::move(owned),
+                                  std::forward<Enqueue>(enqueue));
+    }
+
     template <typename... CallArgs>
     void call_impl(const device& d, cusim::StreamId sid, CallArgs&&... call_args) {
         static_assert(sizeof...(CallArgs) == arity,

@@ -29,6 +29,7 @@
 #include "cupp/device.hpp"
 #include "cupp/device_reference.hpp"
 #include "cupp/exception.hpp"
+#include "cupp/future.hpp"
 #include "cupp/retry.hpp"
 #include "cupp/stream.hpp"
 #include "cupp/trace.hpp"
@@ -408,6 +409,36 @@ public:
     /// True while a prefetch_to_host download has been enqueued but not yet
     /// synchronized (i.e. the host copy is not safe to read directly).
     [[nodiscard]] bool prefetch_pending() const { return pending_.has_value(); }
+
+    /// prefetch_to_device as a future: the upload is enqueued on `s` and
+    /// the returned future completes when it has executed. Composes with
+    /// kernel::async / when_all for sync-free dependency chains. When the
+    /// device copy is already current (nothing to enqueue) an empty,
+    /// already-ready future is returned.
+    [[nodiscard]] future<void> prefetch_to_device_async(const device& d,
+                                                        const stream& s) const {
+        if (device_valid_ && dbuf_capacity_ >= host_.size()) {
+            prefetch_to_device(d, s);  // keeps the counter/no-op semantics
+            return future<void>{};
+        }
+        return detail::make_async(d, &s, nullptr, [&](const stream& bound) {
+            prefetch_to_device(d, bound);
+        });
+    }
+
+    /// prefetch_to_host as a future; get()/wait() covers the download, so
+    /// the host copy is safe to read once the future is ready (the usual
+    /// sync-on-host-access rules still apply if it isn't consumed).
+    [[nodiscard]] future<void> prefetch_to_host_async(const stream& s) const {
+        sync_pending();
+        if (host_valid_ || host_.empty() || !device_valid_) {
+            prefetch_to_host(s);  // records the download_avoided counter
+            return future<void>{};
+        }
+        return detail::make_async(*dev_, &s, nullptr, [&](const stream& bound) {
+            prefetch_to_host(bound);
+        });
+    }
 
     // --- instrumentation (used by tests and the lazy-copy ablation bench) ---
     [[nodiscard]] std::uint64_t uploads() const { return uploads_; }

@@ -27,6 +27,7 @@
 #include "cusim/device_ptr.hpp"
 #include "cusim/faults.hpp"
 #include "cusim/global_memory.hpp"
+#include "cusim/graph.hpp"
 #include "cusim/launch.hpp"
 #include "cusim/prof.hpp"
 #include "cusim/timeline.hpp"
@@ -34,9 +35,10 @@
 namespace cusim {
 
 namespace detail {
-struct StreamTable;  // per-device stream/event state (stream.cpp)
+struct StreamTable;  // per-device stream/event state (stream_detail.hpp)
 struct StreamState;
 struct StreamOp;
+struct CaptureState;  // live graph-capture recording state (stream_detail.hpp)
 }  // namespace detail
 
 /// Identifies one of a Device's asynchronous work queues. Id 0 is the
@@ -380,6 +382,31 @@ public:
     void memcpy_device_to_device_async(DeviceAddr dst, DeviceAddr src,
                                        std::uint64_t bytes, StreamId stream);
 
+    // --- graph capture & replay (cusim::graph, graph.cpp) -------------------
+    // Capture records enqueues on captured streams into an immutable DAG
+    // instead of queueing them: no seq numbers are consumed, no clocks
+    // advance, no observables fire. Any operation that would execute
+    // pending work (every sync, every legacy default-stream op) during a
+    // capture invalidates it and throws StreamCaptureInvalid; the broken
+    // capture stays pinned until stream_end_capture() clears it.
+
+    /// Starts capturing on `origin` (must be an explicit live stream).
+    void stream_begin_capture(StreamId origin, CaptureMode mode = CaptureMode::Origin);
+    /// Ends the capture started on `origin` and returns the recorded DAG.
+    /// Throws StreamCaptureInvalid (and clears the capture) when a sync
+    /// invalidated it mid-flight.
+    [[nodiscard]] Graph stream_end_capture(StreamId origin);
+    /// True while a capture is in progress (even an invalidated one).
+    [[nodiscard]] bool capturing() const { return capturing_; }
+    /// Validates every captured node once (geometry, pointer ranges,
+    /// stream/event liveness) and returns a launchable exec. Atomic under
+    /// fault injection: a preflight failure leaves no partial state.
+    [[nodiscard]] GraphExec graph_instantiate(const Graph& graph);
+    /// Replays the whole DAG: every node re-enqueues with fresh seq
+    /// numbers for one launch-overhead charge, skipping per-op transform,
+    /// validation and preflight. All-or-nothing under fault injection.
+    void graph_launch(const GraphExec& exec);
+
     /// memcheck hook: declares that host code is about to read `bytes` at
     /// `p`. Records a Kind::AsyncHostRace violation when the range overlaps
     /// the destination of an async D2H copy that has not yet completed
@@ -515,6 +542,7 @@ private:
     /// clocks fold into the device-wide busy horizon. A no-op until the
     /// first stream_create(), so pre-stream behaviour is untouched.
     void join_streams() {
+        if (capturing_) capture_violation("implicit synchronization during stream capture");
         if (streams_) join_streams_slow();
     }
     void join_streams_slow();        // stream.cpp
@@ -527,6 +555,14 @@ private:
     void drain_streams();
     [[nodiscard]] bool op_ready(const detail::StreamOp& op) const;
     void execute_op(StreamId sid, detail::StreamState& st, detail::StreamOp& op);
+
+    /// Records `op` into the live capture when `stream` is (or joins) the
+    /// captured set; true when the op was consumed. Throws when the
+    /// capture is already invalidated. (graph.cpp)
+    bool capture_op(detail::StreamOp& op, StreamId stream);
+    /// Marks the live capture invalidated (first reason wins) and throws
+    /// StreamCaptureInvalid. (graph.cpp)
+    [[noreturn]] void capture_violation(const char* what);
 
     DeviceProperties props_;
     GlobalMemory memory_;
@@ -547,6 +583,11 @@ private:
     /// Stream/event state; null until the first stream or event is
     /// created, so pre-stream code paths never pay for it.
     std::unique_ptr<detail::StreamTable> streams_;
+
+    /// Graph-capture state; non-null exactly while capturing_ is true.
+    /// The bool keeps the not-capturing fast path to one flag test.
+    bool capturing_ = false;
+    std::unique_ptr<detail::CaptureState> capture_;
 };
 
 }  // namespace cusim

@@ -17,6 +17,7 @@ const char* error_string(ErrorCode code) noexcept {
         case ErrorCode::MemcheckViolation: return "memcheck violation";
         case ErrorCode::TransferFailure: return "transient transfer failure";
         case ErrorCode::DeviceLost: return "device lost";
+        case ErrorCode::StreamCaptureInvalid: return "invalid stream capture state";
         case ErrorCode::AdmissionRejected: return "admission rejected (load shed)";
         case ErrorCode::DeadlineExceeded: return "deadline exceeded";
     }

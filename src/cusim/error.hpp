@@ -23,6 +23,7 @@ enum class ErrorCode {
     MemcheckViolation,      // strict-mode cusim::memcheck finding
     TransferFailure,        // transient memcpy failure (retryable)
     DeviceLost,             // sticky: the device is gone until reset_device()
+    StreamCaptureInvalid,   // capture broken by a sync, or misused capture API
     // Service-layer outcomes (cupp::serve). Not injectable device faults:
     // they are raised above the device, so faults::parse_code rejects them.
     AdmissionRejected,      // load shed: quota/queue bound refused the request

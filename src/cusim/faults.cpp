@@ -344,6 +344,7 @@ const char* code_name(ErrorCode code) {
         case ErrorCode::MemcheckViolation: return "memcheck_violation";
         case ErrorCode::TransferFailure: return "transfer_failure";
         case ErrorCode::DeviceLost: return "device_lost";
+        case ErrorCode::StreamCaptureInvalid: return "stream_capture_invalid";
         case ErrorCode::AdmissionRejected: return "admission_rejected";
         case ErrorCode::DeadlineExceeded: return "deadline_exceeded";
     }

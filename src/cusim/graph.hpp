@@ -1,0 +1,67 @@
+// cusim::graph — CUDA-graph-style capture and replay.
+//
+// Device::stream_begin_capture() flips the device into capture mode: ops
+// enqueued on captured streams are *recorded* instead of queued — no seq
+// numbers, no host-clock advance, no observables. stream_end_capture()
+// returns the recorded DAG as an immutable Graph; graph_instantiate()
+// validates every node once (geometry, pointer ranges, stream/event
+// liveness) and returns a GraphExec; graph_launch() re-enqueues the whole
+// DAG for a single launch-overhead charge, skipping the per-op argument
+// transform/validation/preflight work eager enqueues pay. Replayed ops
+// drain through the same canonical order as eager ones, so LaunchStats,
+// memcheck, trace, prof and timeline observables are bit-identical.
+//
+// See DESIGN.md §5g for the capture state machine and the replay
+// fast-path invariants.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace cusim {
+
+namespace detail {
+struct GraphIR;
+}
+
+/// Which streams a capture records.
+///  * Origin: CUDA semantics — the origin stream, plus any stream that
+///    joins the capture by waiting on an event recorded inside it; other
+///    streams keep executing eagerly.
+///  * AllStreams: every explicit-stream enqueue on the device is captured
+///    (for whole-device DAGs that are not event-connected).
+enum class CaptureMode { Origin, AllStreams };
+
+/// An immutable captured stream DAG (shared, cheap to copy). Produced by
+/// Device::stream_end_capture(); consumed by Device::graph_instantiate().
+class Graph {
+public:
+    Graph() = default;
+
+    [[nodiscard]] bool valid() const { return ir_ != nullptr; }
+    /// Number of captured ops (defined out-of-line: the IR is internal).
+    [[nodiscard]] std::size_t node_count() const;
+
+private:
+    friend class Device;
+    explicit Graph(std::shared_ptr<const detail::GraphIR> ir) : ir_(std::move(ir)) {}
+    std::shared_ptr<const detail::GraphIR> ir_;
+};
+
+/// A validated, launchable graph. Produced by Device::graph_instantiate();
+/// every Device::graph_launch(exec) replays the full DAG. Instantiations
+/// are independent: re-instantiating the same Graph yields another exec.
+class GraphExec {
+public:
+    GraphExec() = default;
+
+    [[nodiscard]] bool valid() const { return ir_ != nullptr; }
+    [[nodiscard]] std::size_t node_count() const;
+
+private:
+    friend class Device;
+    explicit GraphExec(std::shared_ptr<const detail::GraphIR> ir) : ir_(std::move(ir)) {}
+    std::shared_ptr<const detail::GraphIR> ir_;
+};
+
+}  // namespace cusim

@@ -352,6 +352,10 @@ const char* api_name(Api api) {
         case Api::MemcpyD2DAsync: return "memcpy_d2d_async";
         case Api::ProfilerStart: return "profiler_start";
         case Api::ProfilerStop: return "profiler_stop";
+        case Api::StreamBeginCapture: return "stream_begin_capture";
+        case Api::StreamEndCapture: return "stream_end_capture";
+        case Api::GraphInstantiate: return "graph_instantiate";
+        case Api::GraphLaunch: return "graph_launch";
     }
     return "unknown";
 }

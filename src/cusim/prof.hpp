@@ -113,8 +113,12 @@ enum class Api : std::uint8_t {
     MemcpyD2DAsync,
     ProfilerStart,
     ProfilerStop,
+    StreamBeginCapture,
+    StreamEndCapture,
+    GraphInstantiate,
+    GraphLaunch,
 };
-inline constexpr std::size_t kApiCount = 21;
+inline constexpr std::size_t kApiCount = 25;
 
 /// Stable lower_snake_case api name (report JSON, tests).
 [[nodiscard]] const char* api_name(Api api);

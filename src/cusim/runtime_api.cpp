@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <mutex>
 
 #include "cusim/registry.hpp"
@@ -50,6 +51,21 @@ ErrorCode guarded(F&& f) {
         return set_error(ErrorCode::LaunchFailure);
     }
 }
+
+/// Graph/exec handle registries. Mutex-guarded like the trampolines: the
+/// C API may be driven from several host threads.
+struct GraphRegistry {
+    std::mutex mutex;
+    std::map<GraphHandle, Graph> graphs;
+    std::map<GraphExecHandle, GraphExec> execs;
+    GraphHandle next_graph = 1;
+    GraphExecHandle next_exec = 1;
+
+    static GraphRegistry& instance() {
+        static GraphRegistry r;
+        return r;
+    }
+};
 
 }  // namespace
 
@@ -277,6 +293,80 @@ ErrorCode cusimGetLastError() {
 }
 
 const char* cusimGetErrorString(ErrorCode code) { return error_string(code); }
+
+ErrorCode cusimStreamBeginCapture(StreamId stream) {
+    return guarded([&] {
+        Registry::instance().current_device().stream_begin_capture(stream);
+    });
+}
+
+ErrorCode cusimStreamEndCapture(StreamId stream, GraphHandle* graph) {
+    if (!graph) return set_error(ErrorCode::InvalidValue);
+    *graph = 0;
+    return guarded([&] {
+        Graph g = Registry::instance().current_device().stream_end_capture(stream);
+        GraphRegistry& r = GraphRegistry::instance();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        const GraphHandle h = r.next_graph++;
+        r.graphs.emplace(h, std::move(g));
+        *graph = h;
+    });
+}
+
+ErrorCode cusimGraphInstantiate(GraphExecHandle* exec, GraphHandle graph) {
+    if (!exec) return set_error(ErrorCode::InvalidValue);
+    *exec = 0;
+    return guarded([&] {
+        GraphRegistry& r = GraphRegistry::instance();
+        Graph g;
+        {
+            std::lock_guard<std::mutex> lock(r.mutex);
+            const auto it = r.graphs.find(graph);
+            if (it == r.graphs.end()) {
+                throw Error(ErrorCode::InvalidValue,
+                            "cusimGraphInstantiate: unknown graph handle");
+            }
+            g = it->second;  // shares the immutable IR
+        }
+        // Instantiate outside the lock: it validates against the device.
+        GraphExec e = Registry::instance().current_device().graph_instantiate(g);
+        std::lock_guard<std::mutex> lock(r.mutex);
+        const GraphExecHandle h = r.next_exec++;
+        r.execs.emplace(h, std::move(e));
+        *exec = h;
+    });
+}
+
+ErrorCode cusimGraphLaunch(GraphExecHandle exec) {
+    return guarded([&] {
+        GraphRegistry& r = GraphRegistry::instance();
+        GraphExec e;
+        {
+            std::lock_guard<std::mutex> lock(r.mutex);
+            const auto it = r.execs.find(exec);
+            if (it == r.execs.end()) {
+                throw Error(ErrorCode::InvalidValue,
+                            "cusimGraphLaunch: unknown exec handle");
+            }
+            e = it->second;
+        }
+        Registry::instance().current_device().graph_launch(e);
+    });
+}
+
+ErrorCode cusimGraphDestroy(GraphHandle graph) {
+    GraphRegistry& r = GraphRegistry::instance();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (r.graphs.erase(graph) == 0) return set_error(ErrorCode::InvalidValue);
+    return set_error(ErrorCode::Success);
+}
+
+ErrorCode cusimGraphExecDestroy(GraphExecHandle exec) {
+    GraphRegistry& r = GraphRegistry::instance();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (r.execs.erase(exec) == 0) return set_error(ErrorCode::InvalidValue);
+    return set_error(ErrorCode::Success);
+}
 
 ErrorCode cusimProfilerStart() {
     return guarded([] {

@@ -100,6 +100,25 @@ ErrorCode cusimMemcpyToHostAsync(void* dst, DeviceAddr src, std::size_t count,
 /// state and enqueues the launch on `stream` (stream 0 launches legacy).
 ErrorCode cusimLaunchAsync(KernelHandle kernel, const char* name, StreamId stream);
 
+// --- graphs (cudaGraph_t / cudaGraphExec_t mirrors, cusim/graph.hpp) ---
+// Handles are process-wide ids over the C++ Graph/GraphExec objects;
+// destroy calls release the handle (the underlying DAG is shared and
+// reference-counted, so a GraphExec outlives its Graph's destroy).
+using GraphHandle = std::uint64_t;
+using GraphExecHandle = std::uint64_t;
+
+/// Starts capture on `stream` (Origin mode: the stream plus any stream
+/// joined to it via captured event edges).
+ErrorCode cusimStreamBeginCapture(StreamId stream);
+/// Ends the capture and returns the recorded DAG's handle.
+ErrorCode cusimStreamEndCapture(StreamId stream, GraphHandle* graph);
+/// Validates the DAG once and returns a launchable exec handle.
+ErrorCode cusimGraphInstantiate(GraphExecHandle* exec, GraphHandle graph);
+/// Replays the whole DAG for one launch-overhead charge.
+ErrorCode cusimGraphLaunch(GraphExecHandle exec);
+ErrorCode cusimGraphDestroy(GraphHandle graph);
+ErrorCode cusimGraphExecDestroy(GraphExecHandle exec);
+
 // --- profiler control (cudaProfilerStart/Stop mirrors, cusim/prof.hpp) ---
 // Scope collection to a region of interest. No-ops (returning Success)
 // unless the profiler's collector is enabled — CUPP_PROF or prof::enable()

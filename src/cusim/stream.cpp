@@ -33,77 +33,10 @@
 #include "cusim/multiprocessor.hpp"
 #include "cusim/prof.hpp"
 #include "cusim/report.hpp"
+#include "cusim/stream_detail.hpp"
 #include "cusim/timeline.hpp"
 
 namespace cusim {
-
-namespace detail {
-
-/// One deferred operation. `seq` is the global enqueue index (determinism
-/// + wait targeting); `issue_host_time` pins when the host issued it so a
-/// drained op can never start before it was enqueued.
-struct StreamOp {
-    enum class Kind { Launch, CopyH2D, CopyD2H, CopyD2D, Record, Wait };
-
-    Kind kind = Kind::Launch;
-    std::uint64_t seq = 0;
-    double issue_host_time = 0.0;
-
-    // Launch
-    LaunchConfig cfg{};
-    KernelSpec entry;  ///< dual-form kernel; run_grid picks the engine at drain
-    std::string name;
-
-    // Copies
-    DeviceAddr dst = 0;
-    DeviceAddr src = 0;
-    std::uint64_t bytes = 0;
-    std::vector<std::byte> staged;  ///< H2D source snapshot (pageable semantics)
-    void* host_dst = nullptr;       ///< D2H destination
-
-    // Events
-    EventId event = 0;
-    std::uint64_t wait_target_seq = 0;  ///< record op a Wait orders behind
-    bool wait_has_target = false;       ///< false: event unrecorded -> no-op
-
-    // Timeline (captured at enqueue, consumed at drain)
-    std::uint64_t corr = 0;       ///< correlation id of the enqueueing API call
-    std::uint64_t tl_anchor = 0;  ///< host-lane node ending at the issue point
-};
-
-struct StreamState {
-    std::deque<StreamOp> pending;
-    double free_at = 0.0;  ///< this stream's modelled busy horizon
-};
-
-struct EventState {
-    double time = 0.0;                  ///< timeline point of the last drained record
-    std::uint64_t last_record_seq = 0;  ///< newest record *enqueued* (0 = never)
-    std::uint64_t completed_seq = 0;    ///< newest record *executed*
-};
-
-/// Host range an in-flight async D2H copy will write. Reading it from the
-/// host before the covering synchronize is the race memcheck reports.
-struct PendingHostWrite {
-    const std::byte* begin = nullptr;
-    const std::byte* end = nullptr;
-    StreamId stream = 0;
-    std::uint64_t seq = 0;
-    bool drained = false;      ///< op executed (bytes materialized)
-    double complete_at = 0.0;  ///< modelled completion (valid once drained)
-};
-
-struct StreamTable {
-    // std::map: drain() walks streams in ascending id — the contract.
-    std::map<StreamId, StreamState> streams;
-    std::map<EventId, EventState> events;
-    std::vector<PendingHostWrite> host_writes;
-    StreamId next_stream = 1;
-    EventId next_event = 1;
-    std::uint64_t next_seq = 1;
-};
-
-}  // namespace detail
 
 namespace {
 
@@ -173,6 +106,7 @@ void Device::stream_destroy(StreamId stream) {
     // cudaStreamDestroy semantics: queued work still completes. Draining is
     // global (the canonical order is device-wide), which executes at least
     // everything this stream needs.
+    if (capturing_) capture_violation("stream_destroy during stream capture");
     drain_streams();
     t.streams.erase(stream);
 }
@@ -229,11 +163,12 @@ void Device::launch_async(const LaunchConfig& cfg, KernelSpec spec,
     }
     StreamOp op;
     op.kind = StreamOp::Kind::Launch;
-    op.seq = t.next_seq++;
-    op.issue_host_time = host_time_;
     op.cfg = cfg;
     op.entry = std::move(spec);
     op.name = name.empty() ? std::string("kernel") : std::string(name);
+    if (capturing_ && capture_op(op, stream)) return;
+    op.seq = t.next_seq++;
+    op.issue_host_time = host_time_;
     op.corr = prof_scope.correlation();
     if (timeline::enabled()) {
         op.tl_anchor = timeline::anchor_host(trace_ordinal_, tl_abs(host_time_));
@@ -284,14 +219,15 @@ void Device::memcpy_to_device_async(DeviceAddr dst, const void* src,
     }
     StreamOp op;
     op.kind = StreamOp::Kind::CopyH2D;
-    op.seq = t.next_seq++;
-    op.issue_host_time = host_time_;
     op.dst = dst;
     op.bytes = bytes;
     // Pageable-memory semantics: snapshot now, so host writes to `src`
     // after this call never leak into the copy.
     const auto* p = static_cast<const std::byte*>(src);
     op.staged.assign(p, p + bytes);
+    if (capturing_ && capture_op(op, stream)) return;
+    op.seq = t.next_seq++;
+    op.issue_host_time = host_time_;
     op.corr = prof_scope.correlation();
     if (timeline::enabled()) {
         op.tl_anchor = timeline::anchor_host(trace_ordinal_, tl_abs(host_time_));
@@ -328,11 +264,12 @@ void Device::memcpy_to_host_async(void* dst, DeviceAddr src, std::uint64_t bytes
     }
     StreamOp op;
     op.kind = StreamOp::Kind::CopyD2H;
-    op.seq = t.next_seq++;
-    op.issue_host_time = host_time_;
     op.src = src;
     op.bytes = bytes;
     op.host_dst = dst;
+    if (capturing_ && capture_op(op, stream)) return;
+    op.seq = t.next_seq++;
+    op.issue_host_time = host_time_;
     if (memcheck::enabled()) {
         detail::PendingHostWrite w;
         w.begin = static_cast<const std::byte*>(dst);
@@ -377,11 +314,12 @@ void Device::memcpy_device_to_device_async(DeviceAddr dst, DeviceAddr src,
     }
     StreamOp op;
     op.kind = StreamOp::Kind::CopyD2D;
-    op.seq = t.next_seq++;
-    op.issue_host_time = host_time_;
     op.dst = dst;
     op.src = src;
     op.bytes = bytes;
+    if (capturing_ && capture_op(op, stream)) return;
+    op.seq = t.next_seq++;
+    op.issue_host_time = host_time_;
     op.corr = prof_scope.correlation();
     if (timeline::enabled()) {
         op.tl_anchor = timeline::anchor_host(trace_ordinal_, tl_abs(host_time_));
@@ -426,9 +364,12 @@ void Device::event_record(EventId event, StreamId stream) {
     }
     StreamOp op;
     op.kind = StreamOp::Kind::Record;
+    op.event = event;
+    // A captured record never touches EventState: the event's live record
+    // chain is only updated when the graph replays.
+    if (capturing_ && capture_op(op, stream)) return;
     op.seq = t.next_seq++;
     op.issue_host_time = host_time_;
-    op.event = event;
     op.corr = prof_scope.correlation();
     if (timeline::enabled()) {
         op.tl_anchor = timeline::anchor_host(trace_ordinal_, tl_abs(host_time_));
@@ -472,9 +413,13 @@ void Device::stream_wait_event(StreamId stream, EventId event) {
     }
     StreamOp op;
     op.kind = StreamOp::Kind::Wait;
+    op.event = event;
+    // Capture resolves the wait against the *captured* record chain
+    // (becoming a graph edge, or a no-op for pre-capture records) and can
+    // pull an uncaptured stream into the capture — see capture_op().
+    if (capturing_ && capture_op(op, stream)) return;
     op.seq = t.next_seq++;
     op.issue_host_time = host_time_;
-    op.event = event;
     // CUDA captures the event's *current* record; a later re-record does not
     // move this wait. An unrecorded event makes the wait a no-op.
     op.wait_target_seq = ev->second.last_record_seq;
@@ -749,6 +694,7 @@ void Device::stream_synchronize(StreamId stream) {
     timeline::FailScope tl_fail(trace_ordinal_, stream, timeline::Category::Sync,
                                 "stream synchronize", 0, prof_scope.correlation(),
                                 tl_abs(host_time_));
+    if (capturing_) capture_violation("stream_synchronize during stream capture");
     fault_preflight(faults::Site::Sync, "stream");
     detail::StreamTable& t = stream_table();
     auto it = t.streams.find(stream);
@@ -783,6 +729,7 @@ void Device::event_synchronize(EventId event) {
     timeline::FailScope tl_fail(trace_ordinal_, 0, timeline::Category::Sync,
                                 "event synchronize", 0, prof_scope.correlation(),
                                 tl_abs(host_time_));
+    if (capturing_) capture_violation("event_synchronize during stream capture");
     fault_preflight(faults::Site::Sync, "event");
     detail::StreamTable& t = stream_table();
     auto it = t.events.find(event);
@@ -806,6 +753,7 @@ double Device::event_elapsed_ms(EventId start, EventId stop) {
     if (a == t.events.end() || b == t.events.end()) {
         throw Error(ErrorCode::InvalidValue, "event_elapsed_ms: unknown event");
     }
+    if (capturing_) capture_violation("event_elapsed_ms during stream capture");
     drain_streams();
     if (a->second.last_record_seq == 0 || b->second.last_record_seq == 0) {
         throw Error(ErrorCode::InvalidValue, "event_elapsed_ms: event never recorded");
@@ -869,6 +817,10 @@ void Device::reset_stream_clocks() {
 }
 
 void Device::abandon_streams() {
+    // A device reset kills any live capture outright (as on CUDA, where
+    // capture state dies with the context).
+    capturing_ = false;
+    capture_.reset();
     // Queued work died with the device: drop it unexecuted. Events whose
     // record was still queued complete at the reset point so waits and
     // event_synchronize can't stall on an op that will never run.

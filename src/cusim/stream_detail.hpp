@@ -1,0 +1,120 @@
+// Shared internal representation of deferred stream work.
+//
+// Historically these structs lived inside stream.cpp; graph capture/replay
+// (graph.cpp) records and re-enqueues the same ops, so the IR moved here.
+// Everything in cusim::detail is an implementation detail: device.hpp only
+// forward-declares these types and no public header includes this one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cusim/device.hpp"
+#include "cusim/graph.hpp"
+#include "cusim/launch.hpp"
+
+namespace cusim::detail {
+
+/// One deferred operation. `seq` is the global enqueue index (determinism
+/// + wait targeting); `issue_host_time` pins when the host issued it so a
+/// drained op can never start before it was enqueued.
+struct StreamOp {
+    enum class Kind { Launch, CopyH2D, CopyD2H, CopyD2D, Record, Wait };
+
+    Kind kind = Kind::Launch;
+    std::uint64_t seq = 0;
+    double issue_host_time = 0.0;
+
+    // Launch
+    LaunchConfig cfg{};
+    KernelSpec entry;  ///< dual-form kernel; run_grid picks the engine at drain
+    std::string name;
+
+    // Copies
+    DeviceAddr dst = 0;
+    DeviceAddr src = 0;
+    std::uint64_t bytes = 0;
+    std::vector<std::byte> staged;  ///< H2D source snapshot (pageable semantics)
+    void* host_dst = nullptr;       ///< D2H destination
+
+    // Events
+    EventId event = 0;
+    std::uint64_t wait_target_seq = 0;  ///< record op a Wait orders behind
+    bool wait_has_target = false;       ///< false: event unrecorded -> no-op
+
+    // Timeline (captured at enqueue, consumed at drain)
+    std::uint64_t corr = 0;       ///< correlation id of the enqueueing API call
+    std::uint64_t tl_anchor = 0;  ///< host-lane node ending at the issue point
+};
+
+struct StreamState {
+    std::deque<StreamOp> pending;
+    double free_at = 0.0;  ///< this stream's modelled busy horizon
+};
+
+struct EventState {
+    double time = 0.0;                  ///< timeline point of the last drained record
+    std::uint64_t last_record_seq = 0;  ///< newest record *enqueued* (0 = never)
+    std::uint64_t completed_seq = 0;    ///< newest record *executed*
+};
+
+/// Host range an in-flight async D2H copy will write. Reading it from the
+/// host before the covering synchronize is the race memcheck reports.
+struct PendingHostWrite {
+    const std::byte* begin = nullptr;
+    const std::byte* end = nullptr;
+    StreamId stream = 0;
+    std::uint64_t seq = 0;
+    bool drained = false;      ///< op executed (bytes materialized)
+    double complete_at = 0.0;  ///< modelled completion (valid once drained)
+};
+
+struct StreamTable {
+    // std::map: drain() walks streams in ascending id — the contract.
+    std::map<StreamId, StreamState> streams;
+    std::map<EventId, EventState> events;
+    std::vector<PendingHostWrite> host_writes;
+    StreamId next_stream = 1;
+    EventId next_event = 1;
+    std::uint64_t next_seq = 1;
+};
+
+// --- graph capture IR ---------------------------------------------------------
+
+/// One captured op. `wait_edge` links a Wait to the index of the captured
+/// Record it orders behind (kNoEdge: the wait targets a record from before
+/// the capture, or an unrecorded event — replayed as a no-op wait).
+struct GraphNode {
+    static constexpr std::size_t kNoEdge = static_cast<std::size_t>(-1);
+
+    StreamOp op;
+    StreamId stream = 0;
+    std::size_t wait_edge = kNoEdge;
+};
+
+/// Live recording state while Device::capturing() is true. Seq numbers,
+/// clocks and observables are untouched during capture — the recorded ops
+/// get real seqs at each graph_launch().
+struct CaptureState {
+    bool invalidated = false;
+    std::string reason;      ///< why the capture was invalidated
+    StreamId origin = 0;     ///< stream stream_begin_capture() named
+    CaptureMode mode = CaptureMode::Origin;
+    std::set<StreamId> captured;             ///< streams pulled into the capture
+    std::vector<GraphNode> nodes;            ///< capture order = replay order
+    std::map<EventId, std::size_t> recorded; ///< event -> newest captured record
+};
+
+/// The immutable DAG a Graph/GraphExec shares. Bound to the Device that
+/// captured it: closures and staged bytes reference its address space.
+struct GraphIR {
+    std::vector<GraphNode> nodes;
+    Device* device = nullptr;
+};
+
+}  // namespace cusim::detail

@@ -1,0 +1,325 @@
+// cupp::future tests: async kernel launches and prefetches returning
+// futures, .then() continuation chains riding stream FIFO order, value
+// chaining, when_all joins across streams via device-side event edges,
+// and the error model — transient failures propagate (skipping downstream
+// continuations), sticky DeviceLost surfaces as device_lost_error, and
+// get()/wait() honour the calling thread's retry policy.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "cupp/cupp.hpp"
+#include "cusim/faults.hpp"
+
+namespace {
+
+using cusim::KernelTask;
+using cusim::ThreadCtx;
+
+KernelTask double_elements(ThreadCtx& ctx, cupp::deviceT::vector<int>& v) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < v.size()) {
+        v.write(ctx, gid, v.read(ctx, gid) * 2);
+    }
+    co_return;
+}
+using DoubleK = KernelTask (*)(ThreadCtx&, cupp::deviceT::vector<int>&);
+
+KernelTask add_one(ThreadCtx& ctx, cupp::deviceT::vector<int>& v) {
+    const std::uint64_t gid = ctx.global_id();
+    if (gid < v.size()) {
+        v.write(ctx, gid, v.read(ctx, gid) + 1);
+    }
+    co_return;
+}
+using AddK = KernelTask (*)(ThreadCtx&, cupp::deviceT::vector<int>&);
+
+/// A zero-backoff policy with a fixed attempt budget (tests stay fast).
+cupp::retry_policy attempts(std::uint32_t n) {
+    cupp::retry_policy p;
+    p.max_attempts = n;
+    p.initial_backoff_s = 0.0;
+    p.jitter = 0.0;
+    return p;
+}
+
+TEST(Future, AsyncKernelOwnsItsStream) {
+    cupp::device d;
+    cupp::vector<int> v = {1, 2, 3, 4};
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{1},
+                   cusim::dim3{32});
+    k.set_name("double");
+
+    cupp::future<void> f = k.async(d, v);
+    EXPECT_TRUE(f.valid());
+    EXPECT_FALSE(f.has_error());
+    f.get();  // blocks on the completion event; rethrows nothing
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_EQ(static_cast<int>(v[0]), 2);
+    EXPECT_EQ(static_cast<int>(v[3]), 8);
+}
+
+TEST(Future, AsyncOnCallerStreamIsDeferred) {
+    cupp::device d;
+    cupp::stream s(d);
+    cupp::vector<int> v(64, 3);
+    cupp::kernel k(static_cast<DoubleK>(double_elements), cusim::dim3{2},
+                   cusim::dim3{32});
+
+    const std::uint64_t launches_before = d.sim().launches();
+    cupp::future<void> f = k.async(d, s, v);
+    EXPECT_EQ(&f.bound_stream(), &s);
+    EXPECT_EQ(d.sim().launches(), launches_before);  // enqueued, not run
+    f.wait();
+    EXPECT_EQ(d.sim().launches(), launches_before + 1);
+    EXPECT_EQ(static_cast<int>(v[0]), 6);
+}
+
+TEST(Future, ThenEnqueuesOntoTheSameStreamWithoutSync) {
+    cupp::device d;
+    cupp::vector<int> v(32, 1);
+    cupp::kernel dbl(static_cast<DoubleK>(double_elements), cusim::dim3{1},
+                     cusim::dim3{32});
+    cupp::kernel inc(static_cast<AddK>(add_one), cusim::dim3{1}, cusim::dim3{32});
+
+    const std::uint64_t launches_before = d.sim().launches();
+    auto done = dbl.async(d, v)
+                    .then([&](const cupp::device& dev, const cupp::stream& s) {
+                        inc(dev, s, v);  // FIFO: runs after the double
+                    })
+                    .then([&](const cupp::device& dev, const cupp::stream& s) {
+                        dbl(dev, s, v);
+                    });
+    // The whole chain enqueued with zero host synchronization.
+    EXPECT_EQ(d.sim().launches(), launches_before);
+    done.get();
+    EXPECT_EQ(d.sim().launches(), launches_before + 3);
+    EXPECT_EQ(static_cast<int>(v[0]), 6);  // (1*2 + 1) * 2
+}
+
+TEST(Future, ThenChainsValuesOnTheHost) {
+    cupp::device d;
+    cupp::vector<int> v(16, 5);
+    cupp::kernel dbl(static_cast<DoubleK>(double_elements), cusim::dim3{1},
+                     cusim::dim3{32});
+
+    cupp::future<int> f = dbl.async(d, v).then([] { return 40; }).then(
+        [](int x) { return x + 2; });
+    EXPECT_EQ(f.get(), 42);
+    EXPECT_EQ(static_cast<int>(v[0]), 10);
+}
+
+TEST(Future, WhenAllJoinsStreamsWithDeviceSideEdges) {
+    cupp::device d;
+    cupp::stream sa(d), sb(d);
+    cupp::vector<int> a(64, 1), b(64, 2);
+    cupp::kernel dbl(static_cast<DoubleK>(double_elements), cusim::dim3{2},
+                     cusim::dim3{32});
+
+    cupp::future<void> fa = dbl.async(d, sa, a);
+    cupp::future<void> fb = dbl.async(d, sb, b);
+    cupp::future<void> all = when_all(fa, fb);
+    EXPECT_FALSE(all.has_error());
+    all.get();
+    EXPECT_TRUE(fa.is_ready());
+    EXPECT_TRUE(fb.is_ready());
+    EXPECT_EQ(static_cast<int>(a[0]), 2);
+    EXPECT_EQ(static_cast<int>(b[0]), 4);
+}
+
+TEST(Future, WhenAllMixesKernelAndPrefetchFutures) {
+    cupp::device d;
+    cupp::stream sa(d), sb(d);
+    cupp::vector<int> a(128, 7), b(128, 1);
+    cupp::kernel dbl(static_cast<DoubleK>(double_elements), cusim::dim3{4},
+                     cusim::dim3{32});
+
+    cupp::future<void> up = a.prefetch_to_device_async(d, sa);
+    EXPECT_TRUE(up.valid());
+    EXPECT_EQ(a.uploads(), 1u);
+    cupp::future<void> fk = dbl.async(d, sb, b);
+    auto tail = when_all(up, fk).then([&](const cupp::device& dev,
+                                          const cupp::stream& s) {
+        dbl(dev, s, a);  // ordered behind both antecedents
+    });
+    tail.get();
+    EXPECT_EQ(a.uploads(), 1u);  // the kernel found the prefetched copy
+    EXPECT_EQ(static_cast<int>(a[0]), 14);
+    EXPECT_EQ(static_cast<int>(b[0]), 2);
+
+    // Already-valid device copy: the async prefetch degenerates to an
+    // empty, already-ready future.
+    cupp::future<void> noop = a.prefetch_to_device_async(d, sa);
+    EXPECT_FALSE(noop.valid());
+    EXPECT_TRUE(noop.is_ready());
+    noop.get();  // no-op by design
+}
+
+TEST(Future, PrefetchToHostFutureCoversTheDownload) {
+    cupp::device d;
+    cupp::stream s(d);
+    cupp::vector<int> v(64, 5);
+    cupp::kernel dbl(static_cast<DoubleK>(double_elements), cusim::dim3{2},
+                     cusim::dim3{32});
+    dbl(d, s, v);  // host copy now stale
+    EXPECT_FALSE(v.host_data_valid());
+
+    cupp::future<void> f = v.prefetch_to_host_async(s);
+    EXPECT_TRUE(f.valid());
+    f.get();
+    // Consuming the future synchronized the stream; the first host touch
+    // settles the pending flag without re-downloading.
+    EXPECT_EQ(static_cast<int>(v[0]), 10);
+    EXPECT_EQ(v.downloads(), 1u);
+}
+
+TEST(Future, TransientLaunchFailureSkipsContinuations) {
+    cupp::device d;
+    cupp::vector<int> v(32, 1);
+    cupp::kernel dbl(static_cast<DoubleK>(double_elements), cusim::dim3{1},
+                     cusim::dim3{32});
+    dbl.set_name("flaky");
+
+    cusim::faults::Rule rule;
+    rule.site = cusim::faults::Site::Launch;
+    rule.code = cusim::ErrorCode::LaunchFailure;
+    rule.nth = 1;
+    rule.filter = "flaky";
+    cusim::faults::configure({rule}, /*seed=*/7);
+
+    bool ran = false;
+    cupp::future<void> f;
+    {
+        // One attempt, no retries: the injected failure must stick.
+        cupp::scoped_retry_policy only_once(attempts(1));
+        f = dbl.async(d, v).then([&] { ran = true; });
+    }
+    cusim::faults::reset();
+
+    EXPECT_TRUE(f.has_error());
+    EXPECT_TRUE(f.is_ready());  // errors count as ready
+    EXPECT_FALSE(ran);          // the continuation never ran
+    try {
+        f.get();
+        FAIL() << "expected kernel_error";
+    } catch (const cupp::kernel_error& e) {
+        EXPECT_TRUE(e.transient());
+        EXPECT_EQ(e.code(), cusim::ErrorCode::LaunchFailure);
+    }
+    // The data is untouched and the device fully usable.
+    EXPECT_EQ(static_cast<int>(v[0]), 1);
+    dbl.async(d, v).get();
+    EXPECT_EQ(static_cast<int>(v[0]), 2);
+}
+
+TEST(Future, RetryPolicyAbsorbsTransientLaunchFailure) {
+    cupp::device d;
+    cupp::vector<int> v(32, 1);
+    cupp::kernel dbl(static_cast<DoubleK>(double_elements), cusim::dim3{1},
+                     cusim::dim3{32});
+    dbl.set_name("retried");
+
+    cusim::faults::Rule rule;
+    rule.site = cusim::faults::Site::Launch;
+    rule.code = cusim::ErrorCode::LaunchFailure;
+    rule.nth = 1;
+    rule.filter = "retried";
+    cusim::faults::configure({rule}, /*seed=*/7);
+
+    cupp::future<void> f;
+    {
+        cupp::scoped_retry_policy retrying(attempts(4));
+        f = dbl.async(d, v);  // first attempt faults, the retry lands
+    }
+    cusim::faults::reset();
+    EXPECT_FALSE(f.has_error());
+    f.get();
+    EXPECT_EQ(static_cast<int>(v[0]), 2);
+}
+
+TEST(Future, StickyDeviceLostPropagatesAndResetRecovers) {
+    cupp::device d;
+    cupp::vector<int> v(32, 3);
+    cupp::kernel dbl(static_cast<DoubleK>(double_elements), cusim::dim3{1},
+                     cusim::dim3{32});
+
+    d.sim().poison();
+    cupp::future<void> f = dbl.async(d, v);
+    EXPECT_TRUE(f.has_error());
+    try {
+        f.get();
+        FAIL() << "expected device_lost_error";
+    } catch (const cupp::device_lost_error& e) {
+        EXPECT_FALSE(e.transient());  // sticky: with_retry did not retry it
+    }
+
+    d.sim().reset_device();
+    for (auto& x : v.mutate()) x = 3;
+    dbl.async(d, v).get();
+    EXPECT_EQ(static_cast<int>(v[0]), 6);
+}
+
+TEST(Future, ContinuationExceptionBecomesTheFutureError) {
+    cupp::device d;
+    cupp::vector<int> v(16, 1);
+    cupp::kernel dbl(static_cast<DoubleK>(double_elements), cusim::dim3{1},
+                     cusim::dim3{32});
+
+    bool downstream_ran = false;
+    auto f = dbl.async(d, v)
+                 .then([]() -> int { throw std::runtime_error("continuation boom"); })
+                 .then([&](int) {
+                     downstream_ran = true;
+                     return 0;
+                 });
+    EXPECT_TRUE(f.has_error());
+    EXPECT_FALSE(downstream_ran);
+    EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(Future, WhenAllPropagatesTheFirstError) {
+    cupp::device d;
+    cupp::stream sa(d), sb(d);
+    cupp::vector<int> a(16, 1), b(16, 2);
+    cupp::kernel dbl(static_cast<DoubleK>(double_elements), cusim::dim3{1},
+                     cusim::dim3{32});
+    dbl.set_name("half_fails");
+
+    cusim::faults::Rule rule;
+    rule.site = cusim::faults::Site::Launch;
+    rule.code = cusim::ErrorCode::LaunchFailure;
+    rule.nth = 1;
+    rule.filter = "half_fails";
+    cusim::faults::configure({rule}, /*seed=*/7);
+    cupp::future<void> fa;
+    {
+        cupp::scoped_retry_policy only_once(attempts(1));
+        fa = dbl.async(d, sa, a);  // faults
+    }
+    cusim::faults::reset();
+    cupp::future<void> fb = dbl.async(d, sb, b);  // fine
+
+    cupp::future<void> all = when_all(fa, fb);
+    EXPECT_TRUE(all.has_error());
+    EXPECT_THROW(all.get(), cupp::kernel_error);
+    fb.get();  // the healthy branch still completed
+    EXPECT_EQ(static_cast<int>(b[0]), 4);
+}
+
+TEST(Future, EmptyFutureSemantics) {
+    cupp::future<void> empty;
+    EXPECT_FALSE(empty.valid());
+    EXPECT_TRUE(empty.is_ready());
+    empty.wait();
+    empty.get();  // ready-and-empty: a no-op
+
+    cupp::future<int> typed;
+    EXPECT_THROW((void)typed.get(), cupp::usage_error);  // no value to return
+    EXPECT_THROW((void)typed.then([](int) { return 0; }), cupp::usage_error);
+    EXPECT_THROW((void)empty.then([] {}), cupp::usage_error);
+    EXPECT_THROW((void)when_all(empty), cupp::usage_error);
+}
+
+}  // namespace

@@ -364,6 +364,125 @@ TEST_P(AsyncVectorFuzz, HostTruthSurvivesFaultsMidAsyncCopy) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AsyncVectorFuzz,
                          ::testing::Values(5ull, 77ull, 8181ull));
 
+// Capture/replay under the fault plan: random batches of kernel calls are
+// recorded into a cupp::graph and replayed against the lazy vector, while
+// transient launch failures strike the captured launches, the instantiate
+// validation pass and the replays themselves. A failed capture-time launch
+// is simply absent from the graph; a failed instantiate or replay must be
+// *atomic* — nothing half-enqueued, the oracle untouched — and the retry
+// loop around it must converge. The std::vector oracle advances only by
+// what provably executed, so the final snapshot comparison proves replayed
+// graphs neither lose nor duplicate work under injected faults.
+class CaptureReplayFuzz : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+    void SetUp() override {
+        cusim::memcheck::enable();
+        cusim::memcheck::set_strict(false);
+        cusim::memcheck::reset();
+        cusim::faults::Rule r;
+        r.site = cusim::faults::Site::Launch;
+        r.code = cusim::ErrorCode::LaunchFailure;
+        // No filter: strikes kernel launches, "graph instantiate" and
+        // "graph launch" preflights alike.
+        r.probability = 0.08;
+        cusim::faults::configure({r}, GetParam());
+    }
+    void TearDown() override {
+        cusim::faults::reset();
+        cusim::memcheck::disable();
+        cusim::memcheck::reset();
+    }
+};
+
+TEST_P(CaptureReplayFuzz, ReplayedGraphsNeverLoseOrDuplicateWorkUnderFaults) {
+    steer::Lcg rng(GetParam() * 131 + 7);
+    cupp::device d;
+    cupp::stream s(d);
+    cupp::kernel add_k(static_cast<AddK>(add_one), cusim::dim3{8}, cusim::dim3{64});
+
+    const std::uint32_t n = 64 + rng.next_u32() % 128;
+    cupp::vector<int> v;
+    std::vector<int> oracle;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const int x = static_cast<int>(rng.next_u32() % 1000);
+        v.push_back(x);
+        oracle.push_back(x);
+    }
+
+    // Warm-up outside any capture: uploads the data and caches the device
+    // handle, so capture-time calls enqueue pure launches (a blocking
+    // handle upload inside a capture would be an implicit sync and
+    // invalidate it). Bounded retry over full retry-exhaustion.
+    for (int attempt = 0;; ++attempt) {
+        try {
+            v.prefetch_to_device(d, s);
+            add_k(d, s, v);
+            s.synchronize();
+            for (auto& x : oracle) ++x;
+            break;
+        } catch (const cupp::exception& e) {
+            ASSERT_TRUE(e.transient());
+            ASSERT_LT(attempt, 50) << "warm-up never succeeded";
+        }
+    }
+
+    for (int round = 0; round < 4; ++round) {
+        const unsigned k = 1 + rng.next_u32() % 6;
+        unsigned k_eff = 0;  // launches that made it into the graph
+        cupp::graph g = cupp::graph::capture(s, [&] {
+            for (unsigned i = 0; i < k; ++i) {
+                try {
+                    add_k(d, s, v);
+                    ++k_eff;
+                } catch (const cupp::exception& e) {
+                    ASSERT_TRUE(e.transient());  // absent from the graph, that's all
+                }
+            }
+        });
+        ASSERT_EQ(g.node_count(), k_eff) << "round " << round;
+
+        cupp::graph_exec exec;
+        for (int attempt = 0;; ++attempt) {
+            try {
+                exec = g.instantiate();
+                break;
+            } catch (const cupp::exception& e) {
+                ASSERT_TRUE(e.transient()) << "round " << round;
+                // Atomic: a failed instantiate enqueued nothing.
+                ASSERT_EQ(d.sim().pending_async_ops(), 0u);
+                ASSERT_LT(attempt, 50) << "instantiate never succeeded";
+            }
+        }
+
+        const unsigned replays = 1 + rng.next_u32() % 2;
+        for (unsigned rep = 0; rep < replays; ++rep) {
+            for (int attempt = 0;; ++attempt) {
+                try {
+                    exec.launch();
+                    break;
+                } catch (const cupp::exception& e) {
+                    ASSERT_TRUE(e.transient()) << "round " << round;
+                    // Atomic: the aborted replay contributed zero ops, so
+                    // the oracle (not advanced yet) still matches.
+                    ASSERT_EQ(d.sim().pending_async_ops(), 0u);
+                    ASSERT_LT(attempt, 50) << "replay never succeeded";
+                }
+            }
+            s.synchronize();
+            for (auto& x : oracle) x += static_cast<int>(k_eff);
+        }
+    }
+
+    EXPECT_GT(cusim::faults::injections(), 0u) << "the plan never fired";
+    cusim::faults::disable();
+    EXPECT_EQ(v.snapshot(), oracle);
+    EXPECT_TRUE(cusim::memcheck::violations().empty())
+        << "captured/replayed fault handling must not leak or corrupt memory";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CaptureReplayFuzz,
+                         ::testing::Values(13ull, 303ull, 9090ull));
+
 class AllocatorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(AllocatorFuzz, NeverCorruptsLiveAllocations) {

@@ -1,0 +1,600 @@
+// cusim graph capture/replay semantics: capture records without executing,
+// replay reproduces the eager observables bit-for-bit, sync inside a
+// capture invalidates it (CUDA's cudaStreamCaptureStatus rules), replay
+// interacts correctly with device reset, fault injection at instantiate
+// and launch is atomic, and the runtime-API mirrors round-trip handles.
+// The captured-vs-eager determinism sweep lives in cusim_stream_diff_test.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cusim/cusim.hpp"
+#include "cusim/faults.hpp"
+#include "cusim/memcheck.hpp"
+
+namespace {
+
+using namespace cusim;
+
+KernelTask fill_kernel(ThreadCtx& ctx, DevicePtr<int> out, int value) {
+    out.write(ctx, ctx.global_id(), value);
+    co_return;
+}
+
+KernelTask add_kernel(ThreadCtx& ctx, DevicePtr<int> data, int delta) {
+    const int v = data.read(ctx, ctx.global_id());
+    data.write(ctx, ctx.global_id(), v + delta);
+    co_return;
+}
+
+LaunchConfig small_cfg() { return LaunchConfig{dim3{2}, dim3{16}}; }
+
+/// The error code thrown by `fn` (Success when it doesn't throw).
+template <typename Fn>
+ErrorCode code(Fn&& fn) {
+    try {
+        fn();
+    } catch (const Error& e) {
+        return e.code();
+    }
+    return ErrorCode::Success;
+}
+
+// --- capture mechanics -----------------------------------------------------
+
+TEST(GraphCapture, RecordsWithoutExecuting) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    std::vector<int> host(cfg.total_threads(), 3);
+    const StreamId s = dev.stream_create();
+
+    EXPECT_FALSE(dev.capturing());
+    dev.stream_begin_capture(s);
+    EXPECT_TRUE(dev.capturing());
+
+    const std::uint64_t launches_before = dev.launches();
+    dev.memcpy_to_device_async(buf.addr(), host.data(), host.size() * sizeof(int), s);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 4); },
+                     "add", s);
+    // Recorded, not enqueued: nothing pending, nothing executed.
+    EXPECT_EQ(dev.launches(), launches_before);
+    EXPECT_EQ(dev.pending_async_ops(), 0u);
+    EXPECT_TRUE(dev.stream_query(s));  // the captured stream stays idle
+
+    Graph g = dev.stream_end_capture(s);
+    EXPECT_FALSE(dev.capturing());
+    EXPECT_TRUE(g.valid());
+    EXPECT_EQ(g.node_count(), 2u);
+
+    // Ending the capture does not execute anything either.
+    dev.synchronize();
+    EXPECT_EQ(dev.launches(), launches_before);
+}
+
+TEST(GraphCapture, EmptyGraphInstantiatesAndLaunchesAsNoOp) {
+    Device dev(tiny_properties());
+    const StreamId s = dev.stream_create();
+    dev.stream_begin_capture(s);
+    Graph g = dev.stream_end_capture(s);
+    EXPECT_EQ(g.node_count(), 0u);
+
+    GraphExec exec = dev.graph_instantiate(g);
+    const std::uint64_t launches_before = dev.launches();
+    dev.graph_launch(exec);
+    dev.synchronize();
+    EXPECT_EQ(dev.launches(), launches_before);
+}
+
+TEST(GraphCapture, DefaultConstructedHandlesAreInvalid) {
+    Device dev(tiny_properties());
+    Graph g;
+    GraphExec e;
+    EXPECT_FALSE(g.valid());
+    EXPECT_FALSE(e.valid());
+    EXPECT_EQ(g.node_count(), 0u);
+    EXPECT_EQ(code([&] { (void)dev.graph_instantiate(g); }), ErrorCode::InvalidValue);
+    EXPECT_EQ(code([&] { dev.graph_launch(e); }), ErrorCode::InvalidValue);
+}
+
+// --- replay correctness ----------------------------------------------------
+
+TEST(GraphReplay, MatchesEagerResults) {
+    const LaunchConfig cfg = small_cfg();
+    const std::size_t n = cfg.total_threads();
+    std::vector<int> seed(n, 10);
+
+    // Eager reference: upload, k1, k2, download.
+    std::vector<int> eager(n, 0);
+    std::uint64_t eager_launches = 0;
+    {
+        Device dev(tiny_properties());
+        auto buf = dev.malloc_n<int>(n);
+        const StreamId s = dev.stream_create();
+        dev.memcpy_to_device_async(buf.addr(), seed.data(), n * sizeof(int), s);
+        dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 5); },
+                         "add5", s);
+        dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 7); },
+                         "add7", s);
+        dev.memcpy_to_host_async(eager.data(), buf.addr(), n * sizeof(int), s);
+        dev.stream_synchronize(s);
+        eager_launches = dev.launches();
+    }
+
+    // Captured: identical enqueues recorded once, replayed once.
+    std::vector<int> replayed(n, 0);
+    Device dev(tiny_properties());
+    auto buf = dev.malloc_n<int>(n);
+    const StreamId s = dev.stream_create();
+    dev.stream_begin_capture(s);
+    dev.memcpy_to_device_async(buf.addr(), seed.data(), n * sizeof(int), s);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 5); },
+                     "add5", s);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 7); },
+                     "add7", s);
+    dev.memcpy_to_host_async(replayed.data(), buf.addr(), n * sizeof(int), s);
+    Graph g = dev.stream_end_capture(s);
+    GraphExec exec = dev.graph_instantiate(g);
+    dev.graph_launch(exec);
+    dev.stream_synchronize(s);
+
+    EXPECT_EQ(replayed, eager);
+    EXPECT_EQ(dev.launches(), eager_launches);
+
+    // Launch history parity: same kernels, same grids, same order.
+    const auto recent = dev.recent_launches();
+    ASSERT_GE(recent.size(), 2u);
+    EXPECT_EQ(recent[recent.size() - 2].kernel_name, "add5");
+    EXPECT_EQ(recent[recent.size() - 1].kernel_name, "add7");
+}
+
+TEST(GraphReplay, RepeatedLaunchesAccumulate) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    const std::size_t n = cfg.total_threads();
+    auto buf = dev.malloc_n<int>(n);
+    std::vector<int> zero(n, 0);
+    dev.upload(buf, std::span<const int>(zero));
+
+    const StreamId s = dev.stream_create();
+    dev.stream_begin_capture(s);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 2); },
+                     "add2", s);
+    Graph g = dev.stream_end_capture(s);
+    GraphExec exec = dev.graph_instantiate(g);
+    for (int i = 0; i < 5; ++i) dev.graph_launch(exec);
+    dev.stream_synchronize(s);
+
+    std::vector<int> out(n, -1);
+    dev.download(std::span<int>(out), buf);
+    EXPECT_EQ(out, std::vector<int>(n, 10));
+}
+
+TEST(GraphReplay, MultiStreamCaptureViaEventEdges) {
+    // Origin-mode propagation: a second stream joins the capture by
+    // waiting on an event recorded inside it (CUDA's capture-propagation
+    // rule); a reverse edge merges it back before the capture ends.
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    const std::size_t n = cfg.total_threads();
+    auto a = dev.malloc_n<int>(n);
+    auto b = dev.malloc_n<int>(n);
+    const StreamId s0 = dev.stream_create();
+    const StreamId s1 = dev.stream_create();
+    const EventId fork = dev.event_create();
+    const EventId join = dev.event_create();
+
+    dev.stream_begin_capture(s0);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, a, 1); },
+                     "fill_a", s0);
+    dev.event_record(fork, s0);
+    dev.stream_wait_event(s1, fork);  // s1 joins the capture here
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, b, 2); },
+                     "fill_b", s1);
+    dev.event_record(join, s1);
+    dev.stream_wait_event(s0, join);  // merge back into the origin
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, a, 10); },
+                     "bump_a", s0);
+    Graph g = dev.stream_end_capture(s0);
+    EXPECT_EQ(g.node_count(), 7u);
+
+    GraphExec exec = dev.graph_instantiate(g);
+    dev.graph_launch(exec);
+    dev.synchronize();
+
+    std::vector<int> ha(n, 0), hb(n, 0);
+    dev.download(std::span<int>(ha), a);
+    dev.download(std::span<int>(hb), b);
+    EXPECT_EQ(ha, std::vector<int>(n, 11));
+    EXPECT_EQ(hb, std::vector<int>(n, 2));
+}
+
+TEST(GraphReplay, AllStreamsModeCapturesDisjointStreams) {
+    // Two streams with no event edge between them: Origin mode would not
+    // capture s1's work; AllStreams captures the whole device.
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    const std::size_t n = cfg.total_threads();
+    auto a = dev.malloc_n<int>(n);
+    auto b = dev.malloc_n<int>(n);
+    const StreamId s0 = dev.stream_create();
+    const StreamId s1 = dev.stream_create();
+
+    dev.stream_begin_capture(s0, CaptureMode::AllStreams);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, a, 5); },
+                     "fill_a", s0);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, b, 6); },
+                     "fill_b", s1);
+    Graph g = dev.stream_end_capture(s0);
+    EXPECT_EQ(g.node_count(), 2u);
+
+    GraphExec exec = dev.graph_instantiate(g);
+    dev.graph_launch(exec);
+    dev.synchronize();
+
+    std::vector<int> ha(n, 0), hb(n, 0);
+    dev.download(std::span<int>(ha), a);
+    dev.download(std::span<int>(hb), b);
+    EXPECT_EQ(ha, std::vector<int>(n, 5));
+    EXPECT_EQ(hb, std::vector<int>(n, 6));
+}
+
+TEST(GraphReplay, WaitOnPreCaptureEventIsCapturedAsNoOp) {
+    // An event recorded *before* the capture carries no intra-graph edge;
+    // the wait is recorded so replay keeps the op sequence, but it orders
+    // nothing (the pre-capture record is long gone at replay time).
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId s = dev.stream_create();
+    const EventId ev = dev.event_create();
+    dev.event_record(ev, s);
+    dev.stream_synchronize(s);
+
+    dev.stream_begin_capture(s);
+    dev.stream_wait_event(s, ev);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 9); },
+                     "fill", s);
+    Graph g = dev.stream_end_capture(s);
+    EXPECT_EQ(g.node_count(), 2u);
+
+    GraphExec exec = dev.graph_instantiate(g);
+    dev.graph_launch(exec);
+    dev.stream_synchronize(s);
+    std::vector<int> out(cfg.total_threads(), 0);
+    dev.download(std::span<int>(out), buf);
+    EXPECT_EQ(out, std::vector<int>(cfg.total_threads(), 9));
+}
+
+TEST(GraphReplay, ReinstantiationsAreIndependent) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    const std::size_t n = cfg.total_threads();
+    auto buf = dev.malloc_n<int>(n);
+    std::vector<int> zero(n, 0);
+    dev.upload(buf, std::span<const int>(zero));
+
+    const StreamId s = dev.stream_create();
+    dev.stream_begin_capture(s);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 1); },
+                     "inc", s);
+    Graph g = dev.stream_end_capture(s);
+
+    GraphExec e1 = dev.graph_instantiate(g);
+    GraphExec e2 = dev.graph_instantiate(g);
+    dev.graph_launch(e1);
+    dev.graph_launch(e2);
+    dev.graph_launch(e1);
+    dev.stream_synchronize(s);
+
+    std::vector<int> out(n, -1);
+    dev.download(std::span<int>(out), buf);
+    EXPECT_EQ(out, std::vector<int>(n, 3));
+}
+
+// --- capture invalidation --------------------------------------------------
+
+TEST(GraphInvalidation, DeviceSynchronizeDuringCapture) {
+    Device dev(tiny_properties());
+    const StreamId s = dev.stream_create();
+    dev.stream_begin_capture(s);
+    EXPECT_EQ(code([&] { dev.synchronize(); }), ErrorCode::StreamCaptureInvalid);
+    // The capture is pinned broken until it is ended; ending reports why.
+    EXPECT_TRUE(dev.capturing());
+    EXPECT_EQ(code([&] { (void)dev.stream_end_capture(s); }),
+              ErrorCode::StreamCaptureInvalid);
+    EXPECT_FALSE(dev.capturing());
+    // The device is fully usable afterwards.
+    dev.synchronize();
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 1); },
+                     "fill", s);
+    dev.stream_synchronize(s);
+}
+
+TEST(GraphInvalidation, StreamSynchronizeOfCapturedStream) {
+    Device dev(tiny_properties());
+    const StreamId s = dev.stream_create();
+    dev.stream_begin_capture(s);
+    EXPECT_EQ(code([&] { dev.stream_synchronize(s); }),
+              ErrorCode::StreamCaptureInvalid);
+    EXPECT_EQ(code([&] { (void)dev.stream_end_capture(s); }),
+              ErrorCode::StreamCaptureInvalid);
+}
+
+TEST(GraphInvalidation, EventSynchronizeDuringCapture) {
+    Device dev(tiny_properties());
+    const StreamId s = dev.stream_create();
+    const EventId ev = dev.event_create();
+    dev.event_record(ev, s);
+    dev.stream_synchronize(s);
+    dev.stream_begin_capture(s);
+    EXPECT_EQ(code([&] { dev.event_synchronize(ev); }),
+              ErrorCode::StreamCaptureInvalid);
+    EXPECT_EQ(code([&] { (void)dev.stream_end_capture(s); }),
+              ErrorCode::StreamCaptureInvalid);
+}
+
+TEST(GraphInvalidation, StreamDestroyDuringCapture) {
+    Device dev(tiny_properties());
+    const StreamId s = dev.stream_create();
+    const StreamId other = dev.stream_create();
+    dev.stream_begin_capture(s);
+    EXPECT_EQ(code([&] { dev.stream_destroy(other); }),
+              ErrorCode::StreamCaptureInvalid);
+    EXPECT_EQ(code([&] { (void)dev.stream_end_capture(s); }),
+              ErrorCode::StreamCaptureInvalid);
+}
+
+TEST(GraphInvalidation, GraphLaunchDuringCapture) {
+    Device dev(tiny_properties());
+    const StreamId s = dev.stream_create();
+    dev.stream_begin_capture(s);
+    Graph g = dev.stream_end_capture(s);
+    GraphExec exec = dev.graph_instantiate(g);
+
+    dev.stream_begin_capture(s);
+    EXPECT_EQ(code([&] { dev.graph_launch(exec); }),
+              ErrorCode::StreamCaptureInvalid);
+    EXPECT_EQ(code([&] { (void)dev.stream_end_capture(s); }),
+              ErrorCode::StreamCaptureInvalid);
+}
+
+TEST(GraphInvalidation, DeviceResetAbandonsCapture) {
+    Device dev(tiny_properties());
+    const StreamId s = dev.stream_create();
+    dev.stream_begin_capture(s);
+    dev.poison();
+    dev.reset_device();
+    // The reset abandoned the capture outright (no sticky broken state).
+    EXPECT_FALSE(dev.capturing());
+    EXPECT_EQ(code([&] { (void)dev.stream_end_capture(s); }),
+              ErrorCode::StreamCaptureInvalid);
+}
+
+// --- API misuse ------------------------------------------------------------
+
+TEST(GraphApi, BeginEndMisuse) {
+    Device dev(tiny_properties());
+    const StreamId s = dev.stream_create();
+    const StreamId other = dev.stream_create();
+
+    // End without begin; begin on the default / an unknown stream.
+    EXPECT_EQ(code([&] { (void)dev.stream_end_capture(s); }),
+              ErrorCode::StreamCaptureInvalid);
+    EXPECT_EQ(code([&] { dev.stream_begin_capture(kDefaultStream); }),
+              ErrorCode::InvalidValue);
+    EXPECT_EQ(code([&] { dev.stream_begin_capture(404); }), ErrorCode::InvalidValue);
+
+    // Nested begin; end on the wrong origin.
+    dev.stream_begin_capture(s);
+    EXPECT_EQ(code([&] { dev.stream_begin_capture(other); }),
+              ErrorCode::StreamCaptureInvalid);
+    EXPECT_EQ(code([&] { (void)dev.stream_end_capture(other); }),
+              ErrorCode::InvalidValue);
+    Graph g = dev.stream_end_capture(s);
+    EXPECT_TRUE(g.valid());
+}
+
+TEST(GraphApi, ReplayAfterDeviceReset) {
+    // reset_device() abandons queued work but keeps stream handles and
+    // allocations live (the simulator's recovery contract) — so an
+    // instantiated graph survives a poison/reset cycle and replays
+    // correctly against the recovered device.
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    const std::size_t n = cfg.total_threads();
+    auto buf = dev.malloc_n<int>(n);
+    const StreamId s = dev.stream_create();
+    dev.stream_begin_capture(s);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 1); },
+                     "fill", s);
+    Graph g = dev.stream_end_capture(s);
+    GraphExec exec = dev.graph_instantiate(g);
+
+    dev.poison();
+    EXPECT_EQ(code([&] { dev.graph_launch(exec); }), ErrorCode::DeviceLost);
+    EXPECT_EQ(dev.pending_async_ops(), 0u);  // the refused launch enqueued nothing
+    dev.reset_device();
+
+    dev.graph_launch(exec);
+    dev.stream_synchronize(s);
+    std::vector<int> out(n, 0);
+    dev.download(std::span<int>(out), buf);
+    EXPECT_EQ(out, std::vector<int>(n, 1));
+
+    // Re-instantiating from the immutable graph also works post-reset.
+    GraphExec exec2 = dev.graph_instantiate(g);
+    dev.graph_launch(exec2);
+    dev.stream_synchronize(s);
+}
+
+// --- fault injection -------------------------------------------------------
+
+TEST(GraphFaults, InstantiateFaultIsAtomicAndRetryable) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    auto buf = dev.malloc_n<int>(cfg.total_threads());
+    const StreamId s = dev.stream_create();
+    dev.stream_begin_capture(s);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return fill_kernel(ctx, buf, 3); },
+                     "fill", s);
+    Graph g = dev.stream_end_capture(s);
+
+    faults::Rule rule;
+    rule.site = faults::Site::Launch;
+    rule.code = ErrorCode::LaunchFailure;
+    rule.nth = 1;
+    rule.filter = "graph instantiate";
+    faults::configure({rule}, /*seed=*/1);
+
+    EXPECT_EQ(code([&] { (void)dev.graph_instantiate(g); }),
+              ErrorCode::LaunchFailure);
+    EXPECT_EQ(dev.pending_async_ops(), 0u);  // nothing half-enqueued
+    EXPECT_EQ(faults::injections(), 1u);
+
+    // The fault was transient: the same call succeeds on retry.
+    GraphExec exec = dev.graph_instantiate(g);
+    EXPECT_TRUE(exec.valid());
+    faults::reset();
+    dev.graph_launch(exec);
+    dev.stream_synchronize(s);
+}
+
+TEST(GraphFaults, GraphLaunchFaultIsAtomicAndRetryable) {
+    Device dev(tiny_properties());
+    const LaunchConfig cfg = small_cfg();
+    const std::size_t n = cfg.total_threads();
+    auto buf = dev.malloc_n<int>(n);
+    std::vector<int> zero(n, 0);
+    dev.upload(buf, std::span<const int>(zero));
+    const StreamId s = dev.stream_create();
+    dev.stream_begin_capture(s);
+    dev.launch_async(cfg, [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 1); },
+                     "inc", s);
+    Graph g = dev.stream_end_capture(s);
+    GraphExec exec = dev.graph_instantiate(g);
+
+    faults::Rule rule;
+    rule.site = faults::Site::Launch;
+    rule.code = ErrorCode::LaunchFailure;
+    rule.nth = 1;
+    rule.filter = "graph launch";
+    faults::configure({rule}, /*seed=*/1);
+
+    EXPECT_EQ(code([&] { dev.graph_launch(exec); }), ErrorCode::LaunchFailure);
+    // All-or-nothing: the failed launch enqueued nothing.
+    EXPECT_EQ(dev.pending_async_ops(), 0u);
+    faults::reset();
+
+    dev.graph_launch(exec);
+    dev.stream_synchronize(s);
+    std::vector<int> out(n, -1);
+    dev.download(std::span<int>(out), buf);
+    // Exactly one increment: the faulted launch contributed nothing.
+    EXPECT_EQ(out, std::vector<int>(n, 1));
+}
+
+// --- memcheck parity -------------------------------------------------------
+
+TEST(GraphMemcheck, ReplayIsAsCleanAsEager) {
+    memcheck::enable();
+    memcheck::set_strict(false);
+    memcheck::reset();
+
+    const LaunchConfig cfg = small_cfg();
+    const std::size_t n = cfg.total_threads();
+    std::vector<int> seed(n, 1);
+    {
+        Device dev(tiny_properties());
+        auto buf = dev.malloc_n<int>(n);
+        std::vector<int> host(n, 0);
+        const StreamId s = dev.stream_create();
+        dev.stream_begin_capture(s);
+        dev.memcpy_to_device_async(buf.addr(), seed.data(), n * sizeof(int), s);
+        dev.launch_async(cfg,
+                         [&](ThreadCtx& ctx) { return add_kernel(ctx, buf, 1); },
+                         "inc", s);
+        dev.memcpy_to_host_async(host.data(), buf.addr(), n * sizeof(int), s);
+        Graph g = dev.stream_end_capture(s);
+        GraphExec exec = dev.graph_instantiate(g);
+        dev.graph_launch(exec);
+        dev.stream_synchronize(s);
+        EXPECT_EQ(host, std::vector<int>(n, 2));
+        dev.free(buf);
+    }
+    // The replayed D2H registered its shadow host-write exactly like an
+    // eager enqueue: a clean run stays clean (and the buffer was freed, so
+    // no leak either).
+    EXPECT_TRUE(memcheck::violations().empty()) << memcheck::report_text();
+
+    memcheck::disable();
+    memcheck::reset();
+}
+
+TEST(GraphMemcheck, ReplayedHostRaceIsStillDetected) {
+    memcheck::enable();
+    memcheck::set_strict(false);
+    memcheck::reset();
+    {
+        Device dev(tiny_properties());
+        const std::size_t n = 64;
+        auto buf = dev.malloc_n<int>(n);
+        std::vector<int> seed(n, 1);
+        dev.upload(buf, std::span<const int>(seed));
+        std::vector<int> host(n, 0);
+        const StreamId s = dev.stream_create();
+        dev.stream_begin_capture(s);
+        dev.memcpy_to_host_async(host.data(), buf.addr(), n * sizeof(int), s);
+        Graph g = dev.stream_end_capture(s);
+        GraphExec exec = dev.graph_instantiate(g);
+        dev.graph_launch(exec);
+        // Reading the landing zone before the covering sync is the async
+        // host-race memcheck catches for eager enqueues — replays too.
+        dev.note_host_read(host.data(), n * sizeof(int));
+        dev.stream_synchronize(s);
+    }
+    const auto all = memcheck::violations();
+    EXPECT_FALSE(all.empty());
+    memcheck::disable();
+    memcheck::reset();
+}
+
+// --- runtime-API mirrors ---------------------------------------------------
+
+TEST(GraphRuntimeApi, HandlesRoundTrip) {
+    Registry::instance().reset();
+    ASSERT_EQ(rt::cusimSetDevice(0), ErrorCode::Success);
+
+    StreamId s = 0;
+    ASSERT_EQ(rt::cusimStreamCreate(&s), ErrorCode::Success);
+
+    ASSERT_EQ(rt::cusimStreamBeginCapture(s), ErrorCode::Success);
+    rt::GraphHandle graph = 0;
+    ASSERT_EQ(rt::cusimStreamEndCapture(s, &graph), ErrorCode::Success);
+    EXPECT_NE(graph, 0u);
+
+    rt::GraphExecHandle exec = 0;
+    ASSERT_EQ(rt::cusimGraphInstantiate(&exec, graph), ErrorCode::Success);
+    EXPECT_NE(exec, 0u);
+    EXPECT_EQ(rt::cusimGraphLaunch(exec), ErrorCode::Success);
+
+    EXPECT_EQ(rt::cusimGraphDestroy(graph), ErrorCode::Success);
+    EXPECT_EQ(rt::cusimGraphDestroy(graph), ErrorCode::InvalidValue);
+    EXPECT_EQ(rt::cusimGraphExecDestroy(exec), ErrorCode::Success);
+    EXPECT_EQ(rt::cusimGraphExecDestroy(exec), ErrorCode::InvalidValue);
+
+    // Misuse surfaces as error codes, never exceptions, through the C API.
+    rt::GraphHandle none = 0;
+    EXPECT_EQ(rt::cusimStreamEndCapture(s, &none), ErrorCode::StreamCaptureInvalid);
+    EXPECT_EQ(rt::cusimGraphInstantiate(&exec, 404), ErrorCode::InvalidValue);
+    EXPECT_EQ(rt::cusimGraphLaunch(404), ErrorCode::InvalidValue);
+
+    EXPECT_EQ(rt::cusimStreamDestroy(s), ErrorCode::Success);
+}
+
+}  // namespace

@@ -355,4 +355,291 @@ TEST(StreamDiff, RunsAreReproducibleUnderOneSeed) {
     EXPECT_EQ(a.digest, b.digest);
 }
 
+// --- captured-vs-eager differential ----------------------------------------
+
+/// One recorded non-sync op of the replay batch. H2D sources and D2H
+/// destinations live in the harness (sources re-staged per eager enqueue,
+/// destinations shared by both replays so final contents are comparable).
+struct LoggedOp {
+    enum class Kind { Launch, H2D, D2H, Record, Wait } kind;
+    StreamId stream = 0;
+    unsigned buf = 0;
+    std::uint32_t salt = 0;     // Launch
+    std::size_t payload = 0;    // H2D: source index; D2H: destination index
+    std::size_t event = 0;      // Record/Wait: event index
+};
+
+/// Runs the seeded DAG eagerly (identical RNG consumption in both modes),
+/// logging every successfully enqueued non-sync op, then replays the log
+/// twice — either by plain re-enqueue (`captured == false`, the oracle) or
+/// through capture -> instantiate -> graph_launch. Digested observables are
+/// the time-independent set: final device memory, download contents,
+/// launch/transfer totals, the launch history (kernel, grid), fault
+/// counters and the memcheck report. Host-side *times* legitimately differ
+/// — replay charges one launch overhead for the whole DAG, which is the
+/// point of the graph path — so modelled clocks stay out of this digest
+/// (the timeline parity gate for a fixed workload lives in
+/// bench_graph_replay + cupp_timeline --diff).
+RunResult run_replay_dag(std::uint64_t seed, unsigned threads, EngineMode engine,
+                         bool captured) {
+    ThreadsGuard guard(threads);
+    EngineGuard engine_guard(engine);
+    memcheck::enable();
+    memcheck::reset();
+
+    std::ostringstream out;
+    {
+        Rng rng(seed);
+        Device dev(tiny_properties());
+        const LaunchConfig cfg{dim3{2}, dim3{32}};
+
+        const unsigned n_streams = 1 + rng.below(4);
+        std::vector<StreamId> streams;
+        for (unsigned i = 0; i < n_streams; ++i) streams.push_back(dev.stream_create());
+
+        const unsigned n_buffers = 2 + rng.below(3);
+        std::vector<DevicePtr<std::uint32_t>> buffers;
+        std::vector<std::vector<std::uint32_t>> downloads;
+        for (unsigned i = 0; i < n_buffers; ++i) {
+            buffers.push_back(dev.malloc_n<std::uint32_t>(kElems));
+            std::vector<std::uint32_t> init(kElems);
+            for (std::uint32_t j = 0; j < kElems; ++j) {
+                init[j] = static_cast<std::uint32_t>(rng.next());
+            }
+            dev.upload(buffers.back(), std::span<const std::uint32_t>(init));
+        }
+
+        std::vector<faults::Rule> rules;
+        for (faults::Site site :
+             {faults::Site::Launch, faults::Site::MemcpyH2D, faults::Site::MemcpyD2H}) {
+            faults::Rule r;
+            r.site = site;
+            r.code = site == faults::Site::Launch ? ErrorCode::LaunchFailure
+                                                  : ErrorCode::TransferFailure;
+            r.every = 5;
+            rules.push_back(r);
+        }
+        faults::configure(rules);
+
+        std::vector<EventId> events;
+        std::vector<bool> recorded;
+        unsigned faults_caught = 0;
+
+        std::vector<LoggedOp> log;
+        std::vector<std::vector<std::uint32_t>> h2d_sources;  // kept alive
+
+        const unsigned n_ops = 12 + rng.below(20);
+        for (unsigned i = 0; i < n_ops; ++i) {
+            const StreamId s = streams[rng.below(n_streams)];
+            const auto buf = rng.below(n_buffers);
+            try {
+                switch (rng.below(8)) {
+                    case 0:
+                    case 1:
+                    case 2: {  // kernel launch (most common)
+                        const auto salt = static_cast<std::uint32_t>(rng.next());
+                        dev.launch_async(
+                            cfg,
+                            KernelSpec(
+                                [&, buf, salt](ThreadCtx& ctx) {
+                                    return mix_kernel(ctx, buffers[buf], salt);
+                                },
+                                [&, buf, salt](WarpCtx& w) {
+                                    return mix_kernel_warp(w, buffers[buf], salt);
+                                }),
+                            "mix", s);
+                        log.push_back({LoggedOp::Kind::Launch, s, buf, salt, 0, 0});
+                        break;
+                    }
+                    case 3: {  // async H2D of a fresh pattern
+                        std::vector<std::uint32_t> src(kElems);
+                        for (auto& v : src) v = static_cast<std::uint32_t>(rng.next());
+                        dev.memcpy_to_device_async(buffers[buf].addr(), src.data(),
+                                                   kElems * sizeof(std::uint32_t), s);
+                        // Enqueue succeeded: keep the pattern for the replays.
+                        h2d_sources.push_back(std::move(src));
+                        log.push_back({LoggedOp::Kind::H2D, s, buf, 0,
+                                       h2d_sources.size() - 1, 0});
+                        break;
+                    }
+                    case 4: {  // async D2H into a kept-alive destination
+                        downloads.emplace_back(kElems, 0u);
+                        dev.memcpy_to_host_async(downloads.back().data(),
+                                                 buffers[buf].addr(),
+                                                 kElems * sizeof(std::uint32_t), s);
+                        log.push_back({LoggedOp::Kind::D2H, s, buf, 0, 0, 0});
+                        break;
+                    }
+                    case 5: {  // record a (possibly new) event
+                        if (events.empty() || rng.below(2) == 0) {
+                            events.push_back(dev.event_create());
+                            recorded.push_back(false);
+                        }
+                        const auto e = rng.below(static_cast<std::uint32_t>(events.size()));
+                        dev.event_record(events[e], s);
+                        recorded[e] = true;
+                        log.push_back({LoggedOp::Kind::Record, s, 0, 0, 0, e});
+                        break;
+                    }
+                    case 6: {  // cross-stream wait on a previously seen event
+                        if (!events.empty()) {
+                            const auto e =
+                                rng.below(static_cast<std::uint32_t>(events.size()));
+                            dev.stream_wait_event(s, events[e]);
+                            log.push_back({LoggedOp::Kind::Wait, s, 0, 0, 0, e});
+                        }
+                        break;
+                    }
+                    case 7: {  // mid-DAG sync: executed eagerly, never logged
+                        switch (rng.below(3)) {
+                            case 0: dev.stream_synchronize(s); break;
+                            case 1:
+                                if (!events.empty() && recorded[0]) {
+                                    dev.event_synchronize(events[0]);
+                                }
+                                break;
+                            default: dev.synchronize(); break;
+                        }
+                        break;
+                    }
+                }
+            } catch (const Error&) {
+                ++faults_caught;
+            }
+        }
+        dev.synchronize();
+        faults::disable();  // the replay phase itself runs fault-free
+
+        // Replay D2H ops land in buffers shared by both replays (a captured
+        // op re-targets the same host pointer on every launch, so the eager
+        // oracle re-enqueues into the same destination too).
+        std::vector<std::vector<std::uint32_t>> replay_dst;
+        for (auto& op : log) {
+            if (op.kind == LoggedOp::Kind::D2H) {
+                replay_dst.emplace_back(kElems, 0u);
+                op.payload = replay_dst.size() - 1;
+            }
+        }
+
+        const auto enqueue_log = [&] {
+            for (const LoggedOp& op : log) {
+                switch (op.kind) {
+                    case LoggedOp::Kind::Launch: {
+                        const auto buf = op.buf;
+                        const auto salt = op.salt;
+                        dev.launch_async(
+                            cfg,
+                            KernelSpec(
+                                [&, buf, salt](ThreadCtx& ctx) {
+                                    return mix_kernel(ctx, buffers[buf], salt);
+                                },
+                                [&, buf, salt](WarpCtx& w) {
+                                    return mix_kernel_warp(w, buffers[buf], salt);
+                                }),
+                            "mix", op.stream);
+                        break;
+                    }
+                    case LoggedOp::Kind::H2D:
+                        dev.memcpy_to_device_async(buffers[op.buf].addr(),
+                                                   h2d_sources[op.payload].data(),
+                                                   kElems * sizeof(std::uint32_t),
+                                                   op.stream);
+                        break;
+                    case LoggedOp::Kind::D2H:
+                        dev.memcpy_to_host_async(replay_dst[op.payload].data(),
+                                                 buffers[op.buf].addr(),
+                                                 kElems * sizeof(std::uint32_t),
+                                                 op.stream);
+                        break;
+                    case LoggedOp::Kind::Record:
+                        dev.event_record(events[op.event], op.stream);
+                        break;
+                    case LoggedOp::Kind::Wait:
+                        dev.stream_wait_event(op.stream, events[op.event]);
+                        break;
+                }
+            }
+        };
+
+        if (captured) {
+            // AllStreams: the logged DAG spans streams that need not be
+            // event-connected to the origin.
+            dev.stream_begin_capture(streams[0], CaptureMode::AllStreams);
+            enqueue_log();
+            Graph g = dev.stream_end_capture(streams[0]);
+            GraphExec exec = dev.graph_instantiate(g);
+            dev.graph_launch(exec);
+            dev.synchronize();
+            dev.graph_launch(exec);
+            dev.synchronize();
+        } else {
+            enqueue_log();
+            dev.synchronize();
+            enqueue_log();
+            dev.synchronize();
+        }
+
+        out << "seed=" << seed << " streams=" << n_streams << " ops=" << n_ops
+            << " logged=" << log.size() << " faults_caught=" << faults_caught
+            << "\n";
+        out << "launches=" << dev.launches() << " h2d=" << dev.bytes_to_device()
+            << " d2h=" << dev.bytes_to_host() << "\n";
+        out << "injected=" << faults::injections(faults::Site::Launch) << ","
+            << faults::injections(faults::Site::MemcpyH2D) << ","
+            << faults::injections(faults::Site::MemcpyD2H) << "\n";
+        for (const LaunchRecord& rec : dev.recent_launches()) {
+            out << "launch=" << rec.kernel_name << "/" << rec.stats.blocks << "/"
+                << rec.stats.threads << "\n";
+        }
+        for (unsigned i = 0; i < n_buffers; ++i) {
+            std::vector<std::uint32_t> host(kElems);
+            dev.download(std::span<std::uint32_t>(host), buffers[i]);
+            out << "buf" << i << "=";
+            for (std::uint32_t v : host) out << v << ",";
+            out << "\n";
+        }
+        for (std::size_t i = 0; i < downloads.size(); ++i) {
+            out << "dl" << i << "=";
+            for (std::uint32_t v : downloads[i]) out << v << ",";
+            out << "\n";
+        }
+        for (std::size_t i = 0; i < replay_dst.size(); ++i) {
+            out << "replay_dl" << i << "=";
+            for (std::uint32_t v : replay_dst[i]) out << v << ",";
+            out << "\n";
+        }
+        out << "memcheck=" << memcheck::report_json() << "\n";
+
+        for (EventId e : events) dev.event_destroy(e);
+        for (StreamId s : streams) dev.stream_destroy(s);
+    }
+
+    faults::disable();
+    faults::reset();
+    memcheck::disable();
+    memcheck::reset();
+    RunResult r;
+    r.digest = out.str();
+    return r;
+}
+
+// Every seeded DAG, captured and replayed twice, must leave exactly the
+// observables of the eagerly re-enqueued oracle — at every engine thread
+// count and under both execution engines. This is the differential proof
+// that replay's skipped per-op work (argument re-validation, per-launch
+// overhead charges) was pure overhead, never semantics.
+TEST(StreamDiff, CapturedReplayIsBitIdenticalToEagerReEnqueue) {
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        const RunResult eager = run_replay_dag(seed, 1, EngineMode::Thread, false);
+        for (unsigned threads : {1u, 2u, 8u}) {
+            for (EngineMode engine : {EngineMode::Thread, EngineMode::Warp}) {
+                const RunResult replayed = run_replay_dag(seed, threads, engine, true);
+                ASSERT_EQ(replayed.digest, eager.digest)
+                    << "seed " << seed << ", " << threads << " threads, "
+                    << (engine == EngineMode::Warp ? "warp" : "thread") << " engine";
+            }
+        }
+    }
+}
+
 }  // namespace

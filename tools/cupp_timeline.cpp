@@ -4,6 +4,7 @@
 //
 //   cupp_timeline <report.json> [--top=N] [--json]
 //   cupp_timeline --diff <old.json> <new.json> --threshold <pct>
+//                 [--device-only]
 //
 // The default view prints the modelled makespan, overlap efficiency, the
 // critical path ranked as recorded (chronological) with per-node makespan
@@ -16,7 +17,8 @@
 // compares makespan, critical path, serialized time and total bubble
 // seconds between two reports and exits non-zero when any regressed by
 // more than --threshold percent (tools/report_diff.hpp, shared with
-// cupp_prof --diff).
+// cupp_prof --diff). --device-only gates on makespan and critical path
+// alone — the pair a host-side change (like graph replay) must not move.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -212,7 +214,8 @@ const cupp::minijson::Value* validate(const cupp::minijson::Value& root,
     return tl;
 }
 
-int run_diff(const char* old_path, const char* new_path, double threshold) {
+int run_diff(const char* old_path, const char* new_path, double threshold,
+             bool device_only) {
     cupp::minijson::Value old_root;
     cupp::minijson::Value new_root;
     if (!cupp::tools::load_json("cupp_timeline", old_path, old_root) ||
@@ -224,14 +227,20 @@ int run_diff(const char* old_path, const char* new_path, double threshold) {
     if (validate(old_root, a) == nullptr || validate(new_root, b) == nullptr) {
         return 1;
     }
-    std::printf("cupp_timeline: diff %s -> %s (threshold %g%%)\n", old_path,
-                new_path, threshold);
-    const std::vector<cupp::tools::Metric> metrics = {
+    std::printf("cupp_timeline: diff %s -> %s (threshold %g%%%s)\n", old_path,
+                new_path, threshold, device_only ? ", device schedule only" : "");
+    // serialized/bubble totals include the host lane, so a run that only
+    // shifts host-side cost (e.g. graph replay amortising launch overhead)
+    // moves them in opposite directions. --device-only gates on the two
+    // metrics the device schedule alone determines.
+    std::vector<cupp::tools::Metric> metrics = {
         {"makespan_seconds", a.makespan, b.makespan},
         {"critical_path_seconds", a.critical, b.critical},
-        {"serialized_seconds", a.serialized, b.serialized},
-        {"bubble_seconds_total", a.bubble_total, b.bubble_total},
     };
+    if (!device_only) {
+        metrics.push_back({"serialized_seconds", a.serialized, b.serialized});
+        metrics.push_back({"bubble_seconds_total", a.bubble_total, b.bubble_total});
+    }
     return cupp::tools::diff_metrics("cupp_timeline", metrics, threshold) > 0 ? 1
                                                                               : 0;
 }
@@ -245,6 +254,7 @@ int main(int argc, char** argv) {
     std::size_t top = 10;
     bool json_out = false;
     bool diff_mode = false;
+    bool device_only = false;
     double threshold = 0.0;
     bool have_threshold = false;
     for (int i = 1; i < argc; ++i) {
@@ -261,6 +271,8 @@ int main(int argc, char** argv) {
             json_out = true;
         } else if (std::strcmp(argv[i], "--diff") == 0) {
             diff_mode = true;
+        } else if (std::strcmp(argv[i], "--device-only") == 0) {
+            device_only = true;
         } else if (std::strcmp(argv[i], "--threshold") == 0) {
             if (i + 1 >= argc ||
                 !cupp::tools::parse_threshold(argv[i + 1], threshold)) {
@@ -289,16 +301,16 @@ int main(int argc, char** argv) {
             path != nullptr || json_out) {
             std::fprintf(stderr,
                          "usage: cupp_timeline --diff <old.json> <new.json> "
-                         "--threshold <pct>\n");
+                         "--threshold <pct> [--device-only]\n");
             return 2;
         }
-        return run_diff(diff_old, diff_new, threshold);
+        return run_diff(diff_old, diff_new, threshold, device_only);
     }
-    if (path == nullptr) {
+    if (path == nullptr || device_only) {
         std::fprintf(stderr,
                      "usage: cupp_timeline <report.json> [--top=N] [--json]\n"
                      "       cupp_timeline --diff <old.json> <new.json> "
-                     "--threshold <pct>\n");
+                     "--threshold <pct> [--device-only]\n");
         return 2;
     }
 
